@@ -1,0 +1,75 @@
+// Ablation — intensity propagation function (extends §4.4).
+//
+// Eq. 4.1/4.2 use an exponential gap (qt * 2^(±ql)); §4.4 notes any pair of
+// functions with the four listed properties works. This ablation compares
+// the dissertation's exponential form against two alternatives that also
+// satisfy the properties:
+//   linear   : left = min(1, qt + ql),         right = max(-1, qt - ql)
+//   midpoint : left = qt + ql*(1-qt)/2,        right = qt - ql*(qt+1)/2
+// over a sweep of (ql, qt), reporting the induced left-right gap — the
+// quantity that decides how quickly chains of qualitative preferences
+// saturate at the -1/1 bounds.
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hypre/intensity.h"
+
+using namespace hypre;
+
+namespace {
+
+double LinearLeft(double ql, double qt) { return std::min(1.0, qt + ql); }
+double LinearRight(double ql, double qt) { return std::max(-1.0, qt - ql); }
+double MidLeft(double ql, double qt) {
+  return qt + ql * (1.0 - qt) / 2.0;
+}
+double MidRight(double ql, double qt) {
+  return qt - ql * (qt + 1.0) / 2.0;
+}
+
+/// Chain saturation: starting from a 0.5 seed, how many PREFERS hops until
+/// the left-value chain hits 1 (longer = more rank levels expressible).
+template <typename LeftFn>
+int ChainLengthToSaturation(LeftFn left, double ql) {
+  double v = 0.5;
+  for (int hops = 1; hops <= 64; ++hops) {
+    v = left(ql, v);
+    if (v >= 1.0 - 1e-12) return hops;
+  }
+  return 64;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: intensity propagation functions (extends §4.4)\n\n");
+  std::printf("%5s %5s | %9s %9s | %9s %9s | %9s %9s\n", "ql", "qt",
+              "exp L", "exp R", "lin L", "lin R", "mid L", "mid R");
+  for (double ql : {0.1, 0.3, 0.5, 0.8}) {
+    for (double qt : {-0.5, 0.0, 0.3, 0.7}) {
+      std::printf("%5.1f %5.1f | %9.4f %9.4f | %9.4f %9.4f | %9.4f %9.4f\n",
+                  ql, qt, core::IntensityLeft(ql, qt),
+                  core::IntensityRight(ql, qt), LinearLeft(ql, qt),
+                  LinearRight(ql, qt), MidLeft(ql, qt), MidRight(ql, qt));
+    }
+  }
+
+  std::printf("\nChain hops from a 0.5 seed until the derived value "
+              "saturates at 1:\n");
+  std::printf("%5s %12s %12s %12s\n", "ql", "exponential", "linear",
+              "midpoint");
+  for (double ql : {0.1, 0.25, 0.5, 1.0}) {
+    std::printf("%5.2f %12d %12d %12d\n", ql,
+                ChainLengthToSaturation(core::IntensityLeft, ql),
+                ChainLengthToSaturation(LinearLeft, ql),
+                ChainLengthToSaturation(MidLeft, ql));
+  }
+  std::printf(
+      "\nReading: the midpoint form never saturates (asymptotic), giving "
+      "the most distinguishable rank levels; the linear form saturates "
+      "fastest; the dissertation's exponential form sits between — cheap "
+      "and saturation-bounded, which matches its use of min/max clamps.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 13 — Node insertion time as the graph grows (batched).
+//
+// Paper: 7 billion nodes inserted into Neo4j in 1M-node batches; per-batch
+// time grows from ~10 s to <70 s at the end. Scaled here to 100k-node
+// batches (x HYPRE_SCALE): the shape to check is slow per-batch growth —
+// insertion stays near-linear with a mild upward drift as the arena and
+// index grow.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graphdb/batch.h"
+
+using namespace hypre;
+using namespace hypre::bench;
+
+namespace {
+
+void PrintBatchSeries() {
+  const size_t batch_size = 100000;
+  const size_t num_batches = 30 * EnvScale();
+  graphdb::GraphStore store;
+  Status st = store.CreateIndex("uidIndex", "uid");
+  if (!st.ok()) Die(st);
+  store.Reserve(batch_size * num_batches, 0);
+  graphdb::BatchInserter inserter(&store, batch_size);
+  for (size_t i = 0; i < batch_size * num_batches; ++i) {
+    graphdb::PropertyMap props;
+    props["uid"] = graphdb::PropertyValue(static_cast<int64_t>(i % 4096));
+    props["predicate"] =
+        graphdb::PropertyValue("dblp_author.aid=" + std::to_string(i));
+    props["intensity"] =
+        graphdb::PropertyValue(static_cast<double>(i % 1000) / 1000.0);
+    inserter.Add({"uidIndex"}, std::move(props));
+  }
+  inserter.Flush();
+
+  std::printf("Figure 13: node insertion time per %zu-node batch\n",
+              batch_size);
+  std::printf("%14s %16s %12s\n", "nodes (total)", "batch time (ms)",
+              "ns/node");
+  for (const auto& stats : inserter.stats()) {
+    std::printf("%14zu %16.2f %12.1f\n", stats.total_nodes_after,
+                stats.seconds * 1e3,
+                stats.seconds * 1e9 / (double)stats.nodes_inserted);
+  }
+}
+
+void BM_BatchInsert100k(benchmark::State& state) {
+  for (auto _ : state) {
+    graphdb::GraphStore store;
+    benchmark::DoNotOptimize(store.CreateIndex("uidIndex", "uid"));
+    graphdb::BatchInserter inserter(&store, 100000);
+    for (size_t i = 0; i < 100000; ++i) {
+      graphdb::PropertyMap props;
+      props["uid"] = graphdb::PropertyValue(static_cast<int64_t>(i % 4096));
+      props["intensity"] = graphdb::PropertyValue(0.5);
+      inserter.Add({"uidIndex"}, std::move(props));
+    }
+    inserter.Flush();
+    benchmark::DoNotOptimize(store.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_BatchInsert100k)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintBatchSeries();
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

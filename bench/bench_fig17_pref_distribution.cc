@@ -1,0 +1,49 @@
+// Figure 17 — Distribution of the number of preferences per user.
+//
+// Paper: a long tail — very few users with 200-1500 preferences, most with
+// a handful. This bench prints a histogram of per-user preference counts;
+// the shape to check is monotone-decreasing frequency with a long tail.
+#include <cstdio>
+
+#include <map>
+
+#include "bench_util.h"
+
+using namespace hypre;
+using namespace hypre::bench;
+
+int main() {
+  auto w = Workload::Create();
+
+  std::map<size_t, size_t> histogram;  // bucket lower bound -> users
+  size_t max_count = 0;
+  for (const auto& [uid, count] : w->prefs.per_user_counts) {
+    max_count = std::max(max_count, count);
+    size_t bucket;
+    if (count < 10) {
+      bucket = count;  // unit buckets for the head
+    } else if (count < 100) {
+      bucket = count / 10 * 10;
+    } else {
+      bucket = count / 100 * 100;
+    }
+    ++histogram[bucket];
+  }
+
+  std::printf("Figure 17: distribution of number of preferences per user\n");
+  std::printf("(%zu users, max %zu preferences for one user)\n\n",
+              w->prefs.per_user_counts.size(), max_count);
+  std::printf("%-14s %8s  %s\n", "#preferences", "#users", "");
+  for (const auto& [bucket, users] : histogram) {
+    std::string label = bucket < 10
+                            ? std::to_string(bucket)
+                            : std::to_string(bucket) + "-" +
+                                  std::to_string(bucket +
+                                                 (bucket < 100 ? 9 : 99));
+    int bar = static_cast<int>(60.0 * (double)users /
+                               (double)w->prefs.per_user_counts.size());
+    std::printf("%-14s %8zu  %.*s\n", label.c_str(), users, bar,
+                "############################################################");
+  }
+  return 0;
+}

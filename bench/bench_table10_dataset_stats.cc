@@ -1,0 +1,52 @@
+// Table 10 — Statistics for the DBLP database.
+//
+// Paper (real DBLP-Citation-network V4):
+//   dblp 1,614,306 papers; author 1,033,111; citation 2,327,450 entries
+//   (316,562 distinct cited); dblp_author 4,265,164;
+//   quantitative_pref 10,361,592 (1,033,010 users);
+//   qualitative_pref 7,901,874 (462,843 users).
+// This bench prints the same rows for the synthetic workload (scaled down;
+// see DESIGN.md substitutions). The shape to check: author links ~2-3x
+// papers, citations ~3x papers, quantitative > qualitative preference
+// counts, and fewer users with qualitative than with quantitative
+// preferences is NOT expected here because every user with >= 2 cited
+// authors gets pairs — the ratio, not the absolute counts, carries over.
+#include <cstdio>
+
+#include <set>
+
+#include "bench_util.h"
+
+using namespace hypre;
+using namespace hypre::bench;
+
+int main() {
+  auto w = Workload::Create();
+
+  std::set<core::UserId> quant_users;
+  for (const auto& q : w->prefs.quantitative) quant_users.insert(q.uid);
+  std::set<core::UserId> qual_users;
+  for (const auto& q : w->prefs.qualitative) qual_users.insert(q.uid);
+
+  std::printf("Table 10: Statistics for the (synthetic) DBLP database\n");
+  std::printf("%-18s %5s  %s\n", "Relation", "Arity", "Cardinality");
+  std::printf("%-18s %5d  %zu papers\n", "dblp", 4, w->stats.num_papers);
+  std::printf("%-18s %5d  %zu authors\n", "author", 2, w->stats.num_authors);
+  std::printf("%-18s %5d  %zu total entries\n", "citation", 2,
+              w->stats.num_citations);
+  std::printf("%-18s %5s  %zu distinct papers\n", "", "",
+              w->stats.num_cited_papers);
+  std::printf("%-18s %5d  %zu entries\n", "dblp_author", 2,
+              w->stats.num_author_links);
+  std::printf("%-18s %5d  %zu entries\n", "quantitative_pref", 4,
+              w->prefs.quantitative.size());
+  std::printf("%-18s %5s  %zu distinct users\n", "", "", quant_users.size());
+  std::printf("%-18s %5d  %zu entries\n", "qualitative_pref", 5,
+              w->prefs.qualitative.size());
+  std::printf("%-18s %5s  %zu distinct users\n", "", "", qual_users.size());
+  std::printf("\nBreakdown: %zu venue prefs, %zu author prefs, "
+              "%zu negative venue prefs\n",
+              w->prefs.num_venue_prefs, w->prefs.num_author_prefs,
+              w->prefs.num_negative_prefs);
+  return 0;
+}

@@ -1,0 +1,222 @@
+// hypre_shell: an interactive driver for the whole stack — the "practical
+// system" face of the library. Loads the synthetic DBLP workload and lets
+// you manage a profile and personalize queries from a prompt.
+//
+//   $ ./hypre_shell [num_papers]
+//   hypre> help
+//   hypre> pref add 0.5 dblp.venue='SIGMOD'
+//   hypre> pref over 0.3 dblp.venue='SIGMOD' dblp.venue='ICDE'
+//   hypre> pref list
+//   hypre> topk 10
+//   hypre> sql SELECT count(distinct dblp.pid) FROM dblp JOIN dblp_author
+//          ON dblp.pid = dblp_author.pid WHERE dblp.venue='SIGMOD'
+//   hypre> cypher START n=node(*) WHERE n.uid=1 RETURN n.predicate,
+//          n.intensity ORDER BY n.intensity DESC
+//
+// Also scriptable: pipe commands on stdin (used by the smoke test below).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "graphdb/cypher_lite.h"
+#include "hypre/algorithms/peps.h"
+#include "hypre/hypre_graph.h"
+#include "hypre/query_enhancement.h"
+#include "sqlparse/select_parser.h"
+#include "workload/dblp_generator.h"
+
+using namespace hypre;
+
+namespace {
+
+constexpr core::UserId kShellUser = 1;
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  pref add <intensity> <predicate>         quantitative preference\n"
+      "  pref over <strength> <left> <right>      qualitative (left > right;\n"
+      "                                           predicates must not contain "
+      "spaces)\n"
+      "  pref rm <predicate>                      remove a preference\n"
+      "  pref list                                show the profile\n"
+      "  topk <k>                                 personalized top-k papers\n"
+      "  sql <select statement>                   run SQL directly\n"
+      "  cypher <query>                           query the profile graph\n"
+      "  help | quit\n");
+}
+
+std::string Rest(std::istringstream* in) {
+  std::string rest;
+  std::getline(*in, rest);
+  size_t start = rest.find_first_not_of(' ');
+  return start == std::string::npos ? "" : rest.substr(start);
+}
+
+void PrintValue(const reldb::Value& v) {
+  std::printf("%s", v.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_papers = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+
+  workload::DblpConfig config;
+  config.num_papers = num_papers;
+  config.num_authors = num_papers / 3;
+  reldb::Database db;
+  auto stats = workload::GenerateDblp(config, &db);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded synthetic DBLP: %zu papers, %zu authors. "
+              "Type 'help' for commands.\n",
+              stats->num_papers, stats->num_authors);
+
+  core::HypreGraph graph;
+  reldb::Query base;
+  base.from = "dblp";
+  base.joins.push_back({"dblp_author", "dblp.pid", "pid"});
+  core::QueryEnhancer enhancer(&db, base, "dblp.pid");
+
+  std::string line;
+  while ((std::printf("hypre> "), std::fflush(stdout),
+          std::getline(std::cin, line))) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (command == "pref") {
+      std::string sub;
+      in >> sub;
+      if (sub == "add") {
+        double intensity = 0;
+        in >> intensity;
+        std::string predicate = Rest(&in);
+        auto r = graph.AddQuantitative({kShellUser, predicate, intensity});
+        std::printf("%s\n", r.ok() ? "ok" : r.status().ToString().c_str());
+      } else if (sub == "over") {
+        double strength = 0;
+        std::string left;
+        std::string right;
+        in >> strength >> left >> right;
+        auto r = graph.AddQualitative({kShellUser, left, right, strength});
+        if (r.ok()) {
+          std::printf("ok (%s edge)\n", core::EdgeLabelToString(r->label));
+        } else {
+          std::printf("%s\n", r.status().ToString().c_str());
+        }
+      } else if (sub == "rm") {
+        std::string predicate = Rest(&in);
+        Status st = graph.RemovePreference(kShellUser, predicate);
+        std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+      } else if (sub == "list") {
+        for (const auto& entry :
+             graph.ListPreferences(kShellUser, /*include_negative=*/true)) {
+          std::printf("  %+0.3f  %-40s (%s)\n", entry.intensity,
+                      entry.predicate.c_str(),
+                      core::ProvenanceToString(entry.provenance));
+        }
+      } else {
+        std::printf("unknown pref subcommand '%s'\n", sub.c_str());
+      }
+      continue;
+    }
+    if (command == "topk") {
+      size_t k = 10;
+      in >> k;
+      std::vector<core::PreferenceAtom> atoms;
+      bool parse_failed = false;
+      for (const auto& entry : graph.ListPreferences(kShellUser)) {
+        auto atom = core::MakeAtom(entry.predicate, entry.intensity);
+        if (!atom.ok()) {
+          std::printf("bad predicate in profile: %s\n",
+                      atom.status().ToString().c_str());
+          parse_failed = true;
+          break;
+        }
+        atoms.push_back(std::move(atom.value()));
+      }
+      if (parse_failed) continue;
+      if (atoms.empty()) {
+        std::printf("profile is empty; use 'pref add' first\n");
+        continue;
+      }
+      core::SortByIntensityDesc(&atoms);
+      core::Peps peps(&atoms, &enhancer);
+      auto top = peps.TopK(k, core::PepsMode::kComplete);
+      if (!top.ok()) {
+        std::printf("%s\n", top.status().ToString().c_str());
+        continue;
+      }
+      const reldb::Table* dblp = db.GetTable("dblp");
+      const reldb::HashIndex* by_pid = dblp->GetHashIndex("pid");
+      for (const auto& tuple : *top) {
+        const auto& rows = by_pid->Lookup(tuple.key);
+        if (rows.empty()) continue;
+        const reldb::Row& row = dblp->row(rows[0]);
+        std::printf("  %.3f  pid=%-6lld %-10s (%lld)\n", tuple.intensity,
+                    (long long)tuple.key.AsInt(), row[3].AsString().c_str(),
+                    (long long)row[2].AsInt());
+      }
+      continue;
+    }
+    if (command == "sql") {
+      auto result = sqlparse::ExecuteSql(db, Rest(&in));
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
+        continue;
+      }
+      for (size_t c = 0; c < result->column_names.size(); ++c) {
+        std::printf(c == 0 ? "%s" : " | %s",
+                    result->column_names[c].c_str());
+      }
+      std::printf("\n");
+      size_t shown = 0;
+      for (const auto& row : result->rows) {
+        if (shown++ >= 20) {
+          std::printf("  ... (%zu rows total)\n", result->rows.size());
+          break;
+        }
+        for (size_t c = 0; c < row.size(); ++c) {
+          if (c > 0) std::printf(" | ");
+          PrintValue(row[c]);
+        }
+        std::printf("\n");
+      }
+      continue;
+    }
+    if (command == "cypher") {
+      auto result =
+          graphdb::RunCypherMutate(graph.mutable_store(), Rest(&in));
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
+        continue;
+      }
+      for (size_t c = 0; c < result->columns.size(); ++c) {
+        std::printf(c == 0 ? "%s" : " | %s", result->columns[c].c_str());
+      }
+      std::printf("\n");
+      for (const auto& row : result->rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+          std::printf(c == 0 ? "%s" : " | %s", row[c].ToString().c_str());
+        }
+        std::printf("\n");
+      }
+      continue;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

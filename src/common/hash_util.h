@@ -1,0 +1,16 @@
+// Hash combination helper (boost::hash_combine style).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hypre {
+
+/// \brief Mixes `value`'s hash into `seed`.
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  std::hash<T> hasher;
+  *seed ^= hasher(value) + 0x9E3779B97F4A7C15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace hypre

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace hypre {
+
+LogLevel Logger::level_ = LogLevel::kWarning;
+
+void Logger::SetLevel(LogLevel level) { level_ = level; }
+
+LogLevel Logger::GetLevel() { return level_; }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  const char* tag = "INFO";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      tag = "INFO";
+      break;
+    case LogLevel::kWarning:
+      tag = "WARN";
+      break;
+    case LogLevel::kError:
+      tag = "ERROR";
+      break;
+  }
+  std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+}
+
+}  // namespace hypre

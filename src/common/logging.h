@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr, controllable at runtime.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hypre {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide log configuration.
+class Logger {
+ public:
+  /// \brief Sets the minimum level that is emitted. Defaults to kWarning so
+  /// library code is quiet in tests and benchmarks.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// \brief Emits a single log line if `level` is enabled.
+  static void Log(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace internal {
+
+/// \brief Stream-style log statement helper; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hypre
+
+#define HYPRE_LOG_DEBUG ::hypre::internal::LogMessage(::hypre::LogLevel::kDebug)
+#define HYPRE_LOG_INFO ::hypre::internal::LogMessage(::hypre::LogLevel::kInfo)
+#define HYPRE_LOG_WARN \
+  ::hypre::internal::LogMessage(::hypre::LogLevel::kWarning)
+#define HYPRE_LOG_ERROR ::hypre::internal::LogMessage(::hypre::LogLevel::kError)

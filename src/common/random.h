@@ -1,0 +1,69 @@
+// Deterministic random number generation and skewed samplers used by the
+// synthetic-workload generator and the Bias-Random-Selection algorithm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hypre {
+
+/// \brief xoshiro256** PRNG: fast, high quality, fully deterministic given a
+/// seed, so every experiment in the repo is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// \brief Uniform 64-bit value.
+  uint64_t Next();
+
+  /// \brief Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// \brief Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// \brief Zipf(s, n) sampler over ranks {0, ..., n-1} using the inverse-CDF
+/// method over a precomputed cumulative table.
+///
+/// Venue popularity, author productivity and citation fan-in in the DBLP
+/// workload are all long-tailed; Zipf reproduces that shape.
+class ZipfSampler {
+ public:
+  /// \param n number of distinct items (must be >= 1)
+  /// \param s skew exponent (s = 0 is uniform; typical 0.8-1.2)
+  ZipfSampler(size_t n, double s);
+
+  /// \brief Samples a rank in [0, n); rank 0 is most popular.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// \brief Fisher-Yates shuffle.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    size_t j = rng->NextBounded(i);
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+}  // namespace hypre

@@ -1,0 +1,123 @@
+// Status and Result<T>: lightweight, exception-free error propagation in the
+// style of Apache Arrow / RocksDB.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hypre {
+
+/// \brief Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kConflict,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: either OK or a code plus message.
+///
+/// Functions that can fail return `Status` (no payload) or `Result<T>`
+/// (payload or error). Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Access the value; must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// \brief Move the value out; must only be called when ok().
+  T TakeValue() { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hypre
+
+/// \brief Propagates a non-OK Status from the current function.
+#define HYPRE_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::hypre::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// \brief Assigns the value of a Result to `lhs`, or propagates its error.
+#define HYPRE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).TakeValue();
+
+#define HYPRE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define HYPRE_ASSIGN_OR_RETURN_NAME(a, b) HYPRE_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define HYPRE_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  HYPRE_ASSIGN_OR_RETURN_IMPL(                                               \
+      HYPRE_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, rexpr)

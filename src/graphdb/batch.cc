@@ -1,0 +1,29 @@
+#include "graphdb/batch.h"
+
+namespace hypre {
+namespace graphdb {
+
+void BatchInserter::Add(std::vector<std::string> labels, PropertyMap props) {
+  staged_labels_.push_back(std::move(labels));
+  staged_props_.push_back(std::move(props));
+  if (staged_labels_.size() >= batch_size_) Flush();
+}
+
+void BatchInserter::Flush() {
+  if (staged_labels_.empty()) return;
+  WallTimer timer;
+  for (size_t i = 0; i < staged_labels_.size(); ++i) {
+    store_->AddNode(std::move(staged_labels_[i]), std::move(staged_props_[i]));
+  }
+  BatchStats stats;
+  stats.batch_index = stats_.size();
+  stats.nodes_inserted = staged_labels_.size();
+  stats.seconds = timer.ElapsedSeconds();
+  stats.total_nodes_after = store_->num_nodes();
+  stats_.push_back(stats);
+  staged_labels_.clear();
+  staged_props_.clear();
+}
+
+}  // namespace graphdb
+}  // namespace hypre

@@ -1,0 +1,853 @@
+#include "graphdb/cypher_lite.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace graphdb {
+namespace {
+
+// --- lexer -------------------------------------------------------------
+
+enum class Tok {
+  kIdent,
+  kInt,
+  kReal,
+  kString,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kColon,
+  kStar,
+  kArrowOut,   // -[:TYPE]->   (emitted as kEdgeOut with the type text)
+  kEdgeOut,    // full out-edge pattern token
+  kEdgeIn,     // full in-edge pattern token <-[:TYPE]-
+  kLBrace,     // {
+  kRBrace,     // }
+  kEnd,
+};
+
+struct Token {
+  Tok type;
+  std::string text;
+  int64_t int_value = 0;
+  double real_value = 0.0;
+};
+
+Result<std::vector<Token>> Lex(const std::string& in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto fail = [&](const std::string& what) {
+    return Status::ParseError(
+        StringFormat("cypher: %s at offset %zu", what.c_str(), i));
+  };
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string content;
+      while (j < in.size() && in[j] != quote) content.push_back(in[j++]);
+      if (j >= in.size()) return fail("unterminated string");
+      out.push_back({Tok::kString, std::move(content), 0, 0.0});
+      i = j + 1;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])) &&
+         // Distinguish a negative literal from the '-[' edge pattern and the
+         // trailing '-' of '<-[:T]-'.
+         (out.empty() || out.back().type == Tok::kEq ||
+          out.back().type == Tok::kNe || out.back().type == Tok::kLt ||
+          out.back().type == Tok::kLe || out.back().type == Tok::kGt ||
+          out.back().type == Tok::kGe || out.back().type == Tok::kLParen ||
+          out.back().type == Tok::kComma))) {
+      size_t j = i;
+      if (in[j] == '-') ++j;
+      bool real = false;
+      while (j < in.size() &&
+             (std::isdigit(static_cast<unsigned char>(in[j])) ||
+              in[j] == '.')) {
+        if (in[j] == '.') real = true;
+        ++j;
+      }
+      Token tok;
+      tok.text = in.substr(i, j - i);
+      if (real) {
+        tok.type = Tok::kReal;
+        tok.real_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.type = Tok::kInt;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < in.size() &&
+             (std::isalnum(static_cast<unsigned char>(in[j])) ||
+              in[j] == '_')) {
+        ++j;
+      }
+      out.push_back({Tok::kIdent, in.substr(i, j - i), 0, 0.0});
+      i = j;
+      continue;
+    }
+    if (c == '-' || c == '<') {
+      // Edge patterns:  -[:TYPE]->   or   <-[:TYPE]-
+      bool incoming = (c == '<');
+      size_t j = i + (incoming ? 1 : 0);
+      if (j >= in.size() || in[j] != '-') return fail("malformed edge pattern");
+      ++j;
+      if (j >= in.size() || in[j] != '[') return fail("expected '['");
+      ++j;
+      if (j >= in.size() || in[j] != ':') return fail("expected ':'");
+      ++j;
+      std::string type;
+      while (j < in.size() && in[j] != ']') type.push_back(in[j++]);
+      if (j >= in.size()) return fail("expected ']'");
+      ++j;
+      if (j >= in.size() || in[j] != '-') return fail("expected '-'");
+      ++j;
+      if (!incoming) {
+        if (j >= in.size() || in[j] != '>') return fail("expected '>'");
+        ++j;
+      }
+      out.push_back({incoming ? Tok::kEdgeIn : Tok::kEdgeOut, std::move(type),
+                     0, 0.0});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '=':
+        out.push_back({Tok::kEq, "=", 0, 0.0});
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          out.push_back({Tok::kNe, "!=", 0, 0.0});
+          i += 2;
+        } else {
+          return fail("unexpected '!'");
+        }
+        break;
+      case '>':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          out.push_back({Tok::kGe, ">=", 0, 0.0});
+          i += 2;
+        } else {
+          out.push_back({Tok::kGt, ">", 0, 0.0});
+          ++i;
+        }
+        break;
+      case '(':
+        out.push_back({Tok::kLParen, "(", 0, 0.0});
+        ++i;
+        break;
+      case ')':
+        out.push_back({Tok::kRParen, ")", 0, 0.0});
+        ++i;
+        break;
+      case ',':
+        out.push_back({Tok::kComma, ",", 0, 0.0});
+        ++i;
+        break;
+      case '.':
+        out.push_back({Tok::kDot, ".", 0, 0.0});
+        ++i;
+        break;
+      case ':':
+        out.push_back({Tok::kColon, ":", 0, 0.0});
+        ++i;
+        break;
+      case '*':
+        out.push_back({Tok::kStar, "*", 0, 0.0});
+        ++i;
+        break;
+      case '{':
+        out.push_back({Tok::kLBrace, "{", 0, 0.0});
+        ++i;
+        break;
+      case '}':
+        out.push_back({Tok::kRBrace, "}", 0, 0.0});
+        ++i;
+        break;
+      default:
+        return fail(StringFormat("unexpected character '%c'", c));
+    }
+  }
+  out.push_back({Tok::kEnd, "", 0, 0.0});
+  return out;
+}
+
+// --- AST ----------------------------------------------------------------
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct StartClause {
+  std::string var;
+  bool all_nodes = false;
+  bool by_id = false;
+  NodeId id = kInvalidNode;
+  // index lookup
+  std::string index_label;
+  std::string index_prop;
+  PropertyValue index_value;
+};
+
+struct MatchClause {
+  bool present = false;
+  std::string from_var;  // variable already bound by START
+  std::string to_var;    // new variable bound by the pattern
+  std::string edge_type;
+  bool outgoing = true;  // from -[:T]-> to  vs  from <-[:T]- to
+};
+
+struct WhereCond {
+  std::string var;
+  std::string prop;
+  CmpOp op;
+  PropertyValue value;
+};
+
+struct ReturnItem {
+  bool is_id = false;  // id(var)
+  std::string var;
+  std::string prop;  // for var.prop
+  std::string alias;
+};
+
+struct CypherQuery {
+  StartClause start;
+  MatchClause match;
+  std::vector<WhereCond> where;
+  std::vector<ReturnItem> ret;
+  bool has_order = false;
+  std::string order_var;
+  std::string order_prop;
+  bool order_desc = false;
+  size_t skip = 0;
+  size_t limit = 0;  // 0 = unlimited
+};
+
+// --- parser ---------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<CypherQuery> Parse() {
+    CypherQuery q;
+    HYPRE_RETURN_NOT_OK(ExpectKeyword("START"));
+    HYPRE_RETURN_NOT_OK(ParseStart(&q.start));
+    if (PeekKeyword("MATCH")) {
+      ++pos_;
+      HYPRE_RETURN_NOT_OK(ParseMatch(&q));
+    }
+    if (PeekKeyword("WHERE")) {
+      ++pos_;
+      HYPRE_RETURN_NOT_OK(ParseWhere(&q));
+    }
+    HYPRE_RETURN_NOT_OK(ExpectKeyword("RETURN"));
+    HYPRE_RETURN_NOT_OK(ParseReturn(&q));
+    if (PeekKeyword("ORDER")) {
+      ++pos_;
+      HYPRE_RETURN_NOT_OK(ExpectKeyword("BY"));
+      q.has_order = true;
+      HYPRE_RETURN_NOT_OK(ParseVarProp(&q.order_var, &q.order_prop));
+      if (PeekKeyword("DESC")) {
+        q.order_desc = true;
+        ++pos_;
+      } else if (PeekKeyword("ASC")) {
+        ++pos_;
+      }
+    }
+    if (PeekKeyword("SKIP")) {
+      ++pos_;
+      if (Peek().type != Tok::kInt) return Err("expected an integer");
+      q.skip = static_cast<size_t>(Next().int_value);
+    }
+    if (PeekKeyword("LIMIT")) {
+      ++pos_;
+      if (Peek().type != Tok::kInt) return Err("expected an integer");
+      q.limit = static_cast<size_t>(Next().int_value);
+    }
+    if (Peek().type != Tok::kEnd) return Err("trailing tokens");
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  const Token& Next() { return toks_[pos_++]; }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == Tok::kIdent && EqualsIgnoreCase(Peek().text, kw);
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::ParseError(StringFormat("cypher: expected %s", kw));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+  Status Err(const std::string& what) const {
+    return Status::ParseError("cypher: " + what);
+  }
+
+  Result<PropertyValue> ParseLiteral() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case Tok::kInt:
+        ++pos_;
+        return PropertyValue(tok.int_value);
+      case Tok::kReal:
+        ++pos_;
+        return PropertyValue(tok.real_value);
+      case Tok::kString:
+        ++pos_;
+        return PropertyValue(tok.text);
+      case Tok::kIdent:
+        if (EqualsIgnoreCase(tok.text, "true")) {
+          ++pos_;
+          return PropertyValue(true);
+        }
+        if (EqualsIgnoreCase(tok.text, "false")) {
+          ++pos_;
+          return PropertyValue(false);
+        }
+        return Err("expected a literal");
+      default:
+        return Err("expected a literal");
+    }
+  }
+
+  Status ParseVarProp(std::string* var, std::string* prop) {
+    if (Peek().type != Tok::kIdent) return Err("expected a variable");
+    *var = Next().text;
+    if (Peek().type != Tok::kDot) return Err("expected '.'");
+    ++pos_;
+    if (Peek().type != Tok::kIdent) return Err("expected a property name");
+    *prop = Next().text;
+    return Status::OK();
+  }
+
+  Status ParseStart(StartClause* start) {
+    if (Peek().type != Tok::kIdent) return Err("expected a variable");
+    start->var = Next().text;
+    if (Peek().type != Tok::kEq) return Err("expected '='");
+    ++pos_;
+    if (!PeekKeyword("node")) return Err("expected node(...)");
+    ++pos_;
+    if (Peek().type == Tok::kColon) {
+      // node:<label>(<prop> = <literal>)
+      ++pos_;
+      if (Peek().type != Tok::kIdent) return Err("expected an index label");
+      start->index_label = Next().text;
+      if (Peek().type != Tok::kLParen) return Err("expected '('");
+      ++pos_;
+      if (Peek().type != Tok::kIdent) return Err("expected a property");
+      start->index_prop = Next().text;
+      if (Peek().type != Tok::kEq) return Err("expected '='");
+      ++pos_;
+      HYPRE_ASSIGN_OR_RETURN(start->index_value, ParseLiteral());
+      if (Peek().type != Tok::kRParen) return Err("expected ')'");
+      ++pos_;
+      return Status::OK();
+    }
+    if (Peek().type != Tok::kLParen) return Err("expected '('");
+    ++pos_;
+    if (Peek().type == Tok::kStar) {
+      start->all_nodes = true;
+      ++pos_;
+    } else if (Peek().type == Tok::kInt) {
+      start->by_id = true;
+      start->id = static_cast<NodeId>(Next().int_value);
+    } else {
+      return Err("expected '*' or a node id");
+    }
+    if (Peek().type != Tok::kRParen) return Err("expected ')'");
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseMatch(CypherQuery* q) {
+    q->match.present = true;
+    if (Peek().type != Tok::kIdent) return Err("expected a variable");
+    std::string first = Next().text;
+    if (Peek().type == Tok::kEdgeOut) {
+      q->match.outgoing = true;
+      q->match.edge_type = Next().text;
+    } else if (Peek().type == Tok::kEdgeIn) {
+      q->match.outgoing = false;
+      q->match.edge_type = Next().text;
+    } else {
+      return Err("expected an edge pattern");
+    }
+    if (Peek().type != Tok::kIdent) return Err("expected a variable");
+    std::string second = Next().text;
+    q->match.from_var = first;
+    q->match.to_var = second;
+    return Status::OK();
+  }
+
+  Status ParseWhere(CypherQuery* q) {
+    for (;;) {
+      WhereCond cond;
+      HYPRE_RETURN_NOT_OK(ParseVarProp(&cond.var, &cond.prop));
+      switch (Peek().type) {
+        case Tok::kEq:
+          cond.op = CmpOp::kEq;
+          break;
+        case Tok::kNe:
+          cond.op = CmpOp::kNe;
+          break;
+        case Tok::kLt:
+          cond.op = CmpOp::kLt;
+          break;
+        case Tok::kLe:
+          cond.op = CmpOp::kLe;
+          break;
+        case Tok::kGt:
+          cond.op = CmpOp::kGt;
+          break;
+        case Tok::kGe:
+          cond.op = CmpOp::kGe;
+          break;
+        default:
+          return Err("expected a comparison operator");
+      }
+      ++pos_;
+      HYPRE_ASSIGN_OR_RETURN(cond.value, ParseLiteral());
+      q->where.push_back(std::move(cond));
+      if (PeekKeyword("AND")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseReturn(CypherQuery* q) {
+    for (;;) {
+      ReturnItem item;
+      if (PeekKeyword("id")) {
+        // id(<var>)
+        size_t save = pos_;
+        ++pos_;
+        if (Peek().type == Tok::kLParen) {
+          ++pos_;
+          if (Peek().type != Tok::kIdent) return Err("expected a variable");
+          item.is_id = true;
+          item.var = Next().text;
+          if (Peek().type != Tok::kRParen) return Err("expected ')'");
+          ++pos_;
+          item.alias = "id(" + item.var + ")";
+        } else {
+          pos_ = save;  // treat "id" as a plain variable name
+        }
+      }
+      if (!item.is_id) {
+        HYPRE_RETURN_NOT_OK(ParseVarProp(&item.var, &item.prop));
+        item.alias = item.var + "." + item.prop;
+      }
+      if (PeekKeyword("as")) {
+        ++pos_;
+        if (Peek().type != Tok::kIdent) return Err("expected an alias");
+        item.alias = Next().text;
+      }
+      q->ret.push_back(std::move(item));
+      if (Peek().type == Tok::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+// --- evaluator --------------------------------------------------------------
+
+bool ApplyCmp(CmpOp op, const PropertyValue& a, const PropertyValue& b) {
+  if (a.is_null() || b.is_null()) return false;
+  int c = a.Compare(b);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+struct Binding {
+  NodeId nodes[2] = {kInvalidNode, kInvalidNode};  // [0]=start var, [1]=match
+};
+
+}  // namespace
+
+Result<CypherResult> RunCypher(const GraphStore& store,
+                               const std::string& query) {
+  HYPRE_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(query));
+  Parser parser(std::move(toks));
+  HYPRE_ASSIGN_OR_RETURN(CypherQuery q, parser.Parse());
+
+  auto var_slot = [&](const std::string& var) -> Result<int> {
+    if (var == q.start.var) return 0;
+    if (q.match.present && var == q.match.to_var) return 1;
+    return Status::ParseError("cypher: unbound variable '" + var + "'");
+  };
+
+  // Enumerate start nodes.
+  std::vector<NodeId> start_nodes;
+  if (q.start.all_nodes) {
+    store.ForEachNode([&](const Node& n) { start_nodes.push_back(n.id); });
+  } else if (q.start.by_id) {
+    if (store.NodeExists(q.start.id)) start_nodes.push_back(q.start.id);
+  } else {
+    HYPRE_ASSIGN_OR_RETURN(
+        start_nodes, store.FindNodes(q.start.index_label, q.start.index_prop,
+                                     q.start.index_value));
+  }
+
+  // Expand MATCH.
+  std::vector<Binding> bindings;
+  if (q.match.present) {
+    if (q.match.from_var != q.start.var) {
+      return Status::ParseError(
+          "cypher: MATCH must start from the START variable");
+    }
+    for (NodeId n : start_nodes) {
+      if (q.match.outgoing) {
+        for (EdgeId eid : store.OutEdges(n, q.match.edge_type)) {
+          Binding b;
+          b.nodes[0] = n;
+          b.nodes[1] = store.GetEdge(eid).value()->dst;
+          bindings.push_back(b);
+        }
+      } else {
+        for (EdgeId eid : store.InEdges(n, q.match.edge_type)) {
+          Binding b;
+          b.nodes[0] = n;
+          b.nodes[1] = store.GetEdge(eid).value()->src;
+          bindings.push_back(b);
+        }
+      }
+    }
+  } else {
+    for (NodeId n : start_nodes) {
+      Binding b;
+      b.nodes[0] = n;
+      bindings.push_back(b);
+    }
+  }
+
+  // WHERE filter.
+  std::vector<Binding> filtered;
+  for (const Binding& b : bindings) {
+    bool keep = true;
+    for (const WhereCond& cond : q.where) {
+      HYPRE_ASSIGN_OR_RETURN(int slot, var_slot(cond.var));
+      auto value = store.GetNodeProperty(b.nodes[slot], cond.prop);
+      if (!value || !ApplyCmp(cond.op, *value, cond.value)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) filtered.push_back(b);
+  }
+
+  // ORDER BY.
+  if (q.has_order) {
+    HYPRE_ASSIGN_OR_RETURN(int slot, var_slot(q.order_var));
+    std::stable_sort(
+        filtered.begin(), filtered.end(),
+        [&](const Binding& a, const Binding& b) {
+          auto va = store.GetNodeProperty(a.nodes[slot], q.order_prop);
+          auto vb = store.GetNodeProperty(b.nodes[slot], q.order_prop);
+          PropertyValue pa = va ? *va : PropertyValue();
+          PropertyValue pb = vb ? *vb : PropertyValue();
+          int c = pa.Compare(pb);
+          return q.order_desc ? c > 0 : c < 0;
+        });
+  }
+
+  // SKIP / LIMIT.
+  size_t begin = std::min(q.skip, filtered.size());
+  size_t end = filtered.size();
+  if (q.limit > 0) end = std::min(end, begin + q.limit);
+
+  // Projection.
+  CypherResult result;
+  for (const ReturnItem& item : q.ret) result.columns.push_back(item.alias);
+  for (size_t i = begin; i < end; ++i) {
+    std::vector<PropertyValue> row;
+    for (const ReturnItem& item : q.ret) {
+      HYPRE_ASSIGN_OR_RETURN(int slot, var_slot(item.var));
+      NodeId node = filtered[i].nodes[slot];
+      if (item.is_id) {
+        row.emplace_back(static_cast<int64_t>(node));
+      } else {
+        auto value = store.GetNodeProperty(node, item.prop);
+        row.push_back(value ? *value : PropertyValue());
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+namespace {
+
+/// Mutation-statement parser (CREATE / SET / DELETE).
+class MutateParser {
+ public:
+  MutateParser(GraphStore* store, std::vector<Token> toks)
+      : store_(store), toks_(std::move(toks)) {}
+
+  Result<CypherResult> Run() {
+    if (PeekKeyword("CREATE")) {
+      ++pos_;
+      return ParseCreate();
+    }
+    // START n=node(<id>) SET/DELETE ...
+    if (!PeekKeyword("START")) {
+      return Status::ParseError("cypher: expected CREATE or START");
+    }
+    ++pos_;
+    if (Peek().type != Tok::kIdent) return Err("expected a variable");
+    std::string var = Next().text;
+    if (Next().type != Tok::kEq) return Err("expected '='");
+    if (!PeekKeyword("node")) return Err("expected node(<id>)");
+    ++pos_;
+    if (Next().type != Tok::kLParen) return Err("expected '('");
+    if (Peek().type != Tok::kInt) return Err("expected a node id");
+    NodeId id = static_cast<NodeId>(Next().int_value);
+    if (Next().type != Tok::kRParen) return Err("expected ')'");
+    if (PeekKeyword("SET")) {
+      ++pos_;
+      return ParseSet(var, id);
+    }
+    if (PeekKeyword("DELETE")) {
+      ++pos_;
+      if (Peek().type != Tok::kIdent || Next().text != var) {
+        return Err("DELETE must name the START variable");
+      }
+      HYPRE_RETURN_NOT_OK(ExpectEnd());
+      HYPRE_RETURN_NOT_OK(store_->RemoveNode(id));
+      return IdResult("id(" + var + ")", static_cast<int64_t>(id));
+    }
+    return Err("expected SET or DELETE");
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  const Token& Next() { return toks_[pos_++]; }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == Tok::kIdent && EqualsIgnoreCase(Peek().text, kw);
+  }
+  Status Err(const std::string& what) const {
+    return Status::ParseError("cypher: " + what);
+  }
+  Status ExpectEnd() {
+    if (Peek().type != Tok::kEnd) return Err("trailing tokens");
+    return Status::OK();
+  }
+  static CypherResult IdResult(std::string column, int64_t id) {
+    CypherResult result;
+    result.columns.push_back(std::move(column));
+    result.rows.push_back({PropertyValue(id)});
+    return result;
+  }
+
+  Result<PropertyValue> ParseLiteral() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case Tok::kInt:
+        ++pos_;
+        return PropertyValue(tok.int_value);
+      case Tok::kReal:
+        ++pos_;
+        return PropertyValue(tok.real_value);
+      case Tok::kString:
+        ++pos_;
+        return PropertyValue(tok.text);
+      case Tok::kIdent:
+        if (EqualsIgnoreCase(tok.text, "true")) {
+          ++pos_;
+          return PropertyValue(true);
+        }
+        if (EqualsIgnoreCase(tok.text, "false")) {
+          ++pos_;
+          return PropertyValue(false);
+        }
+        return Err("expected a literal");
+      default:
+        return Err("expected a literal");
+    }
+  }
+
+  /// `{key: literal, ...}`; the leading '{' must be current.
+  Result<PropertyMap> ParseMap() {
+    PropertyMap props;
+    if (Next().type != Tok::kLBrace) return Err("expected '{'");
+    if (Peek().type == Tok::kRBrace) {
+      ++pos_;
+      return props;
+    }
+    for (;;) {
+      if (Peek().type != Tok::kIdent) return Err("expected a property name");
+      std::string key = Next().text;
+      if (Next().type != Tok::kColon) return Err("expected ':'");
+      HYPRE_ASSIGN_OR_RETURN(PropertyValue value, ParseLiteral());
+      props[key] = std::move(value);
+      if (Peek().type == Tok::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (Next().type != Tok::kRBrace) return Err("expected '}'");
+    return props;
+  }
+
+  Result<CypherResult> ParseCreate() {
+    if (Next().type != Tok::kLParen) return Err("expected '('");
+    if (Peek().type == Tok::kInt) {
+      // Edge creation: (<id>) -[:TYPE]-> (<id>) [{props}]
+      NodeId src = static_cast<NodeId>(Next().int_value);
+      if (Next().type != Tok::kRParen) return Err("expected ')'");
+      if (Peek().type != Tok::kEdgeOut) {
+        return Err("expected an outgoing edge pattern");
+      }
+      std::string type = Next().text;
+      if (Next().type != Tok::kLParen) return Err("expected '('");
+      if (Peek().type != Tok::kInt) return Err("expected a node id");
+      NodeId dst = static_cast<NodeId>(Next().int_value);
+      if (Next().type != Tok::kRParen) return Err("expected ')'");
+      PropertyMap props;
+      if (Peek().type == Tok::kLBrace) {
+        HYPRE_ASSIGN_OR_RETURN(props, ParseMap());
+      }
+      HYPRE_RETURN_NOT_OK(ExpectEnd());
+      HYPRE_ASSIGN_OR_RETURN(EdgeId edge,
+                             store_->AddEdge(src, dst, type,
+                                             std::move(props)));
+      return IdResult("id(e)", static_cast<int64_t>(edge));
+    }
+    // Node creation: (n:Label1:Label2 {props})
+    if (Peek().type != Tok::kIdent) return Err("expected a variable");
+    std::string var = Next().text;
+    std::vector<std::string> labels;
+    while (Peek().type == Tok::kColon) {
+      ++pos_;
+      if (Peek().type != Tok::kIdent) return Err("expected a label");
+      labels.push_back(Next().text);
+    }
+    PropertyMap props;
+    if (Peek().type == Tok::kLBrace) {
+      HYPRE_ASSIGN_OR_RETURN(props, ParseMap());
+    }
+    if (Next().type != Tok::kRParen) return Err("expected ')'");
+    // Optional "RETURN id(<var>)" for Cypher flavor; output is id anyway.
+    if (PeekKeyword("RETURN")) {
+      ++pos_;
+      if (!PeekKeyword("id")) return Err("only RETURN id(var) is supported");
+      ++pos_;
+      if (Next().type != Tok::kLParen) return Err("expected '('");
+      if (Peek().type != Tok::kIdent || Next().text != var) {
+        return Err("RETURN must name the created variable");
+      }
+      if (Next().type != Tok::kRParen) return Err("expected ')'");
+    }
+    HYPRE_RETURN_NOT_OK(ExpectEnd());
+    NodeId id = store_->AddNode(std::move(labels), std::move(props));
+    return IdResult("id(" + var + ")", static_cast<int64_t>(id));
+  }
+
+  Result<CypherResult> ParseSet(const std::string& var, NodeId id) {
+    if (!store_->NodeExists(id)) return Status::NotFound("no such node");
+    for (;;) {
+      if (Peek().type != Tok::kIdent || Next().text != var) {
+        return Err("SET must reference the START variable");
+      }
+      if (Next().type != Tok::kDot) return Err("expected '.'");
+      if (Peek().type != Tok::kIdent) return Err("expected a property name");
+      std::string key = Next().text;
+      if (Next().type != Tok::kEq) return Err("expected '='");
+      HYPRE_ASSIGN_OR_RETURN(PropertyValue value, ParseLiteral());
+      HYPRE_RETURN_NOT_OK(store_->SetNodeProperty(id, key, std::move(value)));
+      if (Peek().type == Tok::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    HYPRE_RETURN_NOT_OK(ExpectEnd());
+    return IdResult("id(" + var + ")", static_cast<int64_t>(id));
+  }
+
+  GraphStore* store_;
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CypherResult> RunCypherMutate(GraphStore* store,
+                                     const std::string& query) {
+  HYPRE_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(query));
+  // Mutation statements start with CREATE, or with START ... SET/DELETE.
+  bool is_mutation = false;
+  if (!toks.empty() && toks[0].type == Tok::kIdent) {
+    if (EqualsIgnoreCase(toks[0].text, "CREATE")) {
+      is_mutation = true;
+    } else if (EqualsIgnoreCase(toks[0].text, "START")) {
+      for (const Token& tok : toks) {
+        if (tok.type == Tok::kIdent &&
+            (EqualsIgnoreCase(tok.text, "SET") ||
+             EqualsIgnoreCase(tok.text, "DELETE"))) {
+          is_mutation = true;
+          break;
+        }
+        if (tok.type == Tok::kIdent && EqualsIgnoreCase(tok.text, "RETURN")) {
+          break;
+        }
+      }
+    }
+  }
+  if (!is_mutation) return RunCypher(*store, query);
+  MutateParser parser(store, std::move(toks));
+  return parser.Run();
+}
+
+}  // namespace graphdb
+}  // namespace hypre

@@ -1,0 +1,54 @@
+// cypher_lite: a small declarative query language over GraphStore.
+//
+// The dissertation (§4.3) drives Neo4j with CYPHER queries of the shape
+//
+//   START n=node(*) WHERE n.uid=2
+//   RETURN n.preference, n.intensity ORDER BY n.intensity DESC
+//
+//   START n=node(5) MATCH n -[:PREFERS]-> m
+//   RETURN id(n), id(m)
+//
+//   START n=node:uidIndex(uid=2) RETURN n.predicate
+//
+// plus node/edge creation and property updates (see RunCypherMutate).
+//
+// cypher_lite implements exactly that subset:
+//   START <var> = node(*) | node(<int>) | node:<label>(<prop>=<literal>)
+//   [MATCH <var> -[:TYPE]-> <var2> | <var> <-[:TYPE]- <var2>]
+//   [WHERE <var>.<prop> <op> <literal> [AND ...]]
+//   RETURN <item> [, <item>]         item := <var>.<prop> | id(<var>)
+//   [ORDER BY <var>.<prop> [ASC|DESC]]
+//   [SKIP <int>] [LIMIT <int>]
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graphdb/graph_store.h"
+
+namespace hypre {
+namespace graphdb {
+
+/// \brief Result of a cypher_lite query: column headers plus rows of
+/// property values (node ids surface as int properties).
+struct CypherResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<PropertyValue>> rows;
+};
+
+/// \brief Parses and runs a read-only `query` against `store`.
+Result<CypherResult> RunCypher(const GraphStore& store,
+                               const std::string& query);
+
+/// \brief Parses and runs a mutating statement against `store`:
+///   CREATE (n:Label1:Label2 {key: value, ...})      -> returns id(n)
+///   CREATE (<id>) -[:TYPE {key: value}]-> (<id>)    -> returns the edge id
+///   START n=node(<id>) SET n.<prop> = <literal>     -> returns id(n)
+///   START n=node(<id>) DELETE n                     -> returns id(n)
+/// Read-only queries are delegated to RunCypher.
+Result<CypherResult> RunCypherMutate(GraphStore* store,
+                                     const std::string& query);
+
+}  // namespace graphdb
+}  // namespace hypre

@@ -1,0 +1,282 @@
+#include "graphdb/graph_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace graphdb {
+
+NodeId GraphStore::AddNode(std::vector<std::string> labels,
+                           PropertyMap props) {
+  NodeId id = nodes_.size();
+  Node node;
+  node.id = id;
+  node.labels = std::move(labels);
+  node.props = std::move(props);
+  nodes_.push_back(std::move(node));
+  ++live_nodes_;
+  IndexInsert(id, nodes_[id]);
+  return id;
+}
+
+Status GraphStore::RemoveNode(NodeId id) {
+  if (!NodeExists(id)) {
+    return Status::NotFound(StringFormat("no node %llu",
+                                         (unsigned long long)id));
+  }
+  Node& node = nodes_[id];
+  // Cascade: remove incident edges first (copy ids; RemoveEdge mutates).
+  std::vector<EdgeId> incident = node.out_edges;
+  incident.insert(incident.end(), node.in_edges.begin(), node.in_edges.end());
+  for (EdgeId eid : incident) {
+    if (EdgeExists(eid)) HYPRE_RETURN_NOT_OK(RemoveEdge(eid));
+  }
+  // Drop from indexes.
+  for (const auto& label : node.labels) {
+    for (const auto& [key, map] : indexes_) {
+      (void)map;
+      if (key.label != label) continue;
+      auto prop = GetProperty(node.props, key.property);
+      if (prop) IndexEraseValue(id, key.label, key.property, *prop);
+    }
+  }
+  node.deleted = true;
+  --live_nodes_;
+  return Status::OK();
+}
+
+Result<const Node*> GraphStore::GetNode(NodeId id) const {
+  if (!NodeExists(id)) {
+    return Status::NotFound(StringFormat("no node %llu",
+                                         (unsigned long long)id));
+  }
+  return &nodes_[id];
+}
+
+Status GraphStore::AddLabel(NodeId id, const std::string& label) {
+  if (!NodeExists(id)) {
+    return Status::NotFound(StringFormat("no node %llu",
+                                         (unsigned long long)id));
+  }
+  Node& node = nodes_[id];
+  if (std::find(node.labels.begin(), node.labels.end(), label) !=
+      node.labels.end()) {
+    return Status::OK();
+  }
+  node.labels.push_back(label);
+  // Back-fill any index on (label, *).
+  for (auto& [key, map] : indexes_) {
+    if (key.label != label) continue;
+    auto prop = GetProperty(node.props, key.property);
+    if (prop) map[prop->ToString()].push_back(id);
+  }
+  return Status::OK();
+}
+
+Status GraphStore::SetNodeProperty(NodeId id, const std::string& key,
+                                   PropertyValue value) {
+  if (!NodeExists(id)) {
+    return Status::NotFound(StringFormat("no node %llu",
+                                         (unsigned long long)id));
+  }
+  Node& node = nodes_[id];
+  auto old = GetProperty(node.props, key);
+  for (const auto& label : node.labels) {
+    IndexKey ikey{label, key};
+    auto it = indexes_.find(ikey);
+    if (it == indexes_.end()) continue;
+    if (old) IndexEraseValue(id, label, key, *old);
+    it->second[value.ToString()].push_back(id);
+  }
+  node.props[key] = std::move(value);
+  return Status::OK();
+}
+
+std::optional<PropertyValue> GraphStore::GetNodeProperty(
+    NodeId id, const std::string& key) const {
+  if (!NodeExists(id)) return std::nullopt;
+  return GetProperty(nodes_[id].props, key);
+}
+
+Result<EdgeId> GraphStore::AddEdge(NodeId src, NodeId dst, std::string type,
+                                   PropertyMap props) {
+  if (!NodeExists(src)) {
+    return Status::NotFound(StringFormat("no source node %llu",
+                                         (unsigned long long)src));
+  }
+  if (!NodeExists(dst)) {
+    return Status::NotFound(StringFormat("no destination node %llu",
+                                         (unsigned long long)dst));
+  }
+  EdgeId id = edges_.size();
+  Edge edge;
+  edge.id = id;
+  edge.src = src;
+  edge.dst = dst;
+  edge.type = std::move(type);
+  edge.props = std::move(props);
+  edges_.push_back(std::move(edge));
+  nodes_[src].out_edges.push_back(id);
+  nodes_[dst].in_edges.push_back(id);
+  ++live_edges_;
+  return id;
+}
+
+Status GraphStore::RemoveEdge(EdgeId id) {
+  if (!EdgeExists(id)) {
+    return Status::NotFound(StringFormat("no edge %llu",
+                                         (unsigned long long)id));
+  }
+  Edge& edge = edges_[id];
+  auto erase_from = [id](std::vector<EdgeId>* v) {
+    v->erase(std::remove(v->begin(), v->end(), id), v->end());
+  };
+  erase_from(&nodes_[edge.src].out_edges);
+  erase_from(&nodes_[edge.dst].in_edges);
+  edge.deleted = true;
+  --live_edges_;
+  return Status::OK();
+}
+
+Result<const Edge*> GraphStore::GetEdge(EdgeId id) const {
+  if (!EdgeExists(id)) {
+    return Status::NotFound(StringFormat("no edge %llu",
+                                         (unsigned long long)id));
+  }
+  return &edges_[id];
+}
+
+Status GraphStore::SetEdgeType(EdgeId id, std::string type) {
+  if (!EdgeExists(id)) {
+    return Status::NotFound(StringFormat("no edge %llu",
+                                         (unsigned long long)id));
+  }
+  edges_[id].type = std::move(type);
+  return Status::OK();
+}
+
+Status GraphStore::SetEdgeProperty(EdgeId id, const std::string& key,
+                                   PropertyValue value) {
+  if (!EdgeExists(id)) {
+    return Status::NotFound(StringFormat("no edge %llu",
+                                         (unsigned long long)id));
+  }
+  edges_[id].props[key] = std::move(value);
+  return Status::OK();
+}
+
+std::vector<EdgeId> GraphStore::OutEdges(NodeId id,
+                                         const std::string& type) const {
+  std::vector<EdgeId> out;
+  if (!NodeExists(id)) return out;
+  for (EdgeId eid : nodes_[id].out_edges) {
+    if (!EdgeExists(eid)) continue;
+    if (!type.empty() && edges_[eid].type != type) continue;
+    out.push_back(eid);
+  }
+  return out;
+}
+
+std::vector<EdgeId> GraphStore::InEdges(NodeId id,
+                                        const std::string& type) const {
+  std::vector<EdgeId> out;
+  if (!NodeExists(id)) return out;
+  for (EdgeId eid : nodes_[id].in_edges) {
+    if (!EdgeExists(eid)) continue;
+    if (!type.empty() && edges_[eid].type != type) continue;
+    out.push_back(eid);
+  }
+  return out;
+}
+
+size_t GraphStore::OutDegree(NodeId id, const std::string& type) const {
+  return OutEdges(id, type).size();
+}
+
+size_t GraphStore::InDegree(NodeId id, const std::string& type) const {
+  return InEdges(id, type).size();
+}
+
+size_t GraphStore::Degree(NodeId id, const std::string& type) const {
+  return OutDegree(id, type) + InDegree(id, type);
+}
+
+Status GraphStore::CreateIndex(const std::string& label,
+                               const std::string& property) {
+  IndexKey key{label, property};
+  IndexMap& map = indexes_[key];  // creates (or resets below)
+  map.clear();
+  for (const Node& node : nodes_) {
+    if (node.deleted) continue;
+    if (std::find(node.labels.begin(), node.labels.end(), label) ==
+        node.labels.end()) {
+      continue;
+    }
+    auto prop = GetProperty(node.props, property);
+    if (prop) map[prop->ToString()].push_back(node.id);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<NodeId>> GraphStore::FindNodes(
+    const std::string& label, const std::string& property,
+    const PropertyValue& value) const {
+  auto it = indexes_.find(IndexKey{label, property});
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on (" + label + ", " + property + ")");
+  }
+  auto vit = it->second.find(value.ToString());
+  if (vit == it->second.end()) return std::vector<NodeId>{};
+  return vit->second;
+}
+
+bool GraphStore::HasIndex(const std::string& label,
+                          const std::string& property) const {
+  return indexes_.count(IndexKey{label, property}) > 0;
+}
+
+void GraphStore::ForEachNode(
+    const std::function<void(const Node&)>& fn) const {
+  for (const Node& node : nodes_) {
+    if (!node.deleted) fn(node);
+  }
+}
+
+void GraphStore::ForEachEdge(
+    const std::function<void(const Edge&)>& fn) const {
+  for (const Edge& edge : edges_) {
+    if (!edge.deleted) fn(edge);
+  }
+}
+
+void GraphStore::Reserve(size_t nodes, size_t edges) {
+  nodes_.reserve(nodes);
+  edges_.reserve(edges);
+}
+
+void GraphStore::IndexInsert(NodeId id, const Node& node) {
+  for (auto& [key, map] : indexes_) {
+    if (std::find(node.labels.begin(), node.labels.end(), key.label) ==
+        node.labels.end()) {
+      continue;
+    }
+    auto prop = GetProperty(node.props, key.property);
+    if (prop) map[prop->ToString()].push_back(id);
+  }
+}
+
+void GraphStore::IndexEraseValue(NodeId id, const std::string& label,
+                                 const std::string& property,
+                                 const PropertyValue& value) {
+  auto it = indexes_.find(IndexKey{label, property});
+  if (it == indexes_.end()) return;
+  auto vit = it->second.find(value.ToString());
+  if (vit == it->second.end()) return;
+  auto& vec = vit->second;
+  vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+  if (vec.empty()) it->second.erase(vit);
+}
+
+}  // namespace graphdb
+}  // namespace hypre

@@ -1,0 +1,167 @@
+// Embedded in-memory property-graph store.
+//
+// This is the repo's substitute for Neo4j (dissertation §4.3): labeled nodes
+// and typed edges with property bags, adjacency lists for traversal, and
+// label+property hash indexes (the dissertation's `uidIndex(uid)` scheme).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graphdb/property.h"
+
+namespace hypre {
+namespace graphdb {
+
+using NodeId = uint64_t;
+using EdgeId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = ~0ULL;
+inline constexpr EdgeId kInvalidEdge = ~0ULL;
+
+/// \brief A node record: labels, properties, adjacency.
+struct Node {
+  NodeId id = kInvalidNode;
+  std::vector<std::string> labels;
+  PropertyMap props;
+  std::vector<EdgeId> out_edges;
+  std::vector<EdgeId> in_edges;
+  bool deleted = false;
+};
+
+/// \brief A directed, typed edge with properties.
+struct Edge {
+  EdgeId id = kInvalidEdge;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::string type;
+  PropertyMap props;
+  bool deleted = false;
+};
+
+/// \brief The graph store. Nodes and edges live in append-only arenas; ids
+/// are stable; deletion tombstones. Not thread safe (single-writer use as in
+/// the dissertation's prototype).
+class GraphStore {
+ public:
+  // --- nodes ---------------------------------------------------------------
+
+  NodeId AddNode(std::vector<std::string> labels, PropertyMap props);
+
+  /// \brief Deletes a node and every incident edge.
+  Status RemoveNode(NodeId id);
+
+  bool NodeExists(NodeId id) const {
+    return id < nodes_.size() && !nodes_[id].deleted;
+  }
+
+  Result<const Node*> GetNode(NodeId id) const;
+
+  Status AddLabel(NodeId id, const std::string& label);
+
+  Status SetNodeProperty(NodeId id, const std::string& key,
+                         PropertyValue value);
+
+  /// \brief Returns the property or nullopt (also nullopt for missing node).
+  std::optional<PropertyValue> GetNodeProperty(NodeId id,
+                                               const std::string& key) const;
+
+  // --- edges ---------------------------------------------------------------
+
+  Result<EdgeId> AddEdge(NodeId src, NodeId dst, std::string type,
+                         PropertyMap props = {});
+
+  Status RemoveEdge(EdgeId id);
+
+  bool EdgeExists(EdgeId id) const {
+    return id < edges_.size() && !edges_[id].deleted;
+  }
+
+  Result<const Edge*> GetEdge(EdgeId id) const;
+
+  /// \brief Changes an edge's type label (used to relabel DISCARD edges to
+  /// PREFERS when a conflict is later resolved).
+  Status SetEdgeType(EdgeId id, std::string type);
+
+  Status SetEdgeProperty(EdgeId id, const std::string& key,
+                         PropertyValue value);
+
+  // --- adjacency -----------------------------------------------------------
+
+  /// \brief Ids of live out-edges of `id` with type `type` ("" = any).
+  std::vector<EdgeId> OutEdges(NodeId id, const std::string& type = "") const;
+
+  /// \brief Ids of live in-edges of `id` with type `type` ("" = any).
+  std::vector<EdgeId> InEdges(NodeId id, const std::string& type = "") const;
+
+  size_t OutDegree(NodeId id, const std::string& type = "") const;
+  size_t InDegree(NodeId id, const std::string& type = "") const;
+
+  /// \brief OutDegree + InDegree.
+  size_t Degree(NodeId id, const std::string& type = "") const;
+
+  // --- indexes -------------------------------------------------------------
+
+  /// \brief Registers (and back-fills) a hash index over nodes carrying
+  /// `label`, keyed by property `property`. Kept up to date by AddNode /
+  /// AddLabel / SetNodeProperty / RemoveNode.
+  Status CreateIndex(const std::string& label, const std::string& property);
+
+  /// \brief Index lookup; Status error if no such index is registered.
+  Result<std::vector<NodeId>> FindNodes(const std::string& label,
+                                        const std::string& property,
+                                        const PropertyValue& value) const;
+
+  bool HasIndex(const std::string& label, const std::string& property) const;
+
+  // --- scans & stats ---------------------------------------------------------
+
+  /// \brief Invokes `fn` for every live node.
+  void ForEachNode(const std::function<void(const Node&)>& fn) const;
+
+  /// \brief Invokes `fn` for every live edge.
+  void ForEachEdge(const std::function<void(const Edge&)>& fn) const;
+
+  size_t num_nodes() const { return live_nodes_; }
+  size_t num_edges() const { return live_edges_; }
+
+  /// \brief Pre-allocates arena capacity for bulk loads.
+  void Reserve(size_t nodes, size_t edges);
+
+ private:
+  struct IndexKey {
+    std::string label;
+    std::string property;
+    bool operator<(const IndexKey& other) const {
+      if (label != other.label) return label < other.label;
+      return property < other.property;
+    }
+  };
+  struct PropertyValueHash {
+    size_t operator()(const std::string& s) const {
+      return std::hash<std::string>()(s);
+    }
+  };
+  // Index maps a rendered property value to node ids. Rendering via
+  // PropertyValue::ToString keeps keys hashable without exposing the variant.
+  using IndexMap = std::unordered_map<std::string, std::vector<NodeId>>;
+
+  void IndexInsert(NodeId id, const Node& node);
+  void IndexEraseValue(NodeId id, const std::string& label,
+                       const std::string& property,
+                       const PropertyValue& value);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  size_t live_nodes_ = 0;
+  size_t live_edges_ = 0;
+  std::map<IndexKey, IndexMap> indexes_;
+};
+
+}  // namespace graphdb
+}  // namespace hypre

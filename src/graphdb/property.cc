@@ -1,0 +1,66 @@
+#include "graphdb/property.h"
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace graphdb {
+
+namespace {
+
+int TypeRank(const PropertyValue& v) {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_int() || v.is_double()) return 2;
+  return 3;
+}
+
+}  // namespace
+
+bool PropertyValue::operator==(const PropertyValue& other) const {
+  return Compare(other) == 0;
+}
+
+int PropertyValue::Compare(const PropertyValue& other) const {
+  int ra = TypeRank(*this);
+  int rb = TypeRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1: {
+      int a = AsBool() ? 1 : 0;
+      int b = other.AsBool() ? 1 : 0;
+      return a - b;
+    }
+    case 2: {
+      if (is_int() && other.is_int()) {
+        int64_t a = AsInt();
+        int64_t b = other.AsInt();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = NumericValue();
+      double b = other.NumericValue();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default:
+      return AsString().compare(other.AsString());
+  }
+}
+
+std::string PropertyValue::ToString() const {
+  if (is_null()) return "null";
+  if (is_bool()) return AsBool() ? "true" : "false";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return StringFormat("%g", AsDouble());
+  return "\"" + AsString() + "\"";
+}
+
+std::optional<PropertyValue> GetProperty(const PropertyMap& props,
+                                         const std::string& key) {
+  auto it = props.find(key);
+  if (it == props.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace graphdb
+}  // namespace hypre

@@ -1,0 +1,65 @@
+// Typed property values for the embedded property-graph store.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace hypre {
+namespace graphdb {
+
+/// \brief Property value: bool, int64, double, or string (Neo4j-style).
+class PropertyValue {
+ public:
+  PropertyValue() : rep_(std::monostate{}) {}
+  explicit PropertyValue(bool v) : rep_(v) {}
+  explicit PropertyValue(int64_t v) : rep_(v) {}
+  explicit PropertyValue(double v) : rep_(v) {}
+  explicit PropertyValue(std::string v) : rep_(std::move(v)) {}
+  explicit PropertyValue(const char* v) : rep_(std::string(v)) {}
+
+  bool is_null() const { return rep_.index() == 0; }
+  bool is_bool() const { return rep_.index() == 1; }
+  bool is_int() const { return rep_.index() == 2; }
+  bool is_double() const { return rep_.index() == 3; }
+  bool is_string() const { return rep_.index() == 4; }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// \brief Numeric view (int widened); invalid on non-numeric values.
+  double NumericValue() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// \brief Deep equality (type-sensitive except int/double compare
+  /// numerically, so index keys behave intuitively).
+  bool operator==(const PropertyValue& other) const;
+  bool operator!=(const PropertyValue& other) const {
+    return !(*this == other);
+  }
+
+  /// \brief Total order for ordered retrieval (ORDER BY in cypher_lite).
+  /// null < bool < numeric < string.
+  int Compare(const PropertyValue& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+/// \brief Property bag keyed by name. std::map keeps iteration deterministic
+/// for serialization and tests.
+using PropertyMap = std::map<std::string, PropertyValue>;
+
+/// \brief Returns props[key] or nullopt.
+std::optional<PropertyValue> GetProperty(const PropertyMap& props,
+                                         const std::string& key);
+
+}  // namespace graphdb
+}  // namespace hypre

@@ -1,0 +1,129 @@
+#include "graphdb/traversal.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hypre {
+namespace graphdb {
+
+bool HasPath(const GraphStore& store, NodeId from, NodeId to,
+             const std::string& edge_type) {
+  if (!store.NodeExists(from) || !store.NodeExists(to)) return false;
+  if (from == to) return true;
+  std::unordered_set<NodeId> visited{from};
+  std::deque<NodeId> frontier{from};
+  while (!frontier.empty()) {
+    NodeId current = frontier.front();
+    frontier.pop_front();
+    for (EdgeId eid : store.OutEdges(current, edge_type)) {
+      NodeId next = store.GetEdge(eid).value()->dst;
+      if (next == to) return true;
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> ReachableFrom(const GraphStore& store, NodeId start,
+                                  const std::string& edge_type) {
+  std::vector<NodeId> order;
+  if (!store.NodeExists(start)) return order;
+  std::unordered_set<NodeId> visited{start};
+  std::deque<NodeId> frontier{start};
+  while (!frontier.empty()) {
+    NodeId current = frontier.front();
+    frontier.pop_front();
+    order.push_back(current);
+    for (EdgeId eid : store.OutEdges(current, edge_type)) {
+      NodeId next = store.GetEdge(eid).value()->dst;
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> WeaklyConnectedComponent(const GraphStore& store,
+                                             NodeId start,
+                                             const std::string& edge_type) {
+  std::vector<NodeId> order;
+  if (!store.NodeExists(start)) return order;
+  std::unordered_set<NodeId> visited{start};
+  std::deque<NodeId> frontier{start};
+  while (!frontier.empty()) {
+    NodeId current = frontier.front();
+    frontier.pop_front();
+    order.push_back(current);
+    for (EdgeId eid : store.OutEdges(current, edge_type)) {
+      NodeId next = store.GetEdge(eid).value()->dst;
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+    for (EdgeId eid : store.InEdges(current, edge_type)) {
+      NodeId next = store.GetEdge(eid).value()->src;
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return order;
+}
+
+Result<std::vector<NodeId>> TopologicalSort(const GraphStore& store,
+                                            const std::vector<NodeId>& nodes,
+                                            const std::string& edge_type) {
+  std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
+  std::unordered_map<NodeId, size_t> in_degree;
+  for (NodeId id : nodes) in_degree[id] = 0;
+  for (NodeId id : nodes) {
+    for (EdgeId eid : store.OutEdges(id, edge_type)) {
+      NodeId dst = store.GetEdge(eid).value()->dst;
+      if (in_set.count(dst) > 0) ++in_degree[dst];
+    }
+  }
+  std::deque<NodeId> ready;
+  for (NodeId id : nodes) {
+    if (in_degree[id] == 0) ready.push_back(id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes.size());
+  while (!ready.empty()) {
+    NodeId current = ready.front();
+    ready.pop_front();
+    order.push_back(current);
+    for (EdgeId eid : store.OutEdges(current, edge_type)) {
+      NodeId dst = store.GetEdge(eid).value()->dst;
+      if (in_set.count(dst) == 0) continue;
+      if (--in_degree[dst] == 0) ready.push_back(dst);
+    }
+  }
+  if (order.size() != nodes.size()) {
+    return Status::Conflict("subgraph contains a cycle");
+  }
+  return order;
+}
+
+bool IsAcyclic(const GraphStore& store, const std::vector<NodeId>& nodes,
+               const std::string& edge_type) {
+  return TopologicalSort(store, nodes, edge_type).ok();
+}
+
+int ShortestPathLength(const GraphStore& store, NodeId from, NodeId to,
+                       const std::string& edge_type) {
+  if (!store.NodeExists(from) || !store.NodeExists(to)) return -1;
+  if (from == to) return 0;
+  std::unordered_map<NodeId, int> dist{{from, 0}};
+  std::deque<NodeId> frontier{from};
+  while (!frontier.empty()) {
+    NodeId current = frontier.front();
+    frontier.pop_front();
+    for (EdgeId eid : store.OutEdges(current, edge_type)) {
+      NodeId next = store.GetEdge(eid).value()->dst;
+      if (dist.count(next) > 0) continue;
+      dist[next] = dist[current] + 1;
+      if (next == to) return dist[next];
+      frontier.push_back(next);
+    }
+  }
+  return -1;
+}
+
+}  // namespace graphdb
+}  // namespace hypre

@@ -1,0 +1,49 @@
+// Graph traversal primitives over GraphStore.
+//
+// HYPRE's graph-generation algorithm needs exactly these: path existence for
+// cycle detection (Algorithm 1 line 6), reachability for subgraph extraction,
+// and a topological order of the PREFERS subgraph for analyses.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "graphdb/graph_store.h"
+
+namespace hypre {
+namespace graphdb {
+
+/// \brief True if a directed path from `from` to `to` exists using only
+/// edges of `edge_type` ("" = any). A node reaches itself trivially.
+bool HasPath(const GraphStore& store, NodeId from, NodeId to,
+             const std::string& edge_type = "");
+
+/// \brief All nodes reachable from `start` (including `start`) via edges of
+/// `edge_type`, in BFS order.
+std::vector<NodeId> ReachableFrom(const GraphStore& store, NodeId start,
+                                  const std::string& edge_type = "");
+
+/// \brief All nodes in the weakly connected component of `start`,
+/// considering only edges of `edge_type` but ignoring direction.
+std::vector<NodeId> WeaklyConnectedComponent(const GraphStore& store,
+                                             NodeId start,
+                                             const std::string& edge_type = "");
+
+/// \brief Topological ordering of `nodes` w.r.t. `edge_type` edges between
+/// them. Fails with Conflict if the induced subgraph has a cycle.
+Result<std::vector<NodeId>> TopologicalSort(const GraphStore& store,
+                                            const std::vector<NodeId>& nodes,
+                                            const std::string& edge_type = "");
+
+/// \brief True if the subgraph induced by `nodes` over `edge_type` edges is
+/// acyclic.
+bool IsAcyclic(const GraphStore& store, const std::vector<NodeId>& nodes,
+               const std::string& edge_type = "");
+
+/// \brief Length (edge count) of the shortest directed path from `from` to
+/// `to` via `edge_type` edges, or -1 if unreachable.
+int ShortestPathLength(const GraphStore& store, NodeId from, NodeId to,
+                       const std::string& edge_type = "");
+
+}  // namespace graphdb
+}  // namespace hypre

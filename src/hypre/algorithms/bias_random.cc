@@ -1,0 +1,109 @@
+#include "hypre/algorithms/bias_random.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+/// Weighted draw without replacement: picks an index from `pool` with
+/// probability proportional to its preference intensity (clamped to a small
+/// positive floor so zero-intensity preferences stay reachable) and removes
+/// it from the pool.
+size_t DrawBiased(const std::vector<PreferenceAtom>& preferences,
+                  std::vector<size_t>* pool, Rng* rng) {
+  constexpr double kFloor = 1e-3;
+  double total = 0.0;
+  for (size_t idx : *pool) {
+    total += std::max(preferences[idx].intensity, kFloor);
+  }
+  double u = rng->NextDouble() * total;
+  double acc = 0.0;
+  size_t chosen_pos = pool->size() - 1;
+  for (size_t pos = 0; pos < pool->size(); ++pos) {
+    acc += std::max(preferences[(*pool)[pos]].intensity, kFloor);
+    if (u < acc) {
+      chosen_pos = pos;
+      break;
+    }
+  }
+  size_t chosen = (*pool)[chosen_pos];
+  pool->erase(pool->begin() + static_cast<std::ptrdiff_t>(chosen_pos));
+  return chosen;
+}
+
+Status Record(const Combiner& combiner, const QueryEnhancer& enhancer,
+              const Combination& combination,
+              std::vector<CombinationRecord>* records) {
+  CombinationRecord record;
+  record.num_predicates = combination.NumPredicates();
+  record.intensity = combiner.ComputeIntensity(combination);
+  reldb::ExprPtr expr = combiner.BuildExpr(combination);
+  HYPRE_ASSIGN_OR_RETURN(record.num_tuples, enhancer.CountMatching(expr));
+  record.predicate_sql = expr->ToString();
+  record.combination = combination;
+  records->push_back(std::move(record));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BiasRandomResult> BiasRandomSelection(
+    const std::vector<PreferenceAtom>& preferences,
+    const QueryEnhancer& enhancer, uint64_t seed) {
+  Combiner combiner(&preferences);
+  BiasRandomResult result;
+  Rng rng(seed);
+
+  auto probe = [&](const Combination& c) -> Result<bool> {
+    HYPRE_ASSIGN_OR_RETURN(size_t count,
+                           enhancer.CountMatching(combiner.BuildExpr(c)));
+    if (count > 0) {
+      ++result.valid_checks;
+      return true;
+    }
+    ++result.invalid_checks;
+    return false;
+  };
+
+  for (size_t first = 0; first < preferences.size(); ++first) {
+    std::vector<size_t> pool;
+    for (size_t i = 0; i < preferences.size(); ++i) {
+      if (i != first) pool.push_back(i);
+    }
+    // Find an applicable two-preference seed (Step 1-2 of §5.4).
+    while (!pool.empty()) {
+      size_t second = DrawBiased(preferences, &pool, &rng);
+      Combination chain =
+          combiner.AndExtend(combiner.Single(first), second);
+      HYPRE_ASSIGN_OR_RETURN(bool ok, probe(chain));
+      if (!ok) continue;  // try another second (Step 4 loops back)
+      // Extend the chain until a probe fails or the pool runs dry
+      // (Steps 3-6).
+      for (;;) {
+        if (pool.empty()) {
+          HYPRE_RETURN_NOT_OK(
+              Record(combiner, enhancer, chain, &result.records));
+          break;
+        }
+        size_t next = DrawBiased(preferences, &pool, &rng);
+        Combination extended = combiner.AndExtend(chain, next);
+        HYPRE_ASSIGN_OR_RETURN(bool extended_ok, probe(extended));
+        if (!extended_ok) {
+          HYPRE_RETURN_NOT_OK(
+              Record(combiner, enhancer, chain, &result.records));
+          break;
+        }
+        chain = std::move(extended);
+      }
+      break;  // chain recorded; move to the next starting preference
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace hypre

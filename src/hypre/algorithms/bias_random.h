@@ -1,0 +1,40 @@
+// Bias-Random-Selection (dissertation §5.4, Algorithm 5).
+//
+// Grows AND-combinations by repeatedly drawing the next preference with a
+// coin flip biased toward high intensities. The experiment's point
+// (Figures 35/36): without knowing which combinations are applicable, a
+// randomized search wastes most of its probes on empty combinations — the
+// motivation for PEPS's precomputed pair table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/algorithms/common.h"
+#include "hypre/preference.h"
+#include "hypre/query_enhancement.h"
+
+namespace hypre {
+namespace core {
+
+struct BiasRandomResult {
+  /// Applicable combinations recorded (the run's "solutions").
+  std::vector<CombinationRecord> records;
+  /// Probes that returned at least one tuple.
+  size_t valid_checks = 0;
+  /// Probes that returned nothing.
+  size_t invalid_checks = 0;
+};
+
+/// \brief One full pass of Algorithm 5: every preference serves once as the
+/// chain start; subsequent members are drawn (without replacement) with
+/// probability proportional to intensity. A chain ends — and is recorded —
+/// when an extension probe comes back empty or the pool is exhausted.
+/// Deterministic given `seed`.
+Result<BiasRandomResult> BiasRandomSelection(
+    const std::vector<PreferenceAtom>& preferences,
+    const QueryEnhancer& enhancer, uint64_t seed);
+
+}  // namespace core
+}  // namespace hypre

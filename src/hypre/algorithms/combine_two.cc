@@ -1,0 +1,39 @@
+#include "hypre/algorithms/combine_two.h"
+
+namespace hypre {
+namespace core {
+
+Result<std::vector<CombinationRecord>> CombineTwo(
+    const std::vector<PreferenceAtom>& preferences,
+    const QueryEnhancer& enhancer, CombineSemantics semantics) {
+  Combiner combiner(&preferences);
+  std::vector<CombinationRecord> records;
+  if (preferences.size() < 2) return records;
+  records.reserve(preferences.size() * (preferences.size() - 1) / 2);
+
+  for (size_t i = 0; i + 1 < preferences.size(); ++i) {
+    for (size_t j = i + 1; j < preferences.size(); ++j) {
+      Combination base = combiner.Single(i);
+      Combination combination;
+      bool same_attribute =
+          preferences[i].attribute_key == preferences[j].attribute_key;
+      if (semantics == CombineSemantics::kAndOr && same_attribute) {
+        combination = combiner.OrInto(base, j);
+      } else {
+        combination = combiner.AndExtend(base, j);
+      }
+      CombinationRecord record;
+      record.num_predicates = 2;
+      record.intensity = combiner.ComputeIntensity(combination);
+      reldb::ExprPtr expr = combiner.BuildExpr(combination);
+      HYPRE_ASSIGN_OR_RETURN(record.num_tuples, enhancer.CountMatching(expr));
+      record.predicate_sql = expr->ToString();
+      record.combination = std::move(combination);
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+}  // namespace core
+}  // namespace hypre

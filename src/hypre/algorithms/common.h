@@ -1,0 +1,30 @@
+// Shared result record for the combination-enumeration algorithms.
+//
+// Every algorithm in this directory consumes a preference list sorted
+// descending by intensity and emits, per combination probed,
+//   <#predicates, #tuples returned, combined intensity>
+// exactly as the dissertation's experiment harness records (§5.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypre/combination.h"
+
+namespace hypre {
+namespace core {
+
+struct CombinationRecord {
+  size_t num_predicates = 0;
+  size_t num_tuples = 0;
+  double intensity = 0.0;
+  std::string predicate_sql;
+  Combination combination;
+
+  /// \brief An applicable combination returns at least one tuple
+  /// (Definition 15).
+  bool applicable() const { return num_tuples > 0; }
+};
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,49 @@
+#include "hypre/algorithms/exhaustive.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace core {
+
+Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
+    const std::vector<PreferenceAtom>& preferences,
+    const QueryEnhancer& enhancer, size_t max_n) {
+  size_t n = preferences.size();
+  if (n > max_n) {
+    return Status::InvalidArgument(StringFormat(
+        "exhaustive enumeration over %zu preferences would probe 2^%zu - 1 "
+        "combinations (cap %zu)",
+        n, n, max_n));
+  }
+  Combiner combiner(&preferences);
+  std::vector<CombinationRecord> records;
+  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    Combination combination;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1ULL) {
+        combination = combination.groups.empty()
+                          ? combiner.Single(i)
+                          : combiner.AndExtend(combination, i);
+      }
+    }
+    CombinationRecord record;
+    record.num_predicates = combination.NumPredicates();
+    record.intensity = combiner.ComputeIntensity(combination);
+    reldb::ExprPtr expr = combiner.BuildExpr(combination);
+    HYPRE_ASSIGN_OR_RETURN(record.num_tuples, enhancer.CountMatching(expr));
+    if (record.num_tuples == 0) continue;
+    record.predicate_sql = expr->ToString();
+    record.combination = std::move(combination);
+    records.push_back(std::move(record));
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const CombinationRecord& a, const CombinationRecord& b) {
+                     return a.intensity > b.intensity;
+                   });
+  return records;
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,27 @@
+// Exhaustive AND-combination enumeration — the reference oracle.
+//
+// Enumerates every non-empty subset of the preference list as an AND
+// combination (2^N - 1 of them, Eq. 5.3). Exponential by construction
+// (Proposition 3 is the reason PEPS exists), so it is guarded to small N and
+// used only to validate PEPS in tests and to calibrate the pruning benches.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/algorithms/common.h"
+#include "hypre/preference.h"
+#include "hypre/query_enhancement.h"
+
+namespace hypre {
+namespace core {
+
+/// \brief All applicable AND combinations (any size >= 1), descending by
+/// combined intensity. Fails with InvalidArgument when N > `max_n`
+/// (default 20) to prevent accidental 2^N blowups.
+Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
+    const std::vector<PreferenceAtom>& preferences,
+    const QueryEnhancer& enhancer, size_t max_n = 20);
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,84 @@
+#include "hypre/algorithms/partially_combine_all.h"
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+Status RunAndRecord(const Combiner& combiner, const QueryEnhancer& enhancer,
+                    Combination combination,
+                    std::vector<CombinationRecord>* records,
+                    std::vector<Combination>* queries_ran) {
+  CombinationRecord record;
+  record.num_predicates = combination.NumPredicates();
+  record.intensity = combiner.ComputeIntensity(combination);
+  reldb::ExprPtr expr = combiner.BuildExpr(combination);
+  HYPRE_ASSIGN_OR_RETURN(record.num_tuples, enhancer.CountMatching(expr));
+  record.predicate_sql = expr->ToString();
+  record.combination = combination;
+  records->push_back(std::move(record));
+  queries_ran->push_back(std::move(combination));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<CombinationRecord>> PartiallyCombineAll(
+    const std::vector<PreferenceAtom>& preferences,
+    const QueryEnhancer& enhancer) {
+  Combiner combiner(&preferences);
+  std::vector<CombinationRecord> records;
+  std::vector<Combination> queries_ran;
+  std::set<std::string> attributes_used;
+
+  for (size_t i = 0; i < preferences.size(); ++i) {
+    const std::string& attr = preferences[i].attribute_key;
+    if (queries_ran.empty()) {
+      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, enhancer,
+                                       combiner.Single(i), &records,
+                                       &queries_ran));
+      attributes_used.insert(attr);
+      continue;
+    }
+    if (attributes_used.count(attr) == 0) {
+      // New attribute: AND-extend every combination created so far.
+      std::vector<Combination> to_run;
+      to_run.reserve(queries_ran.size());
+      for (const Combination& c : queries_ran) {
+        to_run.push_back(combiner.AndExtend(c, i));
+      }
+      for (Combination& c : to_run) {
+        HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, enhancer, std::move(c),
+                                         &records, &queries_ran));
+      }
+      attributes_used.insert(attr);
+      continue;
+    }
+    // Attribute already used.
+    const Combination last = queries_ran.back();
+    if (!last.HasAnd()) {
+      // Single-attribute combination so far: OR into it only.
+      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, enhancer,
+                                       combiner.OrInto(last, i), &records,
+                                       &queries_ran));
+      continue;
+    }
+    // Mixed combination: AND-extend earlier combinations that do not
+    // constrain this attribute, then OR into the latest combination.
+    std::vector<Combination> to_run;
+    for (const Combination& c : queries_ran) {
+      if (!c.ContainsAttribute(attr)) {
+        to_run.push_back(combiner.AndExtend(c, i));
+      }
+    }
+    to_run.push_back(combiner.OrInto(last, i));
+    for (Combination& c : to_run) {
+      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, enhancer, std::move(c),
+                                       &records, &queries_ran));
+    }
+  }
+  return records;
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,192 @@
+#include "hypre/algorithms/peps.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace hypre {
+namespace core {
+
+Peps::Peps(const std::vector<PreferenceAtom>* preferences,
+           const QueryEnhancer* enhancer)
+    : preferences_(preferences), enhancer_(enhancer) {}
+
+bool Peps::PairApplicable(size_t a, size_t b) const {
+  size_t n = preferences_->size();
+  return pair_applicable_[a * n + b];
+}
+
+Status Peps::PrecomputePairs() {
+  if (pairs_ready_) return Status::OK();
+  const auto& prefs = *preferences_;
+  size_t n = prefs.size();
+  Combiner combiner(preferences_);
+  pairs_.clear();
+  pair_applicable_.assign(n * n, false);
+
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Combination pair = combiner.AndExtend(combiner.Single(i), j);
+      HYPRE_ASSIGN_OR_RETURN(
+          size_t count, enhancer_->CountMatching(combiner.BuildExpr(pair)));
+      if (count == 0) continue;
+      PairEntry entry;
+      entry.i = i;
+      entry.j = j;
+      entry.intensity = combiner.ComputeIntensity(pair);
+      entry.num_tuples = count;
+      pairs_.push_back(entry);
+      pair_applicable_[i * n + j] = true;
+      pair_applicable_[j * n + i] = true;
+    }
+  }
+  std::stable_sort(pairs_.begin(), pairs_.end(),
+                   [](const PairEntry& a, const PairEntry& b) {
+                     return a.intensity > b.intensity;
+                   });
+  pairs_ready_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
+  HYPRE_RETURN_NOT_OK(PrecomputePairs());
+  const auto& prefs = *preferences_;
+  Combiner combiner(preferences_);
+  num_expansion_probes_ = 0;
+
+  // Approximate mode prunes seed pairs that do not already beat the best
+  // single preference (§5.5.2): combinations grown from weaker seeds would
+  // need many more conjuncts to catch up (Proposition 6), and the
+  // approximate variant bets they never will.
+  double best_single = prefs.empty() ? 0.0 : prefs.front().intensity;
+
+  std::vector<CombinationRecord> order;
+  std::unordered_set<std::string> seen;  // dedup by sorted member sets
+
+  auto member_key = [](const std::vector<size_t>& sorted_members) {
+    std::string key;
+    for (size_t m : sorted_members) {
+      key += std::to_string(m);
+      key += ",";
+    }
+    return key;
+  };
+
+  // DFS over the set-enumeration tree: members kept ascending; an extension
+  // index k must form an applicable pair with every current member (the
+  // pair-table pruning), and the extended set is then verified with one
+  // (memoized) count probe.
+  struct Frame {
+    std::vector<size_t> members;  // ascending
+    Combination combination;
+    size_t num_tuples = 0;
+  };
+
+  std::vector<Frame> stack;
+  for (const PairEntry& pair : pairs_) {
+    if (mode == PepsMode::kApproximate && pair.intensity <= best_single) {
+      continue;
+    }
+    Frame frame;
+    frame.members = {pair.i, pair.j};
+    frame.combination =
+        combiner.AndExtend(combiner.Single(pair.i), pair.j);
+    frame.num_tuples = pair.num_tuples;
+    std::string key = member_key(frame.members);
+    if (!seen.insert(key).second) continue;
+    stack.push_back(std::move(frame));
+  }
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+
+    CombinationRecord record;
+    record.num_predicates = frame.members.size();
+    record.num_tuples = frame.num_tuples;
+    record.intensity = combiner.ComputeIntensity(frame.combination);
+    record.predicate_sql = combiner.ToSql(frame.combination);
+    record.combination = frame.combination;
+    order.push_back(std::move(record));
+
+    size_t last = frame.members.back();
+    for (size_t k = last + 1; k < prefs.size(); ++k) {
+      bool all_pairs_ok = true;
+      for (size_t m : frame.members) {
+        if (!PairApplicable(m, k)) {
+          all_pairs_ok = false;
+          break;
+        }
+      }
+      if (!all_pairs_ok) continue;
+      std::vector<size_t> extended_members = frame.members;
+      extended_members.push_back(k);
+      std::string key = member_key(extended_members);
+      if (!seen.insert(key).second) continue;
+      Combination extended = combiner.AndExtend(frame.combination, k);
+      ++num_expansion_probes_;
+      HYPRE_ASSIGN_OR_RETURN(
+          size_t count,
+          enhancer_->CountMatching(combiner.BuildExpr(extended)));
+      if (count == 0) continue;
+      Frame next;
+      next.members = std::move(extended_members);
+      next.combination = std::move(extended);
+      next.num_tuples = count;
+      stack.push_back(std::move(next));
+    }
+  }
+
+  std::stable_sort(order.begin(), order.end(),
+                   [](const CombinationRecord& a, const CombinationRecord& b) {
+                     return a.intensity > b.intensity;
+                   });
+  return order;
+}
+
+Result<std::vector<RankedTuple>> Peps::TopK(size_t k, PepsMode mode) {
+  const auto& prefs = *preferences_;
+  Combiner combiner(preferences_);
+  HYPRE_ASSIGN_OR_RETURN(std::vector<CombinationRecord> order,
+                         GenerateOrder(mode));
+
+  // Singles participate too: tuples matching exactly one preference are
+  // ranked by that preference's own intensity.
+  for (size_t i = 0; i < prefs.size(); ++i) {
+    Combination single = combiner.Single(i);
+    CombinationRecord record;
+    record.num_predicates = 1;
+    record.intensity = prefs[i].intensity;
+    record.combination = single;
+    record.predicate_sql = prefs[i].predicate;
+    // Tuple count not needed for ranking; fetched lazily below.
+    order.push_back(std::move(record));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const CombinationRecord& a, const CombinationRecord& b) {
+                     return a.intensity > b.intensity;
+                   });
+
+  std::vector<RankedTuple> result;
+  std::unordered_set<reldb::Value, reldb::ValueHash> ranked;
+  for (const CombinationRecord& record : order) {
+    if (k > 0 && result.size() >= k) break;
+    reldb::ExprPtr expr = combiner.BuildExpr(record.combination);
+    HYPRE_ASSIGN_OR_RETURN(std::vector<reldb::Value> keys,
+                           enhancer_->MatchingKeys(expr));
+    // Deterministic order within one combination.
+    std::sort(keys.begin(), keys.end(),
+              [](const reldb::Value& a, const reldb::Value& b) {
+                return a.Compare(b) < 0;
+              });
+    for (const auto& key : keys) {
+      if (k > 0 && result.size() >= k) break;
+      if (!ranked.insert(key).second) continue;
+      result.push_back({key, record.intensity});
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace hypre

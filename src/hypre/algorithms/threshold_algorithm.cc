@@ -1,0 +1,93 @@
+#include "hypre/algorithms/threshold_algorithm.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "hypre/intensity.h"
+
+namespace hypre {
+namespace core {
+
+void GradedList::AddGrade(const reldb::Value& key, double grade) {
+  auto [it, inserted] = grades_.emplace(key, grade);
+  if (!inserted) it->second = CombineAnd(it->second, grade);
+}
+
+void GradedList::Finalize() {
+  sorted_.assign(grades_.begin(), grades_.end());
+  std::sort(sorted_.begin(), sorted_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first.Compare(b.first) < 0;
+            });
+}
+
+std::optional<double> GradedList::Grade(const reldb::Value& key) const {
+  auto it = grades_.find(key);
+  if (it == grades_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::vector<RankedTuple>> ThresholdAlgorithmTopK(
+    const std::vector<GradedList>& lists, size_t k,
+    size_t* sorted_accesses) {
+  if (lists.empty()) {
+    return Status::InvalidArgument("TA requires at least one graded list");
+  }
+  size_t max_depth = 0;
+  for (const auto& list : lists) max_depth = std::max(max_depth, list.size());
+
+  // Aggregate grade of an object: f_and over its grades, absent grades
+  // contributing 0 (f_and(p, 0) = p).
+  auto aggregate = [&](const reldb::Value& key) {
+    double acc = 0.0;
+    for (const auto& list : lists) {
+      auto grade = list.Grade(key);
+      if (grade) acc = CombineAnd(acc, *grade);
+    }
+    return acc;
+  };
+
+  std::vector<RankedTuple> top;  // kept sorted ascending by intensity
+  std::unordered_set<reldb::Value, reldb::ValueHash> seen;
+
+  auto consider = [&](const reldb::Value& key) {
+    if (!seen.insert(key).second) return;
+    RankedTuple tuple{key, aggregate(key)};
+    auto pos = std::lower_bound(
+        top.begin(), top.end(), tuple,
+        [](const RankedTuple& a, const RankedTuple& b) {
+          return a.intensity < b.intensity;
+        });
+    top.insert(pos, std::move(tuple));
+    if (k > 0 && top.size() > k) top.erase(top.begin());
+  };
+
+  size_t depth = 0;
+  for (; depth < max_depth; ++depth) {
+    // Sorted access in parallel across all lists.
+    double threshold = 0.0;
+    for (const auto& list : lists) {
+      if (depth < list.size()) {
+        const auto& [key, grade] = list.at(depth);
+        consider(key);
+        threshold = CombineAnd(threshold, grade);
+      }
+      // Exhausted lists contribute 0 to the threshold: f_and identity.
+    }
+    // Halt once k objects reach the threshold (Definition 20, step 2).
+    if (k > 0 && top.size() >= k && top.front().intensity >= threshold) {
+      ++depth;
+      break;
+    }
+  }
+  if (sorted_accesses != nullptr) *sorted_accesses = depth;
+
+  std::vector<RankedTuple> result(top.rbegin(), top.rend());
+  SortRanked(&result);
+  if (k > 0 && result.size() > k) result.resize(k);
+  return result;
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,67 @@
+// Fagin's Threshold Algorithm (TA) — the Top-K baseline (dissertation
+// §7.6.1, Definition 20).
+//
+// TA consumes m per-attribute graded lists (here: a venue list and an
+// author list whose per-paper grades are f_and-aggregated over the paper's
+// authors), does sorted access in parallel with random access to the other
+// lists, and halts once k objects are at least as good as the threshold
+// t(x_1..x_m) of the last sorted-access grades. The aggregation function is
+// the same f_and used by HYPRE, with a missing grade contributing 0
+// (f_and(p, 0) = p), matching the dissertation's list-merging step.
+//
+// TA sees only the ORIGINAL quantitative preferences — it has no access to
+// graph-derived intensities — which is exactly why PEPS covers more tuples
+// in Figures 37/38.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/ranking.h"
+#include "reldb/value.h"
+
+namespace hypre {
+namespace core {
+
+/// \brief One per-attribute list: (object key, grade) pairs supporting
+/// sorted access (descending by grade) and random access by key.
+class GradedList {
+ public:
+  explicit GradedList(std::string name = "") : name_(std::move(name)) {}
+
+  /// \brief Adds or f_and-merges a grade for `key` (merging implements the
+  /// per-paper aggregation over multiple matching preferences).
+  void AddGrade(const reldb::Value& key, double grade);
+
+  /// \brief Sorts for descending sorted access. Must be called before TopK.
+  void Finalize();
+
+  size_t size() const { return sorted_.size(); }
+  const std::pair<reldb::Value, double>& at(size_t depth) const {
+    return sorted_[depth];
+  }
+
+  /// \brief Random access: the grade of `key`, if present.
+  std::optional<double> Grade(const reldb::Value& key) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::unordered_map<reldb::Value, double, reldb::ValueHash> grades_;
+  std::vector<std::pair<reldb::Value, double>> sorted_;
+};
+
+/// \brief Runs TA over the finalized lists; returns min(k, #objects) tuples
+/// descending by aggregate grade. `sorted_accesses`, if non-null, receives
+/// the number of sorted-access rounds performed (early-termination
+/// observability).
+Result<std::vector<RankedTuple>> ThresholdAlgorithmTopK(
+    const std::vector<GradedList>& lists, size_t k,
+    size_t* sorted_accesses = nullptr);
+
+}  // namespace core
+}  // namespace hypre

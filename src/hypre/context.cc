@@ -1,0 +1,136 @@
+#include "hypre/context.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace core {
+
+bool Covers(const ContextState& general, const ContextState& specific) {
+  if (general.size() != specific.size()) return false;
+  for (size_t i = 0; i < general.size(); ++i) {
+    if (general[i] != kContextAll && general[i] != specific[i]) return false;
+  }
+  return true;
+}
+
+Status ContextualProfile::ValidateState(const ContextState& state,
+                                        bool allow_all) const {
+  if (state.size() != attributes_.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "context state has %zu attributes, profile has %zu", state.size(),
+        attributes_.size()));
+  }
+  for (const auto& value : state) {
+    if (value.empty()) {
+      return Status::InvalidArgument("empty context attribute value");
+    }
+    if (!allow_all && value == kContextAll) {
+      return Status::InvalidArgument(
+          "a concrete situation cannot contain ALL");
+    }
+  }
+  return Status::OK();
+}
+
+size_t ContextualProfile::Specificity(const ContextState& state) {
+  size_t n = 0;
+  for (const auto& value : state) {
+    if (value != kContextAll) ++n;
+  }
+  return n;
+}
+
+Status ContextualProfile::AddContextPreference(
+    const ContextState& state, QuantitativePreference preference) {
+  HYPRE_RETURN_NOT_OK(ValidateState(state, /*allow_all=*/true));
+  for (auto& entry : entries_) {
+    if (entry.state == state) {
+      entry.preferences.push_back(std::move(preference));
+      return Status::OK();
+    }
+  }
+  StateEntry entry;
+  entry.state = state;
+  entry.preferences.push_back(std::move(preference));
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+std::vector<ContextState> ContextualProfile::States() const {
+  std::vector<ContextState> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.state);
+  return out;
+}
+
+std::vector<std::pair<size_t, size_t>> ContextualProfile::TightCoverEdges()
+    const {
+  // Edge (i, j): entries_[j] covers entries_[i] (i more specific), and no
+  // entry k sits strictly between them.
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    for (size_t j = 0; j < entries_.size(); ++j) {
+      if (i == j) continue;
+      if (!Covers(entries_[j].state, entries_[i].state)) continue;
+      if (Covers(entries_[i].state, entries_[j].state)) continue;  // equal
+      bool tight = true;
+      for (size_t k = 0; k < entries_.size() && tight; ++k) {
+        if (k == i || k == j) continue;
+        if (Covers(entries_[j].state, entries_[k].state) &&
+            Covers(entries_[k].state, entries_[i].state) &&
+            !Covers(entries_[k].state, entries_[j].state) &&
+            !Covers(entries_[i].state, entries_[k].state)) {
+          tight = false;
+        }
+      }
+      if (tight) edges.emplace_back(i, j);
+    }
+  }
+  return edges;
+}
+
+Result<std::vector<QuantitativePreference>> ContextualProfile::Resolve(
+    const ContextState& concrete) const {
+  HYPRE_RETURN_NOT_OK(ValidateState(concrete, /*allow_all=*/false));
+  // Matching entries sorted by descending specificity, stable on insertion.
+  std::vector<const StateEntry*> matching;
+  for (const auto& entry : entries_) {
+    if (Covers(entry.state, concrete)) matching.push_back(&entry);
+  }
+  std::stable_sort(matching.begin(), matching.end(),
+                   [](const StateEntry* a, const StateEntry* b) {
+                     return Specificity(a->state) > Specificity(b->state);
+                   });
+  std::vector<QuantitativePreference> out;
+  for (const StateEntry* entry : matching) {
+    out.insert(out.end(), entry->preferences.begin(),
+               entry->preferences.end());
+  }
+  return out;
+}
+
+Result<std::vector<QuantitativePreference>>
+ContextualProfile::ResolveMostSpecific(const ContextState& concrete) const {
+  HYPRE_RETURN_NOT_OK(ValidateState(concrete, /*allow_all=*/false));
+  size_t best = 0;
+  bool found = false;
+  for (const auto& entry : entries_) {
+    if (!Covers(entry.state, concrete)) continue;
+    best = std::max(best, Specificity(entry.state));
+    found = true;
+  }
+  std::vector<QuantitativePreference> out;
+  if (!found) return out;
+  for (const auto& entry : entries_) {
+    if (Covers(entry.state, concrete) && Specificity(entry.state) == best) {
+      out.insert(out.end(), entry.preferences.begin(),
+                 entry.preferences.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,86 @@
+// Context-enhanced preferences (dissertation §2.4 Definition 11, Figure 2,
+// and §8.2 future work #2).
+//
+// A contextual profile attaches preferences to *context states* — tuples
+// over context attributes such as (company, mood, period) where any
+// position may be the wildcard ALL. States form a DAG under the
+// "tight cover" relation: state A covers state B when A generalizes B
+// attribute-wise; the cover is tight when no third profile state sits
+// between them. Resolving a concrete situation returns the matching states'
+// preferences, most specific first — which also resolves HYPRE conflicts
+// that are really context splits ("I like X with friends, dislike X with
+// family").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/preference.h"
+
+namespace hypre {
+namespace core {
+
+/// \brief The wildcard value matching any concrete context value.
+inline constexpr const char* kContextAll = "ALL";
+
+/// \brief One value per context attribute; kContextAll generalizes.
+using ContextState = std::vector<std::string>;
+
+/// \brief True if `general` covers `specific`: every attribute is equal or
+/// ALL in `general`. A state covers itself.
+bool Covers(const ContextState& general, const ContextState& specific);
+
+/// \brief A set of context states with attached preferences, organized as
+/// the Definition-11 DAG.
+class ContextualProfile {
+ public:
+  /// \param attributes names of the context dimensions, e.g.
+  ///        {"company", "mood", "period"} (Figure 2).
+  explicit ContextualProfile(std::vector<std::string> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// \brief Attaches a preference to a context state (creating the state if
+  /// new). The state's arity must match the profile's attributes; values
+  /// must not be empty.
+  Status AddContextPreference(const ContextState& state,
+                              QuantitativePreference preference);
+
+  /// \brief All states, in insertion order.
+  std::vector<ContextState> States() const;
+
+  /// \brief Definition 11: edges (more specific -> tightly covering more
+  /// general state), as index pairs into States().
+  std::vector<std::pair<size_t, size_t>> TightCoverEdges() const;
+
+  /// \brief Preferences applicable to a fully concrete situation, ordered
+  /// most-specific-state first (specificity = number of non-ALL
+  /// attributes, ties by insertion order). The concrete state must not
+  /// contain ALL.
+  Result<std::vector<QuantitativePreference>> Resolve(
+      const ContextState& concrete) const;
+
+  /// \brief Like Resolve but keeps only the preferences of the most
+  /// specific matching *states* whose specificity is maximal (the
+  /// overriding attitude of §2.3: the tightest context wins).
+  Result<std::vector<QuantitativePreference>> ResolveMostSpecific(
+      const ContextState& concrete) const;
+
+ private:
+  struct StateEntry {
+    ContextState state;
+    std::vector<QuantitativePreference> preferences;
+  };
+
+  Status ValidateState(const ContextState& state, bool allow_all) const;
+  static size_t Specificity(const ContextState& state);
+
+  std::vector<std::string> attributes_;
+  std::vector<StateEntry> entries_;
+};
+
+}  // namespace core
+}  // namespace hypre

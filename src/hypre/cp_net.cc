@@ -1,0 +1,296 @@
+#include "hypre/cp_net.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace core {
+
+std::string CpNet::JoinKey(const std::vector<std::string>& values) {
+  std::string key;
+  for (const auto& value : values) {
+    key += value;
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+Status CpNet::AddAttribute(const std::string& name,
+                           std::vector<std::string> domain) {
+  if (name.empty()) return Status::InvalidArgument("empty attribute name");
+  if (domain.empty()) {
+    return Status::InvalidArgument("attribute '" + name +
+                                   "' needs a non-empty domain");
+  }
+  std::set<std::string> seen(domain.begin(), domain.end());
+  if (seen.size() != domain.size()) {
+    return Status::InvalidArgument("duplicate value in domain of '" + name +
+                                   "'");
+  }
+  if (nodes_.count(name) > 0) {
+    return Status::AlreadyExists("attribute '" + name + "' already exists");
+  }
+  Node node;
+  node.domain = std::move(domain);
+  nodes_.emplace(name, std::move(node));
+  order_.push_back(name);
+  return Status::OK();
+}
+
+Result<const CpNet::Node*> CpNet::FindNode(const std::string& name) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return Status::NotFound("no attribute named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status CpNet::AddDependency(const std::string& parent,
+                            const std::string& child) {
+  HYPRE_RETURN_NOT_OK(FindNode(parent).status());
+  HYPRE_ASSIGN_OR_RETURN(const Node* child_node, FindNode(child));
+  if (parent == child) {
+    return Status::InvalidArgument("self-dependency on '" + child + "'");
+  }
+  if (std::find(child_node->parents.begin(), child_node->parents.end(),
+                parent) != child_node->parents.end()) {
+    return Status::AlreadyExists("dependency already present");
+  }
+  // Cycle check: is `child` an ancestor of `parent`?
+  std::deque<std::string> frontier{parent};
+  std::set<std::string> visited{parent};
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    if (current == child) {
+      return Status::Conflict("dependency " + parent + " -> " + child +
+                              " would create a cycle");
+    }
+    for (const auto& ancestor : nodes_.at(current).parents) {
+      if (visited.insert(ancestor).second) frontier.push_back(ancestor);
+    }
+  }
+  nodes_.at(child).parents.push_back(parent);
+  // Dependent CPT rows are stale: require re-specification.
+  nodes_.at(child).cpt.clear();
+  return Status::OK();
+}
+
+Status CpNet::SetPreferenceOrder(const std::string& attribute,
+                                 const std::vector<std::string>& parent_values,
+                                 std::vector<std::string> order) {
+  HYPRE_ASSIGN_OR_RETURN(const Node* node, FindNode(attribute));
+  if (parent_values.size() != node->parents.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "'%s' has %zu parents but %zu parent values were given",
+        attribute.c_str(), node->parents.size(), parent_values.size()));
+  }
+  for (size_t i = 0; i < parent_values.size(); ++i) {
+    const Node& parent = nodes_.at(node->parents[i]);
+    if (std::find(parent.domain.begin(), parent.domain.end(),
+                  parent_values[i]) == parent.domain.end()) {
+      return Status::InvalidArgument("'" + parent_values[i] +
+                                     "' is not in the domain of parent '" +
+                                     node->parents[i] + "'");
+    }
+  }
+  std::multiset<std::string> given(order.begin(), order.end());
+  std::multiset<std::string> domain(node->domain.begin(),
+                                    node->domain.end());
+  if (given != domain) {
+    return Status::InvalidArgument(
+        "preference order must be a permutation of the domain of '" +
+        attribute + "'");
+  }
+  nodes_.at(attribute).cpt[JoinKey(parent_values)] = std::move(order);
+  return Status::OK();
+}
+
+bool CpNet::IsComplete() const {
+  for (const auto& [name, node] : nodes_) {
+    size_t expected = 1;
+    for (const auto& parent : node.parents) {
+      expected *= nodes_.at(parent).domain.size();
+    }
+    if (node.cpt.size() != expected) return false;
+  }
+  return !nodes_.empty();
+}
+
+Result<std::vector<std::string>> CpNet::TopologicalAttributes() const {
+  std::map<std::string, size_t> in_degree;
+  for (const auto& name : order_) {
+    in_degree[name] = nodes_.at(name).parents.size();
+  }
+  std::deque<std::string> ready;
+  for (const auto& name : order_) {
+    if (in_degree[name] == 0) ready.push_back(name);
+  }
+  std::vector<std::string> topo;
+  while (!ready.empty()) {
+    std::string current = ready.front();
+    ready.pop_front();
+    topo.push_back(current);
+    for (const auto& name : order_) {
+      const Node& node = nodes_.at(name);
+      if (std::find(node.parents.begin(), node.parents.end(), current) ==
+          node.parents.end()) {
+        continue;
+      }
+      if (--in_degree[name] == 0) ready.push_back(name);
+    }
+  }
+  if (topo.size() != order_.size()) {
+    return Status::Conflict("CP-net dependencies contain a cycle");
+  }
+  return topo;
+}
+
+Result<size_t> CpNet::ValueRank(const std::string& attribute,
+                                const Outcome& outcome,
+                                const std::string& value) const {
+  HYPRE_ASSIGN_OR_RETURN(const Node* node, FindNode(attribute));
+  std::vector<std::string> parent_values;
+  parent_values.reserve(node->parents.size());
+  for (const auto& parent : node->parents) {
+    auto it = outcome.find(parent);
+    if (it == outcome.end()) {
+      return Status::InvalidArgument("outcome misses parent '" + parent +
+                                     "'");
+    }
+    parent_values.push_back(it->second);
+  }
+  auto row = node->cpt.find(JoinKey(parent_values));
+  if (row == node->cpt.end()) {
+    return Status::NotFound("no CPT row for '" + attribute +
+                            "' under the given parent values");
+  }
+  auto pos = std::find(row->second.begin(), row->second.end(), value);
+  if (pos == row->second.end()) {
+    return Status::InvalidArgument("'" + value +
+                                   "' is not in the domain of '" +
+                                   attribute + "'");
+  }
+  return static_cast<size_t>(pos - row->second.begin());
+}
+
+Result<Outcome> CpNet::BestOutcome(const Outcome& evidence) const {
+  if (!IsComplete()) {
+    return Status::InvalidArgument("CP-net has missing CPT rows");
+  }
+  for (const auto& [attribute, value] : evidence) {
+    HYPRE_ASSIGN_OR_RETURN(const Node* node, FindNode(attribute));
+    if (std::find(node->domain.begin(), node->domain.end(), value) ==
+        node->domain.end()) {
+      return Status::InvalidArgument("evidence value '" + value +
+                                     "' not in domain of '" + attribute +
+                                     "'");
+    }
+  }
+  HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> topo,
+                         TopologicalAttributes());
+  Outcome outcome = evidence;
+  for (const auto& attribute : topo) {
+    if (outcome.count(attribute) > 0) continue;  // pinned by evidence
+    const Node& node = nodes_.at(attribute);
+    std::vector<std::string> parent_values;
+    for (const auto& parent : node.parents) {
+      parent_values.push_back(outcome.at(parent));
+    }
+    outcome[attribute] = node.cpt.at(JoinKey(parent_values)).front();
+  }
+  return outcome;
+}
+
+Result<bool> CpNet::FlipDominates(const Outcome& a, const Outcome& b) const {
+  std::string flipped;
+  for (const auto& name : order_) {
+    auto ia = a.find(name);
+    auto ib = b.find(name);
+    if (ia == a.end() || ib == b.end()) {
+      return Status::InvalidArgument("outcomes must be complete");
+    }
+    if (ia->second != ib->second) {
+      if (!flipped.empty()) {
+        return Status::InvalidArgument(
+            "outcomes differ in more than one attribute");
+      }
+      flipped = name;
+    }
+  }
+  if (flipped.empty()) {
+    return Status::InvalidArgument("outcomes are identical");
+  }
+  HYPRE_ASSIGN_OR_RETURN(size_t rank_a,
+                         ValueRank(flipped, a, a.at(flipped)));
+  HYPRE_ASSIGN_OR_RETURN(size_t rank_b,
+                         ValueRank(flipped, b, b.at(flipped)));
+  return rank_a < rank_b;
+}
+
+Result<std::vector<Outcome>> CpNet::RankOutcomes(size_t max_outcomes) const {
+  if (!IsComplete()) {
+    return Status::InvalidArgument("CP-net has missing CPT rows");
+  }
+  HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> topo,
+                         TopologicalAttributes());
+  size_t total = 1;
+  for (const auto& name : topo) {
+    total *= nodes_.at(name).domain.size();
+    if (total > max_outcomes) {
+      return Status::InvalidArgument(StringFormat(
+          "outcome space exceeds the cap of %zu", max_outcomes));
+    }
+  }
+  // Enumerate all outcomes.
+  std::vector<Outcome> outcomes{Outcome{}};
+  for (const auto& name : topo) {
+    std::vector<Outcome> next;
+    next.reserve(outcomes.size() * nodes_.at(name).domain.size());
+    for (const auto& partial : outcomes) {
+      for (const auto& value : nodes_.at(name).domain) {
+        Outcome extended = partial;
+        extended[name] = value;
+        next.push_back(std::move(extended));
+      }
+    }
+    outcomes = std::move(next);
+  }
+  // Violation vector in topological order; lexicographic comparison. If A
+  // flip-dominates B they share all parent contexts except the flipped
+  // attribute's subtree, so A's vector is lexicographically smaller.
+  struct Keyed {
+    std::vector<size_t> key;
+    Outcome outcome;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(outcomes.size());
+  for (auto& outcome : outcomes) {
+    Keyed k;
+    for (const auto& name : topo) {
+      HYPRE_ASSIGN_OR_RETURN(size_t rank,
+                             ValueRank(name, outcome, outcome.at(name)));
+      k.key.push_back(rank);
+    }
+    k.outcome = std::move(outcome);
+    keyed.push_back(std::move(k));
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  std::vector<Outcome> result;
+  result.reserve(keyed.size());
+  for (auto& k : keyed) result.push_back(std::move(k.outcome));
+  return result;
+}
+
+std::vector<std::string> CpNet::ParentsOf(const std::string& attribute) const {
+  auto it = nodes_.find(attribute);
+  if (it == nodes_.end()) return {};
+  return it->second.parents;
+}
+
+}  // namespace core
+}  // namespace hypre

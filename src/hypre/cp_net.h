@@ -1,0 +1,100 @@
+// Conditional Preference Networks (dissertation §2.4, Definition 12,
+// Figure 3).
+//
+// A CP-net has one node per attribute; an edge parent -> child means the
+// preference order over the child's values depends on the parents' values.
+// Each node carries a conditional preference table (CPT): for every
+// combination of parent values, a total order (best first) over the node's
+// domain.
+//
+// Implemented operations:
+//  * BestOutcome   — the forward sweep: choose each attribute's most
+//    preferred value given its parents (optionally with evidence pinned);
+//  * FlipDominates — the ceteris-paribus comparison of two outcomes that
+//    differ in exactly one attribute;
+//  * RankOutcomes  — a total order over all outcomes consistent with the
+//    CP-net's partial order: outcomes are compared lexicographically (in
+//    topological attribute order) by the rank each value takes in its CPT
+//    row. If outcome A flip-dominates B then A ranks before B.
+// Full dominance testing for arbitrary outcome pairs is PSPACE-hard in
+// general and intentionally out of scope.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hypre {
+namespace core {
+
+/// \brief A complete (or partial, for evidence) assignment of attribute
+/// values.
+using Outcome = std::map<std::string, std::string>;
+
+class CpNet {
+ public:
+  /// \brief Declares an attribute with its (non-empty, duplicate-free)
+  /// domain.
+  Status AddAttribute(const std::string& name,
+                      std::vector<std::string> domain);
+
+  /// \brief Declares that `child`'s preference order depends on `parent`.
+  /// Fails if it would create a cycle.
+  Status AddDependency(const std::string& parent, const std::string& child);
+
+  /// \brief Sets the CPT row for `attribute` under `parent_values` (values
+  /// of ALL parents, in the order the dependencies were added). `order`
+  /// must be a permutation of the attribute's domain, best value first.
+  /// An attribute without parents passes an empty `parent_values`.
+  Status SetPreferenceOrder(const std::string& attribute,
+                            const std::vector<std::string>& parent_values,
+                            std::vector<std::string> order);
+
+  /// \brief True when every attribute has a CPT row for every combination
+  /// of parent values.
+  bool IsComplete() const;
+
+  /// \brief The most preferred complete outcome consistent with `evidence`
+  /// (attributes pinned to fixed values). Requires IsComplete().
+  Result<Outcome> BestOutcome(const Outcome& evidence = {}) const;
+
+  /// \brief Ceteris paribus: outcomes differing in exactly one attribute;
+  /// returns true iff `a`'s value of that attribute is preferred to `b`'s
+  /// under their (shared) parent context. Fails if they differ in zero or
+  /// more than one attribute.
+  Result<bool> FlipDominates(const Outcome& a, const Outcome& b) const;
+
+  /// \brief Every complete outcome, best first (see file comment for the
+  /// order's definition). Guarded: fails if the outcome space exceeds
+  /// `max_outcomes`.
+  Result<std::vector<Outcome>> RankOutcomes(size_t max_outcomes = 4096) const;
+
+  const std::vector<std::string>& attribute_names() const { return order_; }
+  std::vector<std::string> ParentsOf(const std::string& attribute) const;
+
+ private:
+  struct Node {
+    std::vector<std::string> domain;
+    std::vector<std::string> parents;
+    // key: parent values joined with '\x1f' -> order (best first)
+    std::map<std::string, std::vector<std::string>> cpt;
+  };
+
+  static std::string JoinKey(const std::vector<std::string>& values);
+  Result<const Node*> FindNode(const std::string& name) const;
+  /// Rank (0 = best) of `value` in `attribute`'s CPT row under the parent
+  /// values taken from `outcome`.
+  Result<size_t> ValueRank(const std::string& attribute,
+                           const Outcome& outcome,
+                           const std::string& value) const;
+  /// Topological order of the attributes (parents first).
+  Result<std::vector<std::string>> TopologicalAttributes() const;
+
+  std::map<std::string, Node> nodes_;
+  std::vector<std::string> order_;  // insertion order of attributes
+};
+
+}  // namespace core
+}  // namespace hypre

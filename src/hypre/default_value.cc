@@ -1,0 +1,92 @@
+#include "hypre/default_value.h"
+
+#include <algorithm>
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+constexpr double kClampBelowOne = 0.98;
+
+double ClampSeed(double v) {
+  if (v >= 1.0) return kClampBelowOne;
+  return v;
+}
+
+}  // namespace
+
+const char* DefaultValueStrategyToString(DefaultValueStrategy strategy) {
+  switch (strategy) {
+    case DefaultValueStrategy::kFixed:
+      return "default";
+    case DefaultValueStrategy::kMin:
+      return "min";
+    case DefaultValueStrategy::kMinPositive:
+      return "min_pos";
+    case DefaultValueStrategy::kMax:
+      return "max";
+    case DefaultValueStrategy::kMaxPositive:
+      return "max_pos";
+    case DefaultValueStrategy::kAvg:
+      return "avg";
+    case DefaultValueStrategy::kAvgPositive:
+      return "avg_pos";
+  }
+  return "?";
+}
+
+double ComputeDefaultValue(DefaultValueStrategy strategy,
+                           const std::vector<double>& existing,
+                           double fixed_value) {
+  switch (strategy) {
+    case DefaultValueStrategy::kFixed:
+      return fixed_value;
+    case DefaultValueStrategy::kMin: {
+      if (existing.empty()) return fixed_value;
+      return ClampSeed(*std::min_element(existing.begin(), existing.end()));
+    }
+    case DefaultValueStrategy::kMinPositive: {
+      double best = 2.0;
+      for (double v : existing) {
+        if (v >= 0.0) best = std::min(best, v);
+      }
+      if (best > 1.0) return 0.0;  // no qualifying value (Table 12 fallback)
+      return ClampSeed(best);
+    }
+    case DefaultValueStrategy::kMax: {
+      if (existing.empty()) return fixed_value;
+      return ClampSeed(*std::max_element(existing.begin(), existing.end()));
+    }
+    case DefaultValueStrategy::kMaxPositive: {
+      double best = -2.0;
+      for (double v : existing) {
+        if (v >= 0.0 && v < 1.0) best = std::max(best, v);
+      }
+      if (best < 0.0) return 0.0;  // no qualifying value (Table 12 fallback)
+      return best;
+    }
+    case DefaultValueStrategy::kAvg: {
+      if (existing.empty()) return fixed_value;
+      double sum = 0.0;
+      for (double v : existing) sum += v;
+      return ClampSeed(sum / static_cast<double>(existing.size()));
+    }
+    case DefaultValueStrategy::kAvgPositive: {
+      double sum = 0.0;
+      size_t n = 0;
+      for (double v : existing) {
+        if (v >= 0.0) {
+          sum += v;
+          ++n;
+        }
+      }
+      if (n == 0) return 0.0;  // Table 12 fallback
+      return ClampSeed(sum / static_cast<double>(n));
+    }
+  }
+  return fixed_value;
+}
+
+}  // namespace core
+}  // namespace hypre

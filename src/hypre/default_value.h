@@ -1,0 +1,42 @@
+// DEFAULT_VALUE seeding strategies (dissertation Table 12 / §6.3.1).
+//
+// When a qualitative preference connects two nodes and *neither* has an
+// intensity yet, one node is seeded with a DEFAULT_VALUE and the other is
+// computed from it via Eq. 4.1/4.2. The seed can be a fixed constant or an
+// aggregate over the intensities the user has already provided, so no user
+// is ever seeded outside the range of values they chose themselves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hypre {
+namespace core {
+
+enum class DefaultValueStrategy {
+  kFixed,        // "default": constant (0.5 in the dissertation)
+  kMin,          // min over all existing intensities
+  kMinPositive,  // min over intensities >= 0 (fallback 0)
+  kMax,          // max over all existing intensities
+  kMaxPositive,  // max over intensities in [0, 1)   (fallback 0)
+  kAvg,          // average over all existing intensities
+  kAvgPositive,  // average over intensities >= 0    (fallback 0)
+};
+
+const char* DefaultValueStrategyToString(DefaultValueStrategy strategy);
+
+/// \brief Computes the seed value for a user given the intensities already
+/// present in that user's profile.
+///
+/// Because the seed feeds Eq. 4.1/4.2 multiplicatively, a seed of exactly 1
+/// would make every derived value 1 as well; following §6.3.1, any computed
+/// seed >= 1 is clamped to 0.98 so the system never hands out the extreme
+/// value on its own. `fixed_value` is used by kFixed and as the fallback
+/// when no existing intensity satisfies a strategy's condition (the
+/// *_positive strategies fall back to 0 per Table 12).
+double ComputeDefaultValue(DefaultValueStrategy strategy,
+                           const std::vector<double>& existing_intensities,
+                           double fixed_value = 0.5);
+
+}  // namespace core
+}  // namespace hypre

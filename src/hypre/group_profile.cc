@@ -1,0 +1,68 @@
+#include "hypre/group_profile.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hypre {
+namespace core {
+
+Result<std::vector<QuantitativePreference>> BuildGroupProfile(
+    const HypreGraph& graph, const std::vector<UserId>& members,
+    UserId group_uid, const GroupProfileConfig& config) {
+  if (members.empty()) {
+    return Status::InvalidArgument("a group needs at least one member");
+  }
+  if (std::find(members.begin(), members.end(), group_uid) !=
+      members.end()) {
+    return Status::InvalidArgument(
+        "the group uid must not be one of the members");
+  }
+  // predicate -> member intensities (one per holding member).
+  std::map<std::string, std::vector<double>> by_predicate;
+  for (UserId member : members) {
+    for (const auto& entry :
+         graph.ListPreferences(member, config.include_negative)) {
+      by_predicate[entry.predicate].push_back(entry.intensity);
+    }
+  }
+  std::vector<QuantitativePreference> out;
+  for (const auto& [predicate, intensities] : by_predicate) {
+    if (intensities.size() < config.min_support) continue;
+    double value = 0.0;
+    switch (config.aggregation) {
+      case GroupProfileConfig::Aggregation::kAverage: {
+        // Average over ALL members (absent members count as indifferent 0),
+        // so a preference held strongly by one of many members is diluted —
+        // the combinatory attitude of §2.3.
+        double sum = 0.0;
+        for (double v : intensities) sum += v;
+        value = sum / static_cast<double>(members.size());
+        break;
+      }
+      case GroupProfileConfig::Aggregation::kMin:
+        value = *std::min_element(intensities.begin(), intensities.end());
+        break;
+      case GroupProfileConfig::Aggregation::kMax:
+        value = *std::max_element(intensities.begin(), intensities.end());
+        break;
+    }
+    out.push_back(QuantitativePreference{group_uid, predicate, value});
+  }
+  return out;
+}
+
+Result<size_t> MaterializeGroupProfile(HypreGraph* graph,
+                                       const std::vector<UserId>& members,
+                                       UserId group_uid,
+                                       const GroupProfileConfig& config) {
+  HYPRE_ASSIGN_OR_RETURN(std::vector<QuantitativePreference> profile,
+                         BuildGroupProfile(*graph, members, group_uid,
+                                           config));
+  for (const auto& preference : profile) {
+    HYPRE_RETURN_NOT_OK(graph->AddQuantitative(preference).status());
+  }
+  return profile.size();
+}
+
+}  // namespace core
+}  // namespace hypre

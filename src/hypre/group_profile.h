@@ -1,0 +1,47 @@
+// Group profiles (dissertation §8.2, future work #3).
+//
+// "Combining multiple profiles into a group (e.g., all users working in the
+// database group) a system can have access to more preferences and
+// recommend items using the collective list" — especially useful when one
+// member has few preferences of their own. This module merges the member
+// profiles of a HYPRE graph into a synthetic group user: predicates held by
+// several members are aggregated (average / min / max over the members'
+// intensities, weighted by how many members hold them under kAverage), and
+// the result can be inserted back into a graph or used directly for
+// enhancement.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/hypre_graph.h"
+#include "hypre/preference.h"
+
+namespace hypre {
+namespace core {
+
+struct GroupProfileConfig {
+  enum class Aggregation { kAverage, kMin, kMax };
+  Aggregation aggregation = Aggregation::kAverage;
+  /// Keep a predicate only if at least this many members hold it (1 keeps
+  /// everything; higher values surface the group consensus).
+  size_t min_support = 1;
+  /// Include members' negative (dislike) preferences.
+  bool include_negative = true;
+};
+
+/// \brief Merges the members' preferences into a profile for `group_uid`.
+/// Fails if `members` is empty or contains `group_uid`.
+Result<std::vector<QuantitativePreference>> BuildGroupProfile(
+    const HypreGraph& graph, const std::vector<UserId>& members,
+    UserId group_uid, const GroupProfileConfig& config = {});
+
+/// \brief Convenience: builds the group profile and inserts it into
+/// `graph` as user `group_uid`. Returns the number of preferences added.
+Result<size_t> MaterializeGroupProfile(HypreGraph* graph,
+                                       const std::vector<UserId>& members,
+                                       UserId group_uid,
+                                       const GroupProfileConfig& config = {});
+
+}  // namespace core
+}  // namespace hypre

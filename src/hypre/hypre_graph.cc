@@ -1,0 +1,455 @@
+#include "hypre/hypre_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "graphdb/traversal.h"
+#include "hypre/intensity.h"
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+constexpr const char* kPrefers = "PREFERS";
+constexpr const char* kCycle = "CYCLE";
+constexpr const char* kDiscard = "DISCARD";
+constexpr const char* kUidIndexLabel = "uidIndex";
+constexpr double kEps = 1e-9;
+
+const char* EdgeTypeName(EdgeLabel label) {
+  switch (label) {
+    case EdgeLabel::kPrefers:
+      return kPrefers;
+    case EdgeLabel::kCycle:
+      return kCycle;
+    case EdgeLabel::kDiscard:
+      return kDiscard;
+  }
+  return "?";
+}
+
+EdgeLabel EdgeLabelFromType(const std::string& type) {
+  if (type == kCycle) return EdgeLabel::kCycle;
+  if (type == kDiscard) return EdgeLabel::kDiscard;
+  return EdgeLabel::kPrefers;
+}
+
+Provenance ProvenanceFromString(const std::string& s) {
+  if (s == "computed") return Provenance::kComputed;
+  if (s == "default") return Provenance::kDefault;
+  return Provenance::kUser;
+}
+
+}  // namespace
+
+const char* EdgeLabelToString(EdgeLabel label) { return EdgeTypeName(label); }
+
+const char* ProvenanceToString(Provenance provenance) {
+  switch (provenance) {
+    case Provenance::kUser:
+      return "user";
+    case Provenance::kComputed:
+      return "computed";
+    case Provenance::kDefault:
+      return "default";
+  }
+  return "?";
+}
+
+HypreGraph::HypreGraph(HypreGraphConfig config) : config_(config) {
+  // The dissertation's indexing scheme (§4.3): label every preference node
+  // with `uidIndex` and index it on the `uid` property.
+  Status st = store_.CreateIndex(kUidIndexLabel, "uid");
+  (void)st;  // cannot fail on an empty store
+}
+
+graphdb::NodeId HypreGraph::GetOrCreateNode(UserId uid,
+                                            const std::string& predicate,
+                                            bool* created) {
+  auto key = std::make_pair(uid, predicate);
+  auto it = node_by_key_.find(key);
+  if (it != node_by_key_.end()) {
+    if (created != nullptr) *created = false;
+    return it->second;
+  }
+  graphdb::PropertyMap props;
+  props["uid"] = graphdb::PropertyValue(static_cast<int64_t>(uid));
+  props["predicate"] = graphdb::PropertyValue(predicate);
+  graphdb::NodeId id = store_.AddNode({kUidIndexLabel}, std::move(props));
+  node_by_key_.emplace(std::move(key), id);
+  nodes_by_user_[uid].push_back(id);
+  if (created != nullptr) *created = true;
+  return id;
+}
+
+void HypreGraph::SetIntensity(graphdb::NodeId node, double intensity,
+                              Provenance provenance) {
+  Status st =
+      store_.SetNodeProperty(node, "intensity",
+                             graphdb::PropertyValue(intensity));
+  (void)st;
+  st = store_.SetNodeProperty(
+      node, "provenance",
+      graphdb::PropertyValue(std::string(ProvenanceToString(provenance))));
+  (void)st;
+}
+
+Result<graphdb::NodeId> HypreGraph::AddQuantitative(
+    const QuantitativePreference& pref) {
+  if (!IsValidQuantitativeIntensity(pref.intensity)) {
+    return Status::InvalidArgument(StringFormat(
+        "quantitative intensity %f outside [-1, 1]", pref.intensity));
+  }
+  if (pref.predicate.empty()) {
+    return Status::InvalidArgument("empty predicate");
+  }
+  bool created = false;
+  graphdb::NodeId id = GetOrCreateNode(pref.uid, pref.predicate, &created);
+  auto existing = NodeIntensity(id);
+  if (created || !existing.has_value()) {
+    SetIntensity(id, pref.intensity, Provenance::kUser);
+    return id;
+  }
+  auto provenance = NodeProvenance(id);
+  if (provenance == Provenance::kUser) {
+    // Duplicate user preference: average the two values (§4.5 Step 1).
+    SetIntensity(id, (*existing + pref.intensity) / 2.0, Provenance::kUser);
+  } else {
+    // A user-provided value supersedes a computed/default one.
+    SetIntensity(id, pref.intensity, Provenance::kUser);
+  }
+  ReconcileIncidentEdges(id);
+  return id;
+}
+
+bool HypreGraph::IsRecomputable(graphdb::NodeId node) const {
+  if (store_.Degree(node, kPrefers) != 0) return false;
+  auto provenance = NodeProvenance(node);
+  return provenance.has_value() && *provenance != Provenance::kUser;
+}
+
+double HypreGraph::DefaultSeed(UserId uid) const {
+  std::vector<double> existing;
+  auto it = nodes_by_user_.find(uid);
+  if (it != nodes_by_user_.end()) {
+    for (graphdb::NodeId id : it->second) {
+      auto v = NodeIntensity(id);
+      if (v) existing.push_back(*v);
+    }
+  }
+  return ComputeDefaultValue(config_.default_strategy, existing,
+                             config_.fixed_default);
+}
+
+Result<QualitativeInsertResult> HypreGraph::AddQualitative(
+    const QualitativePreference& pref) {
+  if (!std::isfinite(pref.intensity) || pref.intensity < -1.0 ||
+      pref.intensity > 1.0) {
+    return Status::InvalidArgument(StringFormat(
+        "qualitative intensity %f outside [-1, 1]", pref.intensity));
+  }
+  if (pref.left.empty() || pref.right.empty()) {
+    return Status::InvalidArgument("empty predicate in qualitative preference");
+  }
+  QualitativeInsertResult result;
+
+  // Proposition 7: a negative strength means the reversed statement holds
+  // with the absolute strength.
+  std::string left_pred = pref.left;
+  std::string right_pred = pref.right;
+  double ql = pref.intensity;
+  if (ql < 0.0) {
+    std::swap(left_pred, right_pred);
+    ql = -ql;
+    result.reversed = true;
+  }
+  if (left_pred == right_pred) {
+    return Status::InvalidArgument(
+        "qualitative preference relates a predicate to itself: " + left_pred);
+  }
+
+  graphdb::NodeId left =
+      GetOrCreateNode(pref.uid, left_pred, &result.left_created);
+  graphdb::NodeId right =
+      GetOrCreateNode(pref.uid, right_pred, &result.right_created);
+
+  graphdb::PropertyMap edge_props;
+  edge_props["intensity"] = graphdb::PropertyValue(ql);
+
+  // Cycle check (Algorithm 1 line 6): a PREFERS path right ~> left plus the
+  // new edge would form a cycle; insert but label CYCLE and do not touch
+  // intensities.
+  if (graphdb::HasPath(store_, right, left, kPrefers)) {
+    HYPRE_ASSIGN_OR_RETURN(
+        result.edge, store_.AddEdge(left, right, kCycle, edge_props));
+    result.label = EdgeLabel::kCycle;
+    return result;
+  }
+
+  auto left_value = NodeIntensity(left);
+  auto right_value = NodeIntensity(right);
+
+  EdgeLabel label = EdgeLabel::kPrefers;
+  if (left_value && right_value) {
+    if (*left_value + kEps >= *right_value) {
+      // Consistent: nothing to recompute.
+    } else if (IsRecomputable(left)) {
+      SetIntensity(left, IntensityLeft(ql, *right_value),
+                   Provenance::kComputed);
+      result.computed_left = true;
+    } else if (IsRecomputable(right)) {
+      SetIntensity(right, IntensityRight(ql, *left_value),
+                   Provenance::kComputed);
+      result.computed_right = true;
+    } else {
+      // Incompatible intensities on anchored nodes: keep the edge for later
+      // but exclude it from traversal (§6.2.3 "incompatible intensities").
+      label = EdgeLabel::kDiscard;
+    }
+  } else if (right_value) {
+    SetIntensity(left, IntensityLeft(ql, *right_value), Provenance::kComputed);
+    result.computed_left = true;
+  } else if (left_value) {
+    SetIntensity(right, IntensityRight(ql, *left_value),
+                 Provenance::kComputed);
+    result.computed_right = true;
+  } else {
+    // Scenario 3 (§6.3): seed the right node, compute the left.
+    double seed = DefaultSeed(pref.uid);
+    SetIntensity(right, seed, Provenance::kDefault);
+    SetIntensity(left, IntensityLeft(ql, seed), Provenance::kComputed);
+    result.used_default = true;
+    result.computed_left = true;
+  }
+
+  HYPRE_ASSIGN_OR_RETURN(result.edge, store_.AddEdge(left, right,
+                                                     EdgeTypeName(label),
+                                                     edge_props));
+  result.label = label;
+  return result;
+}
+
+std::vector<PreferenceEntry> HypreGraph::ListPreferences(
+    UserId uid, bool include_negative) const {
+  std::vector<PreferenceEntry> out;
+  auto it = nodes_by_user_.find(uid);
+  if (it == nodes_by_user_.end()) return out;
+  for (graphdb::NodeId id : it->second) {
+    auto intensity = NodeIntensity(id);
+    if (!intensity) continue;
+    if (!include_negative && *intensity < 0.0) continue;
+    PreferenceEntry entry;
+    entry.node = id;
+    auto predicate = store_.GetNodeProperty(id, "predicate");
+    entry.predicate = predicate ? predicate->AsString() : "";
+    entry.intensity = *intensity;
+    auto provenance = NodeProvenance(id);
+    entry.provenance = provenance ? *provenance : Provenance::kUser;
+    out.push_back(std::move(entry));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PreferenceEntry& a, const PreferenceEntry& b) {
+                     if (a.intensity != b.intensity) {
+                       return a.intensity > b.intensity;
+                     }
+                     return a.predicate < b.predicate;
+                   });
+  return out;
+}
+
+std::vector<QualitativeEntry> HypreGraph::ListQualitative(
+    UserId uid, bool prefers_only) const {
+  std::vector<QualitativeEntry> out;
+  auto it = nodes_by_user_.find(uid);
+  if (it == nodes_by_user_.end()) return out;
+  for (graphdb::NodeId id : it->second) {
+    for (graphdb::EdgeId eid : store_.OutEdges(id)) {
+      const graphdb::Edge* edge = store_.GetEdge(eid).value();
+      EdgeLabel label = EdgeLabelFromType(edge->type);
+      if (prefers_only && label != EdgeLabel::kPrefers) continue;
+      QualitativeEntry entry;
+      entry.edge = eid;
+      entry.left = edge->src;
+      entry.right = edge->dst;
+      auto lp = store_.GetNodeProperty(edge->src, "predicate");
+      auto rp = store_.GetNodeProperty(edge->dst, "predicate");
+      entry.left_predicate = lp ? lp->AsString() : "";
+      entry.right_predicate = rp ? rp->AsString() : "";
+      auto intensity = graphdb::GetProperty(edge->props, "intensity");
+      entry.intensity = intensity ? intensity->NumericValue() : 0.0;
+      entry.label = label;
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+graphdb::NodeId HypreGraph::FindNode(UserId uid,
+                                     const std::string& predicate) const {
+  auto it = node_by_key_.find(std::make_pair(uid, predicate));
+  if (it == node_by_key_.end()) return graphdb::kInvalidNode;
+  return it->second;
+}
+
+std::vector<graphdb::NodeId> HypreGraph::UserNodes(UserId uid) const {
+  auto it = nodes_by_user_.find(uid);
+  if (it == nodes_by_user_.end()) return {};
+  return it->second;
+}
+
+std::optional<double> HypreGraph::NodeIntensity(graphdb::NodeId id) const {
+  auto v = store_.GetNodeProperty(id, "intensity");
+  if (!v) return std::nullopt;
+  return v->NumericValue();
+}
+
+std::optional<Provenance> HypreGraph::NodeProvenance(
+    graphdb::NodeId id) const {
+  auto v = store_.GetNodeProperty(id, "provenance");
+  if (!v) return std::nullopt;
+  return ProvenanceFromString(v->AsString());
+}
+
+std::vector<UserId> HypreGraph::Users() const {
+  std::vector<UserId> out;
+  out.reserve(nodes_by_user_.size());
+  for (const auto& [uid, nodes] : nodes_by_user_) out.push_back(uid);
+  return out;
+}
+
+EdgeLabelCounts HypreGraph::CountEdgeLabels() const {
+  EdgeLabelCounts counts;
+  store_.ForEachEdge([&](const graphdb::Edge& edge) {
+    switch (EdgeLabelFromType(edge.type)) {
+      case EdgeLabel::kPrefers:
+        ++counts.prefers;
+        break;
+      case EdgeLabel::kCycle:
+        ++counts.cycle;
+        break;
+      case EdgeLabel::kDiscard:
+        ++counts.discard;
+        break;
+    }
+  });
+  return counts;
+}
+
+void HypreGraph::ReconcileIncidentEdges(graphdb::NodeId node) {
+  auto check = [&](graphdb::EdgeId eid) {
+    const graphdb::Edge* edge = store_.GetEdge(eid).value();
+    if (EdgeLabelFromType(edge->type) != EdgeLabel::kPrefers) return;
+    auto left = NodeIntensity(edge->src);
+    auto right = NodeIntensity(edge->dst);
+    if (left && right && *left + kEps < *right) {
+      Status st = store_.SetEdgeType(eid, kDiscard);
+      (void)st;
+    }
+  };
+  for (graphdb::EdgeId eid : store_.OutEdges(node, kPrefers)) check(eid);
+  for (graphdb::EdgeId eid : store_.InEdges(node, kPrefers)) check(eid);
+}
+
+Status HypreGraph::RemovePreference(UserId uid,
+                                    const std::string& predicate) {
+  graphdb::NodeId id = FindNode(uid, predicate);
+  if (id == graphdb::kInvalidNode) {
+    return Status::NotFound("no preference '" + predicate + "' for user");
+  }
+  HYPRE_RETURN_NOT_OK(store_.RemoveNode(id));
+  node_by_key_.erase(std::make_pair(uid, predicate));
+  auto it = nodes_by_user_.find(uid);
+  if (it != nodes_by_user_.end()) {
+    auto& nodes = it->second;
+    nodes.erase(std::remove(nodes.begin(), nodes.end(), id), nodes.end());
+    if (nodes.empty()) nodes_by_user_.erase(it);
+  }
+  return Status::OK();
+}
+
+Result<size_t> HypreGraph::RemoveQualitative(UserId uid,
+                                             const std::string& left,
+                                             const std::string& right) {
+  graphdb::NodeId src = FindNode(uid, left);
+  graphdb::NodeId dst = FindNode(uid, right);
+  if (src == graphdb::kInvalidNode || dst == graphdb::kInvalidNode) {
+    return size_t{0};
+  }
+  size_t removed = 0;
+  for (graphdb::EdgeId eid : store_.OutEdges(src)) {
+    const graphdb::Edge* edge = store_.GetEdge(eid).value();
+    if (edge->dst != dst) continue;
+    HYPRE_RETURN_NOT_OK(store_.RemoveEdge(eid));
+    ++removed;
+  }
+  return removed;
+}
+
+Result<graphdb::NodeId> HypreGraph::RestoreNode(
+    UserId uid, const std::string& predicate, std::optional<double> intensity,
+    std::optional<Provenance> provenance) {
+  if (predicate.empty()) return Status::InvalidArgument("empty predicate");
+  if (FindNode(uid, predicate) != graphdb::kInvalidNode) {
+    return Status::AlreadyExists("node already exists: " + predicate);
+  }
+  if (intensity && !IsValidQuantitativeIntensity(*intensity)) {
+    return Status::InvalidArgument("restored intensity out of range");
+  }
+  bool created = false;
+  graphdb::NodeId id = GetOrCreateNode(uid, predicate, &created);
+  if (intensity) {
+    SetIntensity(id, *intensity,
+                 provenance ? *provenance : Provenance::kUser);
+  }
+  return id;
+}
+
+Result<graphdb::EdgeId> HypreGraph::RestoreEdge(graphdb::NodeId src,
+                                                graphdb::NodeId dst,
+                                                EdgeLabel label,
+                                                double intensity) {
+  graphdb::PropertyMap props;
+  props["intensity"] = graphdb::PropertyValue(intensity);
+  return store_.AddEdge(src, dst, EdgeTypeName(label), std::move(props));
+}
+
+Status HypreGraph::CheckInvariants() const {
+  Status failure = Status::OK();
+  store_.ForEachNode([&](const graphdb::Node& node) {
+    if (!failure.ok()) return;
+    auto intensity = graphdb::GetProperty(node.props, "intensity");
+    if (intensity &&
+        !IsValidQuantitativeIntensity(intensity->NumericValue())) {
+      failure = Status::Internal(StringFormat(
+          "node %llu intensity %f out of range",
+          (unsigned long long)node.id, intensity->NumericValue()));
+    }
+  });
+  HYPRE_RETURN_NOT_OK(failure);
+
+  store_.ForEachEdge([&](const graphdb::Edge& edge) {
+    if (!failure.ok()) return;
+    if (EdgeLabelFromType(edge.type) != EdgeLabel::kPrefers) return;
+    auto left = NodeIntensity(edge.src);
+    auto right = NodeIntensity(edge.dst);
+    if (left && right && *left + kEps < *right) {
+      failure = Status::Internal(StringFormat(
+          "PREFERS edge %llu violates left >= right (%f < %f)",
+          (unsigned long long)edge.id, *left, *right));
+    }
+  });
+  HYPRE_RETURN_NOT_OK(failure);
+
+  for (const auto& [uid, nodes] : nodes_by_user_) {
+    if (!graphdb::IsAcyclic(store_, nodes, kPrefers)) {
+      return Status::Internal(StringFormat(
+          "PREFERS subgraph of user %lld has a cycle", (long long)uid));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace hypre

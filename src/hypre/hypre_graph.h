@@ -1,0 +1,208 @@
+// The HYPRE graph: the dissertation's unified hybrid preference model.
+//
+// Nodes carry (uid, predicate, intensity, provenance); an isolated node is a
+// quantitative preference; a PREFERS edge between two nodes is a qualitative
+// preference whose strength is the edge's intensity. Conflicting insertions
+// produce CYCLE or DISCARD edges that are excluded from traversal
+// (dissertation §4.2/§4.5, Algorithm 1, and §6.2.3 conflict resolution).
+//
+// The central mechanism is intensity propagation: inserting a qualitative
+// preference computes quantitative intensities for nodes that lack one via
+// Eq. 4.1/4.2, converting qualitative knowledge into quantitative scores
+// without losing the pairwise structure, which is what drives the coverage
+// gains of Figure 28.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graphdb/graph_store.h"
+#include "hypre/default_value.h"
+#include "hypre/preference.h"
+
+namespace hypre {
+namespace core {
+
+/// \brief Edge labels (dissertation §4.2). Only kPrefers edges participate
+/// in traversal and ordering.
+enum class EdgeLabel { kPrefers, kCycle, kDiscard };
+
+const char* EdgeLabelToString(EdgeLabel label);
+
+/// \brief Where a node's intensity came from.
+enum class Provenance {
+  kUser,      // explicitly provided (possibly averaged over duplicates)
+  kComputed,  // derived via Eq. 4.1/4.2 from a qualitative preference
+  kDefault,   // seeded by the DEFAULT_VALUE strategy
+};
+
+const char* ProvenanceToString(Provenance provenance);
+
+/// \brief Graph construction knobs.
+struct HypreGraphConfig {
+  DefaultValueStrategy default_strategy = DefaultValueStrategy::kFixed;
+  double fixed_default = 0.5;
+};
+
+/// \brief Outcome of one qualitative insertion, for observability and tests.
+struct QualitativeInsertResult {
+  graphdb::EdgeId edge = graphdb::kInvalidEdge;
+  EdgeLabel label = EdgeLabel::kPrefers;
+  bool reversed = false;        // Proposition 7 normalization applied
+  bool left_created = false;    // a new node was created for the left side
+  bool right_created = false;   // a new node was created for the right side
+  bool computed_left = false;   // left intensity derived via Eq. 4.1
+  bool computed_right = false;  // right intensity derived via Eq. 4.2
+  bool used_default = false;    // DEFAULT_VALUE seeding happened
+};
+
+/// \brief One preference as listed from a user profile.
+struct PreferenceEntry {
+  graphdb::NodeId node = graphdb::kInvalidNode;
+  std::string predicate;
+  double intensity = 0.0;
+  Provenance provenance = Provenance::kUser;
+};
+
+/// \brief One qualitative (PREFERS) edge as listed from a user profile.
+struct QualitativeEntry {
+  graphdb::EdgeId edge = graphdb::kInvalidEdge;
+  graphdb::NodeId left = graphdb::kInvalidNode;
+  graphdb::NodeId right = graphdb::kInvalidNode;
+  std::string left_predicate;
+  std::string right_predicate;
+  double intensity = 0.0;
+  EdgeLabel label = EdgeLabel::kPrefers;
+};
+
+/// \brief Edge-label counters for conflict accounting.
+struct EdgeLabelCounts {
+  size_t prefers = 0;
+  size_t cycle = 0;
+  size_t discard = 0;
+};
+
+class HypreGraph {
+ public:
+  explicit HypreGraph(HypreGraphConfig config = {});
+
+  // --- insertion ------------------------------------------------------------
+
+  /// \brief Inserts a quantitative preference (§4.5 Step 1). If the user
+  /// already has a node with the same predicate:
+  ///  * existing user-provided value  -> averaged with the new one;
+  ///  * existing computed/default value -> replaced by the user's value.
+  /// Either change can invalidate incident PREFERS edges; any edge whose
+  /// left < right invariant breaks is relabeled DISCARD.
+  Result<graphdb::NodeId> AddQuantitative(const QuantitativePreference& pref);
+
+  /// \brief Inserts a qualitative preference (Algorithm 1 semantics; see
+  /// DESIGN.md §5 for the cleaned-up rules). Negative intensities reverse
+  /// the edge (Proposition 7). Returns what happened.
+  Result<QualitativeInsertResult> AddQualitative(
+      const QualitativePreference& pref);
+
+  // --- removal (predicate-based profiles support cheap removal, §3.2.1) ------
+
+  /// \brief Removes the node for (uid, predicate) and every incident edge.
+  /// Intensities that were previously derived FROM this node keep their
+  /// values — removal does not rewrite history (the dissertation never
+  /// recomputes on deletion; stale derivations age out when the user
+  /// restates them).
+  Status RemovePreference(UserId uid, const std::string& predicate);
+
+  /// \brief Removes the edge(s) between two predicates of a user (any
+  /// label). Returns the number of edges removed (0 is not an error).
+  Result<size_t> RemoveQualitative(UserId uid, const std::string& left,
+                                   const std::string& right);
+
+  // --- profile queries --------------------------------------------------------
+
+  /// \brief The user's preferences with an assigned intensity, descending by
+  /// intensity. `include_negative` keeps dislikes (excluded when enhancing
+  /// queries, per §4.3).
+  std::vector<PreferenceEntry> ListPreferences(
+      UserId uid, bool include_negative = false) const;
+
+  /// \brief The user's PREFERS edges (or all labels if `prefers_only` is
+  /// false).
+  std::vector<QualitativeEntry> ListQualitative(
+      UserId uid, bool prefers_only = true) const;
+
+  /// \brief Node lookup by (uid, predicate). kInvalidNode if absent.
+  graphdb::NodeId FindNode(UserId uid, const std::string& predicate) const;
+
+  /// \brief All node ids of a user.
+  std::vector<graphdb::NodeId> UserNodes(UserId uid) const;
+
+  std::optional<double> NodeIntensity(graphdb::NodeId id) const;
+  std::optional<Provenance> NodeProvenance(graphdb::NodeId id) const;
+
+  /// \brief Users present in the graph, ascending.
+  std::vector<UserId> Users() const;
+
+  // --- statistics -------------------------------------------------------------
+
+  size_t num_nodes() const { return store_.num_nodes(); }
+  size_t num_edges() const { return store_.num_edges(); }
+  EdgeLabelCounts CountEdgeLabels() const;
+
+  /// \brief Validates the model invariants over the whole graph:
+  /// intensities in range, PREFERS edges satisfy left >= right (within 1e-9),
+  /// and the PREFERS subgraph is acyclic per user.
+  Status CheckInvariants() const;
+
+  // --- restoration (persistence layer) ---------------------------------------
+
+  /// \brief Inserts a node verbatim — no dedup-averaging, no Algorithm-1
+  /// processing. Fails if the (uid, predicate) pair already exists. Used by
+  /// LoadGraph to rebuild a saved profile exactly.
+  Result<graphdb::NodeId> RestoreNode(UserId uid,
+                                      const std::string& predicate,
+                                      std::optional<double> intensity,
+                                      std::optional<Provenance> provenance);
+
+  /// \brief Inserts an edge verbatim with the given label and intensity.
+  Result<graphdb::EdgeId> RestoreEdge(graphdb::NodeId src,
+                                      graphdb::NodeId dst, EdgeLabel label,
+                                      double intensity);
+
+  /// \brief The underlying property-graph store (for cypher_lite access and
+  /// the persistence layer).
+  const graphdb::GraphStore& store() const { return store_; }
+  graphdb::GraphStore* mutable_store() { return &store_; }
+
+  const HypreGraphConfig& config() const { return config_; }
+
+ private:
+  /// Returns the existing node or creates one without an intensity.
+  graphdb::NodeId GetOrCreateNode(UserId uid, const std::string& predicate,
+                                  bool* created);
+
+  void SetIntensity(graphdb::NodeId node, double intensity,
+                    Provenance provenance);
+
+  /// Relabels incident PREFERS edges violating left >= right as DISCARD.
+  void ReconcileIncidentEdges(graphdb::NodeId node);
+
+  /// True if the node's only PREFERS connections are none (degree 0) and its
+  /// current value was not supplied by the user, i.e. it is safe to
+  /// recompute without losing information.
+  bool IsRecomputable(graphdb::NodeId node) const;
+
+  double DefaultSeed(UserId uid) const;
+
+  graphdb::GraphStore store_;
+  HypreGraphConfig config_;
+  // (uid, predicate) -> node, for O(1) dedup on insertion.
+  std::map<std::pair<UserId, std::string>, graphdb::NodeId> node_by_key_;
+  // uid -> nodes, insertion ordered.
+  std::map<UserId, std::vector<graphdb::NodeId>> nodes_by_user_;
+};
+
+}  // namespace core
+}  // namespace hypre

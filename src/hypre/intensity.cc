@@ -1,0 +1,61 @@
+#include "hypre/intensity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+double Sign(double v) {
+  if (v > 0) return 1.0;
+  if (v < 0) return -1.0;
+  return 0.0;
+}
+
+}  // namespace
+
+bool IsValidQuantitativeIntensity(double v) {
+  return std::isfinite(v) && v >= kMinIntensity && v <= kMaxIntensity;
+}
+
+bool IsValidQualitativeIntensity(double v) {
+  return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+}
+
+double IntensityLeft(double ql, double qt) {
+  return std::min(1.0, qt * std::exp2(Sign(qt) * ql));
+}
+
+double IntensityRight(double ql, double qt) {
+  return std::max(-1.0, qt * std::exp2(-Sign(qt) * ql));
+}
+
+double CombineAnd(double p1, double p2) { return 1.0 - (1.0 - p1) * (1.0 - p2); }
+
+double CombineOr(double p1, double p2) { return (p1 + p2) / 2.0; }
+
+double CombineAndAll(std::span<const double> values) {
+  double complement = 1.0;
+  for (double v : values) complement *= (1.0 - v);
+  return 1.0 - complement;
+}
+
+double CombineOrFold(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double acc = values[0];
+  for (size_t i = 1; i < values.size(); ++i) acc = CombineOr(acc, values[i]);
+  return acc;
+}
+
+double MinPredicatesToExceed(double p1, double p2) {
+  if (p1 <= p2) return 1.0;
+  if (p2 <= 0.0) return std::numeric_limits<double>::infinity();
+  if (p1 >= 1.0) return std::numeric_limits<double>::infinity();
+  return std::log(1.0 - p1) / std::log(1.0 - p2);
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,66 @@
+// Intensity algebra: the numeric heart of the HYPRE model.
+//
+// Implements the dissertation's Equations 4.1-4.4:
+//   IntensityLeft (ql, qt) = min( 1, qt * 2^( sign(qt)*ql))   (Eq. 4.1)
+//   IntensityRight(ql, qt) = max(-1, qt * 2^(-sign(qt)*ql))   (Eq. 4.2)
+//   f_and(p1, p2) = 1 - (1-p1)(1-p2)                          (Eq. 4.3)
+//   f_or (p1, p2) = (p1 + p2) / 2                             (Eq. 4.4)
+// plus the Proposition 6 pruning bound used by PEPS.
+//
+// Quantitative intensities live in [-1, 1]; qualitative intensities in
+// [0, 1] (negative qualitative intensities are normalized away by edge
+// reversal, Proposition 7).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace hypre {
+namespace core {
+
+inline constexpr double kMinIntensity = -1.0;
+inline constexpr double kMaxIntensity = 1.0;
+
+/// \brief True iff `v` is a legal quantitative intensity (in [-1, 1]).
+bool IsValidQuantitativeIntensity(double v);
+
+/// \brief True iff `v` is a legal qualitative (edge) intensity (in [0, 1]).
+/// Negative values are legal *input* but are normalized by reversing the
+/// edge before storage (Proposition 7), so stored values are in [0, 1].
+bool IsValidQualitativeIntensity(double v);
+
+/// \brief Eq. 4.1: intensity for the left (preferred) node given the
+/// qualitative strength `ql` and the right node's quantitative value `qt`.
+/// Guarantees IntensityLeft(ql, qt) >= qt and result <= 1.
+double IntensityLeft(double ql, double qt);
+
+/// \brief Eq. 4.2: intensity for the right (less preferred) node given the
+/// qualitative strength `ql` and the left node's quantitative value `qt`.
+/// Guarantees IntensityRight(ql, qt) <= qt and result >= -1.
+double IntensityRight(double ql, double qt);
+
+/// \brief Eq. 4.3: inflationary conjunctive composition. Commutative and
+/// associative (Proposition 1), so AND-combined intensity is order
+/// independent.
+double CombineAnd(double p1, double p2);
+
+/// \brief Eq. 4.4: reserved disjunctive composition (the average). NOT
+/// associative: the result depends on composition order (Proposition 2).
+double CombineOr(double p1, double p2);
+
+/// \brief Left fold of CombineAnd over `values` (identity 0 on empty input).
+double CombineAndAll(std::span<const double> values);
+
+/// \brief Left fold of CombineOr over `values` in the given order (identity:
+/// single value for one element; 0 for empty).
+double CombineOrFold(std::span<const double> values);
+
+/// \brief Proposition 6: the minimum number K of preferences of intensity
+/// `p2` whose AND-combination can reach intensity `p1`:
+///   K = log(1 - p1) / log(1 - p2).
+/// Returns +infinity when p2 <= 0 (cannot ever reach a positive p1) and 1.0
+/// when p1 <= p2 (already reachable with one). p1, p2 expected in [0, 1).
+double MinPredicatesToExceed(double p1, double p2);
+
+}  // namespace core
+}  // namespace hypre

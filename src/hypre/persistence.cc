@@ -1,0 +1,204 @@
+#include "hypre/persistence.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+constexpr const char* kHeader = "hypre-graph v1";
+
+/// Escapes newlines and backslashes so predicates survive the line format.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::ParseError("dangling escape in predicate");
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      default:
+        return Status::ParseError("unknown escape in predicate");
+    }
+  }
+  return out;
+}
+
+Result<Provenance> ParseProvenance(const std::string& s) {
+  if (s == "user") return Provenance::kUser;
+  if (s == "computed") return Provenance::kComputed;
+  if (s == "default") return Provenance::kDefault;
+  if (s == "none") return Provenance::kUser;  // placeholder for no intensity
+  return Status::ParseError("unknown provenance '" + s + "'");
+}
+
+Result<EdgeLabel> ParseEdgeLabel(const std::string& s) {
+  if (s == "PREFERS") return EdgeLabel::kPrefers;
+  if (s == "CYCLE") return EdgeLabel::kCycle;
+  if (s == "DISCARD") return EdgeLabel::kDiscard;
+  return Status::ParseError("unknown edge label '" + s + "'");
+}
+
+}  // namespace
+
+Status SaveGraph(const HypreGraph& graph, std::ostream* out) {
+  *out << kHeader << "\n";
+  const graphdb::GraphStore& store = graph.store();
+  store.ForEachNode([&](const graphdb::Node& node) {
+    auto uid = graphdb::GetProperty(node.props, "uid");
+    auto predicate = graphdb::GetProperty(node.props, "predicate");
+    auto intensity = graph.NodeIntensity(node.id);
+    auto provenance = graph.NodeProvenance(node.id);
+    *out << "node " << node.id << " "
+         << (uid ? uid->AsInt() : 0) << " "
+         << (intensity
+                 ? ProvenanceToString(provenance ? *provenance
+                                                 : Provenance::kUser)
+                 : "none")
+         << " " << (intensity ? 1 : 0);
+    if (intensity) {
+      *out << " " << StringFormat("%.17g", *intensity);
+    }
+    *out << " " << Escape(predicate ? predicate->AsString() : "") << "\n";
+  });
+  store.ForEachEdge([&](const graphdb::Edge& edge) {
+    auto intensity = graphdb::GetProperty(edge.props, "intensity");
+    *out << "edge " << edge.src << " " << edge.dst << " " << edge.type << " "
+         << StringFormat("%.17g",
+                         intensity ? intensity->NumericValue() : 0.0)
+         << "\n";
+  });
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status SaveGraphToFile(const HypreGraph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return SaveGraph(graph, &file);
+}
+
+Status LoadGraph(std::istream* in, HypreGraph* graph) {
+  if (graph->num_nodes() != 0) {
+    return Status::InvalidArgument("LoadGraph requires an empty graph");
+  }
+  std::string line;
+  if (!std::getline(*in, line) || Trim(line) != kHeader) {
+    return Status::ParseError("missing or unsupported header");
+  }
+  // Saved node id -> restored node id.
+  std::map<graphdb::NodeId, graphdb::NodeId> id_map;
+  size_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    std::string_view trimmed = TrimView(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+    if (kind == "node") {
+      uint64_t saved_id = 0;
+      int64_t uid = 0;
+      std::string provenance_text;
+      int has_intensity = 0;
+      fields >> saved_id >> uid >> provenance_text >> has_intensity;
+      std::optional<double> intensity;
+      if (has_intensity != 0) {
+        double v = 0;
+        fields >> v;
+        intensity = v;
+      }
+      if (!fields) {
+        return Status::ParseError(
+            StringFormat("malformed node at line %zu", line_number));
+      }
+      std::string rest;
+      std::getline(fields, rest);
+      HYPRE_ASSIGN_OR_RETURN(std::string predicate, Unescape(Trim(rest)));
+      HYPRE_ASSIGN_OR_RETURN(Provenance provenance,
+                             ParseProvenance(provenance_text));
+      HYPRE_ASSIGN_OR_RETURN(
+          graphdb::NodeId restored,
+          graph->RestoreNode(uid, predicate, intensity, provenance));
+      id_map[saved_id] = restored;
+    } else if (kind == "edge") {
+      uint64_t src = 0;
+      uint64_t dst = 0;
+      std::string label_text;
+      double intensity = 0;
+      fields >> src >> dst >> label_text >> intensity;
+      if (!fields) {
+        return Status::ParseError(
+            StringFormat("malformed edge at line %zu", line_number));
+      }
+      auto src_it = id_map.find(src);
+      auto dst_it = id_map.find(dst);
+      if (src_it == id_map.end() || dst_it == id_map.end()) {
+        return Status::ParseError(StringFormat(
+            "edge references unknown node at line %zu", line_number));
+      }
+      HYPRE_ASSIGN_OR_RETURN(EdgeLabel label, ParseEdgeLabel(label_text));
+      HYPRE_RETURN_NOT_OK(graph
+                              ->RestoreEdge(src_it->second, dst_it->second,
+                                            label, intensity)
+                              .status());
+    } else {
+      return Status::ParseError(StringFormat(
+          "unknown record '%s' at line %zu", kind.c_str(), line_number));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadGraphFromFile(const std::string& path, HypreGraph* graph) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open for reading: " + path);
+  }
+  return LoadGraph(&file, graph);
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,41 @@
+// HYPRE graph persistence: save/load user profiles to a line-based format.
+//
+// The dissertation's prototype persists profiles in Neo4j's store; this
+// repo's embedded store is in-memory, so profiles are serialized to a
+// versioned, human-inspectable text format instead:
+//
+//   hypre-graph v1
+//   node <id> <uid> <provenance> <has_intensity> [<intensity>] <predicate>
+//   edge <src> <dst> <label> <intensity>
+//
+// Predicates are written last on the line (they may contain spaces) and are
+// escaped for newlines. Loading rebuilds the graph through the public
+// GraphStore surface, so invariants (indexes, adjacency) are reconstructed
+// rather than trusted from the file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "hypre/hypre_graph.h"
+
+namespace hypre {
+namespace core {
+
+/// \brief Writes the whole graph (all users) to `out`.
+Status SaveGraph(const HypreGraph& graph, std::ostream* out);
+
+/// \brief Convenience file variant.
+Status SaveGraphToFile(const HypreGraph& graph, const std::string& path);
+
+/// \brief Reads a graph previously written by SaveGraph into `graph`
+/// (which must be empty). Fails on version/format errors without partial
+/// mutation guarantees beyond node/edge granularity.
+Status LoadGraph(std::istream* in, HypreGraph* graph);
+
+/// \brief Convenience file variant.
+Status LoadGraphFromFile(const std::string& path, HypreGraph* graph);
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,88 @@
+#include "hypre/preference.h"
+
+#include <algorithm>
+
+#include "sqlparse/parser.h"
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+void CollectAttributeNames(const reldb::Expr& expr,
+                           std::set<std::string>* out) {
+  using reldb::ExprKind;
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+      out->insert(
+          static_cast<const reldb::ColumnRefExpr&>(expr).QualifiedName());
+      return;
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kCompare: {
+      const auto& c = static_cast<const reldb::CompareExpr&>(expr);
+      CollectAttributeNames(*c.lhs(), out);
+      CollectAttributeNames(*c.rhs(), out);
+      return;
+    }
+    case ExprKind::kBetween:
+      CollectAttributeNames(
+          *static_cast<const reldb::BetweenExpr&>(expr).column(), out);
+      return;
+    case ExprKind::kInList:
+      CollectAttributeNames(
+          *static_cast<const reldb::InListExpr&>(expr).column(), out);
+      return;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      for (const auto& child :
+           static_cast<const reldb::NaryExpr&>(expr).children()) {
+        CollectAttributeNames(*child, out);
+      }
+      return;
+    case ExprKind::kNot:
+      CollectAttributeNames(*static_cast<const reldb::NotExpr&>(expr).child(),
+                            out);
+      return;
+  }
+}
+
+}  // namespace
+
+Result<std::set<std::string>> PredicateAttributes(
+    const std::string& predicate) {
+  HYPRE_ASSIGN_OR_RETURN(reldb::ExprPtr expr,
+                         sqlparse::ParsePredicate(predicate));
+  std::set<std::string> out;
+  CollectAttributeNames(*expr, &out);
+  return out;
+}
+
+Result<PreferenceAtom> MakeAtom(const std::string& predicate,
+                                double intensity) {
+  PreferenceAtom atom;
+  atom.predicate = predicate;
+  atom.intensity = intensity;
+  HYPRE_ASSIGN_OR_RETURN(atom.expr, sqlparse::ParsePredicate(predicate));
+  CollectAttributeNames(*atom.expr, &atom.attributes);
+  std::string key;
+  for (const auto& attr : atom.attributes) {
+    if (!key.empty()) key += "|";
+    key += attr;
+  }
+  atom.attribute_key = key;
+  return atom;
+}
+
+void SortByIntensityDesc(std::vector<PreferenceAtom>* atoms) {
+  std::stable_sort(atoms->begin(), atoms->end(),
+                   [](const PreferenceAtom& a, const PreferenceAtom& b) {
+                     if (a.intensity != b.intensity) {
+                       return a.intensity > b.intensity;
+                     }
+                     return a.predicate < b.predicate;
+                   });
+}
+
+}  // namespace core
+}  // namespace hypre

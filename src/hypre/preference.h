@@ -1,0 +1,64 @@
+// Preference value types and predicate introspection.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/expr.h"
+
+namespace hypre {
+namespace core {
+
+using UserId = int64_t;
+
+/// \brief A quantitative preference: predicate text plus an intensity in
+/// [-1, 1]. Negative intensities express dislike; zero is indifference
+/// (Definition 3).
+struct QuantitativePreference {
+  UserId uid = 0;
+  std::string predicate;
+  double intensity = 0.0;
+};
+
+/// \brief A qualitative preference: tuples matching `left` are preferred
+/// over tuples matching `right` with strength `intensity`. Zero intensity
+/// means equally preferred; negative input intensity means the reversed
+/// statement holds with the absolute strength (Proposition 7).
+struct QualitativePreference {
+  UserId uid = 0;
+  std::string left;
+  std::string right;
+  double intensity = 0.0;
+};
+
+/// \brief A preference predicate ready for combination: parsed expression,
+/// referenced attributes, and its quantitative intensity.
+///
+/// `attribute_key` identifies the attribute group for the mixed-clause
+/// AND/OR rule of §4.6: predicates with the same key are OR-combined,
+/// predicates with different keys are AND-combined.
+struct PreferenceAtom {
+  std::string predicate;
+  reldb::ExprPtr expr;
+  double intensity = 0.0;
+  std::set<std::string> attributes;
+  std::string attribute_key;
+};
+
+/// \brief The fully qualified column names referenced by a predicate string.
+Result<std::set<std::string>> PredicateAttributes(const std::string& predicate);
+
+/// \brief Parses `predicate` and derives the attribute key (sorted attribute
+/// names joined with '|').
+Result<PreferenceAtom> MakeAtom(const std::string& predicate,
+                                double intensity);
+
+/// \brief Sorts atoms descending by intensity (ties broken by predicate text
+/// so the order is deterministic).
+void SortByIntensityDesc(std::vector<PreferenceAtom>* atoms);
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,259 @@
+#include "hypre/preference_sql.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "sqlparse/lexer.h"
+#include "sqlparse/parser.h"
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+using sqlparse::Token;
+using sqlparse::TokenType;
+
+bool IsIdent(const Token& token, const char* word) {
+  return token.type == TokenType::kIdent &&
+         EqualsIgnoreCase(token.text, word);
+}
+
+/// Splits the clause into the text fragments of its preferences, honoring
+/// paren depth and BETWEEN's own AND.
+struct ClauseLayout {
+  // blocks[i] = list of (pred_text, optional else_text)
+  std::vector<std::vector<std::pair<std::string, std::string>>> blocks;
+  size_t top_k = 0;
+};
+
+Result<ClauseLayout> SplitClause(const std::string& clause) {
+  HYPRE_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                         sqlparse::Tokenize(clause));
+  ClauseLayout layout;
+  layout.blocks.emplace_back();
+
+  size_t clause_end = clause.size();
+  // Trailing TOP k.
+  if (tokens.size() >= 3 && IsIdent(tokens[tokens.size() - 3], "TOP") &&
+      tokens[tokens.size() - 2].type == TokenType::kInt) {
+    layout.top_k = static_cast<size_t>(tokens[tokens.size() - 2].int_value);
+    clause_end = tokens[tokens.size() - 3].position;
+    tokens.erase(tokens.end() - 3, tokens.end() - 1);
+  }
+
+  size_t fragment_start = 0;
+  std::string pending_predicate;  // set when an ELSE was seen
+  int depth = 0;
+  bool between_pending = false;  // next AND belongs to a BETWEEN
+
+  auto flush = [&](size_t end_pos) -> Status {
+    std::string fragment =
+        Trim(clause.substr(fragment_start, end_pos - fragment_start));
+    if (fragment.empty()) {
+      return Status::ParseError("empty preference in PREFERRING clause");
+    }
+    if (!pending_predicate.empty()) {
+      layout.blocks.back().emplace_back(pending_predicate, fragment);
+      pending_predicate.clear();
+    } else {
+      layout.blocks.back().emplace_back(fragment, "");
+    }
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {  // skip trailing kEnd
+    const Token& token = tokens[i];
+    switch (token.type) {
+      case TokenType::kLParen:
+        ++depth;
+        continue;
+      case TokenType::kRParen:
+        --depth;
+        continue;
+      case TokenType::kBetween:
+        between_pending = true;
+        continue;
+      case TokenType::kAnd:
+        if (depth > 0) continue;
+        if (between_pending) {
+          between_pending = false;
+          continue;
+        }
+        HYPRE_RETURN_NOT_OK(flush(token.position));
+        fragment_start = token.position + 3;  // past "AND"
+        continue;
+      case TokenType::kIdent:
+        if (depth == 0 && EqualsIgnoreCase(token.text, "ELSE")) {
+          if (!pending_predicate.empty()) {
+            return Status::ParseError("chained ELSE is not supported");
+          }
+          pending_predicate =
+              Trim(clause.substr(fragment_start,
+                                 token.position - fragment_start));
+          if (pending_predicate.empty()) {
+            return Status::ParseError("ELSE without a preceding predicate");
+          }
+          fragment_start = token.position + 4;  // past "ELSE"
+          continue;
+        }
+        if (depth == 0 && EqualsIgnoreCase(token.text, "PRIOR") &&
+            i + 2 < tokens.size() && IsIdent(tokens[i + 1], "TO")) {
+          HYPRE_RETURN_NOT_OK(flush(token.position));
+          layout.blocks.emplace_back();
+          fragment_start = tokens[i + 1].position + 2;  // past "TO"
+          ++i;  // consume "TO"
+          continue;
+        }
+        continue;
+      default:
+        continue;
+    }
+  }
+  HYPRE_RETURN_NOT_OK(flush(clause_end));
+  return layout;
+}
+
+/// Row accessor over one table row.
+class TableRowAccessor : public reldb::RowAccessor {
+ public:
+  TableRowAccessor(const reldb::Table* table, reldb::RowId row)
+      : table_(table), row_(row) {}
+
+  Result<reldb::Value> Get(const std::string& table,
+                           const std::string& column) const override {
+    if (!table.empty() && table != table_->name()) {
+      return Status::NotFound("table '" + table + "' not in scope");
+    }
+    int col = table_->schema().FindColumn(column);
+    if (col < 0) {
+      return Status::NotFound("no column '" + column + "'");
+    }
+    return table_->row(row_)[static_cast<size_t>(col)];
+  }
+
+  void set_row(reldb::RowId row) { row_ = row; }
+
+ private:
+  const reldb::Table* table_;
+  reldb::RowId row_;
+};
+
+/// Distance-to-satisfaction of one violated predicate, in [0, 1].
+Result<double> ViolationError(const reldb::Expr& expr,
+                              const reldb::RowAccessor& row) {
+  using reldb::ExprKind;
+  switch (expr.kind()) {
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const reldb::BetweenExpr&>(expr);
+      if (bt.column()->kind() != ExprKind::kColumnRef) return 1.0;
+      const auto& ref =
+          static_cast<const reldb::ColumnRefExpr&>(*bt.column());
+      HYPRE_ASSIGN_OR_RETURN(reldb::Value v, row.Get(ref.table(),
+                                                     ref.column()));
+      if (!v.is_numeric() || !bt.lo().is_numeric() ||
+          !bt.hi().is_numeric()) {
+        return 1.0;
+      }
+      double value = v.NumericValue();
+      double lo = bt.lo().NumericValue();
+      double hi = bt.hi().NumericValue();
+      double width = hi - lo;
+      if (width <= 0) return 1.0;
+      double dist = value < lo ? lo - value : value - hi;
+      return std::min(1.0, dist / width);
+    }
+    case ExprKind::kCompare: {
+      const auto& cmp = static_cast<const reldb::CompareExpr&>(expr);
+      // col op literal with numerics: relative distance to the bound.
+      if (cmp.lhs()->kind() == ExprKind::kColumnRef &&
+          cmp.rhs()->kind() == ExprKind::kLiteral) {
+        const auto& ref =
+            static_cast<const reldb::ColumnRefExpr&>(*cmp.lhs());
+        const auto& lit =
+            static_cast<const reldb::LiteralExpr&>(*cmp.rhs());
+        HYPRE_ASSIGN_OR_RETURN(reldb::Value v,
+                               row.Get(ref.table(), ref.column()));
+        if (v.is_numeric() && lit.value().is_numeric()) {
+          double value = v.NumericValue();
+          double bound = lit.value().NumericValue();
+          double scale = std::max(std::abs(bound), 1.0);
+          return std::min(1.0, std::abs(value - bound) / scale);
+        }
+      }
+      return 1.0;
+    }
+    default:
+      return 1.0;  // categorical / compound: all-or-nothing
+  }
+}
+
+}  // namespace
+
+Result<PreferringClause> ParsePreferring(const std::string& clause) {
+  HYPRE_ASSIGN_OR_RETURN(ClauseLayout layout, SplitClause(clause));
+  PreferringClause out;
+  out.top_k = layout.top_k;
+  for (const auto& block : layout.blocks) {
+    std::vector<SoftPreference> prefs;
+    for (const auto& [pred_text, else_text] : block) {
+      SoftPreference pref;
+      HYPRE_ASSIGN_OR_RETURN(pref.predicate,
+                             sqlparse::ParsePredicate(pred_text));
+      if (!else_text.empty()) {
+        HYPRE_ASSIGN_OR_RETURN(pref.else_predicate,
+                               sqlparse::ParsePredicate(else_text));
+      }
+      prefs.push_back(std::move(pref));
+    }
+    out.blocks.push_back(std::move(prefs));
+  }
+  return out;
+}
+
+Result<std::vector<PreferenceSqlRow>> EvaluatePreferring(
+    const reldb::Table& table, const PreferringClause& clause) {
+  if (clause.blocks.empty()) {
+    return Status::InvalidArgument("PREFERRING clause has no preferences");
+  }
+  std::vector<PreferenceSqlRow> rows;
+  rows.reserve(table.num_rows());
+  TableRowAccessor accessor(&table, 0);
+  for (reldb::RowId id = 0; id < table.num_rows(); ++id) {
+    accessor.set_row(id);
+    PreferenceSqlRow row;
+    row.row = id;
+    for (const auto& block : clause.blocks) {
+      double error = 0.0;
+      for (const auto& pref : block) {
+        HYPRE_ASSIGN_OR_RETURN(bool satisfied,
+                               reldb::Evaluate(*pref.predicate, accessor));
+        if (satisfied) continue;
+        HYPRE_ASSIGN_OR_RETURN(double violation,
+                               ViolationError(*pref.predicate, accessor));
+        if (pref.else_predicate) {
+          HYPRE_ASSIGN_OR_RETURN(
+              bool fallback,
+              reldb::Evaluate(*pref.else_predicate, accessor));
+          // The ELSE alternative is second-best: half credit.
+          if (fallback) violation = std::min(violation, 0.5);
+        }
+        error += violation;
+      }
+      row.block_errors.push_back(error);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const PreferenceSqlRow& a, const PreferenceSqlRow& b) {
+                     return a.block_errors < b.block_errors;  // lexicographic
+                   });
+  if (clause.top_k > 0 && rows.size() > clause.top_k) {
+    rows.resize(clause.top_k);
+  }
+  return rows;
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,98 @@
+// Preference-aware query enhancement (dissertation §4.6).
+//
+// Takes a base SELECT query and splices a (combined) preference predicate
+// into its WHERE clause, then executes it to count or collect the matching
+// tuples.
+//
+// Matching semantics — group-level (existential). The dissertation's
+// enhanced queries run over `dblp JOIN dblp_author` and freely AND two
+// author predicates (`dblp_author.aid=2222 AND dblp_author.aid=4787`,
+// §5.3.1) expecting papers co-authored by both. On a per-joined-row basis
+// that predicate is unsatisfiable (each joined row carries ONE aid), so the
+// intended meaning is per *key* (per paper): a key matches a leaf predicate
+// if at least one of its joined rows does, and AND/OR/NOT combine those key
+// sets. That is exactly how the enhancer evaluates predicates:
+//   leaf      -> distinct keys of the base query filtered by the leaf
+//   AND       -> set intersection
+//   OR        -> set union
+//   NOT       -> complement against the base query's key universe
+// For single-table leaf predicates this coincides with row-level SQL
+// semantics, because the key determines the row of each base table.
+//
+// Leaf key sets are cached, so the thousands of probes the combination
+// algorithms issue mostly reduce to set algebra.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/database.h"
+#include "reldb/executor.h"
+#include "reldb/expr.h"
+
+namespace hypre {
+namespace core {
+
+class QueryEnhancer {
+ public:
+  using KeySet = std::unordered_set<reldb::Value, reldb::ValueHash>;
+
+  /// \param db database to run against (must outlive the enhancer)
+  /// \param base_query query skeleton (FROM/JOINs; an existing WHERE acts as
+  ///        a hard constraint that every probe keeps)
+  /// \param key_column the tuple identity column (e.g. "dblp.pid") used by
+  ///        COUNT(DISTINCT ...) and key collection
+  QueryEnhancer(const reldb::Database* db, reldb::Query base_query,
+                std::string key_column)
+      : db_(db),
+        executor_(db),
+        base_query_(std::move(base_query)),
+        key_column_(std::move(key_column)) {}
+
+  /// \brief The base query with `predicate` ANDed into its WHERE clause —
+  /// the literal SQL rewriting of §4.6, for display and row-level execution.
+  reldb::Query Enhance(const reldb::ExprPtr& predicate) const;
+
+  /// \brief Number of distinct keys matching `predicate` under group-level
+  /// semantics. Memoized.
+  Result<size_t> CountMatching(const reldb::ExprPtr& predicate) const;
+
+  /// \brief The matching keys under group-level semantics, sorted by the
+  /// Value total order (deterministic).
+  Result<std::vector<reldb::Value>> MatchingKeys(
+      const reldb::ExprPtr& predicate) const;
+
+  const std::string& key_column() const { return key_column_; }
+  const reldb::Query& base_query() const { return base_query_; }
+  const reldb::Database* db() const { return db_; }
+
+  /// \brief Number of leaf probes actually executed against the database.
+  size_t num_leaf_queries() const { return num_leaf_queries_; }
+  /// \brief Number of count probes answered from the memo cache.
+  size_t num_cache_hits() const { return num_cache_hits_; }
+
+ private:
+  /// Recursive group-level evaluation.
+  Result<const KeySet*> EvalLeaf(const reldb::ExprPtr& expr) const;
+  Result<KeySet> EvalKeySet(const reldb::ExprPtr& expr) const;
+  Result<const KeySet*> Universe() const;
+
+  const reldb::Database* db_;
+  reldb::Executor executor_;
+  reldb::Query base_query_;
+  std::string key_column_;
+  // Leaf predicate (by SQL text) -> matching key set.
+  mutable std::unordered_map<std::string, std::unique_ptr<KeySet>>
+      leaf_cache_;
+  mutable std::unique_ptr<KeySet> universe_;
+  mutable std::unordered_map<std::string, size_t> count_cache_;
+  mutable size_t num_leaf_queries_ = 0;
+  mutable size_t num_cache_hits_ = 0;
+};
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,46 @@
+#include "hypre/ranking.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "hypre/intensity.h"
+
+namespace hypre {
+namespace core {
+
+void SortRanked(std::vector<RankedTuple>* tuples) {
+  std::stable_sort(tuples->begin(), tuples->end(),
+                   [](const RankedTuple& a, const RankedTuple& b) {
+                     if (a.intensity != b.intensity) {
+                       return a.intensity > b.intensity;
+                     }
+                     return a.key.Compare(b.key) < 0;
+                   });
+}
+
+Result<std::vector<RankedTuple>> ScoreTuplesByPreferences(
+    const QueryEnhancer& enhancer,
+    const std::vector<PreferenceAtom>& preferences) {
+  // For each preference, collect its matching keys, then fold f_and per key.
+  std::unordered_map<reldb::Value, double, reldb::ValueHash> scores;
+  for (const auto& pref : preferences) {
+    HYPRE_ASSIGN_OR_RETURN(std::vector<reldb::Value> keys,
+                           enhancer.MatchingKeys(pref.expr));
+    for (const auto& key : keys) {
+      auto [it, inserted] = scores.emplace(key, pref.intensity);
+      if (!inserted) {
+        it->second = CombineAnd(it->second, pref.intensity);
+      }
+    }
+  }
+  std::vector<RankedTuple> out;
+  out.reserve(scores.size());
+  for (const auto& [key, intensity] : scores) {
+    out.push_back({key, intensity});
+  }
+  SortRanked(&out);
+  return out;
+}
+
+}  // namespace core
+}  // namespace hypre

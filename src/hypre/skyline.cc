@@ -1,0 +1,158 @@
+#include "hypre/skyline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace core {
+
+namespace {
+
+Result<std::vector<size_t>> ResolveColumns(
+    const reldb::Table& table,
+    const std::vector<AttributePreference>& prefs) {
+  if (prefs.empty()) {
+    return Status::InvalidArgument("skyline requires at least one preference");
+  }
+  std::vector<size_t> cols;
+  cols.reserve(prefs.size());
+  for (const auto& pref : prefs) {
+    HYPRE_ASSIGN_OR_RETURN(size_t col,
+                           table.schema().ResolveColumn(pref.column));
+    cols.push_back(col);
+  }
+  return cols;
+}
+
+/// Numeric view with NULL mapped to the worst value for the direction.
+double ValueFor(const reldb::Value& v, AttributePreference::Direction dir) {
+  if (v.is_null() || !v.is_numeric()) {
+    return dir == AttributePreference::Direction::kMin
+               ? std::numeric_limits<double>::infinity()
+               : -std::numeric_limits<double>::infinity();
+  }
+  return v.NumericValue();
+}
+
+/// "Goodness" comparison on one attribute: negative if a is better.
+int CompareOnAttribute(double a, double b,
+                       AttributePreference::Direction dir) {
+  if (a == b) return 0;
+  bool a_better = dir == AttributePreference::Direction::kMin ? a < b : a > b;
+  return a_better ? -1 : 1;
+}
+
+}  // namespace
+
+Result<bool> Dominates(const reldb::Table& table, reldb::RowId a,
+                       reldb::RowId b,
+                       const std::vector<AttributePreference>& prefs) {
+  HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                         ResolveColumns(table, prefs));
+  bool strictly_better = false;
+  for (size_t i = 0; i < prefs.size(); ++i) {
+    double va = ValueFor(table.row(a)[cols[i]], prefs[i].direction);
+    double vb = ValueFor(table.row(b)[cols[i]], prefs[i].direction);
+    int cmp = CompareOnAttribute(va, vb, prefs[i].direction);
+    if (cmp > 0) return false;  // worse on some attribute: no domination
+    if (cmp < 0) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+Result<std::vector<reldb::RowId>> BlockNestedLoopSkyline(
+    const reldb::Table& table,
+    const std::vector<AttributePreference>& prefs) {
+  HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                         ResolveColumns(table, prefs));
+
+  auto dominates = [&](reldb::RowId a, reldb::RowId b) {
+    bool strictly = false;
+    for (size_t i = 0; i < prefs.size(); ++i) {
+      double va = ValueFor(table.row(a)[cols[i]], prefs[i].direction);
+      double vb = ValueFor(table.row(b)[cols[i]], prefs[i].direction);
+      int cmp = CompareOnAttribute(va, vb, prefs[i].direction);
+      if (cmp > 0) return false;
+      if (cmp < 0) strictly = true;
+    }
+    return strictly;
+  };
+
+  // Block-nested-loop with an in-memory window (the window IS memory here).
+  std::vector<reldb::RowId> window;
+  for (reldb::RowId candidate = 0; candidate < table.num_rows();
+       ++candidate) {
+    bool dominated = false;
+    for (size_t w = 0; w < window.size();) {
+      if (dominates(window[w], candidate)) {
+        dominated = true;
+        break;
+      }
+      if (dominates(candidate, window[w])) {
+        window[w] = window.back();
+        window.pop_back();
+        continue;  // same slot now holds a new row
+      }
+      ++w;
+    }
+    if (!dominated) window.push_back(candidate);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+Result<std::vector<reldb::RowId>> RankSkylineByPriority(
+    const reldb::Table& table, const std::vector<reldb::RowId>& skyline,
+    const std::vector<AttributePreference>& prefs) {
+  HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                         ResolveColumns(table, prefs));
+  if (skyline.empty()) return std::vector<reldb::RowId>{};
+
+  // Min-max normalize each attribute over the skyline rows.
+  std::vector<double> lo(prefs.size(),
+                         std::numeric_limits<double>::infinity());
+  std::vector<double> hi(prefs.size(),
+                         -std::numeric_limits<double>::infinity());
+  for (reldb::RowId id : skyline) {
+    for (size_t i = 0; i < prefs.size(); ++i) {
+      double v = ValueFor(table.row(id)[cols[i]], prefs[i].direction);
+      if (std::isfinite(v)) {
+        lo[i] = std::min(lo[i], v);
+        hi[i] = std::max(hi[i], v);
+      }
+    }
+  }
+  double total_weight = 0.0;
+  for (const auto& pref : prefs) total_weight += std::max(pref.weight, 0.0);
+  if (total_weight <= 0.0) {
+    return Status::InvalidArgument("all preference weights are non-positive");
+  }
+
+  auto score = [&](reldb::RowId id) {
+    double acc = 0.0;
+    for (size_t i = 0; i < prefs.size(); ++i) {
+      double v = ValueFor(table.row(id)[cols[i]], prefs[i].direction);
+      double span = hi[i] - lo[i];
+      double normalized =
+          span > 0 && std::isfinite(v) ? (v - lo[i]) / span : 0.5;
+      if (prefs[i].direction == AttributePreference::Direction::kMin) {
+        normalized = 1.0 - normalized;  // smaller is better
+      }
+      acc += std::max(prefs[i].weight, 0.0) / total_weight * normalized;
+    }
+    return acc;
+  };
+
+  std::vector<reldb::RowId> out = skyline;
+  std::stable_sort(out.begin(), out.end(),
+                   [&](reldb::RowId a, reldb::RowId b) {
+                     return score(a) > score(b);
+                   });
+  return out;
+}
+
+}  // namespace core
+}  // namespace hypre

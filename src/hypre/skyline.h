@@ -1,0 +1,56 @@
+// Attribute-based preferences and skyline queries (dissertation §1.4/§8.2).
+//
+// The dissertation sketches attribute-based preference nodes `<attr, func>`
+// — e.g. <price, min> and <distance, min> for "the cheapest hotel close to
+// the beach" — and notes that a preference graph with such nodes supports
+// skyline queries. This module implements that extension:
+//  * AttributePreference: a column plus an optimization direction;
+//  * BlockNestedLoopSkyline: the classic BNL skyline operator returning the
+//    tuples not dominated under the attribute preferences;
+//  * RankSkylineByPriority: a total order over the skyline using qualitative
+//    priorities between attributes ("price is more important than
+//    distance"), expressed as per-attribute weights derived from the same
+//    intensity machinery as the rest of HYPRE.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/table.h"
+
+namespace hypre {
+namespace core {
+
+struct AttributePreference {
+  enum class Direction { kMin, kMax };
+  std::string column;
+  Direction direction = Direction::kMin;
+  /// Relative importance (used only by RankSkylineByPriority); higher wins.
+  double weight = 1.0;
+};
+
+/// \brief True if row `a` dominates row `b`: at least as good on every
+/// preference attribute and strictly better on at least one. NULLs are
+/// treated as worst (dominated by any concrete value on that attribute).
+Result<bool> Dominates(const reldb::Table& table, reldb::RowId a,
+                       reldb::RowId b,
+                       const std::vector<AttributePreference>& prefs);
+
+/// \brief Block-nested-loop skyline: row ids of tuples not dominated by any
+/// other tuple, in table order. Requires at least one preference; all
+/// preference columns must be numeric or NULL.
+Result<std::vector<reldb::RowId>> BlockNestedLoopSkyline(
+    const reldb::Table& table,
+    const std::vector<AttributePreference>& prefs);
+
+/// \brief Orders skyline rows by a weighted normalized score: each attribute
+/// is min-max normalized over the skyline (inverted for kMin so that better
+/// is larger), then combined as a weight-normalized sum. The weights play
+/// the role of qualitative priorities between attribute nodes.
+Result<std::vector<reldb::RowId>> RankSkylineByPriority(
+    const reldb::Table& table, const std::vector<reldb::RowId>& skyline,
+    const std::vector<AttributePreference>& prefs);
+
+}  // namespace core
+}  // namespace hypre

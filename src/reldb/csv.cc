@@ -1,0 +1,272 @@
+#include "reldb/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace reldb {
+
+namespace {
+
+/// Quotes a field if it contains separator/quote/newline characters.
+std::string QuoteField(const std::string& raw) {
+  bool needs_quotes = raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return raw;
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string ValueToField(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(value.AsInt());
+    case ValueType::kDouble:
+      return StringFormat("%.17g", value.AsDouble());
+    case ValueType::kString:
+      return QuoteField(value.AsString());
+  }
+  return "";
+}
+
+/// Splits one CSV record (handles quoting); `line` excludes the newline.
+Result<std::vector<std::string>> SplitRecord(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status::ParseError("unexpected quote inside unquoted field");
+      }
+      in_quotes = true;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    if (c == '\r') continue;
+    current.push_back(c);
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeReal(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+Result<Value> ParseField(const std::string& field, ValueType type) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      if (!LooksLikeInt(field)) {
+        return Status::ParseError("'" + field + "' is not an integer");
+      }
+      return Value::Int(std::strtoll(field.c_str(), nullptr, 10));
+    }
+    case ValueType::kDouble: {
+      if (!LooksLikeReal(field)) {
+        return Status::ParseError("'" + field + "' is not a number");
+      }
+      return Value::Real(std::strtod(field.c_str(), nullptr));
+    }
+    case ValueType::kString:
+    case ValueType::kNull:
+      return Value::Str(field);
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, std::ostream* out) {
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (c > 0) *out << ",";
+    *out << QuoteField(table.schema().column(c).name);
+  }
+  *out << "\n";
+  for (const auto& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) *out << ",";
+      *out << ValueToField(row[c]);
+    }
+    *out << "\n";
+  }
+  if (!out->good()) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsv(const ResultSet& result, std::ostream* out) {
+  for (size_t c = 0; c < result.column_names.size(); ++c) {
+    if (c > 0) *out << ",";
+    *out << QuoteField(result.column_names[c]);
+  }
+  *out << "\n";
+  for (const auto& row : result.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) *out << ",";
+      *out << ValueToField(row[c]);
+    }
+    *out << "\n";
+  }
+  if (!out->good()) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Result<size_t> AppendCsv(std::istream* in, Table* table) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::ParseError("empty CSV input");
+  }
+  HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> header, SplitRecord(line));
+  if (header.size() != table->schema().num_columns()) {
+    return Status::InvalidArgument(StringFormat(
+        "CSV header has %zu columns; table expects %zu", header.size(),
+        table->schema().num_columns()));
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (Trim(header[c]) != table->schema().column(c).name) {
+      return Status::InvalidArgument(
+          "CSV header mismatch at column '" + header[c] + "' (expected '" +
+          table->schema().column(c).name + "')");
+    }
+  }
+  size_t loaded = 0;
+  size_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           SplitRecord(line));
+    if (fields.size() != table->schema().num_columns()) {
+      return Status::ParseError(StringFormat(
+          "line %zu has %zu fields, expected %zu", line_number,
+          fields.size(), table->schema().num_columns()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      HYPRE_ASSIGN_OR_RETURN(
+          Value v, ParseField(fields[c], table->schema().column(c).type));
+      row.push_back(std::move(v));
+    }
+    HYPRE_RETURN_NOT_OK(table->Append(std::move(row)));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<Table*> LoadCsvAsTable(std::istream* in, const std::string& table_name,
+                              Database* db) {
+  std::string header_line;
+  if (!std::getline(*in, header_line)) {
+    return Status::ParseError("empty CSV input");
+  }
+  HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                         SplitRecord(header_line));
+
+  // Peek the first data row to infer types.
+  std::string first_line;
+  std::vector<std::string> first_fields;
+  bool has_data = false;
+  while (std::getline(*in, first_line)) {
+    if (first_line.empty()) continue;
+    HYPRE_ASSIGN_OR_RETURN(first_fields, SplitRecord(first_line));
+    has_data = true;
+    break;
+  }
+  std::vector<Column> columns;
+  for (size_t c = 0; c < header.size(); ++c) {
+    ValueType type = ValueType::kString;
+    if (has_data && c < first_fields.size()) {
+      const std::string& sample = first_fields[c];
+      if (LooksLikeInt(sample)) {
+        type = ValueType::kInt64;
+      } else if (LooksLikeReal(sample)) {
+        type = ValueType::kDouble;
+      }
+    }
+    columns.push_back({Trim(header[c]), type});
+  }
+  HYPRE_ASSIGN_OR_RETURN(Table * table,
+                         db->CreateTable(table_name, Schema(columns)));
+  if (!has_data) return table;
+
+  // Load the peeked row, then the rest.
+  if (first_fields.size() != columns.size()) {
+    return Status::ParseError("first data row does not match the header");
+  }
+  Row first_row;
+  for (size_t c = 0; c < first_fields.size(); ++c) {
+    HYPRE_ASSIGN_OR_RETURN(Value v,
+                           ParseField(first_fields[c], columns[c].type));
+    first_row.push_back(std::move(v));
+  }
+  HYPRE_RETURN_NOT_OK(table->Append(std::move(first_row)));
+
+  std::string line;
+  size_t line_number = 2;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           SplitRecord(line));
+    if (fields.size() != columns.size()) {
+      return Status::ParseError(StringFormat(
+          "line %zu has %zu fields, expected %zu", line_number,
+          fields.size(), columns.size()));
+    }
+    Row row;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      HYPRE_ASSIGN_OR_RETURN(Value v, ParseField(fields[c],
+                                                 columns[c].type));
+      row.push_back(std::move(v));
+    }
+    HYPRE_RETURN_NOT_OK(table->Append(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace reldb
+}  // namespace hypre

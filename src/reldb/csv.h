@@ -1,0 +1,38 @@
+// CSV import/export for reldb tables.
+//
+// Lets users load a real DBLP dump (or any tabular data) into the engine
+// instead of the synthetic generator, and dump query results for plotting.
+// Dialect: comma separator, double-quote quoting with doubled-quote
+// escaping, first line is the header. Values are parsed according to the
+// target schema; empty fields load as NULL.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "reldb/database.h"
+#include "reldb/executor.h"
+
+namespace hypre {
+namespace reldb {
+
+/// \brief Writes `table` as CSV (header + rows).
+Status WriteCsv(const Table& table, std::ostream* out);
+
+/// \brief Writes a query result as CSV.
+Status WriteCsv(const ResultSet& result, std::ostream* out);
+
+/// \brief Appends rows from CSV into an existing table. The header must
+/// match the schema's column names (order included). Returns rows loaded.
+Result<size_t> AppendCsv(std::istream* in, Table* table);
+
+/// \brief Creates `table_name` in `db` by inferring the schema from the CSV
+/// header and the first data row (INT64 if it parses as an integer, DOUBLE
+/// if as a real, STRING otherwise; empty first-row fields infer STRING),
+/// then loads all rows. Returns the created table.
+Result<Table*> LoadCsvAsTable(std::istream* in, const std::string& table_name,
+                              Database* db);
+
+}  // namespace reldb
+}  // namespace hypre

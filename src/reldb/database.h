@@ -1,0 +1,35 @@
+// Catalog of named tables.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/table.h"
+
+namespace hypre {
+namespace reldb {
+
+/// \brief A named collection of tables (the engine's catalog).
+class Database {
+ public:
+  /// \brief Creates a table; fails if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// \brief Looks a table up by name (nullptr if absent).
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// \brief Like GetTable but returns a NotFound status.
+  Result<const Table*> ResolveTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace reldb
+}  // namespace hypre

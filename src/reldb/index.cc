@@ -1,0 +1,35 @@
+#include "reldb/index.h"
+
+namespace hypre {
+namespace reldb {
+
+const std::vector<RowId> HashIndex::kEmpty;
+
+const std::vector<RowId>& HashIndex::Lookup(const Value& key) const {
+  if (key.is_null()) return kEmpty;
+  auto it = map_.find(key);
+  if (it == map_.end()) return kEmpty;
+  return it->second;
+}
+
+std::vector<RowId> OrderedIndex::Range(const Value& lo, bool lo_inclusive,
+                                       const Value& hi,
+                                       bool hi_inclusive) const {
+  std::vector<RowId> out;
+  auto begin = map_.begin();
+  auto end = map_.end();
+  if (!lo.is_null()) {
+    begin = lo_inclusive ? map_.lower_bound(lo) : map_.upper_bound(lo);
+  } else {
+    // Skip NULL keys: predicates never match NULL.
+    begin = map_.upper_bound(Value::Null());
+  }
+  if (!hi.is_null()) {
+    end = hi_inclusive ? map_.upper_bound(hi) : map_.lower_bound(hi);
+  }
+  for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+}  // namespace reldb
+}  // namespace hypre

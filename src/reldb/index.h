@@ -1,0 +1,62 @@
+// Secondary indexes: hash (point/IN lookups) and ordered (range lookups).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "reldb/value.h"
+
+namespace hypre {
+namespace reldb {
+
+/// \brief Row identifier within a table (position in the row vector).
+using RowId = uint64_t;
+
+/// \brief Equality index: value -> sorted list of row ids.
+class HashIndex {
+ public:
+  explicit HashIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+
+  void Insert(const Value& key, RowId row) { map_[key].push_back(row); }
+
+  /// \brief Rows whose indexed column equals `key` (empty if none). NULL keys
+  /// never match, mirroring SQL equality.
+  const std::vector<RowId>& Lookup(const Value& key) const;
+
+  size_t num_distinct_keys() const { return map_.size(); }
+
+ private:
+  size_t column_;
+  std::unordered_map<Value, std::vector<RowId>, ValueHash> map_;
+  static const std::vector<RowId> kEmpty;
+};
+
+/// \brief Ordered index: supports range scans [lo, hi] on the Value total
+/// order (used for BETWEEN and </> predicates).
+class OrderedIndex {
+ public:
+  explicit OrderedIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+
+  void Insert(const Value& key, RowId row) { map_.emplace(key, row); }
+
+  /// \brief Row ids with lo <= key <= hi (bounds optional via null Values
+  /// meaning unbounded on that side; inclusive flags per side).
+  std::vector<RowId> Range(const Value& lo, bool lo_inclusive, const Value& hi,
+                           bool hi_inclusive) const;
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  size_t column_;
+  std::multimap<Value, RowId> map_;
+};
+
+}  // namespace reldb
+}  // namespace hypre

@@ -1,0 +1,37 @@
+#include "reldb/schema.h"
+
+namespace hypre {
+namespace reldb {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, i);
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return -1;
+  return static_cast<int>(it->second);
+}
+
+Result<size_t> Schema::ResolveColumn(const std::string& name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) return Status::NotFound("no column named '" + name + "'");
+  return static_cast<size_t>(idx);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace reldb
+}  // namespace hypre

@@ -1,0 +1,47 @@
+// Relation schemas for the embedded engine.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/value.h"
+
+namespace hypre {
+namespace reldb {
+
+/// \brief A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// \brief Ordered list of columns with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// \brief Index of the column named `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// \brief Like FindColumn but returns a Status error naming the column.
+  Result<size_t> ResolveColumn(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+/// \brief A tuple; values are positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+}  // namespace reldb
+}  // namespace hypre

@@ -1,0 +1,100 @@
+#include "reldb/table.h"
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace reldb {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(StringFormat(
+        "table '%s' expects %zu columns, got %zu", name_.c_str(),
+        schema_.num_columns(), row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    ValueType expected = schema_.column(i).type;
+    ValueType actual = row[i].type();
+    bool ok = expected == actual ||
+              // INT64 values are acceptable in DOUBLE columns.
+              (expected == ValueType::kDouble && actual == ValueType::kInt64);
+    if (!ok) {
+      return Status::InvalidArgument(StringFormat(
+          "table '%s' column '%s' expects %s, got %s", name_.c_str(),
+          schema_.column(i).name.c_str(), ValueTypeToString(expected),
+          ValueTypeToString(actual)));
+    }
+  }
+  AppendUnchecked(std::move(row));
+  return Status::OK();
+}
+
+RowId Table::AppendUnchecked(Row row) {
+  RowId id = rows_.size();
+  rows_.push_back(std::move(row));
+  IndexRow(id);
+  return id;
+}
+
+void Table::IndexRow(RowId id) {
+  const Row& r = rows_[id];
+  for (auto& idx : hash_indexes_) idx->Insert(r[idx->column()], id);
+  for (auto& idx : ordered_indexes_) idx->Insert(r[idx->column()], id);
+}
+
+Status Table::CreateHashIndex(const std::string& column_name) {
+  HYPRE_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
+  // Replace an existing index on the same column, if any.
+  for (auto& idx : hash_indexes_) {
+    if (idx->column() == col) {
+      idx = std::make_unique<HashIndex>(col);
+      for (RowId id = 0; id < rows_.size(); ++id) {
+        idx->Insert(rows_[id][col], id);
+      }
+      return Status::OK();
+    }
+  }
+  auto idx = std::make_unique<HashIndex>(col);
+  for (RowId id = 0; id < rows_.size(); ++id) idx->Insert(rows_[id][col], id);
+  hash_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status Table::CreateOrderedIndex(const std::string& column_name) {
+  HYPRE_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
+  for (auto& idx : ordered_indexes_) {
+    if (idx->column() == col) {
+      idx = std::make_unique<OrderedIndex>(col);
+      for (RowId id = 0; id < rows_.size(); ++id) {
+        idx->Insert(rows_[id][col], id);
+      }
+      return Status::OK();
+    }
+  }
+  auto idx = std::make_unique<OrderedIndex>(col);
+  for (RowId id = 0; id < rows_.size(); ++id) idx->Insert(rows_[id][col], id);
+  ordered_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const HashIndex* Table::GetHashIndex(const std::string& column_name) const {
+  int col = schema_.FindColumn(column_name);
+  if (col < 0) return nullptr;
+  for (const auto& idx : hash_indexes_) {
+    if (idx->column() == static_cast<size_t>(col)) return idx.get();
+  }
+  return nullptr;
+}
+
+const OrderedIndex* Table::GetOrderedIndex(
+    const std::string& column_name) const {
+  int col = schema_.FindColumn(column_name);
+  if (col < 0) return nullptr;
+  for (const auto& idx : ordered_indexes_) {
+    if (idx->column() == static_cast<size_t>(col)) return idx.get();
+  }
+  return nullptr;
+}
+
+}  // namespace reldb
+}  // namespace hypre

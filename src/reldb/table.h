@@ -1,0 +1,61 @@
+// In-memory tables with optional auto-maintained secondary indexes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/index.h"
+#include "reldb/schema.h"
+
+namespace hypre {
+namespace reldb {
+
+/// \brief A heap of rows plus its schema and secondary indexes.
+///
+/// Rows are append-only (the workloads in this repo never delete), which
+/// keeps RowId stable and index maintenance trivial.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(RowId id) const { return rows_[id]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// \brief Appends a row after checking arity and (non-NULL) types.
+  Status Append(Row row);
+
+  /// \brief Appends without validation; for bulk loads from trusted
+  /// generators.
+  RowId AppendUnchecked(Row row);
+
+  /// \brief Builds (or rebuilds) a hash index on `column_name`, indexing all
+  /// current rows; future appends keep it up to date.
+  Status CreateHashIndex(const std::string& column_name);
+
+  /// \brief Builds (or rebuilds) an ordered index on `column_name`.
+  Status CreateOrderedIndex(const std::string& column_name);
+
+  /// \brief Returns the hash index on `column_name` or nullptr.
+  const HashIndex* GetHashIndex(const std::string& column_name) const;
+
+  /// \brief Returns the ordered index on `column_name` or nullptr.
+  const OrderedIndex* GetOrderedIndex(const std::string& column_name) const;
+
+ private:
+  void IndexRow(RowId id);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+};
+
+}  // namespace reldb
+}  // namespace hypre

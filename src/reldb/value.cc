@@ -1,0 +1,115 @@
+#include "reldb/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace reldb {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kDouble;
+    default:
+      return ValueType::kString;
+  }
+}
+
+double Value::NumericValue() const {
+  if (type() == ValueType::kInt64) return static_cast<double>(AsInt());
+  return AsDouble();
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  return Compare(other) == 0;
+}
+
+int Value::Compare(const Value& other) const {
+  // Rank groups: NULL(0) < numeric(1) < string(2).
+  auto rank = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(*this);
+  int rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;  // both NULL
+  if (ra == 1) {
+    // Exact int-int comparison when possible to avoid precision loss.
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      int64_t a = AsInt();
+      int64_t b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = NumericValue();
+    double b = other.NumericValue();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  return AsString().compare(other.AsString());
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x5bd1e995;
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      double d = NumericValue();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      // Integers representable exactly as doubles hash identically whether
+      // stored as INT64 or DOUBLE.
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::string s = StringFormat("%g", AsDouble());
+      return s;
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace reldb
+}  // namespace hypre

@@ -1,0 +1,81 @@
+// Typed scalar values for the embedded relational engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hypre {
+namespace reldb {
+
+/// \brief Column/value type tags.
+enum class ValueType { kNull = 0, kInt64, kDouble, kString };
+
+const char* ValueTypeToString(ValueType type);
+
+/// \brief A dynamically typed scalar: NULL, INT64, DOUBLE, or STRING.
+///
+/// Comparison follows SQL-ish semantics restricted to what the preference
+/// predicates need: numerics compare across INT64/DOUBLE; strings compare
+/// with strings; NULL is never equal to anything (including NULL) under
+/// Equals(), but sorts first under Compare() so containers stay total.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// \brief Numeric view: INT64 widened to double. Invalid on other types.
+  double NumericValue() const;
+
+  /// \brief True for numeric types (INT64 or DOUBLE).
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt64 || t == ValueType::kDouble;
+  }
+
+  /// \brief SQL equality (NULL = anything -> false).
+  bool Equals(const Value& other) const;
+
+  /// \brief Three-way comparison usable for ORDER BY and ordered indexes.
+  /// NULL < numerics < strings; within numerics, numeric order; within
+  /// strings, lexicographic order. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// \brief Total-order hash consistent with Compare()==0 (numerics hashing
+  /// by double value so Int(2) and Real(2.0) collide as required).
+  size_t Hash() const;
+
+  /// \brief SQL-literal-ish rendering ('quoted' strings, NULL).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+/// \brief Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace reldb
+}  // namespace hypre

@@ -1,0 +1,262 @@
+#include "sqlparse/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace sqlparse {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kReal:
+      return "real";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'!='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kAnd:
+      return "AND";
+    case TokenType::kOr:
+      return "OR";
+    case TokenType::kNot:
+      return "NOT";
+    case TokenType::kBetween:
+      return "BETWEEN";
+    case TokenType::kIn:
+      return "IN";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Result<Token> LexNumber(const std::string& in, size_t* pos) {
+  size_t start = *pos;
+  size_t i = *pos;
+  if (in[i] == '-') ++i;
+  bool saw_digit = false;
+  bool is_real = false;
+  while (i < in.size() && std::isdigit(static_cast<unsigned char>(in[i]))) {
+    ++i;
+    saw_digit = true;
+  }
+  if (i < in.size() && in[i] == '.') {
+    // Only a decimal point if followed by a digit (else it's a qualifier dot,
+    // but a qualifier dot cannot follow digits in our grammar anyway).
+    is_real = true;
+    ++i;
+    while (i < in.size() && std::isdigit(static_cast<unsigned char>(in[i]))) {
+      ++i;
+      saw_digit = true;
+    }
+  }
+  if (i < in.size() && (in[i] == 'e' || in[i] == 'E')) {
+    size_t j = i + 1;
+    if (j < in.size() && (in[j] == '+' || in[j] == '-')) ++j;
+    if (j < in.size() && std::isdigit(static_cast<unsigned char>(in[j]))) {
+      is_real = true;
+      i = j;
+      while (i < in.size() &&
+             std::isdigit(static_cast<unsigned char>(in[i]))) {
+        ++i;
+      }
+    }
+  }
+  if (!saw_digit) {
+    return Status::ParseError(
+        StringFormat("malformed number at offset %zu", start));
+  }
+  Token tok;
+  tok.position = start;
+  tok.text = in.substr(start, i - start);
+  if (is_real) {
+    tok.type = TokenType::kReal;
+    tok.real_value = std::strtod(tok.text.c_str(), nullptr);
+  } else {
+    tok.type = TokenType::kInt;
+    tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+  }
+  *pos = i;
+  return tok;
+}
+
+Result<Token> LexString(const std::string& in, size_t* pos) {
+  char quote = in[*pos];
+  size_t start = *pos;
+  size_t i = *pos + 1;
+  std::string content;
+  while (i < in.size()) {
+    if (in[i] == quote) {
+      if (i + 1 < in.size() && in[i + 1] == quote) {
+        content.push_back(quote);  // doubled-quote escape
+        i += 2;
+        continue;
+      }
+      Token tok;
+      tok.type = TokenType::kString;
+      tok.text = std::move(content);
+      tok.position = start;
+      *pos = i + 1;
+      return tok;
+    }
+    content.push_back(in[i]);
+    ++i;
+  }
+  return Status::ParseError(
+      StringFormat("unterminated string starting at offset %zu", start));
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      HYPRE_ASSIGN_OR_RETURN(Token tok, LexString(input, &i));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+          input[i + 1] == '.'))) {
+      HYPRE_ASSIGN_OR_RETURN(Token tok, LexNumber(input, &i));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      Token tok;
+      tok.position = start;
+      tok.text = input.substr(start, i - start);
+      if (EqualsIgnoreCase(tok.text, "AND")) {
+        tok.type = TokenType::kAnd;
+      } else if (EqualsIgnoreCase(tok.text, "OR")) {
+        tok.type = TokenType::kOr;
+      } else if (EqualsIgnoreCase(tok.text, "NOT")) {
+        tok.type = TokenType::kNot;
+      } else if (EqualsIgnoreCase(tok.text, "BETWEEN")) {
+        tok.type = TokenType::kBetween;
+      } else if (EqualsIgnoreCase(tok.text, "IN")) {
+        tok.type = TokenType::kIn;
+      } else {
+        tok.type = TokenType::kIdent;
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    switch (c) {
+      case '=':
+        tok.type = TokenType::kEq;
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          tok.type = TokenType::kNe;
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StringFormat("unexpected '!' at offset %zu", i));
+        }
+        break;
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          tok.type = TokenType::kLe;
+          i += 2;
+        } else if (i + 1 < input.size() && input[i + 1] == '>') {
+          tok.type = TokenType::kNe;
+          i += 2;
+        } else {
+          tok.type = TokenType::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          tok.type = TokenType::kGe;
+          i += 2;
+        } else {
+          tok.type = TokenType::kGt;
+          ++i;
+        }
+        break;
+      case '(':
+        tok.type = TokenType::kLParen;
+        ++i;
+        break;
+      case ')':
+        tok.type = TokenType::kRParen;
+        ++i;
+        break;
+      case ',':
+        tok.type = TokenType::kComma;
+        ++i;
+        break;
+      case '.':
+        tok.type = TokenType::kDot;
+        ++i;
+        break;
+      case '*':
+        tok.type = TokenType::kStar;
+        ++i;
+        break;
+      default:
+        return Status::ParseError(
+            StringFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = input.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace sqlparse
+}  // namespace hypre

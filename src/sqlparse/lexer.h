@@ -1,0 +1,55 @@
+// Tokenizer for SQL WHERE-clause predicate strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hypre {
+namespace sqlparse {
+
+enum class TokenType {
+  kIdent,     // column / table names and unquoted words
+  kInt,       // integer literal
+  kReal,      // floating-point literal
+  kString,    // quoted string literal (quotes stripped)
+  kEq,        // =
+  kNe,        // != or <>
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kDot,       // .
+  kStar,      // *
+  kAnd,       // AND (case insensitive)
+  kOr,        // OR
+  kNot,       // NOT
+  kBetween,   // BETWEEN
+  kIn,        // IN
+  kEnd,       // end of input
+};
+
+const char* TokenTypeToString(TokenType type);
+
+struct Token {
+  TokenType type;
+  std::string text;   // raw text (string literals: unquoted content)
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// \brief Tokenizes `input`; the result always ends with a kEnd token.
+///
+/// Strings accept single or double quotes with doubled-quote escaping
+/// (`'O''Hara'`). Numbers accept an optional leading '-' (the grammar has no
+/// arithmetic, so '-' is unambiguous) and exponents. Keywords are case
+/// insensitive.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sqlparse
+}  // namespace hypre

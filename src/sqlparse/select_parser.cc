@@ -1,0 +1,193 @@
+#include "sqlparse/select_parser.h"
+
+#include "common/string_util.h"
+#include "sqlparse/lexer.h"
+#include "sqlparse/parser.h"
+
+namespace hypre {
+namespace sqlparse {
+
+namespace {
+
+class SelectParser {
+ public:
+  SelectParser(std::string sql, std::vector<Token> tokens)
+      : sql_(std::move(sql)), tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    HYPRE_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    HYPRE_RETURN_NOT_OK(ParseItems(&stmt));
+    HYPRE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    HYPRE_ASSIGN_OR_RETURN(stmt.query.from, ExpectIdent("a table name"));
+
+    while (PeekKeyword("JOIN")) {
+      ++pos_;
+      reldb::JoinSpec join;
+      HYPRE_ASSIGN_OR_RETURN(join.right_table, ExpectIdent("a table name"));
+      HYPRE_RETURN_NOT_OK(ExpectKeyword("ON"));
+      HYPRE_ASSIGN_OR_RETURN(std::string left, ParseColumn());
+      if (!Match(TokenType::kEq)) return Err("expected '=' in ON clause");
+      HYPRE_ASSIGN_OR_RETURN(std::string right, ParseColumn());
+      // Normalize: reldb wants the right side as a bare column of the
+      // joined table. Accept either operand order.
+      auto [rt, rc] = reldb::SplitQualifiedName(right);
+      auto [lt, lc] = reldb::SplitQualifiedName(left);
+      if (rt == join.right_table || rt.empty()) {
+        join.left_column = left;
+        join.right_column = rc;
+      } else if (lt == join.right_table) {
+        join.left_column = right;
+        join.right_column = lc;
+      } else {
+        return Err("ON clause must reference the joined table '" +
+                   join.right_table + "'");
+      }
+      stmt.query.joins.push_back(std::move(join));
+    }
+
+    if (PeekKeyword("WHERE")) {
+      size_t where_start = Peek().position + 5;  // past "WHERE"
+      ++pos_;
+      // The predicate runs until ORDER/LIMIT at top level or end.
+      int depth = 0;
+      size_t end = sql_.size();
+      for (; Peek().type != TokenType::kEnd; ++pos_) {
+        const Token& token = Peek();
+        if (token.type == TokenType::kLParen) ++depth;
+        if (token.type == TokenType::kRParen) --depth;
+        if (depth == 0 && token.type == TokenType::kIdent &&
+            (EqualsIgnoreCase(token.text, "ORDER") ||
+             EqualsIgnoreCase(token.text, "LIMIT"))) {
+          end = token.position;
+          break;
+        }
+      }
+      HYPRE_ASSIGN_OR_RETURN(
+          stmt.query.where,
+          ParsePredicate(Trim(sql_.substr(where_start, end - where_start))));
+    }
+
+    if (PeekKeyword("ORDER")) {
+      ++pos_;
+      HYPRE_RETURN_NOT_OK(ExpectKeyword("BY"));
+      HYPRE_ASSIGN_OR_RETURN(stmt.query.order_by, ParseColumn());
+      if (PeekKeyword("DESC")) {
+        stmt.query.order_desc = true;
+        ++pos_;
+      } else if (PeekKeyword("ASC")) {
+        ++pos_;
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      ++pos_;
+      if (Peek().type != TokenType::kInt || Peek().int_value < 0) {
+        return Err("expected a non-negative integer after LIMIT");
+      }
+      stmt.query.limit = static_cast<size_t>(Peek().int_value);
+      ++pos_;
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Err(StringFormat("trailing tokens at offset %zu",
+                              Peek().position));
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool Match(TokenType type) {
+    if (Peek().type != type) return false;
+    ++pos_;
+    return true;
+  }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kIdent &&
+           EqualsIgnoreCase(Peek().text, kw);
+  }
+  Status Err(const std::string& what) const {
+    return Status::ParseError("SELECT: " + what);
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Err(StringFormat("expected %s at offset %zu", kw,
+                              Peek().position));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Err(StringFormat("expected %s at offset %zu", what,
+                              Peek().position));
+    }
+    std::string text = Peek().text;
+    ++pos_;
+    return text;
+  }
+
+  Result<std::string> ParseColumn() {
+    HYPRE_ASSIGN_OR_RETURN(std::string first, ExpectIdent("a column name"));
+    if (Match(TokenType::kDot)) {
+      HYPRE_ASSIGN_OR_RETURN(std::string second,
+                             ExpectIdent("a column name after '.'"));
+      return first + "." + second;
+    }
+    return first;
+  }
+
+  Status ParseItems(SelectStatement* stmt) {
+    if (Match(TokenType::kStar)) return Status::OK();  // select all
+    if (PeekKeyword("COUNT")) {
+      ++pos_;
+      if (!Match(TokenType::kLParen)) return Err("expected '(' after COUNT");
+      HYPRE_RETURN_NOT_OK(ExpectKeyword("DISTINCT"));
+      HYPRE_ASSIGN_OR_RETURN(stmt->count_column, ParseColumn());
+      if (!Match(TokenType::kRParen)) return Err("expected ')'");
+      stmt->count_distinct = true;
+      return Status::OK();
+    }
+    do {
+      HYPRE_ASSIGN_OR_RETURN(std::string column, ParseColumn());
+      stmt->query.select.push_back(std::move(column));
+    } while (Match(TokenType::kComma));
+    return Status::OK();
+  }
+
+  std::string sql_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  std::string text = Trim(sql);
+  while (!text.empty() && text.back() == ';') {
+    text.pop_back();
+    text = Trim(text);
+  }
+  HYPRE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  SelectParser parser(text, std::move(tokens));
+  return parser.Parse();
+}
+
+Result<reldb::ResultSet> ExecuteSql(const reldb::Database& db,
+                                    const std::string& sql) {
+  HYPRE_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  reldb::Executor exec(&db);
+  if (stmt.count_distinct) {
+    HYPRE_ASSIGN_OR_RETURN(size_t count,
+                           exec.CountDistinct(stmt.query, stmt.count_column));
+    reldb::ResultSet result;
+    result.column_names.push_back("count(distinct " + stmt.count_column +
+                                  ")");
+    result.rows.push_back(
+        {reldb::Value::Int(static_cast<int64_t>(count))});
+    return result;
+  }
+  return exec.Execute(stmt.query);
+}
+
+}  // namespace sqlparse
+}  // namespace hypre

@@ -1,0 +1,44 @@
+// SELECT statement parser: runs the dissertation's literal SQL.
+//
+// The evaluation chapters issue statements like
+//
+//   SELECT count(distinct dblp.pid)
+//   FROM dblp join dblp_author on dblp.pid = dblp_author.pid
+//   WHERE dblp.venue="INFOCOM" AND dblp_author.aid=2222;
+//
+// This parser turns that surface syntax into a reldb::Query (plus the
+// COUNT(DISTINCT ...) aggregation flag), so the exact strings from the
+// dissertation execute against the embedded engine.
+//
+// Grammar (keywords case insensitive; trailing ';' optional):
+//   select   := SELECT items FROM IDENT (JOIN IDENT ON col = col)*
+//               [WHERE predicate] [ORDER BY col [ASC|DESC]] [LIMIT INT]
+//   items    := '*' | COUNT '(' DISTINCT col ')' | col (',' col)*
+//   col      := IDENT ('.' IDENT)?
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "reldb/executor.h"
+
+namespace hypre {
+namespace sqlparse {
+
+/// \brief A parsed SELECT statement.
+struct SelectStatement {
+  reldb::Query query;
+  bool count_distinct = false;
+  std::string count_column;  // set when count_distinct
+};
+
+/// \brief Parses a full SELECT statement.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+/// \brief Convenience: parses and executes against `db`. COUNT(DISTINCT x)
+/// statements return a single-row, single-column result set.
+Result<reldb::ResultSet> ExecuteSql(const reldb::Database& db,
+                                    const std::string& sql);
+
+}  // namespace sqlparse
+}  // namespace hypre

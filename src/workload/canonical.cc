@@ -1,0 +1,124 @@
+#include "workload/canonical.h"
+
+using hypre::reldb::Column;
+using hypre::reldb::Database;
+using hypre::reldb::Row;
+using hypre::reldb::Schema;
+using hypre::reldb::Table;
+using hypre::reldb::Value;
+using hypre::reldb::ValueType;
+
+namespace hypre {
+namespace workload {
+
+Status BuildMovieDatabase(Database* db) {
+  Schema schema({{"movie_id", ValueType::kString},
+                 {"title", ValueType::kString},
+                 {"year", ValueType::kInt64},
+                 {"director", ValueType::kString},
+                 {"genre", ValueType::kString}});
+  HYPRE_ASSIGN_OR_RETURN(Table * movies,
+                         db->CreateTable("movie", std::move(schema)));
+  struct MovieRow {
+    const char* id;
+    const char* title;
+    int64_t year;
+    const char* director;
+    const char* genre;
+  };
+  const MovieRow kRows[] = {
+      {"m1", "Casablanca", 1942, "M. Curtiz", "drama"},
+      {"m2", "Psycho", 1960, "A. Hitchock", "horror"},
+      {"m3", "Schindler's List", 1993, "S. Spielberg", "drama"},
+      {"m4", "White Christmas", 1954, "M. Curtiz", "comedy"},
+      {"m5", "The Adventures of Tintin", 2011, "S. Spielberg", "comedy"},
+      {"m6", "The Girl on the Train", 2013, "L. Brand", "thriller"},
+  };
+  for (const auto& r : kRows) {
+    HYPRE_RETURN_NOT_OK(movies->Append(Row{
+        Value::Str(r.id), Value::Str(r.title), Value::Int(r.year),
+        Value::Str(r.director), Value::Str(r.genre)}));
+  }
+  HYPRE_RETURN_NOT_OK(movies->CreateHashIndex("genre"));
+  HYPRE_RETURN_NOT_OK(movies->CreateHashIndex("director"));
+  HYPRE_RETURN_NOT_OK(movies->CreateOrderedIndex("year"));
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, double>> MovieIntensities() {
+  return {{"m1", 0.3}, {"m2", 0.9}, {"m3", 0.0}, {"m4", 0.3}, {"m5", 0.6}};
+}
+
+Status BuildDealershipDatabase(Database* db) {
+  Schema schema({{"id", ValueType::kString},
+                 {"price", ValueType::kInt64},
+                 {"mileage", ValueType::kInt64},
+                 {"make", ValueType::kString}});
+  HYPRE_ASSIGN_OR_RETURN(Table * cars,
+                         db->CreateTable("car", std::move(schema)));
+  struct CarRow {
+    const char* id;
+    int64_t price;
+    int64_t mileage;
+    const char* make;
+  };
+  const CarRow kRows[] = {
+      {"t1", 7000, 43489, "Honda"},
+      {"t2", 16000, 35334, "VW"},
+      {"t3", 20000, 49119, "Honda"},
+  };
+  for (const auto& r : kRows) {
+    HYPRE_RETURN_NOT_OK(cars->Append(Row{Value::Str(r.id), Value::Int(r.price),
+                                         Value::Int(r.mileage),
+                                         Value::Str(r.make)}));
+  }
+  HYPRE_RETURN_NOT_OK(cars->CreateHashIndex("make"));
+  HYPRE_RETURN_NOT_OK(cars->CreateOrderedIndex("price"));
+  HYPRE_RETURN_NOT_OK(cars->CreateOrderedIndex("mileage"));
+  return Status::OK();
+}
+
+Status BuildDblpSampleDatabase(Database* db) {
+  Schema schema({{"pid", ValueType::kString},
+                 {"title", ValueType::kString},
+                 {"year", ValueType::kInt64},
+                 {"venue", ValueType::kString}});
+  HYPRE_ASSIGN_OR_RETURN(Table * dblp,
+                         db->CreateTable("dblp", std::move(schema)));
+  struct PaperRow {
+    const char* pid;
+    const char* title;
+    int64_t year;
+    const char* venue;
+  };
+  const PaperRow kRows[] = {
+      {"t1", "Automated Selection of Materialized Views and Indexes in SQL "
+             "Databases",
+       2000, "VLDB"},
+      {"t2", "Composite Subset Measures", 2006, "VLDB"},
+      {"t3", "Keymantic: Semantic Keyword-based Searching in Data Integration "
+             "Systems",
+       2010, "PVLDB"},
+      {"t4", "Proximity Rank Join", 2010, "PVLDB"},
+      {"t5", "iNextCube: Information Network-Enhanced Text Cube", 2009,
+       "PVLDB"},
+      {"t6", "Processing Proximity Relations in Road Networks", 2010,
+       "SIGMOD"},
+      {"t7", "Relational Joins on Graphics Processors", 2008, "SIGMOD"},
+      {"t8", "Refresh: Weak Privacy Model for RFID Systems", 2010, "INFOCOM"},
+      {"t9", "Congestion Control in Distributed Media Streaming", 2007,
+       "INFOCOM"},
+  };
+  for (const auto& r : kRows) {
+    HYPRE_RETURN_NOT_OK(dblp->Append(Row{Value::Str(r.pid),
+                                         Value::Str(r.title),
+                                         Value::Int(r.year),
+                                         Value::Str(r.venue)}));
+  }
+  HYPRE_RETURN_NOT_OK(dblp->CreateHashIndex("venue"));
+  HYPRE_RETURN_NOT_OK(dblp->CreateOrderedIndex("year"));
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace hypre

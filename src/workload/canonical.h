@@ -1,0 +1,35 @@
+// Canonical small relations from the dissertation's running examples.
+//
+//  * Movie relation     — Table 3, with the Table 4 intensities
+//  * Dealership relation — Tables 5/8 (Example 5/6; expected combined
+//    intensities 0.92 / 0.9 / 0.6, Table 9)
+//  * DBLP sample        — Table 6 (nine papers t1..t9)
+// Used by examples, unit tests, and the documentation.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/database.h"
+
+namespace hypre {
+namespace workload {
+
+/// \brief Creates `movie(movie_id, title, year, director, genre)` with the
+/// six tuples of Table 3, indexed on genre and director.
+Status BuildMovieDatabase(reldb::Database* db);
+
+/// \brief The Table 4 intensities for m1..m5 (m6 has none) as
+/// (movie_id, score) pairs.
+std::vector<std::pair<std::string, double>> MovieIntensities();
+
+/// \brief Creates `car(id, price, mileage, make)` with the three tuples of
+/// Tables 5/8, indexed on make, with ordered indexes on price and mileage.
+Status BuildDealershipDatabase(reldb::Database* db);
+
+/// \brief Creates `dblp(pid, title, year, venue)` with the nine tuples of
+/// Table 6, indexed on venue with an ordered index on year.
+Status BuildDblpSampleDatabase(reldb::Database* db);
+
+}  // namespace workload
+}  // namespace hypre

@@ -1,0 +1,74 @@
+// Synthetic DBLP citation network (substitute for DBLP-Citation-network V4).
+//
+// The real dataset (dissertation §6.1, Table 10: 1.6M papers, 1.0M authors,
+// 2.3M citations, 4.3M author links) is not redistributable or available
+// offline, so this generator produces a structurally equivalent network:
+//
+//  * venue popularity, author productivity and citation fan-in are
+//    Zipf-distributed (the long tail that makes per-user preference counts
+//    follow Figure 17's shape);
+//  * authors live in research communities: papers draw their author set and
+//    venue from one community, so a given author's papers concentrate on a
+//    few venues (meaningful top-5 venue shares, §6.2.1) and author pairs
+//    co-publish repeatedly (AND-compatible author preferences, §7.3);
+//  * citations prefer the same community and earlier, popular papers.
+//
+// Schema matches §6.1:
+//   dblp(pid, title, year, venue)      author(aid, name)
+//   dblp_author(pid, aid)              citation(pid, cid)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/database.h"
+
+namespace hypre {
+namespace workload {
+
+struct DblpConfig {
+  size_t num_papers = 20000;
+  size_t num_authors = 8000;
+  size_t num_venues = 30;
+  size_t num_communities = 40;
+  size_t max_authors_per_paper = 4;
+  double avg_citations_per_paper = 3.0;
+  int64_t min_year = 1990;
+  int64_t max_year = 2011;
+  double venue_zipf = 1.1;
+  double author_zipf = 1.3;
+  uint64_t seed = 42;
+
+  /// \brief Multiplies paper/author/citation counts (HYPRE_SCALE in the
+  /// benches).
+  void Scale(size_t factor) {
+    num_papers *= factor;
+    num_authors *= factor;
+  }
+};
+
+/// \brief Row counts of the generated network (Table 10 shape).
+struct DblpStats {
+  size_t num_papers = 0;
+  size_t num_authors = 0;
+  size_t num_author_links = 0;
+  size_t num_citations = 0;
+  size_t num_cited_papers = 0;  // distinct papers that are cited
+  size_t num_venues = 0;
+};
+
+/// \brief Generates the network into `db` (tables dblp, author, dblp_author,
+/// citation) with hash indexes on dblp.venue, dblp.pid, dblp_author.aid,
+/// dblp_author.pid, citation.pid and an ordered index on dblp.year.
+Result<DblpStats> GenerateDblp(const DblpConfig& config,
+                               reldb::Database* db);
+
+/// \brief The venue name for a venue rank (rank 0 = most popular). The first
+/// ranks use familiar names (SIGMOD, VLDB, ...) so example output reads like
+/// the dissertation's.
+std::string VenueName(size_t rank);
+
+}  // namespace workload
+}  // namespace hypre

@@ -1,0 +1,211 @@
+#include "workload/preference_extraction.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+using hypre::core::QualitativePreference;
+using hypre::core::QuantitativePreference;
+using hypre::core::UserId;
+using hypre::reldb::Database;
+using hypre::reldb::Table;
+
+namespace hypre {
+namespace workload {
+
+namespace {
+
+std::string VenuePredicate(const std::string& venue) {
+  return "dblp.venue='" + venue + "'";
+}
+
+std::string AuthorPredicate(int64_t aid) {
+  return StringFormat("dblp_author.aid=%lld", (long long)aid);
+}
+
+/// (value, intensity) sorted descending by intensity.
+template <typename K>
+std::vector<std::pair<K, double>> SortedShares(
+    const std::unordered_map<K, size_t>& counts, size_t keep_top) {
+  std::vector<std::pair<K, size_t>> entries(counts.begin(), counts.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (keep_top > 0 && entries.size() > keep_top) entries.resize(keep_top);
+  size_t total = 0;
+  for (const auto& [key, count] : entries) total += count;
+  std::vector<std::pair<K, double>> shares;
+  shares.reserve(entries.size());
+  for (const auto& [key, count] : entries) {
+    shares.emplace_back(key, static_cast<double>(count) /
+                                 static_cast<double>(total));
+  }
+  return shares;
+}
+
+}  // namespace
+
+std::vector<UserId> ExtractedPreferences::UsersByPreferenceCount() const {
+  std::vector<UserId> users;
+  users.reserve(per_user_counts.size());
+  for (const auto& [uid, count] : per_user_counts) users.push_back(uid);
+  std::sort(users.begin(), users.end(), [&](UserId a, UserId b) {
+    size_t ca = per_user_counts.at(a);
+    size_t cb = per_user_counts.at(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return users;
+}
+
+Result<ExtractedPreferences> ExtractPreferences(
+    const Database& db, const ExtractionConfig& config) {
+  HYPRE_ASSIGN_OR_RETURN(const Table* dblp, db.ResolveTable("dblp"));
+  HYPRE_ASSIGN_OR_RETURN(const Table* dblp_author,
+                         db.ResolveTable("dblp_author"));
+  HYPRE_ASSIGN_OR_RETURN(const Table* citation, db.ResolveTable("citation"));
+
+  HYPRE_ASSIGN_OR_RETURN(size_t col_pid,
+                         dblp->schema().ResolveColumn("pid"));
+  HYPRE_ASSIGN_OR_RETURN(size_t col_venue,
+                         dblp->schema().ResolveColumn("venue"));
+  HYPRE_ASSIGN_OR_RETURN(size_t col_da_pid,
+                         dblp_author->schema().ResolveColumn("pid"));
+  HYPRE_ASSIGN_OR_RETURN(size_t col_da_aid,
+                         dblp_author->schema().ResolveColumn("aid"));
+  HYPRE_ASSIGN_OR_RETURN(size_t col_c_pid,
+                         citation->schema().ResolveColumn("pid"));
+  HYPRE_ASSIGN_OR_RETURN(size_t col_c_cid,
+                         citation->schema().ResolveColumn("cid"));
+
+  // --- in-memory joins --------------------------------------------------------
+  std::unordered_map<int64_t, std::string> paper_venue;
+  paper_venue.reserve(dblp->num_rows());
+  for (const auto& row : dblp->rows()) {
+    paper_venue.emplace(row[col_pid].AsInt(), row[col_venue].AsString());
+  }
+  std::unordered_map<int64_t, std::vector<int64_t>> papers_of_author;
+  std::unordered_map<int64_t, std::vector<int64_t>> authors_of_paper;
+  for (const auto& row : dblp_author->rows()) {
+    int64_t pid = row[col_da_pid].AsInt();
+    int64_t aid = row[col_da_aid].AsInt();
+    papers_of_author[aid].push_back(pid);
+    authors_of_paper[pid].push_back(aid);
+  }
+  std::unordered_map<int64_t, std::vector<int64_t>> cites_of_paper;
+  for (const auto& row : citation->rows()) {
+    cites_of_paper[row[col_c_pid].AsInt()].push_back(row[col_c_cid].AsInt());
+  }
+
+  ExtractedPreferences out;
+
+  for (const auto& [aid, papers] : papers_of_author) {
+    if (papers.size() < config.min_papers) continue;
+    UserId uid = aid;
+    size_t user_count = 0;
+
+    // --- venue preferences (§6.2.1) ---------------------------------------
+    std::unordered_map<std::string, size_t> venue_counts;
+    std::unordered_set<std::string> own_venues;
+    for (int64_t pid : papers) {
+      auto it = paper_venue.find(pid);
+      if (it == paper_venue.end()) continue;
+      ++venue_counts[it->second];
+      own_venues.insert(it->second);
+    }
+    auto venue_shares = SortedShares(venue_counts, config.top_venues);
+    for (const auto& [venue, share] : venue_shares) {
+      out.quantitative.push_back(
+          QuantitativePreference{uid, VenuePredicate(venue), share});
+      ++out.num_venue_prefs;
+      ++user_count;
+    }
+
+    // --- author preferences from citations (§6.2.1) ------------------------
+    std::unordered_map<int64_t, size_t> cited_author_counts;
+    for (int64_t pid : papers) {
+      auto cit = cites_of_paper.find(pid);
+      if (cit == cites_of_paper.end()) continue;
+      for (int64_t cid : cit->second) {
+        auto ait = authors_of_paper.find(cid);
+        if (ait == authors_of_paper.end()) continue;
+        for (int64_t cited_author : ait->second) {
+          if (cited_author == aid) continue;  // self-citations carry no signal
+          ++cited_author_counts[cited_author];
+        }
+      }
+    }
+    // The unfiltered list feeds the qualitative extraction (§6.2.2 uses the
+    // larger dataset on purpose: zero differences are valuable there).
+    auto author_shares = SortedShares(cited_author_counts, 0);
+    for (const auto& [cited_author, share] : author_shares) {
+      if (share < config.min_author_intensity) continue;
+      out.quantitative.push_back(
+          QuantitativePreference{uid, AuthorPredicate(cited_author), share});
+      ++out.num_author_prefs;
+      ++user_count;
+    }
+
+    // --- negative venue preferences (§6.2.1) --------------------------------
+    // Strongest signal wins if several cited authors point at one venue.
+    std::unordered_map<std::string, double> negative_venues;
+    for (const auto& [cited_author, share] : author_shares) {
+      auto papers_it = papers_of_author.find(cited_author);
+      if (papers_it == papers_of_author.end()) continue;
+      std::unordered_map<std::string, size_t> their_venue_counts;
+      for (int64_t pid : papers_it->second) {
+        auto vit = paper_venue.find(pid);
+        if (vit != paper_venue.end()) ++their_venue_counts[vit->second];
+      }
+      auto their_shares = SortedShares(their_venue_counts, config.top_venues);
+      for (const auto& [venue, their_share] : their_shares) {
+        if (own_venues.count(venue) > 0) continue;  // user publishes there
+        double intensity = -(share * their_share);
+        auto [it, inserted] = negative_venues.emplace(venue, intensity);
+        if (!inserted) it->second = std::min(it->second, intensity);
+      }
+    }
+    std::vector<std::pair<std::string, double>> negatives(
+        negative_venues.begin(), negative_venues.end());
+    std::sort(negatives.begin(), negatives.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+    if (config.max_negative_per_user > 0 &&
+        negatives.size() > config.max_negative_per_user) {
+      negatives.resize(config.max_negative_per_user);
+    }
+    for (const auto& [venue, intensity] : negatives) {
+      out.quantitative.push_back(
+          QuantitativePreference{uid, VenuePredicate(venue), intensity});
+      ++out.num_negative_prefs;
+      ++user_count;
+    }
+
+    // --- qualitative preferences (§6.2.2) ----------------------------------
+    for (size_t i = 0; i + 1 < author_shares.size(); ++i) {
+      out.qualitative.push_back(QualitativePreference{
+          uid, AuthorPredicate(author_shares[i].first),
+          AuthorPredicate(author_shares[i + 1].first),
+          author_shares[i].second - author_shares[i + 1].second});
+      ++user_count;
+    }
+    for (size_t i = 0; i + 1 < venue_shares.size(); ++i) {
+      out.qualitative.push_back(QualitativePreference{
+          uid, VenuePredicate(venue_shares[i].first),
+          VenuePredicate(venue_shares[i + 1].first),
+          venue_shares[i].second - venue_shares[i + 1].second});
+      ++user_count;
+    }
+
+    if (user_count > 0) out.per_user_counts[uid] = user_count;
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace hypre

@@ -1,0 +1,235 @@
+// Unit tests for src/common: Status/Result, RNG, Zipf, strings, timer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace hypre {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Conflict("x").code(), StatusCode::kConflict);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubler(Result<int> in) {
+  HYPRE_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_FALSE(Doubler(Status::NotFound("n")).ok());
+  EXPECT_EQ(Doubler(Status::NotFound("n")).status().code(),
+            StatusCode::kNotFound);
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int v) {
+  HYPRE_RETURN_NOT_OK(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_FALSE(Chain(-1).ok());
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+// --- Zipf --------------------------------------------------------------------
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Rng rng(5);
+  ZipfSampler zipf(50, 1.1);
+  std::map<size_t, size_t> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  // Head rank clearly dominates a mid rank.
+  EXPECT_GT(counts[0], counts[10] * 2);
+  EXPECT_GT(counts[0], counts[40]);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  Rng rng(5);
+  ZipfSampler zipf(10, 0.0);
+  std::map<size_t, size_t> counts;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), kDraws / 10.0, kDraws * 0.02);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(3);
+  ZipfSampler zipf(7, 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+// --- Shuffle ------------------------------------------------------------------
+
+TEST(ShuffleTest, PermutesAllElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  Shuffle(&v, &rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("dblp.venue", "dblp"));
+  EXPECT_FALSE(StartsWith("db", "dblp"));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("AND", "and"));
+  EXPECT_FALSE(EqualsIgnoreCase("AND", "andx"));
+}
+
+TEST(StringUtilTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringFormat("%s", ""), "");
+}
+
+// --- timer --------------------------------------------------------------------
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  WallTimer timer;
+  double t1 = timer.ElapsedSeconds();
+  double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1000.0, 10.0);
+}
+
+}  // namespace
+}  // namespace hypre

@@ -1,0 +1,141 @@
+// Contextual-preference tests (Definition 11, Figure 2).
+#include <gtest/gtest.h>
+
+#include "hypre/context.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+QuantitativePreference Pref(const char* tag) {
+  return QuantitativePreference{1, tag, 0.5};
+}
+
+TEST(ContextCoversTest, Basics) {
+  // (friends, good, ALL) covers (friends, good, Easter).
+  EXPECT_TRUE(Covers({"friends", "good", "ALL"},
+                     {"friends", "good", "Easter"}));
+  EXPECT_TRUE(Covers({"ALL", "ALL", "ALL"}, {"family", "bad", "work"}));
+  EXPECT_TRUE(Covers({"friends"}, {"friends"}));  // covers itself
+  EXPECT_FALSE(Covers({"friends", "good", "ALL"},
+                      {"family", "good", "Easter"}));
+  EXPECT_FALSE(Covers({"friends"}, {"friends", "good"}));  // arity mismatch
+}
+
+class ContextualProfileTest : public ::testing::Test {
+ protected:
+  // The Figure 2 profile: p1..p7 over (company, mood, period).
+  void SetUp() override {
+    profile_ = std::make_unique<ContextualProfile>(
+        std::vector<std::string>{"company", "mood", "period"});
+    auto add = [&](std::initializer_list<const char*> state,
+                   const char* tag) {
+      ContextState cs;
+      for (const char* value : state) cs.push_back(value);
+      ASSERT_TRUE(profile_->AddContextPreference(cs, Pref(tag)).ok());
+    };
+    add({"friends", "good", "holidays"}, "P1");
+    add({"friends", "good", "ALL"}, "P2");
+    add({"friends", "good", "Easter"}, "P3");
+    add({"friends", "ALL", "Christmas"}, "P4");
+    add({"ALL", "ALL", "Easter"}, "P5");
+    add({"family", "ALL", "Easter"}, "P6");
+    add({"ALL", "ALL", "ALL"}, "P7");
+  }
+  std::unique_ptr<ContextualProfile> profile_;
+};
+
+TEST_F(ContextualProfileTest, StatesRecorded) {
+  EXPECT_EQ(profile_->States().size(), 7u);
+}
+
+TEST_F(ContextualProfileTest, ValidationErrors) {
+  EXPECT_FALSE(
+      profile_->AddContextPreference({"friends", "good"}, Pref("x")).ok());
+  EXPECT_FALSE(
+      profile_->AddContextPreference({"", "good", "Easter"}, Pref("x")).ok());
+  EXPECT_FALSE(profile_->Resolve({"friends", "good", "ALL"}).ok());
+  EXPECT_FALSE(profile_->Resolve({"friends"}).ok());
+}
+
+TEST_F(ContextualProfileTest, TightCoverEdgesMatchFigure2) {
+  // Figure 2's DAG: e.g. (friends,good,ALL)=P2 tightly covers
+  // (friends,good,holidays)=P1 and (friends,good,Easter)=P3; the root
+  // (ALL,ALL,ALL)=P7 tightly covers P2, P4 (via no intermediate), P5 — but
+  // NOT P1/P3/P6 (P2/P5 sit between).
+  auto states = profile_->States();
+  auto index_of = [&](const ContextState& s) {
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (states[i] == s) return i;
+    }
+    return states.size();
+  };
+  size_t p1 = index_of({"friends", "good", "holidays"});
+  size_t p2 = index_of({"friends", "good", "ALL"});
+  size_t p3 = index_of({"friends", "good", "Easter"});
+  size_t p5 = index_of({"ALL", "ALL", "Easter"});
+  size_t p6 = index_of({"family", "ALL", "Easter"});
+  size_t p7 = index_of({"ALL", "ALL", "ALL"});
+
+  auto edges = profile_->TightCoverEdges();
+  auto has_edge = [&](size_t from, size_t to) {
+    return std::find(edges.begin(), edges.end(),
+                     std::make_pair(from, to)) != edges.end();
+  };
+  EXPECT_TRUE(has_edge(p1, p2));
+  EXPECT_TRUE(has_edge(p3, p2));
+  EXPECT_TRUE(has_edge(p3, p5));
+  EXPECT_TRUE(has_edge(p6, p5));
+  EXPECT_TRUE(has_edge(p2, p7));
+  EXPECT_TRUE(has_edge(p5, p7));
+  EXPECT_FALSE(has_edge(p1, p7));  // P2 sits in between
+  EXPECT_FALSE(has_edge(p3, p7));
+  EXPECT_FALSE(has_edge(p6, p7));  // P5 sits in between
+  EXPECT_FALSE(has_edge(p2, p1));  // direction: specific -> general
+}
+
+TEST_F(ContextualProfileTest, ResolveOrdersMostSpecificFirst) {
+  auto prefs = profile_->Resolve({"friends", "good", "Easter"});
+  ASSERT_TRUE(prefs.ok()) << prefs.status().ToString();
+  // Matching states: P3 (3 concrete), P2 (2), P5 (1), P7 (0).
+  ASSERT_EQ(prefs->size(), 4u);
+  EXPECT_EQ((*prefs)[0].predicate, "P3");
+  EXPECT_EQ((*prefs)[1].predicate, "P2");
+  EXPECT_EQ((*prefs)[2].predicate, "P5");
+  EXPECT_EQ((*prefs)[3].predicate, "P7");
+}
+
+TEST_F(ContextualProfileTest, ResolveMostSpecificOverrides) {
+  auto prefs = profile_->ResolveMostSpecific({"friends", "good", "Easter"});
+  ASSERT_TRUE(prefs.ok());
+  ASSERT_EQ(prefs->size(), 1u);
+  EXPECT_EQ((*prefs)[0].predicate, "P3");
+
+  // A context matched only by the root: the generic profile applies.
+  auto generic = profile_->ResolveMostSpecific({"family", "bad", "work"});
+  ASSERT_TRUE(generic.ok());
+  ASSERT_EQ(generic->size(), 1u);
+  EXPECT_EQ((*generic)[0].predicate, "P7");
+}
+
+TEST_F(ContextualProfileTest, SameStateAccumulatesPreferences) {
+  ASSERT_TRUE(profile_
+                  ->AddContextPreference({"friends", "good", "Easter"},
+                                         Pref("P3b"))
+                  .ok());
+  auto prefs = profile_->ResolveMostSpecific({"friends", "good", "Easter"});
+  ASSERT_TRUE(prefs.ok());
+  EXPECT_EQ(prefs->size(), 2u);
+  EXPECT_EQ(profile_->States().size(), 7u);  // no new state created
+}
+
+TEST(ContextualProfileEmptyTest, ResolveOnEmptyProfile) {
+  ContextualProfile profile({"mood"});
+  auto prefs = profile.Resolve({"good"});
+  ASSERT_TRUE(prefs.ok());
+  EXPECT_TRUE(prefs->empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

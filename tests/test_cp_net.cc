@@ -1,0 +1,170 @@
+// CP-net tests (Definition 12, Figure 3) including a property sweep:
+// flip-dominance implies earlier rank in the linearization.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hypre/cp_net.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+/// The Figure 3 network: genre -> director,
+///   genre:  comedy > drama
+///   comedy: W.Allen > M.Curtiz ; drama: M.Curtiz > W.Allen
+CpNet Figure3Net() {
+  CpNet net;
+  EXPECT_TRUE(net.AddAttribute("genre", {"comedy", "drama"}).ok());
+  EXPECT_TRUE(net.AddAttribute("director", {"W.Allen", "M.Curtiz"}).ok());
+  EXPECT_TRUE(net.AddDependency("genre", "director").ok());
+  EXPECT_TRUE(net.SetPreferenceOrder("genre", {}, {"comedy", "drama"}).ok());
+  EXPECT_TRUE(net.SetPreferenceOrder("director", {"comedy"},
+                                     {"W.Allen", "M.Curtiz"})
+                  .ok());
+  EXPECT_TRUE(net.SetPreferenceOrder("director", {"drama"},
+                                     {"M.Curtiz", "W.Allen"})
+                  .ok());
+  return net;
+}
+
+TEST(CpNetTest, ConstructionValidation) {
+  CpNet net;
+  EXPECT_FALSE(net.AddAttribute("", {"a"}).ok());
+  EXPECT_FALSE(net.AddAttribute("x", {}).ok());
+  EXPECT_FALSE(net.AddAttribute("x", {"a", "a"}).ok());
+  ASSERT_TRUE(net.AddAttribute("x", {"a", "b"}).ok());
+  EXPECT_FALSE(net.AddAttribute("x", {"c"}).ok());  // duplicate
+  EXPECT_FALSE(net.AddDependency("x", "x").ok());   // self
+  EXPECT_FALSE(net.AddDependency("y", "x").ok());   // unknown parent
+  ASSERT_TRUE(net.AddAttribute("y", {"c", "d"}).ok());
+  ASSERT_TRUE(net.AddDependency("x", "y").ok());
+  EXPECT_FALSE(net.AddDependency("y", "x").ok());   // cycle
+  EXPECT_FALSE(net.AddDependency("x", "y").ok());   // duplicate edge
+}
+
+TEST(CpNetTest, CptValidation) {
+  CpNet net = Figure3Net();
+  EXPECT_FALSE(net.SetPreferenceOrder("genre", {}, {"comedy"}).ok());
+  EXPECT_FALSE(
+      net.SetPreferenceOrder("director", {}, {"W.Allen", "M.Curtiz"}).ok());
+  EXPECT_FALSE(net.SetPreferenceOrder("director", {"thriller"},
+                                      {"W.Allen", "M.Curtiz"})
+                   .ok());
+  EXPECT_FALSE(net.SetPreferenceOrder("nope", {}, {"a"}).ok());
+}
+
+TEST(CpNetTest, Completeness) {
+  CpNet net;
+  ASSERT_TRUE(net.AddAttribute("a", {"x", "y"}).ok());
+  EXPECT_FALSE(net.IsComplete());
+  ASSERT_TRUE(net.SetPreferenceOrder("a", {}, {"x", "y"}).ok());
+  EXPECT_TRUE(net.IsComplete());
+  EXPECT_TRUE(Figure3Net().IsComplete());
+}
+
+TEST(CpNetTest, BestOutcomeForwardSweep) {
+  CpNet net = Figure3Net();
+  auto best = net.BestOutcome();
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  EXPECT_EQ(best->at("genre"), "comedy");
+  EXPECT_EQ(best->at("director"), "W.Allen");
+}
+
+TEST(CpNetTest, BestOutcomeWithEvidence) {
+  CpNet net = Figure3Net();
+  // Pinned to drama, the preferred director flips to Curtiz.
+  auto best = net.BestOutcome({{"genre", "drama"}});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->at("director"), "M.Curtiz");
+  EXPECT_FALSE(net.BestOutcome({{"genre", "horror"}}).ok());
+}
+
+TEST(CpNetTest, FlipDominance) {
+  CpNet net = Figure3Net();
+  Outcome comedy_allen{{"genre", "comedy"}, {"director", "W.Allen"}};
+  Outcome comedy_curtiz{{"genre", "comedy"}, {"director", "M.Curtiz"}};
+  Outcome drama_curtiz{{"genre", "drama"}, {"director", "M.Curtiz"}};
+  Outcome drama_allen{{"genre", "drama"}, {"director", "W.Allen"}};
+
+  // Under comedy: Allen > Curtiz (the Figure 3 reading).
+  EXPECT_TRUE(net.FlipDominates(comedy_allen, comedy_curtiz).value());
+  EXPECT_FALSE(net.FlipDominates(comedy_curtiz, comedy_allen).value());
+  // Under drama: Curtiz > Allen.
+  EXPECT_TRUE(net.FlipDominates(drama_curtiz, drama_allen).value());
+  // Genre flip with the director fixed: comedy > drama.
+  EXPECT_TRUE(net.FlipDominates(comedy_allen, drama_allen).value());
+  // Errors: identical or two-attribute differences.
+  EXPECT_FALSE(net.FlipDominates(comedy_allen, comedy_allen).ok());
+  EXPECT_FALSE(net.FlipDominates(comedy_allen, drama_curtiz).ok());
+}
+
+TEST(CpNetTest, RankOutcomesFigure3) {
+  CpNet net = Figure3Net();
+  auto ranked = net.RankOutcomes();
+  ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+  ASSERT_EQ(ranked->size(), 4u);
+  EXPECT_EQ((*ranked)[0].at("genre"), "comedy");
+  EXPECT_EQ((*ranked)[0].at("director"), "W.Allen");
+  // The worst outcome violates both CPTs: drama with Allen.
+  EXPECT_EQ((*ranked)[3].at("genre"), "drama");
+  EXPECT_EQ((*ranked)[3].at("director"), "W.Allen");
+}
+
+TEST(CpNetTest, RankOutcomesGuard) {
+  CpNet net;
+  ASSERT_TRUE(net.AddAttribute("a", {"1", "2", "3", "4"}).ok());
+  ASSERT_TRUE(net.SetPreferenceOrder("a", {}, {"1", "2", "3", "4"}).ok());
+  EXPECT_FALSE(net.RankOutcomes(/*max_outcomes=*/3).ok());
+}
+
+// Property: whenever FlipDominates(a, b), a ranks strictly before b in the
+// linearization (consistency of RankOutcomes with the CP-net semantics).
+class CpNetLinearization : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CpNetLinearization, FlipDominanceImpliesEarlierRank) {
+  Rng rng(GetParam());
+  // Random chain net a -> b -> c with random CPT orders.
+  CpNet net;
+  ASSERT_TRUE(net.AddAttribute("a", {"a0", "a1"}).ok());
+  ASSERT_TRUE(net.AddAttribute("b", {"b0", "b1"}).ok());
+  ASSERT_TRUE(net.AddAttribute("c", {"c0", "c1"}).ok());
+  ASSERT_TRUE(net.AddDependency("a", "b").ok());
+  ASSERT_TRUE(net.AddDependency("b", "c").ok());
+  auto random_order = [&](std::vector<std::string> values) {
+    if (rng.NextBernoulli(0.5)) std::swap(values[0], values[1]);
+    return values;
+  };
+  ASSERT_TRUE(
+      net.SetPreferenceOrder("a", {}, random_order({"a0", "a1"})).ok());
+  for (const char* av : {"a0", "a1"}) {
+    ASSERT_TRUE(
+        net.SetPreferenceOrder("b", {av}, random_order({"b0", "b1"})).ok());
+  }
+  for (const char* bv : {"b0", "b1"}) {
+    ASSERT_TRUE(
+        net.SetPreferenceOrder("c", {bv}, random_order({"c0", "c1"})).ok());
+  }
+
+  auto ranked = net.RankOutcomes();
+  ASSERT_TRUE(ranked.ok());
+  auto rank_of = [&](const Outcome& o) {
+    for (size_t i = 0; i < ranked->size(); ++i) {
+      if ((*ranked)[i] == o) return i;
+    }
+    return ranked->size();
+  };
+  for (const auto& a : *ranked) {
+    for (const auto& b : *ranked) {
+      auto dom = net.FlipDominates(a, b);
+      if (!dom.ok() || !dom.value()) continue;
+      EXPECT_LT(rank_of(a), rank_of(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpNetLinearization,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,130 @@
+// CSV import/export tests: round-trips, quoting, type inference, errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "reldb/csv.h"
+#include "workload/canonical.h"
+
+namespace hypre {
+namespace reldb {
+namespace {
+
+TEST(CsvTest, WriteTableHeaderAndRows) {
+  Database db;
+  ASSERT_TRUE(workload::BuildDealershipDatabase(&db).ok());
+  std::stringstream out;
+  ASSERT_TRUE(WriteCsv(*db.GetTable("car"), &out).ok());
+  std::string text = out.str();
+  EXPECT_TRUE(text.rfind("id,price,mileage,make\n", 0) == 0);
+  EXPECT_NE(text.find("t1,7000,43489,Honda\n"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripThroughAppend) {
+  Database db;
+  ASSERT_TRUE(workload::BuildDealershipDatabase(&db).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteCsv(*db.GetTable("car"), &buffer).ok());
+
+  Database db2;
+  auto table = db2.CreateTable(
+      "car", Schema({{"id", ValueType::kString},
+                     {"price", ValueType::kInt64},
+                     {"mileage", ValueType::kInt64},
+                     {"make", ValueType::kString}}));
+  ASSERT_TRUE(table.ok());
+  auto loaded = AppendCsv(&buffer, *table);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 3u);
+  ASSERT_EQ((*table)->num_rows(), 3u);
+  EXPECT_EQ((*table)->row(1)[1].AsInt(), 16000);
+  EXPECT_EQ((*table)->row(2)[3].AsString(), "Honda");
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  Database db;
+  auto table = db.CreateTable(
+      "t", Schema({{"name", ValueType::kString},
+                   {"note", ValueType::kString}}));
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)
+                  ->Append(Row{Value::Str("a,b"), Value::Str("say \"hi\"")})
+                  .ok());
+  ASSERT_TRUE((*table)->Append(Row{Value::Null(), Value::Str("plain")}).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteCsv(**table, &buffer).ok());
+
+  Database db2;
+  auto restored = LoadCsvAsTable(&buffer, "t", &db2);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ((*restored)->num_rows(), 2u);
+  EXPECT_EQ((*restored)->row(0)[0].AsString(), "a,b");
+  EXPECT_EQ((*restored)->row(0)[1].AsString(), "say \"hi\"");
+  EXPECT_TRUE((*restored)->row(1)[0].is_null());
+}
+
+TEST(CsvTest, LoadInfersTypes) {
+  std::stringstream in(
+      "pid,title,year,score\n"
+      "1,Paper One,2001,0.5\n"
+      "2,\"Paper, Two\",2002,0.75\n");
+  Database db;
+  auto table = LoadCsvAsTable(&in, "papers", &db);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const Schema& schema = (*table)->schema();
+  EXPECT_EQ(schema.column(0).type, ValueType::kInt64);
+  EXPECT_EQ(schema.column(1).type, ValueType::kString);
+  EXPECT_EQ(schema.column(2).type, ValueType::kInt64);
+  EXPECT_EQ(schema.column(3).type, ValueType::kDouble);
+  ASSERT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->row(1)[1].AsString(), "Paper, Two");
+  EXPECT_DOUBLE_EQ((*table)->row(1)[3].AsDouble(), 0.75);
+}
+
+TEST(CsvTest, WriteResultSet) {
+  ResultSet result;
+  result.column_names = {"venue", "count(*)"};
+  result.rows.push_back({Value::Str("VLDB"), Value::Int(3)});
+  std::stringstream out;
+  ASSERT_TRUE(WriteCsv(result, &out).ok());
+  EXPECT_EQ(out.str(), "venue,count(*)\nVLDB,3\n");
+}
+
+TEST(CsvTest, Errors) {
+  Database db;
+  auto table =
+      db.CreateTable("t", Schema({{"a", ValueType::kInt64}}));
+  ASSERT_TRUE(table.ok());
+
+  std::stringstream empty("");
+  EXPECT_FALSE(AppendCsv(&empty, *table).ok());
+
+  std::stringstream wrong_header("b\n1\n");
+  EXPECT_FALSE(AppendCsv(&wrong_header, *table).ok());
+
+  std::stringstream wrong_arity("a\n1,2\n");
+  EXPECT_FALSE(AppendCsv(&wrong_arity, *table).ok());
+
+  std::stringstream bad_type("a\nnotanint\n");
+  EXPECT_FALSE(AppendCsv(&bad_type, *table).ok());
+
+  std::stringstream bad_quote("a\n\"unterminated\n");
+  EXPECT_FALSE(AppendCsv(&bad_quote, *table).ok());
+
+  std::stringstream empty2("");
+  EXPECT_FALSE(LoadCsvAsTable(&empty2, "x", &db).ok());
+}
+
+TEST(CsvTest, HeaderOnlyCreatesEmptyTable) {
+  std::stringstream in("a,b\n");
+  Database db;
+  auto table = LoadCsvAsTable(&in, "t", &db);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 0u);
+  // Types default to STRING without data.
+  EXPECT_EQ((*table)->schema().column(0).type, ValueType::kString);
+}
+
+}  // namespace
+}  // namespace reldb
+}  // namespace hypre

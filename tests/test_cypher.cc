@@ -1,0 +1,176 @@
+// cypher_lite tests using the dissertation's query shapes (§4.3).
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "graphdb/cypher_lite.h"
+
+namespace hypre {
+namespace graphdb {
+namespace {
+
+class CypherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(g_.CreateIndex("uidIndex", "uid").ok());
+    auto add = [&](int64_t uid, const std::string& pred, double intensity) {
+      PropertyMap props;
+      props["uid"] = PropertyValue(uid);
+      props["predicate"] = PropertyValue(pred);
+      props["intensity"] = PropertyValue(intensity);
+      return g_.AddNode({"uidIndex"}, std::move(props));
+    };
+    n1_ = add(2, "dblp.venue='INFOCOM'", 0.23);
+    n2_ = add(2, "dblp.venue='PODS'", 0.14);
+    n3_ = add(2, "dblp_author.aid=128", -0.4);
+    n4_ = add(38437, "dblp.venue='VLDB'", 0.5);
+    ASSERT_TRUE(g_.AddEdge(n1_, n2_, "PREFERS").ok());
+    ASSERT_TRUE(g_.AddEdge(n1_, n3_, "DISCARD").ok());
+  }
+  GraphStore g_;
+  NodeId n1_ = 0, n2_ = 0, n3_ = 0, n4_ = 0;
+};
+
+TEST_F(CypherTest, StartAllWithWhereOrderBy) {
+  // The dissertation's profile-listing query (§4.3).
+  auto r = RunCypher(g_,
+                     "START n=node(*) WHERE n.uid=2 "
+                     "RETURN n.predicate, n.intensity "
+                     "ORDER BY n.intensity DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "dblp.venue='INFOCOM'");
+  EXPECT_DOUBLE_EQ(r->rows[0][1].AsDouble(), 0.23);
+  EXPECT_EQ(r->rows[2][0].AsString(), "dblp_author.aid=128");
+}
+
+TEST_F(CypherTest, MatchPrefersEdge) {
+  // The dissertation's qualitative-traversal query (§4.3).
+  auto r = RunCypher(g_,
+                     "START n=node(0) MATCH n -[:PREFERS]-> m "
+                     "RETURN id(n) as leftId, id(m) as rightId");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->columns[0], "leftId");
+  EXPECT_EQ(static_cast<NodeId>(r->rows[0][0].AsInt()), n1_);
+  EXPECT_EQ(static_cast<NodeId>(r->rows[0][1].AsInt()), n2_);
+}
+
+TEST_F(CypherTest, MatchIncomingEdge) {
+  auto r = RunCypher(g_, "START n=node(1) MATCH n <-[:PREFERS]- m RETURN id(m)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(static_cast<NodeId>(r->rows[0][0].AsInt()), n1_);
+}
+
+TEST_F(CypherTest, IndexStart) {
+  auto r = RunCypher(g_,
+                     "START n=node:uidIndex(uid=38437) RETURN n.predicate");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "dblp.venue='VLDB'");
+}
+
+TEST_F(CypherTest, WhereExcludesNegativeIntensities) {
+  auto r = RunCypher(g_,
+                     "START n=node(*) WHERE n.uid=2 AND n.intensity>=0 "
+                     "RETURN n.predicate ORDER BY n.intensity DESC");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(CypherTest, SkipAndLimit) {
+  auto r = RunCypher(g_,
+                     "START n=node(*) WHERE n.uid=2 RETURN n.predicate "
+                     "ORDER BY n.intensity DESC SKIP 1 LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "dblp.venue='PODS'");
+}
+
+TEST_F(CypherTest, MissingPropertyReturnsNull) {
+  NodeId bare = g_.AddNode({}, {});
+  (void)bare;
+  auto r = RunCypher(g_, "START n=node(4) RETURN n.predicate");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_TRUE(r->rows[0][0].is_null());
+}
+
+TEST_F(CypherTest, ParseErrors) {
+  EXPECT_FALSE(RunCypher(g_, "").ok());
+  EXPECT_FALSE(RunCypher(g_, "RETURN n.x").ok());
+  EXPECT_FALSE(RunCypher(g_, "START n=node(*)").ok());  // no RETURN
+  EXPECT_FALSE(RunCypher(g_, "START n=node(*) RETURN m.x").ok());  // unbound
+  EXPECT_FALSE(RunCypher(g_, "START n=node(*) MATCH x -[:T]-> m RETURN id(m)")
+                   .ok());  // MATCH must start at START var
+  EXPECT_FALSE(RunCypher(g_, "START n=node(*) RETURN n.").ok());
+}
+
+TEST_F(CypherTest, MutateCreateNode) {
+  auto r = RunCypherMutate(
+      &g_,
+      "CREATE (n:uidIndex {uid: 9, predicate: 'a=1', intensity: 0.25})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  NodeId id = static_cast<NodeId>(r->rows[0][0].AsInt());
+  EXPECT_TRUE(g_.NodeExists(id));
+  EXPECT_EQ(g_.GetNodeProperty(id, "uid")->AsInt(), 9);
+  EXPECT_DOUBLE_EQ(g_.GetNodeProperty(id, "intensity")->AsDouble(), 0.25);
+  // The label/property index picked the new node up.
+  EXPECT_EQ(g_.FindNodes("uidIndex", "uid", PropertyValue(int64_t{9}))
+                ->size(),
+            1u);
+  // RETURN id(n) flavor also accepted.
+  auto r2 = RunCypherMutate(&g_, "CREATE (m:uidIndex {uid: 9}) RETURN id(m)");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+TEST_F(CypherTest, MutateCreateEdgeAndSetDelete) {
+  auto a = RunCypherMutate(&g_, "CREATE (a {})");
+  auto b = RunCypherMutate(&g_, "CREATE (b {})");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  NodeId na = static_cast<NodeId>(a->rows[0][0].AsInt());
+  NodeId nb = static_cast<NodeId>(b->rows[0][0].AsInt());
+  auto e = RunCypherMutate(
+      &g_, StringFormat("CREATE (%llu) -[:PREFERS]-> (%llu) {intensity: 0.3}",
+                        (unsigned long long)na, (unsigned long long)nb));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(g_.OutDegree(na, "PREFERS"), 1u);
+
+  auto set = RunCypherMutate(
+      &g_, StringFormat("START n=node(%llu) SET n.intensity = 0.7",
+                        (unsigned long long)na));
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_DOUBLE_EQ(g_.GetNodeProperty(na, "intensity")->AsDouble(), 0.7);
+
+  auto del = RunCypherMutate(
+      &g_, StringFormat("START n=node(%llu) DELETE n",
+                        (unsigned long long)na));
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_FALSE(g_.NodeExists(na));
+  EXPECT_EQ(g_.InDegree(nb), 0u);  // edge cascaded
+}
+
+TEST_F(CypherTest, MutateDelegatesReadsAndRejectsBadInput) {
+  // A read-only query through the mutate entry point still works.
+  auto r = RunCypherMutate(&g_,
+                           "START n=node(*) WHERE n.uid=2 RETURN n.predicate");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+  EXPECT_FALSE(RunCypherMutate(&g_, "CREATE ()").ok());
+  EXPECT_FALSE(RunCypherMutate(&g_, "CREATE (n:L {uid 2})").ok());
+  EXPECT_FALSE(RunCypherMutate(&g_, "START n=node(0) SET m.x = 1").ok());
+  EXPECT_FALSE(RunCypherMutate(&g_, "START n=node(999) DELETE n").ok());
+  EXPECT_FALSE(
+      RunCypherMutate(&g_, "CREATE (999) -[:T]-> (1000)").ok());
+}
+
+TEST_F(CypherTest, NoIndexErrors) {
+  EXPECT_FALSE(
+      RunCypher(g_, "START n=node:missing(uid=1) RETURN n.predicate").ok());
+}
+
+}  // namespace
+}  // namespace graphdb
+}  // namespace hypre

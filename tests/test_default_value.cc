@@ -1,0 +1,111 @@
+// DEFAULT_VALUE strategy tests (Table 12 / §6.3.1).
+#include <gtest/gtest.h>
+
+#include "hypre/default_value.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+const std::vector<double> kMixed{-0.4, 0.1, 0.5, 0.9};
+const std::vector<double> kAllNegative{-0.8, -0.2};
+const std::vector<double> kEmpty{};
+
+TEST(DefaultValueTest, FixedIgnoresExisting) {
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kFixed, kMixed, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kFixed, kEmpty, 0.7), 0.7);
+}
+
+TEST(DefaultValueTest, Min) {
+  EXPECT_DOUBLE_EQ(ComputeDefaultValue(DefaultValueStrategy::kMin, kMixed),
+                   -0.4);
+  EXPECT_DOUBLE_EQ(ComputeDefaultValue(DefaultValueStrategy::kMin, kEmpty),
+                   0.5);  // fallback
+}
+
+TEST(DefaultValueTest, MinPositive) {
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kMinPositive, kMixed), 0.1);
+  // No non-negative value: Table 12's fallback of 0.
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kMinPositive, kAllNegative),
+      0.0);
+}
+
+TEST(DefaultValueTest, Max) {
+  EXPECT_DOUBLE_EQ(ComputeDefaultValue(DefaultValueStrategy::kMax, kMixed),
+                   0.9);
+}
+
+TEST(DefaultValueTest, MaxPositiveExcludesOne) {
+  std::vector<double> with_one{0.2, 1.0};
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kMaxPositive, with_one), 0.2);
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kMaxPositive, kAllNegative),
+      0.0);
+}
+
+TEST(DefaultValueTest, Avg) {
+  EXPECT_NEAR(ComputeDefaultValue(DefaultValueStrategy::kAvg, kMixed),
+              (-0.4 + 0.1 + 0.5 + 0.9) / 4.0, 1e-12);
+}
+
+TEST(DefaultValueTest, AvgPositive) {
+  EXPECT_NEAR(
+      ComputeDefaultValue(DefaultValueStrategy::kAvgPositive, kMixed),
+      (0.1 + 0.5 + 0.9) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kAvgPositive, kAllNegative),
+      0.0);
+}
+
+TEST(DefaultValueTest, SeedOfOneClampsBelowOne) {
+  // §6.3.1: a seed of exactly 1 would make every derived value 1.
+  std::vector<double> all_ones{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kAvg, all_ones), 0.98);
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kMax, all_ones), 0.98);
+  EXPECT_DOUBLE_EQ(
+      ComputeDefaultValue(DefaultValueStrategy::kMin, all_ones), 0.98);
+}
+
+TEST(DefaultValueTest, StrategyNames) {
+  EXPECT_STREQ(DefaultValueStrategyToString(DefaultValueStrategy::kFixed),
+               "default");
+  EXPECT_STREQ(DefaultValueStrategyToString(DefaultValueStrategy::kMinPositive),
+               "min_pos");
+  EXPECT_STREQ(DefaultValueStrategyToString(DefaultValueStrategy::kAvgPositive),
+               "avg_pos");
+}
+
+// Seeds stay inside [-1, 1) for every strategy over every sample
+// (parameterized sweep).
+class DefaultValueProperty
+    : public ::testing::TestWithParam<DefaultValueStrategy> {};
+
+TEST_P(DefaultValueProperty, SeedInRange) {
+  for (const auto& sample :
+       {kMixed, kAllNegative, kEmpty, std::vector<double>{1.0},
+        std::vector<double>{0.0}, std::vector<double>{-1.0, 1.0}}) {
+    double seed = ComputeDefaultValue(GetParam(), sample);
+    EXPECT_GE(seed, -1.0);
+    EXPECT_LT(seed, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, DefaultValueProperty,
+    ::testing::Values(DefaultValueStrategy::kFixed, DefaultValueStrategy::kMin,
+                      DefaultValueStrategy::kMinPositive,
+                      DefaultValueStrategy::kMax,
+                      DefaultValueStrategy::kMaxPositive,
+                      DefaultValueStrategy::kAvg,
+                      DefaultValueStrategy::kAvgPositive));
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,233 @@
+// GraphStore tests: CRUD, cascade deletion, label/property indexes,
+// traversal primitives, and the batch inserter.
+#include <gtest/gtest.h>
+
+#include "graphdb/batch.h"
+#include "graphdb/graph_store.h"
+#include "graphdb/traversal.h"
+
+namespace hypre {
+namespace graphdb {
+namespace {
+
+PropertyMap Props(int64_t uid, const std::string& pred) {
+  PropertyMap p;
+  p["uid"] = PropertyValue(uid);
+  p["predicate"] = PropertyValue(pred);
+  return p;
+}
+
+TEST(PropertyValueTest, TypesAndComparison) {
+  EXPECT_TRUE(PropertyValue().is_null());
+  EXPECT_TRUE(PropertyValue(true).is_bool());
+  EXPECT_TRUE(PropertyValue(int64_t{4}).is_int());
+  EXPECT_TRUE(PropertyValue(0.5).is_double());
+  EXPECT_TRUE(PropertyValue("x").is_string());
+  EXPECT_EQ(PropertyValue(int64_t{2}).Compare(PropertyValue(2.0)), 0);
+  EXPECT_LT(PropertyValue(int64_t{1}).Compare(PropertyValue(2.0)), 0);
+  EXPECT_LT(PropertyValue().Compare(PropertyValue(false)), 0);
+  EXPECT_LT(PropertyValue(true).Compare(PropertyValue(int64_t{0})), 0);
+  EXPECT_LT(PropertyValue(int64_t{5}).Compare(PropertyValue("a")), 0);
+}
+
+TEST(PropertyValueTest, ToString) {
+  EXPECT_EQ(PropertyValue().ToString(), "null");
+  EXPECT_EQ(PropertyValue(true).ToString(), "true");
+  EXPECT_EQ(PropertyValue(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(PropertyValue("hi").ToString(), "\"hi\"");
+}
+
+TEST(GraphStoreTest, AddAndGetNode) {
+  GraphStore g;
+  NodeId id = g.AddNode({"uidIndex"}, Props(2, "p"));
+  EXPECT_TRUE(g.NodeExists(id));
+  EXPECT_EQ(g.num_nodes(), 1u);
+  auto node = g.GetNode(id);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->labels.size(), 1u);
+  EXPECT_EQ(g.GetNodeProperty(id, "uid")->AsInt(), 2);
+  EXPECT_FALSE(g.GetNodeProperty(id, "nope").has_value());
+}
+
+TEST(GraphStoreTest, EdgesAndAdjacency) {
+  GraphStore g;
+  NodeId a = g.AddNode({}, {});
+  NodeId b = g.AddNode({}, {});
+  NodeId c = g.AddNode({}, {});
+  auto e1 = g.AddEdge(a, b, "PREFERS");
+  auto e2 = g.AddEdge(a, c, "DISCARD");
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(a), 2u);
+  EXPECT_EQ(g.OutDegree(a, "PREFERS"), 1u);
+  EXPECT_EQ(g.InDegree(b, "PREFERS"), 1u);
+  EXPECT_EQ(g.InDegree(c, "PREFERS"), 0u);
+  EXPECT_EQ(g.Degree(a), 2u);
+  EXPECT_FALSE(g.AddEdge(a, 999, "X").ok());
+  EXPECT_FALSE(g.AddEdge(999, a, "X").ok());
+}
+
+TEST(GraphStoreTest, RemoveEdge) {
+  GraphStore g;
+  NodeId a = g.AddNode({}, {});
+  NodeId b = g.AddNode({}, {});
+  EdgeId e = g.AddEdge(a, b, "PREFERS").value();
+  ASSERT_TRUE(g.RemoveEdge(e).ok());
+  EXPECT_FALSE(g.EdgeExists(e));
+  EXPECT_EQ(g.OutDegree(a), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.RemoveEdge(e).ok());  // double delete
+}
+
+TEST(GraphStoreTest, RemoveNodeCascades) {
+  GraphStore g;
+  NodeId a = g.AddNode({}, {});
+  NodeId b = g.AddNode({}, {});
+  NodeId c = g.AddNode({}, {});
+  EdgeId e1 = g.AddEdge(a, b, "T").value();
+  EdgeId e2 = g.AddEdge(c, a, "T").value();
+  ASSERT_TRUE(g.RemoveNode(a).ok());
+  EXPECT_FALSE(g.NodeExists(a));
+  EXPECT_FALSE(g.EdgeExists(e1));
+  EXPECT_FALSE(g.EdgeExists(e2));
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.OutDegree(c), 0u);
+}
+
+TEST(GraphStoreTest, SetEdgeTypeRelabels) {
+  GraphStore g;
+  NodeId a = g.AddNode({}, {});
+  NodeId b = g.AddNode({}, {});
+  EdgeId e = g.AddEdge(a, b, "PREFERS").value();
+  EXPECT_EQ(g.OutDegree(a, "PREFERS"), 1u);
+  ASSERT_TRUE(g.SetEdgeType(e, "DISCARD").ok());
+  EXPECT_EQ(g.OutDegree(a, "PREFERS"), 0u);
+  EXPECT_EQ(g.OutDegree(a, "DISCARD"), 1u);
+}
+
+TEST(GraphStoreTest, IndexLookupAndMaintenance) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateIndex("uidIndex", "uid").ok());
+  NodeId a = g.AddNode({"uidIndex"}, Props(2, "p1"));
+  NodeId b = g.AddNode({"uidIndex"}, Props(2, "p2"));
+  g.AddNode({"uidIndex"}, Props(3, "p3"));
+  g.AddNode({"other"}, Props(2, "p4"));  // wrong label: not indexed
+
+  auto found = g.FindNodes("uidIndex", "uid", PropertyValue(int64_t{2}));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->size(), 2u);
+
+  // Property update moves the node between index buckets.
+  ASSERT_TRUE(g.SetNodeProperty(a, "uid", PropertyValue(int64_t{9})).ok());
+  EXPECT_EQ(g.FindNodes("uidIndex", "uid", PropertyValue(int64_t{2}))->size(),
+            1u);
+  EXPECT_EQ(g.FindNodes("uidIndex", "uid", PropertyValue(int64_t{9}))->size(),
+            1u);
+
+  // Node removal drops it from the index.
+  ASSERT_TRUE(g.RemoveNode(b).ok());
+  EXPECT_TRUE(g.FindNodes("uidIndex", "uid", PropertyValue(int64_t{2}))
+                  ->empty());
+
+  // Late label add back-fills.
+  NodeId d = g.AddNode({}, Props(7, "p5"));
+  ASSERT_TRUE(g.AddLabel(d, "uidIndex").ok());
+  EXPECT_EQ(g.FindNodes("uidIndex", "uid", PropertyValue(int64_t{7}))->size(),
+            1u);
+
+  EXPECT_FALSE(g.FindNodes("noIndex", "uid", PropertyValue(int64_t{2})).ok());
+  EXPECT_TRUE(g.HasIndex("uidIndex", "uid"));
+  EXPECT_FALSE(g.HasIndex("uidIndex", "intensity"));
+}
+
+TEST(GraphStoreTest, IndexCreatedAfterNodesBackfills) {
+  GraphStore g;
+  g.AddNode({"L"}, Props(1, "x"));
+  g.AddNode({"L"}, Props(1, "y"));
+  ASSERT_TRUE(g.CreateIndex("L", "uid").ok());
+  EXPECT_EQ(g.FindNodes("L", "uid", PropertyValue(int64_t{1}))->size(), 2u);
+}
+
+TEST(TraversalTest, HasPathFollowsTypedEdges) {
+  GraphStore g;
+  NodeId a = g.AddNode({}, {});
+  NodeId b = g.AddNode({}, {});
+  NodeId c = g.AddNode({}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, "PREFERS").ok());
+  ASSERT_TRUE(g.AddEdge(b, c, "DISCARD").ok());
+  EXPECT_TRUE(HasPath(g, a, b, "PREFERS"));
+  EXPECT_FALSE(HasPath(g, a, c, "PREFERS"));  // DISCARD edges inhibit paths
+  EXPECT_TRUE(HasPath(g, a, c));              // any-type traversal reaches c
+  EXPECT_TRUE(HasPath(g, a, a, "PREFERS"));   // trivial self path
+  EXPECT_FALSE(HasPath(g, c, a));
+}
+
+TEST(TraversalTest, ReachableAndComponent) {
+  GraphStore g;
+  NodeId a = g.AddNode({}, {});
+  NodeId b = g.AddNode({}, {});
+  NodeId c = g.AddNode({}, {});
+  NodeId d = g.AddNode({}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, "T").ok());
+  ASSERT_TRUE(g.AddEdge(c, b, "T").ok());
+  (void)d;
+  EXPECT_EQ(ReachableFrom(g, a, "T").size(), 2u);  // a, b
+  EXPECT_EQ(WeaklyConnectedComponent(g, a, "T").size(), 3u);  // a, b, c
+}
+
+TEST(TraversalTest, TopologicalSortAndCycles) {
+  GraphStore g;
+  NodeId a = g.AddNode({}, {});
+  NodeId b = g.AddNode({}, {});
+  NodeId c = g.AddNode({}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, "T").ok());
+  ASSERT_TRUE(g.AddEdge(b, c, "T").ok());
+  auto order = TopologicalSort(g, {a, b, c}, "T");
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ((*order)[0], a);
+  EXPECT_EQ((*order)[2], c);
+  EXPECT_TRUE(IsAcyclic(g, {a, b, c}, "T"));
+
+  ASSERT_TRUE(g.AddEdge(c, a, "T").ok());  // close the cycle
+  EXPECT_FALSE(TopologicalSort(g, {a, b, c}, "T").ok());
+  EXPECT_FALSE(IsAcyclic(g, {a, b, c}, "T"));
+}
+
+TEST(TraversalTest, ShortestPathLength) {
+  GraphStore g;
+  NodeId a = g.AddNode({}, {});
+  NodeId b = g.AddNode({}, {});
+  NodeId c = g.AddNode({}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, "T").ok());
+  ASSERT_TRUE(g.AddEdge(b, c, "T").ok());
+  ASSERT_TRUE(g.AddEdge(a, c, "T").ok());
+  EXPECT_EQ(ShortestPathLength(g, a, c, "T"), 1);
+  EXPECT_EQ(ShortestPathLength(g, a, b, "T"), 1);
+  EXPECT_EQ(ShortestPathLength(g, c, a, "T"), -1);
+  EXPECT_EQ(ShortestPathLength(g, a, a, "T"), 0);
+}
+
+TEST(BatchInserterTest, FlushesInBatches) {
+  GraphStore g;
+  BatchInserter inserter(&g, 10);
+  for (int i = 0; i < 25; ++i) {
+    inserter.Add({"L"}, Props(i, "p"));
+  }
+  inserter.Flush();
+  EXPECT_EQ(g.num_nodes(), 25u);
+  ASSERT_EQ(inserter.stats().size(), 3u);
+  EXPECT_EQ(inserter.stats()[0].nodes_inserted, 10u);
+  EXPECT_EQ(inserter.stats()[1].nodes_inserted, 10u);
+  EXPECT_EQ(inserter.stats()[2].nodes_inserted, 5u);
+  EXPECT_EQ(inserter.stats()[2].total_nodes_after, 25u);
+  EXPECT_GE(inserter.stats()[0].seconds, 0.0);
+  // Double flush is a no-op.
+  inserter.Flush();
+  EXPECT_EQ(inserter.stats().size(), 3u);
+}
+
+}  // namespace
+}  // namespace graphdb
+}  // namespace hypre

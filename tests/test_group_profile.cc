@@ -1,0 +1,113 @@
+// Group-profile tests (§8.2 future work #3).
+#include <gtest/gtest.h>
+
+#include "hypre/group_profile.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+HypreGraph ThreeMemberGraph() {
+  HypreGraph graph;
+  // Member 1: VLDB 0.6, SIGMOD 0.2.
+  EXPECT_TRUE(graph.AddQuantitative({1, "venue='VLDB'", 0.6}).ok());
+  EXPECT_TRUE(graph.AddQuantitative({1, "venue='SIGMOD'", 0.2}).ok());
+  // Member 2: VLDB 0.3, PODS disliked.
+  EXPECT_TRUE(graph.AddQuantitative({2, "venue='VLDB'", 0.3}).ok());
+  EXPECT_TRUE(graph.AddQuantitative({2, "venue='PODS'", -0.4}).ok());
+  // Member 3: VLDB 0.9 only.
+  EXPECT_TRUE(graph.AddQuantitative({3, "venue='VLDB'", 0.9}).ok());
+  return graph;
+}
+
+double IntensityOf(const std::vector<QuantitativePreference>& prefs,
+                   const std::string& predicate) {
+  for (const auto& p : prefs) {
+    if (p.predicate == predicate) return p.intensity;
+  }
+  ADD_FAILURE() << "missing " << predicate;
+  return -99;
+}
+
+TEST(GroupProfileTest, AverageDilutesByGroupSize) {
+  HypreGraph graph = ThreeMemberGraph();
+  auto profile = BuildGroupProfile(graph, {1, 2, 3}, 100);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  // VLDB held by all three: (0.6+0.3+0.9)/3.
+  EXPECT_NEAR(IntensityOf(*profile, "venue='VLDB'"), 0.6, 1e-12);
+  // SIGMOD held by one of three: diluted 0.2/3.
+  EXPECT_NEAR(IntensityOf(*profile, "venue='SIGMOD'"), 0.2 / 3, 1e-12);
+  // The dislike carries through.
+  EXPECT_NEAR(IntensityOf(*profile, "venue='PODS'"), -0.4 / 3, 1e-12);
+  for (const auto& p : *profile) EXPECT_EQ(p.uid, 100);
+}
+
+TEST(GroupProfileTest, MinAndMaxAggregation) {
+  HypreGraph graph = ThreeMemberGraph();
+  GroupProfileConfig config;
+  config.aggregation = GroupProfileConfig::Aggregation::kMin;
+  auto min_profile = BuildGroupProfile(graph, {1, 2, 3}, 100, config);
+  ASSERT_TRUE(min_profile.ok());
+  EXPECT_NEAR(IntensityOf(*min_profile, "venue='VLDB'"), 0.3, 1e-12);
+
+  config.aggregation = GroupProfileConfig::Aggregation::kMax;
+  auto max_profile = BuildGroupProfile(graph, {1, 2, 3}, 100, config);
+  ASSERT_TRUE(max_profile.ok());
+  EXPECT_NEAR(IntensityOf(*max_profile, "venue='VLDB'"), 0.9, 1e-12);
+}
+
+TEST(GroupProfileTest, MinSupportFiltersNonConsensus) {
+  HypreGraph graph = ThreeMemberGraph();
+  GroupProfileConfig config;
+  config.min_support = 2;
+  auto profile = BuildGroupProfile(graph, {1, 2, 3}, 100, config);
+  ASSERT_TRUE(profile.ok());
+  // Only VLDB is held by >= 2 members.
+  ASSERT_EQ(profile->size(), 1u);
+  EXPECT_EQ((*profile)[0].predicate, "venue='VLDB'");
+}
+
+TEST(GroupProfileTest, ExcludeNegative) {
+  HypreGraph graph = ThreeMemberGraph();
+  GroupProfileConfig config;
+  config.include_negative = false;
+  auto profile = BuildGroupProfile(graph, {1, 2, 3}, 100, config);
+  ASSERT_TRUE(profile.ok());
+  for (const auto& p : *profile) {
+    EXPECT_NE(p.predicate, "venue='PODS'");
+  }
+}
+
+TEST(GroupProfileTest, Validation) {
+  HypreGraph graph = ThreeMemberGraph();
+  EXPECT_FALSE(BuildGroupProfile(graph, {}, 100).ok());
+  EXPECT_FALSE(BuildGroupProfile(graph, {1, 100}, 100).ok());
+}
+
+TEST(GroupProfileTest, MaterializeInsertsIntoGraph) {
+  HypreGraph graph = ThreeMemberGraph();
+  auto count = MaterializeGroupProfile(&graph, {1, 2, 3}, 100);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 3u);
+  auto prefs = graph.ListPreferences(100, /*include_negative=*/true);
+  EXPECT_EQ(prefs.size(), 3u);
+  // The group user behaves like any other: further qualitative statements
+  // can refine it.
+  EXPECT_TRUE(
+      graph.AddQualitative({100, "venue='VLDB'", "venue='SIGMOD'", 0.2})
+          .ok());
+  EXPECT_TRUE(graph.CheckInvariants().ok());
+}
+
+TEST(GroupProfileTest, MemberWithEmptyProfileIsHarmless) {
+  HypreGraph graph = ThreeMemberGraph();
+  auto profile = BuildGroupProfile(graph, {1, 2, 3, 999}, 100);
+  ASSERT_TRUE(profile.ok());
+  // Dilution now over four members.
+  EXPECT_NEAR(IntensityOf(*profile, "venue='VLDB'"), (0.6 + 0.3 + 0.9) / 4,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

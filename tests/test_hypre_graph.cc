@@ -1,0 +1,367 @@
+// HYPRE graph tests: Algorithm 1 branches, the §3.3 running example,
+// conflicts (CYCLE/DISCARD), Proposition 7 reversal, duplicate averaging,
+// and randomized invariant sweeps.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "hypre/hypre_graph.h"
+#include "hypre/intensity.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+constexpr UserId kUid = 2;
+
+QuantitativePreference Quant(const std::string& pred, double intensity) {
+  return {kUid, pred, intensity};
+}
+
+QualitativePreference Qual(const std::string& left, const std::string& right,
+                           double intensity) {
+  return {kUid, left, right, intensity};
+}
+
+TEST(HypreGraphTest, QuantitativeInsertCreatesNode) {
+  HypreGraph graph;
+  auto id = graph.AddQuantitative(Quant("dblp.venue='VLDB'", 0.5));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(graph.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(*id), 0.5);
+  EXPECT_EQ(*graph.NodeProvenance(*id), Provenance::kUser);
+  EXPECT_EQ(graph.FindNode(kUid, "dblp.venue='VLDB'"), *id);
+}
+
+TEST(HypreGraphTest, QuantitativeValidation) {
+  HypreGraph graph;
+  EXPECT_FALSE(graph.AddQuantitative(Quant("p=1", 1.5)).ok());
+  EXPECT_FALSE(graph.AddQuantitative(Quant("p=1", -1.5)).ok());
+  EXPECT_FALSE(graph.AddQuantitative(Quant("", 0.5)).ok());
+  EXPECT_TRUE(graph.AddQuantitative(Quant("p=1", -1.0)).ok());  // boundary ok
+}
+
+TEST(HypreGraphTest, DuplicateQuantitativeAveragesIntensity) {
+  // §4.5 Step 1: duplicate predicate -> average of the two intensities.
+  HypreGraph graph;
+  auto first = graph.AddQuantitative(Quant("p=1", 0.4));
+  auto second = graph.AddQuantitative(Quant("p=1", 0.8));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(graph.num_nodes(), 1u);
+  EXPECT_NEAR(*graph.NodeIntensity(*first), 0.6, 1e-12);
+}
+
+TEST(HypreGraphTest, QualitativeBothNodesNewUsesDefaultSeed) {
+  // Scenario 3 (§6.3): right node seeded with the DEFAULT_VALUE (0.5),
+  // left computed with Eq. 4.1.
+  HypreGraph graph;
+  auto r = graph.AddQualitative(Qual("a=1", "b=2", 0.8));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->label, EdgeLabel::kPrefers);
+  EXPECT_TRUE(r->used_default);
+  EXPECT_TRUE(r->computed_left);
+  graphdb::NodeId left = graph.FindNode(kUid, "a=1");
+  graphdb::NodeId right = graph.FindNode(kUid, "b=2");
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(right), 0.5);
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(left), IntensityLeft(0.8, 0.5));
+  EXPECT_EQ(*graph.NodeProvenance(right), Provenance::kDefault);
+  EXPECT_EQ(*graph.NodeProvenance(left), Provenance::kComputed);
+  EXPECT_GE(*graph.NodeIntensity(left), *graph.NodeIntensity(right));
+}
+
+TEST(HypreGraphTest, QualitativeRightKnownComputesLeft) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQuantitative(Quant("b=2", 0.4)).ok());
+  auto r = graph.AddQualitative(Qual("a=1", "b=2", 0.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->computed_left);
+  EXPECT_FALSE(r->used_default);
+  graphdb::NodeId left = graph.FindNode(kUid, "a=1");
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(left), IntensityLeft(0.5, 0.4));
+}
+
+TEST(HypreGraphTest, QualitativeLeftKnownComputesRight) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQuantitative(Quant("a=1", 0.4)).ok());
+  auto r = graph.AddQualitative(Qual("a=1", "b=2", 0.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->computed_right);
+  graphdb::NodeId right = graph.FindNode(kUid, "b=2");
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(right), IntensityRight(0.5, 0.4));
+}
+
+TEST(HypreGraphTest, ConsistentUserValuesKeptVerbatim) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQuantitative(Quant("a=1", 0.8)).ok());
+  ASSERT_TRUE(graph.AddQuantitative(Quant("b=2", 0.3)).ok());
+  auto r = graph.AddQualitative(Qual("a=1", "b=2", 0.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label, EdgeLabel::kPrefers);
+  EXPECT_FALSE(r->computed_left);
+  EXPECT_FALSE(r->computed_right);
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(graph.FindNode(kUid, "a=1")), 0.8);
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(graph.FindNode(kUid, "b=2")), 0.3);
+}
+
+TEST(HypreGraphTest, IncompatibleAnchoredValuesDiscard) {
+  // Both endpoints user-provided with left < right and both anchored by the
+  // incoming edge being their only connection — user values are never
+  // recomputed, so the edge is DISCARDed (§6.2.3 "incompatible
+  // intensities").
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQuantitative(Quant("a=1", 0.2)).ok());
+  ASSERT_TRUE(graph.AddQuantitative(Quant("b=2", 0.9)).ok());
+  auto r = graph.AddQualitative(Qual("a=1", "b=2", 0.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label, EdgeLabel::kDiscard);
+  // Intensities untouched.
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(graph.FindNode(kUid, "a=1")), 0.2);
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(graph.FindNode(kUid, "b=2")), 0.9);
+  EXPECT_EQ(graph.CountEdgeLabels().discard, 1u);
+  EXPECT_EQ(graph.CountEdgeLabels().prefers, 0u);
+}
+
+TEST(HypreGraphTest, IncompatibleWithAnchoredComputedNodeDiscards) {
+  // A computed node that already has a PREFERS connection is anchored: the
+  // conflicting edge is DISCARDed rather than propagating a recomputation.
+  HypreGraph graph;
+  // b=2 gets a computed value (0.25) via a first qualitative preference.
+  ASSERT_TRUE(graph.AddQuantitative(Quant("a=1", 0.5)).ok());
+  ASSERT_TRUE(graph.AddQualitative(Qual("a=1", "b=2", 1.0)).ok());
+  double b_value = *graph.NodeIntensity(graph.FindNode(kUid, "b=2"));
+  EXPECT_DOUBLE_EQ(b_value, 0.25);
+  // Now c=3 (user 0.1) preferred over b=2 (computed 0.25): conflict, but b's
+  // only PREFERS link... b IS connected (degree 1) so not recomputable; c is
+  // user-provided so not recomputable either -> DISCARD.
+  ASSERT_TRUE(graph.AddQuantitative(Quant("c=3", 0.1)).ok());
+  auto r = graph.AddQualitative(Qual("c=3", "b=2", 0.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label, EdgeLabel::kDiscard);
+}
+
+TEST(HypreGraphTest, CycleDetectedAndLabeled) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQualitative(Qual("a=1", "b=2", 0.3)).ok());
+  ASSERT_TRUE(graph.AddQualitative(Qual("b=2", "c=3", 0.3)).ok());
+  auto r = graph.AddQualitative(Qual("c=3", "a=1", 0.3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label, EdgeLabel::kCycle);
+  EXPECT_EQ(graph.CountEdgeLabels().cycle, 1u);
+  EXPECT_EQ(graph.CountEdgeLabels().prefers, 2u);
+  EXPECT_TRUE(graph.CheckInvariants().ok());
+}
+
+TEST(HypreGraphTest, TwoNodeCycle) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQualitative(Qual("a=1", "b=2", 0.3)).ok());
+  auto r = graph.AddQualitative(Qual("b=2", "a=1", 0.3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label, EdgeLabel::kCycle);
+}
+
+TEST(HypreGraphTest, Proposition7NegativeIntensityReverses) {
+  HypreGraph graph;
+  auto r = graph.AddQualitative(Qual("a=1", "b=2", -0.4));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reversed);
+  EXPECT_EQ(r->label, EdgeLabel::kPrefers);
+  // Stored as b=2 PREFERS a=1 with strength 0.4.
+  auto edges = graph.ListQualitative(kUid);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].left_predicate, "b=2");
+  EXPECT_EQ(edges[0].right_predicate, "a=1");
+  EXPECT_DOUBLE_EQ(edges[0].intensity, 0.4);
+}
+
+TEST(HypreGraphTest, ZeroIntensityMeansEquallyPreferred) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQuantitative(Quant("b=2", 0.4)).ok());
+  ASSERT_TRUE(graph.AddQualitative(Qual("a=1", "b=2", 0.0)).ok());
+  // Eq. 4.1 with ql=0 copies the value: equally preferred.
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(graph.FindNode(kUid, "a=1")), 0.4);
+}
+
+TEST(HypreGraphTest, SelfQualitativeRejected) {
+  HypreGraph graph;
+  EXPECT_FALSE(graph.AddQualitative(Qual("a=1", "a=1", 0.3)).ok());
+  EXPECT_FALSE(graph.AddQualitative(Qual("", "a=1", 0.3)).ok());
+  EXPECT_FALSE(graph.AddQualitative(Qual("a=1", "b=1", 1.5)).ok());
+}
+
+TEST(HypreGraphTest, ListPreferencesSortedAndFiltered) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQuantitative(Quant("a=1", 0.3)).ok());
+  ASSERT_TRUE(graph.AddQuantitative(Quant("b=2", 0.9)).ok());
+  ASSERT_TRUE(graph.AddQuantitative(Quant("c=3", -0.5)).ok());
+  auto positive = graph.ListPreferences(kUid);
+  ASSERT_EQ(positive.size(), 2u);
+  EXPECT_EQ(positive[0].predicate, "b=2");
+  EXPECT_EQ(positive[1].predicate, "a=1");
+  auto all = graph.ListPreferences(kUid, /*include_negative=*/true);
+  EXPECT_EQ(all.size(), 3u);
+  // Unknown user: empty.
+  EXPECT_TRUE(graph.ListPreferences(999).empty());
+}
+
+TEST(HypreGraphTest, UsersAreIsolated) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQuantitative({1, "a=1", 0.3}).ok());
+  ASSERT_TRUE(graph.AddQuantitative({2, "a=1", 0.9}).ok());
+  EXPECT_EQ(graph.num_nodes(), 2u);
+  EXPECT_NE(graph.FindNode(1, "a=1"), graph.FindNode(2, "a=1"));
+  EXPECT_EQ(graph.Users().size(), 2u);
+  // Same-predicate qualitative chains do not leak across users.
+  ASSERT_TRUE(graph.AddQualitative({1, "a=1", "b=2", 0.2}).ok());
+  EXPECT_TRUE(graph.ListQualitative(2).empty());
+  EXPECT_EQ(graph.ListQualitative(1).size(), 1u);
+}
+
+TEST(HypreGraphTest, UserValueSupersedesComputedAndReconciles) {
+  HypreGraph graph;
+  // a=1 (user 0.5) PREFERS b=2 (computed 0.25).
+  ASSERT_TRUE(graph.AddQuantitative(Quant("a=1", 0.5)).ok());
+  ASSERT_TRUE(graph.AddQualitative(Qual("a=1", "b=2", 1.0)).ok());
+  // User now states b=2 directly with 0.9 > 0.5: the PREFERS edge's
+  // invariant breaks and the edge is relabeled DISCARD.
+  ASSERT_TRUE(graph.AddQuantitative(Quant("b=2", 0.9)).ok());
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(graph.FindNode(kUid, "b=2")), 0.9);
+  EXPECT_EQ(*graph.NodeProvenance(graph.FindNode(kUid, "b=2")),
+            Provenance::kUser);
+  EXPECT_EQ(graph.CountEdgeLabels().discard, 1u);
+  EXPECT_TRUE(graph.CheckInvariants().ok());
+}
+
+TEST(HypreGraphTest, Section33RunningExample) {
+  // The full §3.3 walk-through: P1..P4 quantitative, then the relative
+  // preference (P5 > P6), the preference set (P7 > P3), and the
+  // different-levels preference (P7 > P8).
+  HypreGraph graph;
+  ASSERT_TRUE(graph
+                  .AddQuantitative(
+                      Quant("year>=2000 AND year<=2005", 0.3))
+                  .ok());
+  ASSERT_TRUE(graph
+                  .AddQuantitative(
+                      Quant("year>=2005 AND year<=2009", 0.5))
+                  .ok());
+  ASSERT_TRUE(graph.AddQuantitative(Quant("year>=2009", 0.8)).ok());
+  ASSERT_TRUE(
+      graph.AddQuantitative(Quant("venue='INFOCOM'", -1.0)).ok());
+  EXPECT_EQ(graph.num_nodes(), 4u);
+
+  // Relative preference: two fresh nodes, default seeding.
+  auto r5 = graph.AddQualitative(
+      Qual("venue='VLDB' AND year>=2010", "venue='VLDB' AND year<2010", 0.8));
+  ASSERT_TRUE(r5.ok());
+  EXPECT_EQ(r5->label, EdgeLabel::kPrefers);
+  EXPECT_TRUE(r5->used_default);
+  EXPECT_EQ(graph.num_nodes(), 6u);
+
+  // Preference set: node P3 (year>=2009) already exists and is reused.
+  auto r7 = graph.AddQualitative(Qual("venue='VLDB'", "year>=2009", 0.2));
+  ASSERT_TRUE(r7.ok());
+  EXPECT_FALSE(r7->right_created);
+  EXPECT_TRUE(r7->left_created);
+  EXPECT_TRUE(r7->computed_left);
+  EXPECT_EQ(graph.num_nodes(), 7u);
+  // P7's intensity derives from P3's user value 0.8.
+  EXPECT_DOUBLE_EQ(
+      *graph.NodeIntensity(graph.FindNode(kUid, "venue='VLDB'")),
+      IntensityLeft(0.2, 0.8));
+
+  // Different levels of intensity: P8 = SIGMOD with its own quantitative
+  // value 0.8, then VLDB preferred over SIGMOD by 0.3 — but P7's computed
+  // value (~0.92) already exceeds 0.8, so values are consistent.
+  ASSERT_TRUE(graph.AddQuantitative(Quant("venue='SIGMOD'", 0.8)).ok());
+  auto r8 = graph.AddQualitative(
+      Qual("venue='VLDB'", "venue='SIGMOD'", 0.3));
+  ASSERT_TRUE(r8.ok());
+  EXPECT_EQ(r8->label, EdgeLabel::kPrefers);
+  EXPECT_EQ(graph.num_nodes(), 8u);
+  EXPECT_EQ(graph.CountEdgeLabels().prefers, 3u);
+  EXPECT_TRUE(graph.CheckInvariants().ok());
+
+  // Coverage growth: the qualitative insertions minted intensities for four
+  // nodes that had none.
+  EXPECT_EQ(graph.ListPreferences(kUid).size(), 7u);  // all but INFOCOM(-1)
+}
+
+TEST(HypreGraphTest, RemovePreferenceCascades) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQuantitative(Quant("a=1", 0.5)).ok());
+  ASSERT_TRUE(graph.AddQualitative(Qual("a=1", "b=2", 0.3)).ok());
+  ASSERT_EQ(graph.num_nodes(), 2u);
+  ASSERT_EQ(graph.num_edges(), 1u);
+
+  ASSERT_TRUE(graph.RemovePreference(kUid, "a=1").ok());
+  EXPECT_EQ(graph.num_nodes(), 1u);
+  EXPECT_EQ(graph.num_edges(), 0u);  // incident edge cascaded
+  EXPECT_EQ(graph.FindNode(kUid, "a=1"), graphdb::kInvalidNode);
+  // The derived value on b=2 survives removal (documented behavior).
+  EXPECT_TRUE(graph.NodeIntensity(graph.FindNode(kUid, "b=2")).has_value());
+  // Removing again fails; re-adding works and creates a fresh node.
+  EXPECT_FALSE(graph.RemovePreference(kUid, "a=1").ok());
+  EXPECT_TRUE(graph.AddQuantitative(Quant("a=1", 0.9)).ok());
+  EXPECT_DOUBLE_EQ(*graph.NodeIntensity(graph.FindNode(kUid, "a=1")), 0.9);
+  EXPECT_TRUE(graph.CheckInvariants().ok());
+}
+
+TEST(HypreGraphTest, RemoveQualitativeEdgeOnly) {
+  HypreGraph graph;
+  ASSERT_TRUE(graph.AddQualitative(Qual("a=1", "b=2", 0.3)).ok());
+  auto removed = graph.RemoveQualitative(kUid, "a=1", "b=2");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.num_nodes(), 2u);  // nodes survive
+  // Direction matters; nothing in the reverse direction.
+  EXPECT_EQ(*graph.RemoveQualitative(kUid, "b=2", "a=1"), 0u);
+  // Unknown predicates: zero removed, not an error.
+  EXPECT_EQ(*graph.RemoveQualitative(kUid, "x=9", "b=2"), 0u);
+  // After removal, the reverse statement no longer trips the cycle check.
+  auto r = graph.AddQualitative(Qual("b=2", "a=1", 0.2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label, EdgeLabel::kPrefers);
+  EXPECT_TRUE(graph.CheckInvariants().ok());
+}
+
+// Randomized invariant sweep: arbitrary interleavings of insertions keep
+// the graph invariants intact.
+class HypreGraphRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HypreGraphRandomized, InvariantsHoldUnderRandomInsertions) {
+  Rng rng(GetParam());
+  HypreGraph graph;
+  constexpr int kPredicates = 12;
+  auto pred = [](int i) { return StringFormat("attr%d=%d", i % 3, i); };
+  for (int step = 0; step < 200; ++step) {
+    if (rng.NextBernoulli(0.4)) {
+      QuantitativePreference q{kUid, pred(static_cast<int>(
+                                          rng.NextBounded(kPredicates))),
+                               rng.NextDouble(-1.0, 1.0)};
+      ASSERT_TRUE(graph.AddQuantitative(q).ok());
+    } else {
+      int a = static_cast<int>(rng.NextBounded(kPredicates));
+      int b = static_cast<int>(rng.NextBounded(kPredicates));
+      if (a == b) continue;
+      QualitativePreference q{kUid, pred(a), pred(b),
+                              rng.NextDouble(-1.0, 1.0)};
+      ASSERT_TRUE(graph.AddQualitative(q).ok());
+    }
+  }
+  EXPECT_TRUE(graph.CheckInvariants().ok());
+  // Every node ended up with an intensity (qualitative insertion always
+  // resolves values).
+  for (graphdb::NodeId node : graph.UserNodes(kUid)) {
+    EXPECT_TRUE(graph.NodeIntensity(node).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypreGraphRandomized,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

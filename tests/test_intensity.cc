@@ -1,0 +1,197 @@
+// Intensity algebra tests: Eq. 4.1-4.4 and Propositions 1, 2, 6 —
+// including parameterized property sweeps over the intensity ranges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hypre/intensity.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+TEST(IntensityValidation, Ranges) {
+  EXPECT_TRUE(IsValidQuantitativeIntensity(-1.0));
+  EXPECT_TRUE(IsValidQuantitativeIntensity(0.0));
+  EXPECT_TRUE(IsValidQuantitativeIntensity(1.0));
+  EXPECT_FALSE(IsValidQuantitativeIntensity(1.0001));
+  EXPECT_FALSE(IsValidQuantitativeIntensity(-1.0001));
+  EXPECT_FALSE(IsValidQuantitativeIntensity(NAN));
+  EXPECT_TRUE(IsValidQualitativeIntensity(0.0));
+  EXPECT_TRUE(IsValidQualitativeIntensity(1.0));
+  EXPECT_FALSE(IsValidQualitativeIntensity(-0.1));
+}
+
+TEST(IntensityFunctions, ZeroStrengthIsIdentity) {
+  // Property 3 of §4.4: ql = 0 means equally preferred — no change.
+  for (double qt : {-1.0, -0.5, 0.0, 0.3, 1.0}) {
+    EXPECT_DOUBLE_EQ(IntensityLeft(0.0, qt), qt);
+    EXPECT_DOUBLE_EQ(IntensityRight(0.0, qt), qt);
+  }
+}
+
+TEST(IntensityFunctions, KnownValues) {
+  // qt=0.5, ql=1: left = min(1, 0.5 * 2^1) = 1.
+  EXPECT_DOUBLE_EQ(IntensityLeft(1.0, 0.5), 1.0);
+  // qt=0.5, ql=1: right = 0.5 * 2^-1 = 0.25.
+  EXPECT_DOUBLE_EQ(IntensityRight(1.0, 0.5), 0.25);
+  // Negative quantitative value: left moves toward zero, right away.
+  EXPECT_DOUBLE_EQ(IntensityLeft(1.0, -0.5), -0.25);
+  EXPECT_DOUBLE_EQ(IntensityRight(1.0, -0.5), -1.0);
+}
+
+TEST(CombineFunctions, KnownValues) {
+  // The dissertation's worked Example 6.
+  EXPECT_NEAR(CombineAnd(0.8, 0.5), 0.9, 1e-12);
+  EXPECT_NEAR(CombineAnd(0.9, 0.2), 0.92, 1e-12);
+  EXPECT_NEAR(CombineAnd(0.5, 0.2), 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(CombineOr(0.8, 0.4), 0.6);
+}
+
+TEST(CombineFunctions, AndIdentityAndAbsorption) {
+  EXPECT_DOUBLE_EQ(CombineAnd(0.0, 0.7), 0.7);  // 0 is the identity
+  EXPECT_DOUBLE_EQ(CombineAnd(1.0, 0.7), 1.0);  // 1 absorbs
+}
+
+TEST(CombineFunctions, Folds) {
+  std::vector<double> vals{0.8, 0.5, 0.2};
+  EXPECT_NEAR(CombineAndAll(vals), 0.92, 1e-12);
+  EXPECT_DOUBLE_EQ(CombineAndAll({}), 0.0);
+  // OR fold: ((0.8+0.5)/2 + 0.2)/2 = 0.425
+  EXPECT_DOUBLE_EQ(CombineOrFold(vals), 0.425);
+  EXPECT_DOUBLE_EQ(CombineOrFold({}), 0.0);
+  std::vector<double> one{0.3};
+  EXPECT_DOUBLE_EQ(CombineOrFold(one), 0.3);
+}
+
+TEST(Proposition6, Bound) {
+  // p1 = 0.75, p2 = 0.5: K = log(0.25)/log(0.5) = 2.
+  EXPECT_NEAR(MinPredicatesToExceed(0.75, 0.5), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MinPredicatesToExceed(0.3, 0.5), 1.0);  // already enough
+  EXPECT_TRUE(std::isinf(MinPredicatesToExceed(0.5, 0.0)));
+  EXPECT_TRUE(std::isinf(MinPredicatesToExceed(1.0, 0.5)));
+}
+
+TEST(Proposition6, BoundIsSufficient) {
+  // AND-combining ceil(K) preferences of intensity p2 reaches p1.
+  double p1 = 0.9;
+  double p2 = 0.3;
+  double k = MinPredicatesToExceed(p1, p2);
+  size_t n = static_cast<size_t>(std::ceil(k));
+  std::vector<double> vals(n, p2);
+  EXPECT_GE(CombineAndAll(vals) + 1e-12, p1);
+  // One fewer is NOT enough.
+  std::vector<double> fewer(n - 1, p2);
+  EXPECT_LT(CombineAndAll(fewer), p1);
+}
+
+// --- parameterized sweeps ------------------------------------------------------
+
+struct LeftRightCase {
+  double ql;
+  double qt;
+};
+
+class IntensityProperty : public ::testing::TestWithParam<LeftRightCase> {};
+
+TEST_P(IntensityProperty, LeftDominatesInput) {
+  // §4.4 property 1: left value >= the given quantitative value.
+  auto [ql, qt] = GetParam();
+  EXPECT_GE(IntensityLeft(ql, qt), qt - 1e-12);
+}
+
+TEST_P(IntensityProperty, RightDominatedByInput) {
+  // §4.4 property 2: right value <= the given quantitative value.
+  auto [ql, qt] = GetParam();
+  EXPECT_LE(IntensityRight(ql, qt), qt + 1e-12);
+}
+
+TEST_P(IntensityProperty, ResultsStayInRange) {
+  // §4.4 property 4: results never leave [-1, 1].
+  auto [ql, qt] = GetParam();
+  EXPECT_TRUE(IsValidQuantitativeIntensity(IntensityLeft(ql, qt)));
+  EXPECT_TRUE(IsValidQuantitativeIntensity(IntensityRight(ql, qt)));
+}
+
+TEST_P(IntensityProperty, MonotoneInStrength) {
+  // §4.4 property 3: a stronger qualitative preference widens the gap.
+  auto [ql, qt] = GetParam();
+  double stronger = std::min(1.0, ql + 0.25);
+  EXPECT_GE(IntensityLeft(stronger, qt), IntensityLeft(ql, qt) - 1e-12);
+  EXPECT_LE(IntensityRight(stronger, qt), IntensityRight(ql, qt) + 1e-12);
+}
+
+std::vector<LeftRightCase> SweepCases() {
+  std::vector<LeftRightCase> cases;
+  for (double ql : {0.0, 0.1, 0.3, 0.5, 0.75, 1.0}) {
+    for (double qt : {-1.0, -0.6, -0.2, 0.0, 0.2, 0.5, 0.9, 1.0}) {
+      cases.push_back({ql, qt});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntensityProperty,
+                         ::testing::ValuesIn(SweepCases()));
+
+struct TripleCase {
+  double p1, p2, p3;
+};
+
+class CompositionProperty : public ::testing::TestWithParam<TripleCase> {};
+
+TEST_P(CompositionProperty, Proposition1AndOrderIndependent) {
+  auto [p1, p2, p3] = GetParam();
+  double a = CombineAnd(p1, CombineAnd(p2, p3));
+  double b = CombineAnd(p2, CombineAnd(p1, p3));
+  double c = CombineAnd(p3, CombineAnd(p1, p2));
+  EXPECT_NEAR(a, b, 1e-12);
+  EXPECT_NEAR(b, c, 1e-12);
+  // Closed form 1 - prod(1 - pi).
+  EXPECT_NEAR(a, 1.0 - (1.0 - p1) * (1.0 - p2) * (1.0 - p3), 1e-12);
+}
+
+TEST_P(CompositionProperty, Proposition2OrOrderDependent) {
+  // With p1 >= p2 >= p3: applying the larger value LAST yields the larger
+  // fold result: f_or(p1, f_or(p2,p3)) >= f_or(p2, f_or(p1,p3)) >= ...
+  auto [p1, p2, p3] = GetParam();
+  std::vector<double> sorted{p1, p2, p3};
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double a = CombineOr(sorted[0], CombineOr(sorted[1], sorted[2]));
+  double b = CombineOr(sorted[1], CombineOr(sorted[0], sorted[2]));
+  double c = CombineOr(sorted[2], CombineOr(sorted[0], sorted[1]));
+  EXPECT_GE(a, b - 1e-12);
+  EXPECT_GE(b, c - 1e-12);
+}
+
+TEST_P(CompositionProperty, AndInflationaryOrReserved) {
+  // §2.3.1 taxonomy: f_and >= max (inflationary) for non-negative inputs;
+  // f_or lies between min and max (reserved).
+  auto [p1, p2, p3] = GetParam();
+  (void)p3;
+  if (p1 >= 0 && p2 >= 0) {
+    EXPECT_GE(CombineAnd(p1, p2) + 1e-12, std::max(p1, p2));
+  }
+  EXPECT_GE(CombineOr(p1, p2), std::min(p1, p2) - 1e-12);
+  EXPECT_LE(CombineOr(p1, p2), std::max(p1, p2) + 1e-12);
+}
+
+std::vector<TripleCase> TripleCases() {
+  std::vector<TripleCase> cases;
+  for (double a : {0.9, 0.5, 0.2}) {
+    for (double b : {0.8, 0.4, 0.1}) {
+      for (double c : {0.7, 0.3, 0.05}) {
+        cases.push_back({a, b, c});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompositionProperty,
+                         ::testing::ValuesIn(TripleCases()));
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

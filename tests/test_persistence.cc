@@ -1,0 +1,148 @@
+// Persistence tests: save/load round-trips and format error handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "hypre/persistence.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+HypreGraph BuildSampleGraph() {
+  HypreGraph graph;
+  EXPECT_TRUE(graph.AddQuantitative({2, "dblp.venue='VLDB'", 0.5}).ok());
+  EXPECT_TRUE(graph.AddQuantitative({2, "dblp.venue='SIGMOD'", -0.4}).ok());
+  EXPECT_TRUE(graph.AddQuantitative({7, "dblp.venue='VLDB'", 0.9}).ok());
+  EXPECT_TRUE(
+      graph.AddQualitative({2, "dblp_author.aid=1", "dblp_author.aid=2", 0.3})
+          .ok());
+  // A cycle edge for label coverage.
+  EXPECT_TRUE(
+      graph.AddQualitative({2, "dblp_author.aid=2", "dblp_author.aid=1", 0.1})
+          .ok());
+  return graph;
+}
+
+TEST(PersistenceTest, RoundTripPreservesEverything) {
+  HypreGraph original = BuildSampleGraph();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(original, &buffer).ok());
+
+  HypreGraph restored;
+  ASSERT_TRUE(LoadGraph(&buffer, &restored).ok());
+
+  EXPECT_EQ(restored.num_nodes(), original.num_nodes());
+  EXPECT_EQ(restored.num_edges(), original.num_edges());
+  auto original_labels = original.CountEdgeLabels();
+  auto restored_labels = restored.CountEdgeLabels();
+  EXPECT_EQ(restored_labels.prefers, original_labels.prefers);
+  EXPECT_EQ(restored_labels.cycle, original_labels.cycle);
+  EXPECT_EQ(restored_labels.discard, original_labels.discard);
+
+  for (UserId uid : original.Users()) {
+    auto original_prefs = original.ListPreferences(uid, true);
+    auto restored_prefs = restored.ListPreferences(uid, true);
+    ASSERT_EQ(original_prefs.size(), restored_prefs.size()) << uid;
+    for (size_t i = 0; i < original_prefs.size(); ++i) {
+      EXPECT_EQ(original_prefs[i].predicate, restored_prefs[i].predicate);
+      EXPECT_DOUBLE_EQ(original_prefs[i].intensity,
+                       restored_prefs[i].intensity);
+      EXPECT_EQ(original_prefs[i].provenance, restored_prefs[i].provenance);
+    }
+    auto original_edges = original.ListQualitative(uid, false);
+    auto restored_edges = restored.ListQualitative(uid, false);
+    ASSERT_EQ(original_edges.size(), restored_edges.size());
+    for (size_t i = 0; i < original_edges.size(); ++i) {
+      EXPECT_EQ(original_edges[i].left_predicate,
+                restored_edges[i].left_predicate);
+      EXPECT_EQ(original_edges[i].right_predicate,
+                restored_edges[i].right_predicate);
+      EXPECT_DOUBLE_EQ(original_edges[i].intensity,
+                       restored_edges[i].intensity);
+      EXPECT_EQ(original_edges[i].label, restored_edges[i].label);
+    }
+  }
+  EXPECT_TRUE(restored.CheckInvariants().ok());
+}
+
+TEST(PersistenceTest, PredicatesWithSpecialCharactersSurvive) {
+  HypreGraph graph;
+  ASSERT_TRUE(
+      graph.AddQuantitative({1, "title='a b  c' AND venue='X'", 0.25}).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(graph, &buffer).ok());
+  HypreGraph restored;
+  ASSERT_TRUE(LoadGraph(&buffer, &restored).ok());
+  auto prefs = restored.ListPreferences(1);
+  ASSERT_EQ(prefs.size(), 1u);
+  EXPECT_EQ(prefs[0].predicate, "title='a b  c' AND venue='X'");
+}
+
+TEST(PersistenceTest, LoadRejectsBadInput) {
+  HypreGraph graph;
+  std::stringstream no_header{"node 0 1 user 1 0.5 p=1\n"};
+  EXPECT_FALSE(LoadGraph(&no_header, &graph).ok());
+
+  std::stringstream bad_record{"hypre-graph v1\nblob 1 2 3\n"};
+  HypreGraph graph2;
+  EXPECT_FALSE(LoadGraph(&bad_record, &graph2).ok());
+
+  std::stringstream bad_edge{
+      "hypre-graph v1\nedge 0 1 PREFERS 0.5\n"};  // unknown node ids
+  HypreGraph graph3;
+  EXPECT_FALSE(LoadGraph(&bad_edge, &graph3).ok());
+
+  std::stringstream bad_label{
+      "hypre-graph v1\n"
+      "node 0 1 user 1 0.5 a=1\n"
+      "node 1 1 user 1 0.4 b=2\n"
+      "edge 0 1 NOPE 0.5\n"};
+  HypreGraph graph4;
+  EXPECT_FALSE(LoadGraph(&bad_label, &graph4).ok());
+}
+
+TEST(PersistenceTest, LoadRequiresEmptyGraph) {
+  HypreGraph graph = BuildSampleGraph();
+  std::stringstream buffer{"hypre-graph v1\n"};
+  EXPECT_FALSE(LoadGraph(&buffer, &graph).ok());
+}
+
+TEST(PersistenceTest, FileRoundTrip) {
+  HypreGraph graph = BuildSampleGraph();
+  std::string path = ::testing::TempDir() + "/hypre_graph_roundtrip.txt";
+  ASSERT_TRUE(SaveGraphToFile(graph, path).ok());
+  HypreGraph restored;
+  ASSERT_TRUE(LoadGraphFromFile(path, &restored).ok());
+  EXPECT_EQ(restored.num_nodes(), graph.num_nodes());
+  EXPECT_FALSE(LoadGraphFromFile("/nonexistent/dir/file", &restored).ok());
+}
+
+TEST(PersistenceTest, RandomGraphRoundTrip) {
+  Rng rng(99);
+  HypreGraph graph;
+  for (int i = 0; i < 120; ++i) {
+    std::string a = StringFormat("p=%d", (int)rng.NextBounded(25));
+    std::string b = StringFormat("p=%d", (int)rng.NextBounded(25));
+    if (rng.NextBernoulli(0.5)) {
+      ASSERT_TRUE(
+          graph.AddQuantitative({3, a, rng.NextDouble(-1, 1)}).ok());
+    } else if (a != b) {
+      ASSERT_TRUE(
+          graph.AddQualitative({3, a, b, rng.NextDouble(-1, 1)}).ok());
+    }
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(graph, &buffer).ok());
+  HypreGraph restored;
+  ASSERT_TRUE(LoadGraph(&buffer, &restored).ok());
+  EXPECT_EQ(restored.num_nodes(), graph.num_nodes());
+  EXPECT_EQ(restored.num_edges(), graph.num_edges());
+  EXPECT_TRUE(restored.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,163 @@
+// Preference SQL baseline tests: PREFERRING clause parsing and best-match
+// evaluation, including the dissertation's Example 5 anomaly.
+#include <gtest/gtest.h>
+
+#include "hypre/preference_sql.h"
+#include "workload/canonical.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+TEST(PreferringParseTest, SingleBlock) {
+  auto clause = ParsePreferring("price BETWEEN 7000 AND 16000");
+  ASSERT_TRUE(clause.ok()) << clause.status().ToString();
+  ASSERT_EQ(clause->blocks.size(), 1u);
+  EXPECT_EQ(clause->blocks[0].size(), 1u);
+  EXPECT_EQ(clause->top_k, 0u);
+}
+
+TEST(PreferringParseTest, AndSplitsButBetweenAndDoesNot) {
+  auto clause = ParsePreferring(
+      "price BETWEEN 7000 AND 16000 AND mileage BETWEEN 20000 AND 50000 "
+      "AND make IN ('BMW', 'Honda')");
+  ASSERT_TRUE(clause.ok()) << clause.status().ToString();
+  ASSERT_EQ(clause->blocks.size(), 1u);
+  EXPECT_EQ(clause->blocks[0].size(), 3u);
+}
+
+TEST(PreferringParseTest, PriorToMakesBlocks) {
+  auto clause = ParsePreferring(
+      "price BETWEEN 7000 AND 16000 AND mileage BETWEEN 20000 AND 50000 "
+      "PRIOR TO make IN ('BMW', 'Honda')");
+  ASSERT_TRUE(clause.ok()) << clause.status().ToString();
+  ASSERT_EQ(clause->blocks.size(), 2u);
+  EXPECT_EQ(clause->blocks[0].size(), 2u);
+  EXPECT_EQ(clause->blocks[1].size(), 1u);
+}
+
+TEST(PreferringParseTest, ElseQualitative) {
+  // The dissertation's §1.3 example clause.
+  auto clause = ParsePreferring(
+      "venue IN ('CIKM') ELSE venue IN ('SIGMOD') PRIOR TO year > 2010");
+  ASSERT_TRUE(clause.ok()) << clause.status().ToString();
+  ASSERT_EQ(clause->blocks.size(), 2u);
+  ASSERT_EQ(clause->blocks[0].size(), 1u);
+  EXPECT_NE(clause->blocks[0][0].else_predicate, nullptr);
+  EXPECT_EQ(clause->blocks[1][0].else_predicate, nullptr);
+}
+
+TEST(PreferringParseTest, TopK) {
+  auto clause = ParsePreferring("make IN ('BMW') TOP 3");
+  ASSERT_TRUE(clause.ok()) << clause.status().ToString();
+  EXPECT_EQ(clause->top_k, 3u);
+}
+
+TEST(PreferringParseTest, Errors) {
+  EXPECT_FALSE(ParsePreferring("").ok());
+  EXPECT_FALSE(ParsePreferring("AND make IN ('BMW')").ok());
+  EXPECT_FALSE(ParsePreferring("ELSE make IN ('BMW')").ok());
+  EXPECT_FALSE(
+      ParsePreferring("a=1 ELSE b=2 ELSE c=3").ok());  // chained ELSE
+  EXPECT_FALSE(ParsePreferring("a = ").ok());
+}
+
+class PreferenceSqlEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildDealershipDatabase(&db_).ok());
+    cars_ = db_.GetTable("car");
+  }
+  std::string IdOf(const PreferenceSqlRow& row) {
+    return cars_->row(row.row)[0].AsString();
+  }
+  reldb::Database db_;
+  const reldb::Table* cars_ = nullptr;
+};
+
+TEST_F(PreferenceSqlEvalTest, Example5ReproducesTheAnomaly) {
+  // §2.5 Example 5, equally-important formulation: Preference SQL returns
+  // t1, t3, t2 — though the user's intent (mileage more important than
+  // make) implies t1, t2, t3. t3's small price overshoot (distance 0.44)
+  // costs less than t2's categorical make miss (1.0), and no intensity
+  // exists to say the make preference barely matters.
+  auto clause = ParsePreferring(
+      "price BETWEEN 7000 AND 16000 AND mileage BETWEEN 20000 AND 50000 "
+      "AND make IN ('BMW', 'Honda') TOP 3");
+  ASSERT_TRUE(clause.ok()) << clause.status().ToString();
+  auto rows = EvaluatePreferring(*cars_, *clause);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ(IdOf((*rows)[0]), "t1");
+  EXPECT_EQ(IdOf((*rows)[1]), "t3");
+  EXPECT_EQ(IdOf((*rows)[2]), "t2");
+}
+
+TEST_F(PreferenceSqlEvalTest, Example5PriorToFormulation) {
+  // The PRIOR TO formulation under strict lexicographic semantics: the
+  // primary (price, mileage) block now dominates, so t2 overtakes t3.
+  // (The dissertation reports t1, t3, t2 for the original system here as
+  // well; our baseline implements the textbook lexicographic PRIOR TO, and
+  // either way the clause cannot express *how much* more mileage matters.)
+  auto clause = ParsePreferring(
+      "price BETWEEN 7000 AND 16000 AND mileage BETWEEN 20000 AND 50000 "
+      "PRIOR TO make IN ('BMW', 'Honda')");
+  ASSERT_TRUE(clause.ok());
+  auto rows = EvaluatePreferring(*cars_, *clause);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ(IdOf((*rows)[0]), "t1");
+  EXPECT_EQ(IdOf((*rows)[1]), "t2");
+  EXPECT_EQ(IdOf((*rows)[2]), "t3");
+}
+
+TEST_F(PreferenceSqlEvalTest, PriorToDominatesLexicographically) {
+  // make-first prioritization: Hondas (t1, t3) beat the VW regardless of
+  // the secondary price block.
+  auto clause =
+      ParsePreferring("make IN ('Honda') PRIOR TO price BETWEEN 0 AND 10000");
+  ASSERT_TRUE(clause.ok());
+  auto rows = EvaluatePreferring(*cars_, *clause);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(IdOf((*rows)[0]), "t1");  // Honda and cheap
+  EXPECT_EQ(IdOf((*rows)[1]), "t3");  // Honda but pricey
+  EXPECT_EQ(IdOf((*rows)[2]), "t2");  // not a Honda
+}
+
+TEST_F(PreferenceSqlEvalTest, ElsePrefersFallbackOverNothing) {
+  auto clause = ParsePreferring("make IN ('BMW') ELSE make IN ('VW')");
+  ASSERT_TRUE(clause.ok());
+  auto rows = EvaluatePreferring(*cars_, *clause);
+  ASSERT_TRUE(rows.ok());
+  // No BMWs: the VW (fallback, error 0.5) beats the Hondas (error 1).
+  EXPECT_EQ(IdOf((*rows)[0]), "t2");
+}
+
+TEST_F(PreferenceSqlEvalTest, TopKTruncates) {
+  auto clause = ParsePreferring("make IN ('Honda') TOP 1");
+  ASSERT_TRUE(clause.ok());
+  auto rows = EvaluatePreferring(*cars_, *clause);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(PreferenceSqlEvalTest, IntensityBlindness) {
+  // §1.3's P1 vs P3: "much more preferred" and "slightly better" produce
+  // the SAME clause, hence the same ranking — the information loss HYPRE
+  // fixes. Both render as an ELSE preference here.
+  auto strong = ParsePreferring("make IN ('Honda') ELSE make IN ('VW')");
+  auto weak = ParsePreferring("make IN ('Honda') ELSE make IN ('VW')");
+  ASSERT_TRUE(strong.ok());
+  ASSERT_TRUE(weak.ok());
+  auto rows_strong = EvaluatePreferring(*cars_, *strong);
+  auto rows_weak = EvaluatePreferring(*cars_, *weak);
+  ASSERT_TRUE(rows_strong.ok());
+  ASSERT_TRUE(rows_weak.ok());
+  for (size_t i = 0; i < rows_strong->size(); ++i) {
+    EXPECT_EQ((*rows_strong)[i].row, (*rows_weak)[i].row);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,137 @@
+// Unit tests for reldb tables, schemas, and secondary indexes.
+#include <gtest/gtest.h>
+
+#include "reldb/database.h"
+#include "reldb/table.h"
+
+namespace hypre {
+namespace reldb {
+namespace {
+
+Schema PaperSchema() {
+  return Schema({{"pid", ValueType::kInt64},
+                 {"venue", ValueType::kString},
+                 {"year", ValueType::kInt64}});
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema schema = PaperSchema();
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.FindColumn("venue"), 1);
+  EXPECT_EQ(schema.FindColumn("nope"), -1);
+  ASSERT_TRUE(schema.ResolveColumn("year").ok());
+  EXPECT_EQ(schema.ResolveColumn("year").value(), 2u);
+  EXPECT_FALSE(schema.ResolveColumn("nope").ok());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(PaperSchema().ToString(),
+            "(pid INT64, venue STRING, year INT64)");
+}
+
+TEST(TableTest, AppendValidatesArity) {
+  Table t("papers", PaperSchema());
+  EXPECT_FALSE(t.Append(Row{Value::Int(1)}).ok());
+  EXPECT_TRUE(
+      t.Append(Row{Value::Int(1), Value::Str("VLDB"), Value::Int(2001)}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, AppendValidatesTypes) {
+  Table t("papers", PaperSchema());
+  EXPECT_FALSE(
+      t.Append(Row{Value::Str("x"), Value::Str("VLDB"), Value::Int(2001)})
+          .ok());
+  // NULL is allowed in any column.
+  EXPECT_TRUE(
+      t.Append(Row{Value::Int(1), Value::Null(), Value::Int(2001)}).ok());
+}
+
+TEST(TableTest, IntAcceptedInDoubleColumn) {
+  Table t("scores", Schema({{"v", ValueType::kDouble}}));
+  EXPECT_TRUE(t.Append(Row{Value::Int(3)}).ok());
+  EXPECT_TRUE(t.Append(Row{Value::Real(3.5)}).ok());
+  EXPECT_FALSE(t.Append(Row{Value::Str("x")}).ok());
+}
+
+TEST(TableTest, HashIndexLookup) {
+  Table t("papers", PaperSchema());
+  ASSERT_TRUE(t.CreateHashIndex("venue").ok());
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(1), Value::Str("VLDB"), Value::Int(2001)}).ok());
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(2), Value::Str("SIGMOD"), Value::Int(2002)})
+          .ok());
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(3), Value::Str("VLDB"), Value::Int(2003)}).ok());
+  const HashIndex* idx = t.GetHashIndex("venue");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Lookup(Value::Str("VLDB")).size(), 2u);
+  EXPECT_EQ(idx->Lookup(Value::Str("SIGMOD")).size(), 1u);
+  EXPECT_TRUE(idx->Lookup(Value::Str("PODS")).empty());
+  EXPECT_TRUE(idx->Lookup(Value::Null()).empty());
+}
+
+TEST(TableTest, HashIndexBackfillsExistingRows) {
+  Table t("papers", PaperSchema());
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(1), Value::Str("VLDB"), Value::Int(2001)}).ok());
+  ASSERT_TRUE(t.CreateHashIndex("venue").ok());
+  EXPECT_EQ(t.GetHashIndex("venue")->Lookup(Value::Str("VLDB")).size(), 1u);
+}
+
+TEST(TableTest, OrderedIndexRange) {
+  Table t("papers", PaperSchema());
+  ASSERT_TRUE(t.CreateOrderedIndex("year").ok());
+  for (int64_t y = 2000; y <= 2010; ++y) {
+    ASSERT_TRUE(
+        t.Append(Row{Value::Int(y), Value::Str("V"), Value::Int(y)}).ok());
+  }
+  const OrderedIndex* idx = t.GetOrderedIndex("year");
+  ASSERT_NE(idx, nullptr);
+  // Inclusive BETWEEN semantics.
+  EXPECT_EQ(idx->Range(Value::Int(2003), true, Value::Int(2005), true).size(),
+            3u);
+  // Exclusive bounds.
+  EXPECT_EQ(idx->Range(Value::Int(2003), false, Value::Int(2005), false).size(),
+            1u);
+  // Open-ended ranges.
+  EXPECT_EQ(idx->Range(Value::Int(2008), true, Value::Null(), true).size(),
+            3u);
+  EXPECT_EQ(idx->Range(Value::Null(), true, Value::Int(2001), true).size(),
+            2u);
+}
+
+TEST(TableTest, OrderedIndexSkipsNullKeys) {
+  Table t("s", Schema({{"v", ValueType::kInt64}}));
+  ASSERT_TRUE(t.CreateOrderedIndex("v").ok());
+  ASSERT_TRUE(t.Append(Row{Value::Null()}).ok());
+  ASSERT_TRUE(t.Append(Row{Value::Int(1)}).ok());
+  // Unbounded scan must not surface NULL-keyed rows.
+  EXPECT_EQ(
+      t.GetOrderedIndex("v")->Range(Value::Null(), true, Value::Null(), true)
+          .size(),
+      1u);
+}
+
+TEST(TableTest, IndexOnUnknownColumnFails) {
+  Table t("papers", PaperSchema());
+  EXPECT_FALSE(t.CreateHashIndex("nope").ok());
+  EXPECT_FALSE(t.CreateOrderedIndex("nope").ok());
+  EXPECT_EQ(t.GetHashIndex("nope"), nullptr);
+}
+
+TEST(DatabaseTest, CreateAndResolve) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", PaperSchema()).ok());
+  EXPECT_FALSE(db.CreateTable("a", PaperSchema()).ok());  // duplicate
+  EXPECT_NE(db.GetTable("a"), nullptr);
+  EXPECT_EQ(db.GetTable("b"), nullptr);
+  EXPECT_TRUE(db.ResolveTable("a").ok());
+  EXPECT_FALSE(db.ResolveTable("b").ok());
+  EXPECT_EQ(db.TableNames().size(), 1u);
+}
+
+}  // namespace
+}  // namespace reldb
+}  // namespace hypre

@@ -1,0 +1,107 @@
+// Unit tests for reldb::Value semantics: typing, comparison, hashing.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "reldb/value.h"
+
+namespace hypre {
+namespace reldb {
+namespace {
+
+TEST(ValueTest, Types) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Int(1).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Real(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Str("a").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Real(1.0).is_numeric());
+  EXPECT_FALSE(Value::Str("a").is_numeric());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Real(2.5)), 0);
+  EXPECT_GT(Value::Real(3.0).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, ExactInt64Comparison) {
+  // Values that would collide if compared as doubles.
+  int64_t big = (1LL << 53) + 1;
+  EXPECT_GT(Value::Int(big).Compare(Value::Int(big - 1)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("a").Compare(Value::Str("b")), 0);
+  EXPECT_EQ(Value::Str("ab").Compare(Value::Str("ab")), 0);
+}
+
+TEST(ValueTest, TypeRankOrdering) {
+  // NULL < numeric < string in the total order.
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Int(1000000).Compare(Value::Str("")), 0);
+}
+
+TEST(ValueTest, SqlEqualsRejectsNull) {
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_FALSE(Value::Int(0).Equals(Value::Null()));
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Int(3)));
+}
+
+TEST(ValueTest, TotalOrderTreatsNullsEqual) {
+  // Compare (container order) must be total: NULL == NULL there.
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Real(2.0).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+}
+
+TEST(ValueTest, UnorderedSetDedup) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int(2));
+  set.insert(Value::Real(2.0));  // numerically equal -> deduped
+  set.insert(Value::Str("2"));   // different type -> distinct
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Real(0.5).ToString(), "0.5");
+}
+
+TEST(ValueTest, NumericValueWidening) {
+  EXPECT_DOUBLE_EQ(Value::Int(7).NumericValue(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Real(7.25).NumericValue(), 7.25);
+}
+
+// Comparison is antisymmetric and transitive over a mixed sample
+// (property-style sweep).
+class ValueOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueOrderProperty, Antisymmetry) {
+  std::vector<Value> sample{Value::Null(),     Value::Int(-3),
+                            Value::Int(0),     Value::Int(5),
+                            Value::Real(-2.5), Value::Real(5.0),
+                            Value::Str(""),    Value::Str("abc")};
+  const Value& a = sample[GetParam() % sample.size()];
+  for (const Value& b : sample) {
+    // sign(a cmp b) == -sign(b cmp a)
+    int ab = a.Compare(b);
+    int ba = b.Compare(a);
+    EXPECT_EQ(ab > 0, ba < 0);
+    EXPECT_EQ(ab == 0, ba == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSampleValues, ValueOrderProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace reldb
+}  // namespace hypre

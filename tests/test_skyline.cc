@@ -1,0 +1,156 @@
+// Skyline extension tests (attribute-based preferences, §1.4/§8.2).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hypre/skyline.h"
+#include "reldb/database.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+using reldb::Row;
+using reldb::RowId;
+using reldb::Schema;
+using reldb::Table;
+using reldb::Value;
+using reldb::ValueType;
+
+Table MakeHotels() {
+  Table t("hotel", Schema({{"name", ValueType::kString},
+                           {"price", ValueType::kInt64},
+                           {"distance", ValueType::kDouble}}));
+  // (price, distance): skyline under (min, min) = rows 0, 1, 3.
+  t.AppendUnchecked(Row{Value::Str("cheap-far"), Value::Int(40),
+                        Value::Real(3.0)});
+  t.AppendUnchecked(Row{Value::Str("mid-mid"), Value::Int(100),
+                        Value::Real(0.5)});
+  t.AppendUnchecked(
+      Row{Value::Str("dominated"), Value::Int(120), Value::Real(0.9)});
+  t.AppendUnchecked(Row{Value::Str("pricey-close"), Value::Int(200),
+                        Value::Real(0.1)});
+  return t;
+}
+
+std::vector<AttributePreference> MinMinPrefs() {
+  return {{"price", AttributePreference::Direction::kMin, 0.5},
+          {"distance", AttributePreference::Direction::kMin, 0.5}};
+}
+
+TEST(SkylineTest, DominatesBasics) {
+  Table t = MakeHotels();
+  auto prefs = MinMinPrefs();
+  // Row 1 (100, 0.5) dominates row 2 (120, 0.9).
+  EXPECT_TRUE(Dominates(t, 1, 2, prefs).value());
+  EXPECT_FALSE(Dominates(t, 2, 1, prefs).value());
+  // Rows 0 and 1 are incomparable.
+  EXPECT_FALSE(Dominates(t, 0, 1, prefs).value());
+  EXPECT_FALSE(Dominates(t, 1, 0, prefs).value());
+  // A row never dominates itself.
+  EXPECT_FALSE(Dominates(t, 1, 1, prefs).value());
+}
+
+TEST(SkylineTest, BnlFindsUndominatedSet) {
+  Table t = MakeHotels();
+  auto skyline = BlockNestedLoopSkyline(t, MinMinPrefs());
+  ASSERT_TRUE(skyline.ok()) << skyline.status().ToString();
+  EXPECT_EQ(*skyline, (std::vector<RowId>{0, 1, 3}));
+}
+
+TEST(SkylineTest, MaxDirection) {
+  Table t = MakeHotels();
+  // Maximize price: only the most expensive hotel survives.
+  std::vector<AttributePreference> prefs{
+      {"price", AttributePreference::Direction::kMax, 1.0}};
+  auto skyline = BlockNestedLoopSkyline(t, prefs);
+  ASSERT_TRUE(skyline.ok());
+  EXPECT_EQ(*skyline, (std::vector<RowId>{3}));
+}
+
+TEST(SkylineTest, NullIsWorst) {
+  Table t("x", Schema({{"v", ValueType::kInt64}}));
+  t.AppendUnchecked(Row{Value::Int(5)});
+  t.AppendUnchecked(Row{Value::Null()});
+  std::vector<AttributePreference> prefs{
+      {"v", AttributePreference::Direction::kMin, 1.0}};
+  auto skyline = BlockNestedLoopSkyline(t, prefs);
+  ASSERT_TRUE(skyline.ok());
+  EXPECT_EQ(*skyline, (std::vector<RowId>{0}));
+}
+
+TEST(SkylineTest, ErrorsOnBadInput) {
+  Table t = MakeHotels();
+  EXPECT_FALSE(BlockNestedLoopSkyline(t, {}).ok());
+  std::vector<AttributePreference> bad{
+      {"nope", AttributePreference::Direction::kMin, 1.0}};
+  EXPECT_FALSE(BlockNestedLoopSkyline(t, bad).ok());
+}
+
+TEST(SkylineTest, PriorityRankingRespondsToWeights) {
+  Table t = MakeHotels();
+  auto prefs = MinMinPrefs();
+  auto skyline = BlockNestedLoopSkyline(t, prefs).value();
+
+  // Price matters much more: the cheapest skyline hotel ranks first.
+  prefs[0].weight = 0.9;
+  prefs[1].weight = 0.1;
+  auto by_price = RankSkylineByPriority(t, skyline, prefs);
+  ASSERT_TRUE(by_price.ok());
+  EXPECT_EQ((*by_price)[0], 0u);  // cheap-far
+
+  // Distance matters much more: the closest ranks first.
+  prefs[0].weight = 0.1;
+  prefs[1].weight = 0.9;
+  auto by_distance = RankSkylineByPriority(t, skyline, prefs);
+  ASSERT_TRUE(by_distance.ok());
+  EXPECT_EQ((*by_distance)[0], 3u);  // pricey-close
+}
+
+TEST(SkylineTest, PriorityRankingErrors) {
+  Table t = MakeHotels();
+  auto prefs = MinMinPrefs();
+  prefs[0].weight = 0.0;
+  prefs[1].weight = 0.0;
+  auto skyline = BlockNestedLoopSkyline(t, MinMinPrefs()).value();
+  EXPECT_FALSE(RankSkylineByPriority(t, skyline, prefs).ok());
+  EXPECT_TRUE(RankSkylineByPriority(t, {}, MinMinPrefs()).value().empty());
+}
+
+// Property sweep: on random tables, every skyline member is undominated and
+// every non-member is dominated by some member (soundness + completeness of
+// BNL vs. the quadratic definition).
+class SkylineRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkylineRandomized, MatchesQuadraticDefinition) {
+  Rng rng(GetParam());
+  Table t("r", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  for (int i = 0; i < 80; ++i) {
+    t.AppendUnchecked(
+        Row{Value::Int(rng.NextInt(0, 20)), Value::Int(rng.NextInt(0, 20))});
+  }
+  std::vector<AttributePreference> prefs{
+      {"a", AttributePreference::Direction::kMin, 1.0},
+      {"b", AttributePreference::Direction::kMax, 1.0}};
+  auto skyline = BlockNestedLoopSkyline(t, prefs);
+  ASSERT_TRUE(skyline.ok());
+  std::set<RowId> members(skyline->begin(), skyline->end());
+  for (RowId candidate = 0; candidate < t.num_rows(); ++candidate) {
+    bool dominated = false;
+    for (RowId other = 0; other < t.num_rows(); ++other) {
+      if (other == candidate) continue;
+      if (Dominates(t, other, candidate, prefs).value()) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_EQ(members.count(candidate) > 0, !dominated)
+        << "row " << candidate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylineRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,147 @@
+// Fagin's TA tests: hand-checked cases, early termination, and a
+// parameterized random sweep against brute-force aggregation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "hypre/algorithms/threshold_algorithm.h"
+#include "hypre/intensity.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+using reldb::Value;
+
+TEST(GradedListTest, AddAndMergeGrades) {
+  GradedList list("venue");
+  list.AddGrade(Value::Int(1), 0.5);
+  list.AddGrade(Value::Int(2), 0.8);
+  // Duplicate key: f_and-merged (0.5, 0.5 -> 0.75).
+  list.AddGrade(Value::Int(1), 0.5);
+  list.Finalize();
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_DOUBLE_EQ(*list.Grade(Value::Int(2)), 0.8);
+  EXPECT_DOUBLE_EQ(*list.Grade(Value::Int(1)), 0.75);
+  EXPECT_FALSE(list.Grade(Value::Int(9)).has_value());
+  // Sorted access is descending.
+  EXPECT_DOUBLE_EQ(list.at(0).second, 0.8);
+}
+
+TEST(ThresholdAlgorithmTest, HandChecked) {
+  // Venue list: p1=0.9 p2=0.5 p3=0.2 ; author list: p2=0.8 p3=0.6 p4=0.4.
+  GradedList venue("venue");
+  venue.AddGrade(Value::Int(1), 0.9);
+  venue.AddGrade(Value::Int(2), 0.5);
+  venue.AddGrade(Value::Int(3), 0.2);
+  venue.Finalize();
+  GradedList author("author");
+  author.AddGrade(Value::Int(2), 0.8);
+  author.AddGrade(Value::Int(3), 0.6);
+  author.AddGrade(Value::Int(4), 0.4);
+  author.Finalize();
+
+  auto top = ThresholdAlgorithmTopK({venue, author}, 4);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->size(), 4u);
+  // Aggregates: p1=0.9, p2=f(0.5,0.8)=0.9, p3=f(0.2,0.6)=0.68, p4=0.4.
+  std::map<int64_t, double> expected{
+      {1, 0.9}, {2, CombineAnd(0.5, 0.8)}, {3, CombineAnd(0.2, 0.6)},
+      {4, 0.4}};
+  for (const auto& t : *top) {
+    EXPECT_NEAR(t.intensity, expected.at(t.key.AsInt()), 1e-12);
+  }
+  EXPECT_NEAR((*top)[0].intensity, 0.9, 1e-12);
+  EXPECT_NEAR((*top)[3].intensity, 0.4, 1e-12);
+}
+
+TEST(ThresholdAlgorithmTest, EarlyTermination) {
+  // With a clear leader, TA should stop before exhausting the lists.
+  GradedList a("a");
+  GradedList b("b");
+  for (int i = 0; i < 100; ++i) {
+    a.AddGrade(Value::Int(i), i == 0 ? 0.99 : 0.01);
+    b.AddGrade(Value::Int(i), i == 0 ? 0.99 : 0.01);
+  }
+  a.Finalize();
+  b.Finalize();
+  size_t rounds = 0;
+  auto top = ThresholdAlgorithmTopK({a, b}, 1, &rounds);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_EQ((*top)[0].key.AsInt(), 0);
+  EXPECT_LT(rounds, 100u);
+}
+
+TEST(ThresholdAlgorithmTest, KLargerThanObjectCount) {
+  GradedList a("a");
+  a.AddGrade(Value::Int(1), 0.5);
+  a.Finalize();
+  auto top = ThresholdAlgorithmTopK({a}, 10);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 1u);
+}
+
+TEST(ThresholdAlgorithmTest, EmptyListsAndErrors) {
+  EXPECT_FALSE(ThresholdAlgorithmTopK({}, 3).ok());
+  GradedList a("a");
+  a.Finalize();
+  auto top = ThresholdAlgorithmTopK({a}, 3);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+}
+
+// Random sweep: TA's top-k equals brute-force aggregate ranking.
+class TaRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TaRandomized, MatchesBruteForce) {
+  Rng rng(GetParam());
+  constexpr int kObjects = 60;
+  GradedList venue("venue");
+  GradedList author("author");
+  std::map<int64_t, double> aggregate;
+  for (int64_t i = 0; i < kObjects; ++i) {
+    double acc = 0.0;
+    if (rng.NextBernoulli(0.7)) {
+      double g = rng.NextDouble(0.0, 1.0);
+      venue.AddGrade(Value::Int(i), g);
+      acc = CombineAnd(acc, g);
+    }
+    if (rng.NextBernoulli(0.7)) {
+      double g = rng.NextDouble(0.0, 1.0);
+      author.AddGrade(Value::Int(i), g);
+      acc = CombineAnd(acc, g);
+    }
+    if (venue.Grade(Value::Int(i)) || author.Grade(Value::Int(i))) {
+      aggregate[i] = acc;
+    }
+  }
+  venue.Finalize();
+  author.Finalize();
+
+  constexpr size_t kK = 10;
+  auto top = ThresholdAlgorithmTopK({venue, author}, kK);
+  ASSERT_TRUE(top.ok());
+  ASSERT_LE(top->size(), kK);
+
+  // Brute-force: sort aggregates descending.
+  std::vector<double> sorted;
+  for (const auto& [key, grade] : aggregate) sorted.push_back(grade);
+  std::sort(sorted.rbegin(), sorted.rend());
+  size_t n = std::min(kK, sorted.size());
+  ASSERT_EQ(top->size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*top)[i].intensity, sorted[i], 1e-9) << "rank " << i;
+    // And the reported grade matches the object's true aggregate.
+    EXPECT_NEAR((*top)[i].intensity, aggregate.at((*top)[i].key.AsInt()),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,275 @@
+// Workload tests: canonical relations, DBLP generator shape and
+// determinism, and §6.2 extraction correctness on a hand-crafted network.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/canonical.h"
+#include "workload/dblp_generator.h"
+#include "workload/preference_extraction.h"
+
+namespace hypre {
+namespace workload {
+namespace {
+
+using reldb::Row;
+using reldb::Schema;
+using reldb::Value;
+using reldb::ValueType;
+
+TEST(CanonicalTest, MovieRelation) {
+  reldb::Database db;
+  ASSERT_TRUE(BuildMovieDatabase(&db).ok());
+  const reldb::Table* movies = db.GetTable("movie");
+  ASSERT_NE(movies, nullptr);
+  EXPECT_EQ(movies->num_rows(), 6u);
+  EXPECT_EQ(MovieIntensities().size(), 5u);  // m6 has no score (Table 4)
+  EXPECT_NE(movies->GetHashIndex("genre"), nullptr);
+}
+
+TEST(CanonicalTest, DealershipRelation) {
+  reldb::Database db;
+  ASSERT_TRUE(BuildDealershipDatabase(&db).ok());
+  EXPECT_EQ(db.GetTable("car")->num_rows(), 3u);
+}
+
+TEST(CanonicalTest, DblpSample) {
+  reldb::Database db;
+  ASSERT_TRUE(BuildDblpSampleDatabase(&db).ok());
+  EXPECT_EQ(db.GetTable("dblp")->num_rows(), 9u);
+}
+
+TEST(DblpGeneratorTest, ProducesExpectedShape) {
+  DblpConfig config;
+  config.num_papers = 2000;
+  config.num_authors = 800;
+  config.num_venues = 12;
+  config.num_communities = 10;
+  config.seed = 5;
+  reldb::Database db;
+  auto stats = GenerateDblp(config, &db);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->num_papers, 2000u);
+  EXPECT_EQ(stats->num_authors, 800u);
+  EXPECT_EQ(db.GetTable("dblp")->num_rows(), 2000u);
+  EXPECT_EQ(db.GetTable("author")->num_rows(), 800u);
+  EXPECT_EQ(db.GetTable("dblp_author")->num_rows(), stats->num_author_links);
+  EXPECT_EQ(db.GetTable("citation")->num_rows(), stats->num_citations);
+  EXPECT_GE(stats->num_author_links, stats->num_papers);  // >= 1 author each
+  EXPECT_GT(stats->num_citations, 0u);
+  EXPECT_GE(stats->num_citations, stats->num_cited_papers);
+  // Indexes exist for the enhancement queries.
+  EXPECT_NE(db.GetTable("dblp")->GetHashIndex("venue"), nullptr);
+  EXPECT_NE(db.GetTable("dblp_author")->GetHashIndex("aid"), nullptr);
+}
+
+TEST(DblpGeneratorTest, DeterministicGivenSeed) {
+  DblpConfig config;
+  config.num_papers = 300;
+  config.num_authors = 100;
+  config.num_venues = 6;
+  config.num_communities = 4;
+  config.seed = 9;
+  reldb::Database a;
+  reldb::Database b;
+  ASSERT_TRUE(GenerateDblp(config, &a).ok());
+  ASSERT_TRUE(GenerateDblp(config, &b).ok());
+  const auto& rows_a = a.GetTable("dblp")->rows();
+  const auto& rows_b = b.GetTable("dblp")->rows();
+  ASSERT_EQ(rows_a.size(), rows_b.size());
+  for (size_t i = 0; i < rows_a.size(); ++i) {
+    EXPECT_EQ(rows_a[i][3].AsString(), rows_b[i][3].AsString());
+    EXPECT_EQ(rows_a[i][2].AsInt(), rows_b[i][2].AsInt());
+  }
+}
+
+TEST(DblpGeneratorTest, VenuePopularityIsSkewed) {
+  DblpConfig config;
+  config.num_papers = 5000;
+  config.num_authors = 1000;
+  config.num_venues = 20;
+  config.num_communities = 1;  // single community isolates the Zipf shape
+  config.seed = 13;
+  reldb::Database db;
+  ASSERT_TRUE(GenerateDblp(config, &db).ok());
+  std::map<std::string, size_t> venue_counts;
+  for (const auto& row : db.GetTable("dblp")->rows()) {
+    ++venue_counts[row[3].AsString()];
+  }
+  // The top venue should clearly dominate the median one.
+  std::vector<size_t> counts;
+  for (const auto& [venue, count] : venue_counts) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  ASSERT_GE(counts.size(), 10u);
+  EXPECT_GT(counts[0], counts[9] * 2);
+}
+
+TEST(DblpGeneratorTest, RejectsZeroSizes) {
+  DblpConfig config;
+  config.num_papers = 0;
+  reldb::Database db;
+  EXPECT_FALSE(GenerateDblp(config, &db).ok());
+}
+
+// Hand-crafted network with exactly computable extraction results:
+//   author 1 wrote papers 1 (VLDB), 2 (VLDB), 3 (SIGMOD)
+//   author 2 wrote papers 4 (PODS), 5 (PODS)
+//   author 3 wrote paper 6 (ICDE)
+//   paper 1 cites 4 and 5 (both by author 2); paper 2 cites 6 (author 3);
+//   paper 3 cites 4.
+class ExtractionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dblp = db_.CreateTable(
+        "dblp", Schema({{"pid", ValueType::kInt64},
+                        {"title", ValueType::kString},
+                        {"year", ValueType::kInt64},
+                        {"venue", ValueType::kString}}));
+    ASSERT_TRUE(dblp.ok());
+    struct P {
+      int64_t pid;
+      const char* venue;
+    };
+    for (const P& p : std::initializer_list<P>{{1, "VLDB"},
+                                               {2, "VLDB"},
+                                               {3, "SIGMOD"},
+                                               {4, "PODS"},
+                                               {5, "PODS"},
+                                               {6, "ICDE"}}) {
+      (*dblp)->AppendUnchecked(Row{Value::Int(p.pid), Value::Str("t"),
+                                   Value::Int(2005), Value::Str(p.venue)});
+    }
+    auto author = db_.CreateTable(
+        "author",
+        Schema({{"aid", ValueType::kInt64}, {"name", ValueType::kString}}));
+    ASSERT_TRUE(author.ok());
+    for (int64_t a : {1, 2, 3}) {
+      (*author)->AppendUnchecked(Row{Value::Int(a), Value::Str("n")});
+    }
+    auto da = db_.CreateTable(
+        "dblp_author",
+        Schema({{"pid", ValueType::kInt64}, {"aid", ValueType::kInt64}}));
+    ASSERT_TRUE(da.ok());
+    for (auto [pid, aid] : std::initializer_list<std::pair<int, int>>{
+             {1, 1}, {2, 1}, {3, 1}, {4, 2}, {5, 2}, {6, 3}}) {
+      (*da)->AppendUnchecked(Row{Value::Int(pid), Value::Int(aid)});
+    }
+    auto cit = db_.CreateTable(
+        "citation",
+        Schema({{"pid", ValueType::kInt64}, {"cid", ValueType::kInt64}}));
+    ASSERT_TRUE(cit.ok());
+    for (auto [pid, cid] : std::initializer_list<std::pair<int, int>>{
+             {1, 4}, {1, 5}, {2, 6}, {3, 4}}) {
+      (*cit)->AppendUnchecked(Row{Value::Int(pid), Value::Int(cid)});
+    }
+  }
+  reldb::Database db_;
+};
+
+TEST_F(ExtractionTest, VenueSharesForAuthor1) {
+  auto prefs = ExtractPreferences(db_, {});
+  ASSERT_TRUE(prefs.ok()) << prefs.status().ToString();
+  // Author 1's venues: VLDB 2/3, SIGMOD 1/3.
+  double vldb = -1;
+  double sigmod = -1;
+  for (const auto& q : prefs->quantitative) {
+    if (q.uid != 1) continue;
+    if (q.predicate == "dblp.venue='VLDB'") vldb = q.intensity;
+    if (q.predicate == "dblp.venue='SIGMOD'") sigmod = q.intensity;
+  }
+  EXPECT_NEAR(vldb, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sigmod, 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(ExtractionTest, AuthorSharesForAuthor1) {
+  auto prefs = ExtractPreferences(db_, {});
+  ASSERT_TRUE(prefs.ok());
+  // Author 1 cites: author 2 three times (papers 4, 5, 4), author 3 once
+  // -> shares 3/4 and 1/4 (both above the 0.1 cutoff).
+  double a2 = -1;
+  double a3 = -1;
+  for (const auto& q : prefs->quantitative) {
+    if (q.uid != 1) continue;
+    if (q.predicate == "dblp_author.aid=2") a2 = q.intensity;
+    if (q.predicate == "dblp_author.aid=3") a3 = q.intensity;
+  }
+  EXPECT_NEAR(a2, 0.75, 1e-12);
+  EXPECT_NEAR(a3, 0.25, 1e-12);
+}
+
+TEST_F(ExtractionTest, NegativeVenuePreferences) {
+  auto prefs = ExtractPreferences(db_, {});
+  ASSERT_TRUE(prefs.ok());
+  // Author 1 never published in PODS, but cited author 2 (share 0.75) who
+  // publishes only there (share 1.0): intensity = -(0.75 * 1.0).
+  double pods = 1;
+  double icde = 1;
+  for (const auto& q : prefs->quantitative) {
+    if (q.uid != 1) continue;
+    if (q.predicate == "dblp.venue='PODS'") pods = q.intensity;
+    if (q.predicate == "dblp.venue='ICDE'") icde = q.intensity;
+  }
+  EXPECT_NEAR(pods, -0.75, 1e-12);
+  EXPECT_NEAR(icde, -0.25, 1e-12);
+  EXPECT_EQ(prefs->num_negative_prefs, 2u);
+}
+
+TEST_F(ExtractionTest, QualitativeFromConsecutivePairs) {
+  auto prefs = ExtractPreferences(db_, {});
+  ASSERT_TRUE(prefs.ok());
+  // Author 1: author list sorted desc = a2 (0.75), a3 (0.25) -> one
+  // qualitative with intensity 0.5; venue list VLDB (2/3), SIGMOD (1/3) ->
+  // one qualitative with intensity 1/3.
+  bool found_author_pair = false;
+  bool found_venue_pair = false;
+  for (const auto& q : prefs->qualitative) {
+    if (q.uid != 1) continue;
+    if (q.left == "dblp_author.aid=2" && q.right == "dblp_author.aid=3") {
+      found_author_pair = true;
+      EXPECT_NEAR(q.intensity, 0.5, 1e-12);
+    }
+    if (q.left == "dblp.venue='VLDB'" && q.right == "dblp.venue='SIGMOD'") {
+      found_venue_pair = true;
+      EXPECT_NEAR(q.intensity, 1.0 / 3.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_author_pair);
+  EXPECT_TRUE(found_venue_pair);
+}
+
+TEST_F(ExtractionTest, PerUserCountsAndOrdering) {
+  auto prefs = ExtractPreferences(db_, {});
+  ASSERT_TRUE(prefs.ok());
+  ASSERT_TRUE(prefs->per_user_counts.count(1) > 0);
+  auto users = prefs->UsersByPreferenceCount();
+  ASSERT_FALSE(users.empty());
+  // Author 1 has the most preferences (venues + authors + negatives +
+  // qualitative pairs).
+  EXPECT_EQ(users[0], 1);
+}
+
+TEST(ExtractionScaleTest, GeneratedNetworkYieldsLongTail) {
+  DblpConfig config;
+  config.num_papers = 3000;
+  config.num_authors = 900;
+  config.num_venues = 12;
+  config.num_communities = 12;
+  config.seed = 21;
+  reldb::Database db;
+  ASSERT_TRUE(GenerateDblp(config, &db).ok());
+  auto prefs = ExtractPreferences(db, {});
+  ASSERT_TRUE(prefs.ok());
+  EXPECT_GT(prefs->quantitative.size(), 1000u);
+  EXPECT_GT(prefs->qualitative.size(), 100u);
+  // Figure 17's shape: few users with many preferences, many users with
+  // few. Compare the top user's count against the median user's.
+  auto users = prefs->UsersByPreferenceCount();
+  ASSERT_GT(users.size(), 10u);
+  size_t top = prefs->per_user_counts.at(users.front());
+  size_t median = prefs->per_user_counts.at(users[users.size() / 2]);
+  EXPECT_GT(top, median * 2);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace hypre
