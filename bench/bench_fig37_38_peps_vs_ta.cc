@@ -20,19 +20,32 @@ using namespace hypre::bench;
 
 namespace {
 
-/// Builds TA's per-attribute graded lists from a set of atoms.
-void BuildLists(const core::QueryEnhancer& enhancer,
-                const std::vector<core::PreferenceAtom>& atoms,
-                core::GradedList* venue_list, core::GradedList* author_list) {
-  for (const auto& atom : atoms) {
-    auto keys = Unwrap(enhancer.MatchingKeys(atom.expr));
-    bool is_venue = atom.attribute_key.find("venue") != std::string::npos;
-    for (const auto& key : keys) {
-      (is_venue ? venue_list : author_list)->AddGrade(key, atom.intensity);
+/// Builds TA's venue/author graded lists from a set of atoms, probing the
+/// enhancer's bitmap engine.
+std::vector<core::GradedList> BuildLists(
+    const core::QueryEnhancer& enhancer,
+    const std::vector<core::PreferenceAtom>& atoms) {
+  std::vector<core::GradedList> built = Unwrap(core::BuildGradedLists(
+      enhancer.probe_engine(), atoms, [](const core::PreferenceAtom& atom) {
+        return atom.attribute_key.find("venue") != std::string::npos
+                   ? std::string("venue")
+                   : std::string("author");
+      }));
+  // TA always ran with both lists in {venue, author} order (the order sets
+  // tie-break behavior at the k-cutoff), even when one side had no atoms.
+  std::vector<core::GradedList> lists;
+  for (const char* name : {"venue", "author"}) {
+    bool found = false;
+    for (auto& list : built) {
+      if (list.name() == name) {
+        lists.push_back(std::move(list));
+        found = true;
+        break;
+      }
     }
+    if (!found) lists.emplace_back(name);
   }
-  venue_list->Finalize();
-  author_list->Finalize();
+  return lists;
 }
 
 std::vector<reldb::Value> KeysOf(const std::vector<core::RankedTuple>& list) {
@@ -52,10 +65,8 @@ void RunForUser(const Workload& w, core::UserId uid, const char* tag) {
   core::HypreGraph quant_graph = w.BuildGraph(uid, false);
   std::vector<core::PreferenceAtom> quant_atoms =
       w.Atoms(quant_graph, uid, 60);
-  core::GradedList venue_q("venue");
-  core::GradedList author_q("author");
-  BuildLists(enhancer, quant_atoms, &venue_q, &author_q);
-  auto ta_q = Unwrap(core::ThresholdAlgorithmTopK({venue_q, author_q}, kK));
+  std::vector<core::GradedList> lists_q = BuildLists(enhancer, quant_atoms);
+  auto ta_q = Unwrap(core::ThresholdAlgorithmTopK(lists_q, kK));
   core::Peps peps_q(&quant_atoms, &enhancer);
   auto peps_top_q = Unwrap(peps_q.TopK(kK, core::PepsMode::kComplete));
   std::printf("quantitative-only: similarity %.0f%%, rank agreement %.0f%% "

@@ -5,9 +5,13 @@
 // compose, so regressions are attributable.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "bench_util.h"
 #include "graphdb/cypher_lite.h"
 #include "graphdb/traversal.h"
+#include "hypre/probe_engine.h"
 #include "sqlparse/parser.h"
 #include "sqlparse/select_parser.h"
 
@@ -143,6 +147,108 @@ void BM_EnhancerProbeWarm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnhancerProbeWarm);
+
+// --- Bitmap vs hash-set probe ----------------------------------------------
+//
+// Both benchmarks evaluate the same warm probe (leaf sets already cached) so
+// the measured cost is pure set algebra: the hash-set reference replays the
+// intersection/union loops QueryEnhancer ran before the probe engine; the
+// bitmap path is the engine's word-wise ops + popcount. The count cache is
+// bypassed in both so each iteration really re-runs the algebra.
+
+/// The legacy evaluation: leaf key sets as unordered_sets, boolean
+/// combination by hash-set intersection/union/complement.
+class HashSetAlgebra {
+ public:
+  using KeySet = std::unordered_set<reldb::Value, reldb::ValueHash>;
+
+  HashSetAlgebra(const reldb::Database* db, reldb::Query base_query,
+                 std::string key_column)
+      : executor_(db),
+        base_query_(std::move(base_query)),
+        key_column_(std::move(key_column)) {}
+
+  KeySet Eval(const reldb::ExprPtr& expr) {
+    switch (expr->kind()) {
+      case reldb::ExprKind::kAnd: {
+        const auto& nary = static_cast<const reldb::NaryExpr&>(*expr);
+        bool first = true;
+        KeySet acc;
+        for (const auto& child : nary.children()) {
+          KeySet child_set = Eval(child);
+          if (first) {
+            acc = std::move(child_set);
+            first = false;
+            continue;
+          }
+          KeySet next;
+          for (const auto& v : acc) {
+            if (child_set.count(v) > 0) next.insert(v);
+          }
+          acc = std::move(next);
+        }
+        return acc;
+      }
+      case reldb::ExprKind::kOr: {
+        const auto& nary = static_cast<const reldb::NaryExpr&>(*expr);
+        KeySet acc;
+        for (const auto& child : nary.children()) {
+          KeySet child_set = Eval(child);
+          acc.insert(child_set.begin(), child_set.end());
+        }
+        return acc;
+      }
+      default: {
+        // Leaf: cached probe, same as the old enhancer.
+        std::string key = expr->ToString();
+        auto it = leaf_cache_.find(key);
+        if (it == leaf_cache_.end()) {
+          reldb::Query query = base_query_;
+          query.where =
+              query.where ? reldb::MakeAnd(query.where, expr) : expr;
+          auto keys = Unwrap(executor_.DistinctValues(query, key_column_));
+          it = leaf_cache_
+                   .emplace(std::move(key), KeySet(keys.begin(), keys.end()))
+                   .first;
+        }
+        return it->second;
+      }
+    }
+  }
+
+ private:
+  reldb::Executor executor_;
+  reldb::Query base_query_;
+  std::string key_column_;
+  std::unordered_map<std::string, KeySet> leaf_cache_;
+};
+
+void BM_ProbeAlgebraHashSet(benchmark::State& state) {
+  Micro* m = GetMicro();
+  reldb::Query base;
+  base.from = "dblp";
+  base.joins.push_back({"dblp_author", "dblp.pid", "pid"});
+  HashSetAlgebra reference(&m->w->db, base, "dblp.pid");
+  (void)reference.Eval(m->mixed_pred);  // warm the leaf cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference.Eval(m->mixed_pred).size());
+  }
+}
+BENCHMARK(BM_ProbeAlgebraHashSet)->Unit(benchmark::kMicrosecond);
+
+void BM_ProbeAlgebraBitmap(benchmark::State& state) {
+  Micro* m = GetMicro();
+  reldb::Query base;
+  base.from = "dblp";
+  base.joins.push_back({"dblp_author", "dblp.pid", "pid"});
+  core::ProbeEngine engine(&m->w->db, base, "dblp.pid");
+  (void)engine.EvalBitmap(m->mixed_pred);  // warm the leaf bitmaps
+  for (auto _ : state) {
+    auto bits = engine.EvalBitmap(m->mixed_pred);
+    benchmark::DoNotOptimize(bits->Count());
+  }
+}
+BENCHMARK(BM_ProbeAlgebraBitmap)->Unit(benchmark::kMicrosecond);
 
 void BM_GraphAddNode(benchmark::State& state) {
   graphdb::GraphStore store;

@@ -35,15 +35,14 @@ size_t DrawBiased(const std::vector<PreferenceAtom>& preferences,
   return chosen;
 }
 
-Status Record(const Combiner& combiner, const QueryEnhancer& enhancer,
+Status Record(const Combiner& combiner, const CombinationProber& prober,
               const Combination& combination,
               std::vector<CombinationRecord>* records) {
   CombinationRecord record;
   record.num_predicates = combination.NumPredicates();
   record.intensity = combiner.ComputeIntensity(combination);
-  reldb::ExprPtr expr = combiner.BuildExpr(combination);
-  HYPRE_ASSIGN_OR_RETURN(record.num_tuples, enhancer.CountMatching(expr));
-  record.predicate_sql = expr->ToString();
+  HYPRE_ASSIGN_OR_RETURN(record.num_tuples, prober.Count(combination));
+  record.predicate_sql = combiner.ToSql(combination);
   record.combination = combination;
   records->push_back(std::move(record));
   return Status::OK();
@@ -55,12 +54,12 @@ Result<BiasRandomResult> BiasRandomSelection(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer, uint64_t seed) {
   Combiner combiner(&preferences);
+  CombinationProber prober(&combiner, &enhancer.probe_engine());
   BiasRandomResult result;
   Rng rng(seed);
 
   auto probe = [&](const Combination& c) -> Result<bool> {
-    HYPRE_ASSIGN_OR_RETURN(size_t count,
-                           enhancer.CountMatching(combiner.BuildExpr(c)));
+    HYPRE_ASSIGN_OR_RETURN(size_t count, prober.Count(c));
     if (count > 0) {
       ++result.valid_checks;
       return true;
@@ -86,7 +85,7 @@ Result<BiasRandomResult> BiasRandomSelection(
       for (;;) {
         if (pool.empty()) {
           HYPRE_RETURN_NOT_OK(
-              Record(combiner, enhancer, chain, &result.records));
+              Record(combiner, prober, chain, &result.records));
           break;
         }
         size_t next = DrawBiased(preferences, &pool, &rng);
@@ -94,7 +93,7 @@ Result<BiasRandomResult> BiasRandomSelection(
         HYPRE_ASSIGN_OR_RETURN(bool extended_ok, probe(extended));
         if (!extended_ok) {
           HYPRE_RETURN_NOT_OK(
-              Record(combiner, enhancer, chain, &result.records));
+              Record(combiner, prober, chain, &result.records));
           break;
         }
         chain = std::move(extended);

@@ -7,6 +7,7 @@ Result<std::vector<CombinationRecord>> CombineTwo(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer, CombineSemantics semantics) {
   Combiner combiner(&preferences);
+  CombinationProber prober(&combiner, &enhancer.probe_engine());
   std::vector<CombinationRecord> records;
   if (preferences.size() < 2) return records;
   records.reserve(preferences.size() * (preferences.size() - 1) / 2);
@@ -25,9 +26,8 @@ Result<std::vector<CombinationRecord>> CombineTwo(
       CombinationRecord record;
       record.num_predicates = 2;
       record.intensity = combiner.ComputeIntensity(combination);
-      reldb::ExprPtr expr = combiner.BuildExpr(combination);
-      HYPRE_ASSIGN_OR_RETURN(record.num_tuples, enhancer.CountMatching(expr));
-      record.predicate_sql = expr->ToString();
+      HYPRE_ASSIGN_OR_RETURN(record.num_tuples, prober.Count(combination));
+      record.predicate_sql = combiner.ToSql(combination);
       record.combination = std::move(combination);
       records.push_back(std::move(record));
     }

@@ -18,6 +18,7 @@ Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
         n, n, max_n));
   }
   Combiner combiner(&preferences);
+  CombinationProber prober(&combiner, &enhancer.probe_engine());
   std::vector<CombinationRecord> records;
   for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
     Combination combination;
@@ -31,10 +32,9 @@ Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
     CombinationRecord record;
     record.num_predicates = combination.NumPredicates();
     record.intensity = combiner.ComputeIntensity(combination);
-    reldb::ExprPtr expr = combiner.BuildExpr(combination);
-    HYPRE_ASSIGN_OR_RETURN(record.num_tuples, enhancer.CountMatching(expr));
+    HYPRE_ASSIGN_OR_RETURN(record.num_tuples, prober.Count(combination));
     if (record.num_tuples == 0) continue;
-    record.predicate_sql = expr->ToString();
+    record.predicate_sql = combiner.ToSql(combination);
     record.combination = std::move(combination);
     records.push_back(std::move(record));
   }

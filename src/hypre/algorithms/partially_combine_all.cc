@@ -5,16 +5,15 @@ namespace core {
 
 namespace {
 
-Status RunAndRecord(const Combiner& combiner, const QueryEnhancer& enhancer,
-                    Combination combination,
+Status RunAndRecord(const Combiner& combiner,
+                    const CombinationProber& prober, Combination combination,
                     std::vector<CombinationRecord>* records,
                     std::vector<Combination>* queries_ran) {
   CombinationRecord record;
   record.num_predicates = combination.NumPredicates();
   record.intensity = combiner.ComputeIntensity(combination);
-  reldb::ExprPtr expr = combiner.BuildExpr(combination);
-  HYPRE_ASSIGN_OR_RETURN(record.num_tuples, enhancer.CountMatching(expr));
-  record.predicate_sql = expr->ToString();
+  HYPRE_ASSIGN_OR_RETURN(record.num_tuples, prober.Count(combination));
+  record.predicate_sql = combiner.ToSql(combination);
   record.combination = combination;
   records->push_back(std::move(record));
   queries_ran->push_back(std::move(combination));
@@ -27,6 +26,7 @@ Result<std::vector<CombinationRecord>> PartiallyCombineAll(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer) {
   Combiner combiner(&preferences);
+  CombinationProber prober(&combiner, &enhancer.probe_engine());
   std::vector<CombinationRecord> records;
   std::vector<Combination> queries_ran;
   std::set<std::string> attributes_used;
@@ -34,7 +34,7 @@ Result<std::vector<CombinationRecord>> PartiallyCombineAll(
   for (size_t i = 0; i < preferences.size(); ++i) {
     const std::string& attr = preferences[i].attribute_key;
     if (queries_ran.empty()) {
-      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, enhancer,
+      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, prober,
                                        combiner.Single(i), &records,
                                        &queries_ran));
       attributes_used.insert(attr);
@@ -48,7 +48,7 @@ Result<std::vector<CombinationRecord>> PartiallyCombineAll(
         to_run.push_back(combiner.AndExtend(c, i));
       }
       for (Combination& c : to_run) {
-        HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, enhancer, std::move(c),
+        HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, prober, std::move(c),
                                          &records, &queries_ran));
       }
       attributes_used.insert(attr);
@@ -58,7 +58,7 @@ Result<std::vector<CombinationRecord>> PartiallyCombineAll(
     const Combination last = queries_ran.back();
     if (!last.HasAnd()) {
       // Single-attribute combination so far: OR into it only.
-      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, enhancer,
+      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, prober,
                                        combiner.OrInto(last, i), &records,
                                        &queries_ran));
       continue;
@@ -73,7 +73,7 @@ Result<std::vector<CombinationRecord>> PartiallyCombineAll(
     }
     to_run.push_back(combiner.OrInto(last, i));
     for (Combination& c : to_run) {
-      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, enhancer, std::move(c),
+      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, prober, std::move(c),
                                        &records, &queries_ran));
     }
   }

@@ -9,7 +9,10 @@ namespace core {
 
 Peps::Peps(const std::vector<PreferenceAtom>* preferences,
            const QueryEnhancer* enhancer)
-    : preferences_(preferences), enhancer_(enhancer) {}
+    : preferences_(preferences),
+      enhancer_(enhancer),
+      combiner_(preferences),
+      prober_(&combiner_, &enhancer->probe_engine()) {}
 
 bool Peps::PairApplicable(size_t a, size_t b) const {
   size_t n = preferences_->size();
@@ -20,20 +23,22 @@ Status Peps::PrecomputePairs() {
   if (pairs_ready_) return Status::OK();
   const auto& prefs = *preferences_;
   size_t n = prefs.size();
-  Combiner combiner(preferences_);
   pairs_.clear();
   pair_applicable_.assign(n * n, false);
 
   for (size_t i = 0; i + 1 < n; ++i) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits_i,
+                           prober_.PreferenceBits(i));
     for (size_t j = i + 1; j < n; ++j) {
-      Combination pair = combiner.AndExtend(combiner.Single(i), j);
-      HYPRE_ASSIGN_OR_RETURN(
-          size_t count, enhancer_->CountMatching(combiner.BuildExpr(pair)));
+      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits_j,
+                             prober_.PreferenceBits(j));
+      size_t count = KeyBitmap::AndCount(*bits_i, *bits_j);
       if (count == 0) continue;
       PairEntry entry;
       entry.i = i;
       entry.j = j;
-      entry.intensity = combiner.ComputeIntensity(pair);
+      entry.intensity = combiner_.ComputeIntensity(
+          combiner_.AndExtend(combiner_.Single(i), j));
       entry.num_tuples = count;
       pairs_.push_back(entry);
       pair_applicable_[i * n + j] = true;
@@ -51,7 +56,6 @@ Status Peps::PrecomputePairs() {
 Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
   HYPRE_RETURN_NOT_OK(PrecomputePairs());
   const auto& prefs = *preferences_;
-  Combiner combiner(preferences_);
   num_expansion_probes_ = 0;
 
   // Approximate mode prunes seed pairs that do not already beat the best
@@ -75,7 +79,10 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
   // DFS over the set-enumeration tree: members kept ascending; an extension
   // index k must form an applicable pair with every current member (the
   // pair-table pruning), and the extended set is then verified with one
-  // (memoized) count probe.
+  // AND+popcount against the frame's bitmap. The bitmap is rebuilt into a
+  // reused scratch buffer on pop (an AND per member over the cached
+  // per-preference bitmaps) rather than stored per frame, so frames stay
+  // small and the DFS does no per-frame heap traffic.
   struct Frame {
     std::vector<size_t> members;  // ascending
     Combination combination;
@@ -90,13 +97,14 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
     Frame frame;
     frame.members = {pair.i, pair.j};
     frame.combination =
-        combiner.AndExtend(combiner.Single(pair.i), pair.j);
+        combiner_.AndExtend(combiner_.Single(pair.i), pair.j);
     frame.num_tuples = pair.num_tuples;
     std::string key = member_key(frame.members);
     if (!seen.insert(key).second) continue;
     stack.push_back(std::move(frame));
   }
 
+  KeyBitmap frame_bits;
   while (!stack.empty()) {
     Frame frame = std::move(stack.back());
     stack.pop_back();
@@ -104,11 +112,12 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
     CombinationRecord record;
     record.num_predicates = frame.members.size();
     record.num_tuples = frame.num_tuples;
-    record.intensity = combiner.ComputeIntensity(frame.combination);
-    record.predicate_sql = combiner.ToSql(frame.combination);
+    record.intensity = combiner_.ComputeIntensity(frame.combination);
+    record.predicate_sql = combiner_.ToSql(frame.combination);
     record.combination = frame.combination;
     order.push_back(std::move(record));
 
+    bool bits_ready = false;
     size_t last = frame.members.back();
     for (size_t k = last + 1; k < prefs.size(); ++k) {
       bool all_pairs_ok = true;
@@ -123,15 +132,18 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
       extended_members.push_back(k);
       std::string key = member_key(extended_members);
       if (!seen.insert(key).second) continue;
-      Combination extended = combiner.AndExtend(frame.combination, k);
+      if (!bits_ready) {
+        HYPRE_RETURN_NOT_OK(prober_.BitsInto(frame.combination, &frame_bits));
+        bits_ready = true;
+      }
       ++num_expansion_probes_;
-      HYPRE_ASSIGN_OR_RETURN(
-          size_t count,
-          enhancer_->CountMatching(combiner.BuildExpr(extended)));
+      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* k_bits,
+                             prober_.PreferenceBits(k));
+      size_t count = KeyBitmap::AndCount(frame_bits, *k_bits);
       if (count == 0) continue;
       Frame next;
       next.members = std::move(extended_members);
-      next.combination = std::move(extended);
+      next.combination = combiner_.AndExtend(frame.combination, k);
       next.num_tuples = count;
       stack.push_back(std::move(next));
     }
@@ -146,14 +158,13 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
 
 Result<std::vector<RankedTuple>> Peps::TopK(size_t k, PepsMode mode) {
   const auto& prefs = *preferences_;
-  Combiner combiner(preferences_);
   HYPRE_ASSIGN_OR_RETURN(std::vector<CombinationRecord> order,
                          GenerateOrder(mode));
 
   // Singles participate too: tuples matching exactly one preference are
   // ranked by that preference's own intensity.
   for (size_t i = 0; i < prefs.size(); ++i) {
-    Combination single = combiner.Single(i);
+    Combination single = combiner_.Single(i);
     CombinationRecord record;
     record.num_predicates = 1;
     record.intensity = prefs[i].intensity;
@@ -169,16 +180,13 @@ Result<std::vector<RankedTuple>> Peps::TopK(size_t k, PepsMode mode) {
 
   std::vector<RankedTuple> result;
   std::unordered_set<reldb::Value, reldb::ValueHash> ranked;
+  KeyBitmap bits;
   for (const CombinationRecord& record : order) {
     if (k > 0 && result.size() >= k) break;
-    reldb::ExprPtr expr = combiner.BuildExpr(record.combination);
-    HYPRE_ASSIGN_OR_RETURN(std::vector<reldb::Value> keys,
-                           enhancer_->MatchingKeys(expr));
-    // Deterministic order within one combination.
-    std::sort(keys.begin(), keys.end(),
-              [](const reldb::Value& a, const reldb::Value& b) {
-                return a.Compare(b) < 0;
-              });
+    HYPRE_RETURN_NOT_OK(prober_.BitsInto(record.combination, &bits));
+    // KeysOf is deterministic: keys come out in Value total order.
+    std::vector<reldb::Value> keys =
+        enhancer_->probe_engine().KeysOf(bits);
     for (const auto& key : keys) {
       if (k > 0 && result.size() >= k) break;
       if (!ranked.insert(key).second) continue;

@@ -45,9 +45,17 @@ struct PairEntry {
 class Peps {
  public:
   /// `preferences` must be sorted descending by intensity and must outlive
-  /// the engine; `enhancer` likewise.
+  /// the engine; `enhancer` likewise. All probes run through the enhancer's
+  /// bitmap-backed probe engine: the pair table is built from per-preference
+  /// key bitmaps with an AND+popcount per pair, and expansion carries each
+  /// frame's bitmap so candidate verification is one AND+popcount too.
   Peps(const std::vector<PreferenceAtom>* preferences,
        const QueryEnhancer* enhancer);
+
+  // prober_ points at combiner_, so default copy/move would leave the new
+  // object probing through the old one's (possibly destroyed) combiner.
+  Peps(const Peps&) = delete;
+  Peps& operator=(const Peps&) = delete;
 
   /// \brief Builds the applicable-pair table (one probe per AND pair).
   /// Idempotent; TopK/GenerateOrder call it lazily.
@@ -71,6 +79,8 @@ class Peps {
  private:
   const std::vector<PreferenceAtom>* preferences_;
   const QueryEnhancer* enhancer_;
+  Combiner combiner_;
+  CombinationProber prober_;
   bool pairs_ready_ = false;
   std::vector<PairEntry> pairs_;
   // pair applicability matrix, row-major over preference indices

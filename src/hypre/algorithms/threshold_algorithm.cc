@@ -89,5 +89,23 @@ Result<std::vector<RankedTuple>> ThresholdAlgorithmTopK(
   return result;
 }
 
+Result<std::vector<GradedList>> BuildGradedLists(
+    const ProbeEngine& engine, const std::vector<PreferenceAtom>& atoms,
+    const std::function<std::string(const PreferenceAtom&)>& list_key) {
+  std::vector<GradedList> lists;
+  std::unordered_map<std::string, size_t> index_of;
+  for (const auto& atom : atoms) {
+    std::string name = list_key ? list_key(atom) : atom.attribute_key;
+    auto [it, inserted] = index_of.emplace(name, lists.size());
+    if (inserted) lists.emplace_back(name);
+    GradedList& list = lists[it->second];
+    HYPRE_ASSIGN_OR_RETURN(KeyBitmap bits, engine.EvalBitmap(atom.expr));
+    bits.ForEachSet(
+        [&](uint32_t id) { list.AddGrade(engine.KeyAt(id), atom.intensity); });
+  }
+  for (auto& list : lists) list.Finalize();
+  return lists;
+}
+
 }  // namespace core
 }  // namespace hypre

@@ -14,12 +14,15 @@
 // in Figures 37/38.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "hypre/preference.h"
+#include "hypre/probe_engine.h"
 #include "hypre/ranking.h"
 #include "reldb/value.h"
 
@@ -62,6 +65,16 @@ class GradedList {
 Result<std::vector<RankedTuple>> ThresholdAlgorithmTopK(
     const std::vector<GradedList>& lists, size_t k,
     size_t* sorted_accesses = nullptr);
+
+/// \brief Builds TA's finalized graded lists from preference atoms, probing
+/// each atom's matching keys through the engine's bitmap handles. Atoms are
+/// grouped into one list per `list_key(atom)` (defaults to the atom's
+/// attribute key); each atom grades its matching keys with its intensity,
+/// f_and-merged per key within a list.
+Result<std::vector<GradedList>> BuildGradedLists(
+    const ProbeEngine& engine, const std::vector<PreferenceAtom>& atoms,
+    const std::function<std::string(const PreferenceAtom&)>& list_key =
+        nullptr);
 
 }  // namespace core
 }  // namespace hypre

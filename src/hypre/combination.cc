@@ -117,5 +117,69 @@ std::string Combiner::ToSql(const Combination& combination) const {
   return BuildExpr(combination)->ToString();
 }
 
+Result<const KeyBitmap*> CombinationProber::PreferenceBits(
+    size_t index) const {
+  if (member_bits_.size() < combiner_->preferences().size()) {
+    member_bits_.resize(combiner_->preferences().size());
+  }
+  if (member_bits_[index] == nullptr) {
+    HYPRE_ASSIGN_OR_RETURN(
+        KeyBitmap bits,
+        engine_->EvalBitmap(combiner_->preferences()[index].expr));
+    member_bits_[index] = std::make_unique<KeyBitmap>(std::move(bits));
+  }
+  return member_bits_[index].get();
+}
+
+Status CombinationProber::BitsInto(const Combination& combination,
+                                   KeyBitmap* out) const {
+  bool first = true;
+  for (const auto& group : combination.groups) {
+    const KeyBitmap* group_bits;
+    if (group.members.size() == 1) {
+      HYPRE_ASSIGN_OR_RETURN(group_bits, PreferenceBits(group.members[0]));
+    } else {
+      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits0,
+                             PreferenceBits(group.members[0]));
+      group_scratch_ = *bits0;
+      for (size_t pos = 1; pos < group.members.size(); ++pos) {
+        HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits,
+                               PreferenceBits(group.members[pos]));
+        group_scratch_.OrWith(*bits);
+      }
+      group_bits = &group_scratch_;
+    }
+    if (first) {
+      *out = *group_bits;
+      first = false;
+    } else {
+      out->AndWith(*group_bits);
+      if (out->None()) break;  // short-circuit: empty intersection
+    }
+  }
+  if (first) *out = KeyBitmap();
+  return Status::OK();
+}
+
+Result<size_t> CombinationProber::Count(
+    const Combination& combination) const {
+  const auto& groups = combination.groups;
+  if (groups.size() == 1 && groups[0].members.size() == 1) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits,
+                           PreferenceBits(groups[0].members[0]));
+    return bits->Count();
+  }
+  if (groups.size() == 2 && groups[0].members.size() == 1 &&
+      groups[1].members.size() == 1) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* a,
+                           PreferenceBits(groups[0].members[0]));
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* b,
+                           PreferenceBits(groups[1].members[0]));
+    return KeyBitmap::AndCount(*a, *b);
+  }
+  HYPRE_RETURN_NOT_OK(BitsInto(combination, &count_scratch_));
+  return count_scratch_.Count();
+}
+
 }  // namespace core
 }  // namespace hypre

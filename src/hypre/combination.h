@@ -7,11 +7,14 @@
 // Proposition 2), f_and across groups (order independent, Proposition 1).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "hypre/key_bitmap.h"
 #include "hypre/preference.h"
+#include "hypre/probe_engine.h"
 #include "reldb/expr.h"
 
 namespace hypre {
@@ -74,6 +77,43 @@ class Combiner {
 
  private:
   const std::vector<PreferenceAtom>* preferences_;
+};
+
+/// \brief Bitmap-backed prober over a fixed preference list: materializes
+/// each preference's key bitmap (lazily, once) through the probe engine,
+/// then answers combination probes with word-wise OR within groups and AND
+/// across groups — the same group-level semantics as engine-evaluating
+/// BuildExpr(), without rebuilding and re-walking an expression tree per
+/// probe.
+class CombinationProber {
+ public:
+  /// `combiner` and `engine` must outlive the prober.
+  CombinationProber(const Combiner* combiner, const ProbeEngine* engine)
+      : combiner_(combiner), engine_(engine) {}
+
+  /// \brief Key bitmap of one preference (the combination leaf handle).
+  Result<const KeyBitmap*> PreferenceBits(size_t index) const;
+
+  /// \brief Evaluates the combination (AND of OR-groups) into `out`,
+  /// reusing its storage —
+  /// the per-probe path for hot loops (PEPS expansion, Top-K walks) that
+  /// would otherwise allocate a bitmap per probe.
+  Status BitsInto(const Combination& combination, KeyBitmap* out) const;
+
+  /// \brief Number of matching keys; pure-AND combinations of two
+  /// preferences short-cut to an allocation-free popcount.
+  Result<size_t> Count(const Combination& combination) const;
+
+  const ProbeEngine& engine() const { return *engine_; }
+
+ private:
+  const Combiner* combiner_;
+  const ProbeEngine* engine_;
+  // Lazily materialized per-preference bitmaps, indexed like the list.
+  mutable std::vector<std::unique_ptr<KeyBitmap>> member_bits_;
+  // Reused accumulators for BitsInto (OR-group) and Count.
+  mutable KeyBitmap group_scratch_;
+  mutable KeyBitmap count_scratch_;
 };
 
 }  // namespace core

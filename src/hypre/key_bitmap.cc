@@ -1,0 +1,79 @@
+#include "hypre/key_bitmap.h"
+
+namespace hypre {
+namespace core {
+
+KeyBitmap::KeyBitmap(size_t num_bits, bool all_set)
+    : num_bits_(num_bits),
+      words_((num_bits + 63) / 64, all_set ? ~uint64_t{0} : uint64_t{0}) {
+  if (all_set) ClearTail();
+}
+
+void KeyBitmap::ClearTail() {
+  size_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+size_t KeyBitmap::Count() const {
+  size_t count = 0;
+  for (uint64_t word : words_) {
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+bool KeyBitmap::Any() const {
+  for (uint64_t word : words_) {
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+void KeyBitmap::AndWith(const KeyBitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+}
+
+void KeyBitmap::OrWith(const KeyBitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+void KeyBitmap::AndNotWith(const KeyBitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+}
+
+void KeyBitmap::FlipAll() {
+  for (uint64_t& word : words_) word = ~word;
+  ClearTail();
+}
+
+size_t KeyBitmap::AndCount(const KeyBitmap& a, const KeyBitmap& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  size_t count = 0;
+  for (size_t w = 0; w < a.words_.size(); ++w) {
+    count += static_cast<size_t>(std::popcount(a.words_[w] & b.words_[w]));
+  }
+  return count;
+}
+
+bool KeyBitmap::Intersects(const KeyBitmap& a, const KeyBitmap& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  for (size_t w = 0; w < a.words_.size(); ++w) {
+    if ((a.words_[w] & b.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<uint32_t> KeyBitmap::ToIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(Count());
+  ForEachSet([&](uint32_t id) { ids.push_back(id); });
+  return ids;
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -22,13 +22,14 @@ double Utility(size_t num_tuples, size_t num_preferences, double intensity,
 
 Result<size_t> Coverage(const QueryEnhancer& enhancer,
                         const std::vector<reldb::ExprPtr>& predicates) {
-  std::unordered_set<reldb::Value, reldb::ValueHash> covered;
+  const ProbeEngine& engine = enhancer.probe_engine();
+  HYPRE_ASSIGN_OR_RETURN(size_t universe, engine.UniverseSize());
+  KeyBitmap covered(universe);
   for (const auto& predicate : predicates) {
-    HYPRE_ASSIGN_OR_RETURN(std::vector<reldb::Value> keys,
-                           enhancer.MatchingKeys(predicate));
-    covered.insert(keys.begin(), keys.end());
+    HYPRE_ASSIGN_OR_RETURN(KeyBitmap bits, engine.EvalBitmap(predicate));
+    covered.OrWith(bits);
   }
-  return covered.size();
+  return covered.Count();
 }
 
 double Similarity(const std::vector<reldb::Value>& a,

@@ -1,0 +1,221 @@
+#include "hypre/probe_engine.h"
+
+#include <algorithm>
+
+namespace hypre {
+namespace core {
+
+using reldb::CompareOp;
+using reldb::ExprKind;
+
+namespace {
+
+/// Flips a comparison operator for the mirrored `literal op column` form.
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // =, != are symmetric
+  }
+}
+
+/// Collects the canonical keys of an n-ary chain, flattening nested nodes of
+/// the same kind so `(a AND b) AND c` and `a AND (b AND c)` agree.
+void CollectNaryKeys(const reldb::Expr& expr, ExprKind kind,
+                     std::vector<std::string>* out) {
+  if (expr.kind() == kind) {
+    for (const auto& child :
+         static_cast<const reldb::NaryExpr&>(expr).children()) {
+      CollectNaryKeys(*child, kind, out);
+    }
+    return;
+  }
+  out->push_back(ProbeEngine::CanonicalKey(expr));
+}
+
+}  // namespace
+
+std::string ProbeEngine::CanonicalKey(const reldb::Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return expr.ToString();
+    case ExprKind::kCompare: {
+      const auto& cmp = static_cast<const reldb::CompareExpr&>(expr);
+      const reldb::Expr* lhs = cmp.lhs().get();
+      const reldb::Expr* rhs = cmp.rhs().get();
+      CompareOp op = cmp.op();
+      // Normalize `literal op column` to `column op' literal`.
+      if (lhs->kind() == ExprKind::kLiteral &&
+          rhs->kind() != ExprKind::kLiteral) {
+        std::swap(lhs, rhs);
+        op = MirrorOp(op);
+      }
+      return CanonicalKey(*lhs) + reldb::CompareOpToString(op) +
+             CanonicalKey(*rhs);
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const reldb::BetweenExpr&>(expr);
+      return CanonicalKey(*bt.column()) + " BETWEEN " + bt.lo().ToString() +
+             " AND " + bt.hi().ToString();
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const reldb::InListExpr&>(expr);
+      std::vector<reldb::Value> values = in.values();
+      std::sort(values.begin(), values.end());
+      std::string key = CanonicalKey(*in.column()) + " IN (";
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) key += ",";
+        key += values[i].ToString();
+      }
+      return key + ")";
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<std::string> keys;
+      CollectNaryKeys(expr, expr.kind(), &keys);
+      std::sort(keys.begin(), keys.end());
+      std::string out = "(";
+      const char* sep = expr.kind() == ExprKind::kAnd ? " AND " : " OR ";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) out += sep;
+        out += keys[i];
+      }
+      return out + ")";
+    }
+    case ExprKind::kNot:
+      return "NOT(" +
+             CanonicalKey(*static_cast<const reldb::NotExpr&>(expr).child()) +
+             ")";
+  }
+  return expr.ToString();  // unreachable; keeps the compiler happy
+}
+
+Status ProbeEngine::EnsureUniverse() const {
+  if (universe_ready_) return Status::OK();
+  HYPRE_RETURN_NOT_OK(
+      executor_.InternDistinctValues(base_query_, key_column_, &dict_));
+  universe_ = KeyBitmap(dict_.size(), /*all_set=*/true);
+  sorted_ids_.resize(dict_.size());
+  for (uint32_t id = 0; id < dict_.size(); ++id) sorted_ids_[id] = id;
+  std::sort(sorted_ids_.begin(), sorted_ids_.end(),
+            [&](uint32_t a, uint32_t b) {
+              return dict_.value(a).Compare(dict_.value(b)) < 0;
+            });
+  universe_ready_ = true;
+  return Status::OK();
+}
+
+Result<const KeyBitmap*> ProbeEngine::UniverseBitmap() const {
+  HYPRE_RETURN_NOT_OK(EnsureUniverse());
+  return &universe_;
+}
+
+Result<size_t> ProbeEngine::UniverseSize() const {
+  HYPRE_RETURN_NOT_OK(EnsureUniverse());
+  return dict_.size();
+}
+
+Result<const KeyBitmap*> ProbeEngine::LeafBitmap(
+    const reldb::ExprPtr& expr) const {
+  std::string key = CanonicalKey(*expr);
+  auto it = leaf_cache_.find(key);
+  if (it != leaf_cache_.end()) return it->second.get();
+  ++num_leaf_queries_;
+  reldb::Query query = base_query_;
+  query.where = query.where ? reldb::MakeAnd(query.where, expr) : expr;
+  auto bits = std::make_unique<KeyBitmap>(dict_.size());
+  HYPRE_RETURN_NOT_OK(executor_.ForEachDenseId(
+      query, key_column_, dict_, [&](uint32_t id) { bits->Set(id); }));
+  const KeyBitmap* ptr = bits.get();
+  leaf_cache_.emplace(std::move(key), std::move(bits));
+  return ptr;
+}
+
+Result<KeyBitmap> ProbeEngine::Eval(const reldb::ExprPtr& expr) const {
+  switch (expr->kind()) {
+    case ExprKind::kAnd: {
+      const auto& nary = static_cast<const reldb::NaryExpr&>(*expr);
+      bool first = true;
+      KeyBitmap acc;
+      for (const auto& child : nary.children()) {
+        HYPRE_ASSIGN_OR_RETURN(KeyBitmap child_bits, Eval(child));
+        if (first) {
+          acc = std::move(child_bits);
+          first = false;
+        } else {
+          acc.AndWith(child_bits);
+        }
+        if (acc.None()) break;  // short-circuit
+      }
+      return acc;
+    }
+    case ExprKind::kOr: {
+      const auto& nary = static_cast<const reldb::NaryExpr&>(*expr);
+      KeyBitmap acc(dict_.size());
+      for (const auto& child : nary.children()) {
+        HYPRE_ASSIGN_OR_RETURN(KeyBitmap child_bits, Eval(child));
+        acc.OrWith(child_bits);
+      }
+      return acc;
+    }
+    case ExprKind::kNot: {
+      const auto& n = static_cast<const reldb::NotExpr&>(*expr);
+      HYPRE_ASSIGN_OR_RETURN(KeyBitmap child_bits, Eval(n.child()));
+      child_bits.FlipAll();  // complement against the key universe
+      return child_bits;
+    }
+    default: {
+      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* leaf, LeafBitmap(expr));
+      return *leaf;
+    }
+  }
+}
+
+Result<KeyBitmap> ProbeEngine::EvalBitmap(
+    const reldb::ExprPtr& predicate) const {
+  HYPRE_RETURN_NOT_OK(EnsureUniverse());
+  if (!predicate) return universe_;
+  return Eval(predicate);
+}
+
+Result<size_t> ProbeEngine::CountMatching(
+    const reldb::ExprPtr& predicate) const {
+  std::string key = predicate ? CanonicalKey(*predicate) : "";
+  auto it = count_cache_.find(key);
+  if (it != count_cache_.end()) {
+    ++num_cache_hits_;
+    return it->second;
+  }
+  HYPRE_ASSIGN_OR_RETURN(KeyBitmap bits, EvalBitmap(predicate));
+  size_t count = bits.Count();
+  count_cache_.emplace(std::move(key), count);
+  return count;
+}
+
+std::vector<reldb::Value> ProbeEngine::KeysOf(const KeyBitmap& bits) const {
+  // The bitmap must come from this engine: its bits are dense key ids.
+  assert(bits.num_bits() == dict_.size());
+  std::vector<reldb::Value> out;
+  out.reserve(bits.Count());
+  for (uint32_t id : sorted_ids_) {
+    if (id < bits.num_bits() && bits.Test(id)) out.push_back(dict_.value(id));
+  }
+  return out;
+}
+
+Result<std::vector<reldb::Value>> ProbeEngine::MatchingKeys(
+    const reldb::ExprPtr& predicate) const {
+  HYPRE_ASSIGN_OR_RETURN(KeyBitmap bits, EvalBitmap(predicate));
+  return KeysOf(bits);
+}
+
+}  // namespace core
+}  // namespace hypre

@@ -1,0 +1,117 @@
+// Bitmap-backed probe engine for group-level predicate evaluation.
+//
+// The combination algorithms (PEPS, TA, exhaustive, combine-two,
+// partially-combine-all, bias-random) issue thousands of count/key probes
+// against the same base query. The engine makes those probes cheap:
+//
+//  1. Universe interning. The base query's distinct keys are scanned once
+//     and interned into dense ids [0, N) through the executor's
+//     dense-dictionary hook. Every key set is thereafter a word-packed
+//     KeyBitmap of N bits.
+//  2. Leaf bitmaps. Each leaf predicate runs against the database exactly
+//     once (base query AND leaf, streaming dense ids straight into a
+//     bitmap); the bitmap is cached under a canonical predicate key.
+//  3. Set algebra. Group-level AND/OR/NOT (dissertation §4.6 semantics, see
+//     query_enhancement.h) reduce to word-wise AND/OR/ANDNOT, and
+//     CountMatching to popcount.
+//
+// Cache keys are canonical, not rendered SQL: commutative AND/OR children
+// are sorted, mirrored comparisons (literal op column) are flipped, and IN
+// lists are sorted, so structurally identical predicates that render
+// differently share cache entries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/key_bitmap.h"
+#include "reldb/database.h"
+#include "reldb/executor.h"
+#include "reldb/expr.h"
+
+namespace hypre {
+namespace core {
+
+class ProbeEngine {
+ public:
+  /// \param db database to run against (must outlive the engine)
+  /// \param base_query query skeleton (FROM/JOINs; an existing WHERE acts as
+  ///        a hard constraint that every probe keeps)
+  /// \param key_column the tuple identity column (e.g. "dblp.pid")
+  ProbeEngine(const reldb::Database* db, reldb::Query base_query,
+              std::string key_column)
+      : db_(db),
+        executor_(db),
+        base_query_(std::move(base_query)),
+        key_column_(std::move(key_column)) {}
+
+  /// \brief Canonical cache key for a predicate: stable under whitespace,
+  /// commutative AND/OR child order, IN-list order, and mirrored
+  /// comparisons.
+  static std::string CanonicalKey(const reldb::Expr& expr);
+
+  /// \brief Number of distinct keys matching `predicate` (null = the whole
+  /// universe) under group-level semantics. Memoized.
+  Result<size_t> CountMatching(const reldb::ExprPtr& predicate) const;
+
+  /// \brief The matching keys, sorted by the Value total order.
+  Result<std::vector<reldb::Value>> MatchingKeys(
+      const reldb::ExprPtr& predicate) const;
+
+  /// \brief Evaluates `predicate` (null = universe) to a bitmap handle over
+  /// the dense key ids. The algorithms hold these and compose them with
+  /// KeyBitmap ops instead of re-probing.
+  Result<KeyBitmap> EvalBitmap(const reldb::ExprPtr& predicate) const;
+
+  /// \brief Bitmap with every universe key set. Valid until the engine dies.
+  Result<const KeyBitmap*> UniverseBitmap() const;
+
+  /// \brief Number of keys in the universe (forces interning).
+  Result<size_t> UniverseSize() const;
+
+  /// \brief The key Value for a dense id. Only valid after any probe or
+  /// UniverseSize()/UniverseBitmap() call.
+  const reldb::Value& KeyAt(uint32_t id) const { return dict_.value(id); }
+
+  /// \brief The keys of a bitmap, sorted by the Value total order
+  /// (deterministic, same order MatchingKeys uses).
+  std::vector<reldb::Value> KeysOf(const KeyBitmap& bits) const;
+
+  const std::string& key_column() const { return key_column_; }
+  const reldb::Query& base_query() const { return base_query_; }
+  const reldb::Database* db() const { return db_; }
+
+  /// \brief Number of leaf-predicate probes executed against the database
+  /// (the one-time universe interning scan is not counted).
+  size_t num_leaf_queries() const { return num_leaf_queries_; }
+  /// \brief Number of count probes answered from the memo cache.
+  size_t num_cache_hits() const { return num_cache_hits_; }
+
+ private:
+  Status EnsureUniverse() const;
+  Result<const KeyBitmap*> LeafBitmap(const reldb::ExprPtr& expr) const;
+  Result<KeyBitmap> Eval(const reldb::ExprPtr& expr) const;
+
+  const reldb::Database* db_;
+  reldb::Executor executor_;
+  reldb::Query base_query_;
+  std::string key_column_;
+
+  mutable reldb::DenseDictionary dict_;
+  mutable bool universe_ready_ = false;
+  mutable KeyBitmap universe_;
+  // Dense ids sorted by the Value total order, for deterministic key output.
+  mutable std::vector<uint32_t> sorted_ids_;
+  // Canonical leaf key -> matching-key bitmap.
+  mutable std::unordered_map<std::string, std::unique_ptr<KeyBitmap>>
+      leaf_cache_;
+  mutable std::unordered_map<std::string, size_t> count_cache_;
+  mutable size_t num_leaf_queries_ = 0;
+  mutable size_t num_cache_hits_ = 0;
+};
+
+}  // namespace core
+}  // namespace hypre

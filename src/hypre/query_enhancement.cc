@@ -1,136 +1,16 @@
 #include "hypre/query_enhancement.h"
 
-#include <algorithm>
-
 namespace hypre {
 namespace core {
 
-using reldb::ExprKind;
-
 reldb::Query QueryEnhancer::Enhance(const reldb::ExprPtr& predicate) const {
-  reldb::Query query = base_query_;
+  reldb::Query query = base_query();
   if (query.where && predicate) {
     query.where = reldb::MakeAnd(query.where, predicate);
   } else if (predicate) {
     query.where = predicate;
   }
   return query;
-}
-
-Result<const QueryEnhancer::KeySet*> QueryEnhancer::Universe() const {
-  if (universe_ == nullptr) {
-    ++num_leaf_queries_;
-    HYPRE_ASSIGN_OR_RETURN(std::vector<reldb::Value> keys,
-                           executor_.DistinctValues(base_query_, key_column_));
-    universe_ = std::make_unique<KeySet>(keys.begin(), keys.end());
-  }
-  return universe_.get();
-}
-
-Result<const QueryEnhancer::KeySet*> QueryEnhancer::EvalLeaf(
-    const reldb::ExprPtr& expr) const {
-  std::string key = expr->ToString();
-  auto it = leaf_cache_.find(key);
-  if (it != leaf_cache_.end()) return it->second.get();
-  ++num_leaf_queries_;
-  reldb::Query query = base_query_;
-  query.where = query.where ? reldb::MakeAnd(query.where, expr) : expr;
-  HYPRE_ASSIGN_OR_RETURN(std::vector<reldb::Value> keys,
-                         executor_.DistinctValues(query, key_column_));
-  auto set = std::make_unique<KeySet>(keys.begin(), keys.end());
-  const KeySet* ptr = set.get();
-  leaf_cache_.emplace(std::move(key), std::move(set));
-  return ptr;
-}
-
-Result<QueryEnhancer::KeySet> QueryEnhancer::EvalKeySet(
-    const reldb::ExprPtr& expr) const {
-  switch (expr->kind()) {
-    case ExprKind::kAnd: {
-      const auto& nary = static_cast<const reldb::NaryExpr&>(*expr);
-      bool first = true;
-      KeySet acc;
-      for (const auto& child : nary.children()) {
-        HYPRE_ASSIGN_OR_RETURN(KeySet child_set, EvalKeySet(child));
-        if (first) {
-          acc = std::move(child_set);
-          first = false;
-        } else {
-          KeySet next;
-          const KeySet& small = acc.size() <= child_set.size() ? acc
-                                                               : child_set;
-          const KeySet& large = acc.size() <= child_set.size() ? child_set
-                                                               : acc;
-          for (const auto& v : small) {
-            if (large.count(v) > 0) next.insert(v);
-          }
-          acc = std::move(next);
-        }
-        if (acc.empty()) break;  // short-circuit
-      }
-      return acc;
-    }
-    case ExprKind::kOr: {
-      const auto& nary = static_cast<const reldb::NaryExpr&>(*expr);
-      KeySet acc;
-      for (const auto& child : nary.children()) {
-        HYPRE_ASSIGN_OR_RETURN(KeySet child_set, EvalKeySet(child));
-        acc.insert(child_set.begin(), child_set.end());
-      }
-      return acc;
-    }
-    case ExprKind::kNot: {
-      const auto& n = static_cast<const reldb::NotExpr&>(*expr);
-      HYPRE_ASSIGN_OR_RETURN(KeySet child_set, EvalKeySet(n.child()));
-      HYPRE_ASSIGN_OR_RETURN(const KeySet* universe, Universe());
-      KeySet acc;
-      for (const auto& v : *universe) {
-        if (child_set.count(v) == 0) acc.insert(v);
-      }
-      return acc;
-    }
-    default: {
-      HYPRE_ASSIGN_OR_RETURN(const KeySet* leaf, EvalLeaf(expr));
-      return *leaf;
-    }
-  }
-}
-
-Result<size_t> QueryEnhancer::CountMatching(
-    const reldb::ExprPtr& predicate) const {
-  std::string key = predicate ? predicate->ToString() : "";
-  auto it = count_cache_.find(key);
-  if (it != count_cache_.end()) {
-    ++num_cache_hits_;
-    return it->second;
-  }
-  size_t count;
-  if (!predicate) {
-    HYPRE_ASSIGN_OR_RETURN(const KeySet* universe, Universe());
-    count = universe->size();
-  } else {
-    HYPRE_ASSIGN_OR_RETURN(KeySet set, EvalKeySet(predicate));
-    count = set.size();
-  }
-  count_cache_.emplace(std::move(key), count);
-  return count;
-}
-
-Result<std::vector<reldb::Value>> QueryEnhancer::MatchingKeys(
-    const reldb::ExprPtr& predicate) const {
-  KeySet set;
-  if (!predicate) {
-    HYPRE_ASSIGN_OR_RETURN(const KeySet* universe, Universe());
-    set = *universe;
-  } else {
-    HYPRE_ASSIGN_OR_RETURN(set, EvalKeySet(predicate));
-  }
-  std::vector<reldb::Value> out(set.begin(), set.end());
-  std::sort(out.begin(), out.end(),
-            [](const reldb::Value& a, const reldb::Value& b) {
-              return a.Compare(b) < 0;
-            });
-  return out;
 }
 
 }  // namespace core

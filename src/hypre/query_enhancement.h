@@ -19,17 +19,17 @@
 // For single-table leaf predicates this coincides with row-level SQL
 // semantics, because the key determines the row of each base table.
 //
-// Leaf key sets are cached, so the thousands of probes the combination
-// algorithms issue mostly reduce to set algebra.
+// The set algebra, leaf caching, and probe accounting all live in
+// ProbeEngine (key sets are dense bitmaps there; probes reduce to bitwise
+// ops and popcount); QueryEnhancer is the thin façade the algorithms take,
+// plus the literal SQL rewriting of §4.6 (Enhance).
 #pragma once
 
-#include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "hypre/probe_engine.h"
 #include "reldb/database.h"
 #include "reldb/executor.h"
 #include "reldb/expr.h"
@@ -39,8 +39,6 @@ namespace core {
 
 class QueryEnhancer {
  public:
-  using KeySet = std::unordered_set<reldb::Value, reldb::ValueHash>;
-
   /// \param db database to run against (must outlive the enhancer)
   /// \param base_query query skeleton (FROM/JOINs; an existing WHERE acts as
   ///        a hard constraint that every probe keeps)
@@ -48,10 +46,7 @@ class QueryEnhancer {
   ///        COUNT(DISTINCT ...) and key collection
   QueryEnhancer(const reldb::Database* db, reldb::Query base_query,
                 std::string key_column)
-      : db_(db),
-        executor_(db),
-        base_query_(std::move(base_query)),
-        key_column_(std::move(key_column)) {}
+      : engine_(db, std::move(base_query), std::move(key_column)) {}
 
   /// \brief The base query with `predicate` ANDed into its WHERE clause —
   /// the literal SQL rewriting of §4.6, for display and row-level execution.
@@ -59,39 +54,32 @@ class QueryEnhancer {
 
   /// \brief Number of distinct keys matching `predicate` under group-level
   /// semantics. Memoized.
-  Result<size_t> CountMatching(const reldb::ExprPtr& predicate) const;
+  Result<size_t> CountMatching(const reldb::ExprPtr& predicate) const {
+    return engine_.CountMatching(predicate);
+  }
 
   /// \brief The matching keys under group-level semantics, sorted by the
   /// Value total order (deterministic).
   Result<std::vector<reldb::Value>> MatchingKeys(
-      const reldb::ExprPtr& predicate) const;
+      const reldb::ExprPtr& predicate) const {
+    return engine_.MatchingKeys(predicate);
+  }
 
-  const std::string& key_column() const { return key_column_; }
-  const reldb::Query& base_query() const { return base_query_; }
-  const reldb::Database* db() const { return db_; }
+  /// \brief The bitmap-backed engine, for algorithms that compose probe
+  /// results with KeyBitmap handles directly.
+  const ProbeEngine& probe_engine() const { return engine_; }
+
+  const std::string& key_column() const { return engine_.key_column(); }
+  const reldb::Query& base_query() const { return engine_.base_query(); }
+  const reldb::Database* db() const { return engine_.db(); }
 
   /// \brief Number of leaf probes actually executed against the database.
-  size_t num_leaf_queries() const { return num_leaf_queries_; }
+  size_t num_leaf_queries() const { return engine_.num_leaf_queries(); }
   /// \brief Number of count probes answered from the memo cache.
-  size_t num_cache_hits() const { return num_cache_hits_; }
+  size_t num_cache_hits() const { return engine_.num_cache_hits(); }
 
  private:
-  /// Recursive group-level evaluation.
-  Result<const KeySet*> EvalLeaf(const reldb::ExprPtr& expr) const;
-  Result<KeySet> EvalKeySet(const reldb::ExprPtr& expr) const;
-  Result<const KeySet*> Universe() const;
-
-  const reldb::Database* db_;
-  reldb::Executor executor_;
-  reldb::Query base_query_;
-  std::string key_column_;
-  // Leaf predicate (by SQL text) -> matching key set.
-  mutable std::unordered_map<std::string, std::unique_ptr<KeySet>>
-      leaf_cache_;
-  mutable std::unique_ptr<KeySet> universe_;
-  mutable std::unordered_map<std::string, size_t> count_cache_;
-  mutable size_t num_leaf_queries_ = 0;
-  mutable size_t num_cache_hits_ = 0;
+  ProbeEngine engine_;
 };
 
 }  // namespace core

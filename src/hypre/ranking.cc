@@ -1,7 +1,6 @@
 #include "hypre/ranking.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "hypre/intensity.h"
 
@@ -21,22 +20,26 @@ void SortRanked(std::vector<RankedTuple>* tuples) {
 Result<std::vector<RankedTuple>> ScoreTuplesByPreferences(
     const QueryEnhancer& enhancer,
     const std::vector<PreferenceAtom>& preferences) {
-  // For each preference, collect its matching keys, then fold f_and per key.
-  std::unordered_map<reldb::Value, double, reldb::ValueHash> scores;
+  // For each preference, probe its key bitmap, then fold f_and per key over
+  // dense score/matched arrays (one slot per universe key).
+  const ProbeEngine& engine = enhancer.probe_engine();
+  HYPRE_ASSIGN_OR_RETURN(size_t universe, engine.UniverseSize());
+  std::vector<double> score(universe, 0.0);
+  std::vector<char> matched(universe, 0);
   for (const auto& pref : preferences) {
-    HYPRE_ASSIGN_OR_RETURN(std::vector<reldb::Value> keys,
-                           enhancer.MatchingKeys(pref.expr));
-    for (const auto& key : keys) {
-      auto [it, inserted] = scores.emplace(key, pref.intensity);
-      if (!inserted) {
-        it->second = CombineAnd(it->second, pref.intensity);
+    HYPRE_ASSIGN_OR_RETURN(KeyBitmap bits, engine.EvalBitmap(pref.expr));
+    bits.ForEachSet([&](uint32_t id) {
+      if (!matched[id]) {
+        matched[id] = 1;
+        score[id] = pref.intensity;
+      } else {
+        score[id] = CombineAnd(score[id], pref.intensity);
       }
-    }
+    });
   }
   std::vector<RankedTuple> out;
-  out.reserve(scores.size());
-  for (const auto& [key, intensity] : scores) {
-    out.push_back({key, intensity});
+  for (uint32_t id = 0; id < universe; ++id) {
+    if (matched[id]) out.push_back({engine.KeyAt(id), score[id]});
   }
   SortRanked(&out);
   return out;

@@ -66,8 +66,20 @@ Result<bool> Dominates(const reldb::Table& table, reldb::RowId a,
 Result<std::vector<reldb::RowId>> BlockNestedLoopSkyline(
     const reldb::Table& table,
     const std::vector<AttributePreference>& prefs) {
+  return BlockNestedLoopSkyline(
+      table, prefs, KeyBitmap(table.num_rows(), /*all_set=*/true));
+}
+
+Result<std::vector<reldb::RowId>> BlockNestedLoopSkyline(
+    const reldb::Table& table, const std::vector<AttributePreference>& prefs,
+    const KeyBitmap& candidates) {
   HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> cols,
                          ResolveColumns(table, prefs));
+  if (candidates.num_bits() != table.num_rows()) {
+    return Status::InvalidArgument(StringFormat(
+        "candidate bitmap has %zu bits for a table of %zu rows",
+        candidates.num_bits(), table.num_rows()));
+  }
 
   auto dominates = [&](reldb::RowId a, reldb::RowId b) {
     bool strictly = false;
@@ -85,6 +97,7 @@ Result<std::vector<reldb::RowId>> BlockNestedLoopSkyline(
   std::vector<reldb::RowId> window;
   for (reldb::RowId candidate = 0; candidate < table.num_rows();
        ++candidate) {
+    if (!candidates.Test(candidate)) continue;
     bool dominated = false;
     for (size_t w = 0; w < window.size();) {
       if (dominates(window[w], candidate)) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "hypre/key_bitmap.h"
 #include "reldb/table.h"
 
 namespace hypre {
@@ -43,6 +44,19 @@ Result<bool> Dominates(const reldb::Table& table, reldb::RowId a,
 Result<std::vector<reldb::RowId>> BlockNestedLoopSkyline(
     const reldb::Table& table,
     const std::vector<AttributePreference>& prefs);
+
+/// \brief Skyline restricted to the rows whose bit is set in `candidates`
+/// (bit i == RowId i; num_bits must equal the table's row count).
+///
+/// NOTE: the bit positions here are table RowIds, NOT the probe engine's
+/// dense key ids (those are interned in first-seen order over the possibly
+/// joined base query). To restrict the skyline to keys matching a
+/// predicate, map each matching key back to its row (e.g. via a hash index
+/// on the key column) and set that RowId's bit — do not pass an engine
+/// bitmap through unchanged.
+Result<std::vector<reldb::RowId>> BlockNestedLoopSkyline(
+    const reldb::Table& table, const std::vector<AttributePreference>& prefs,
+    const KeyBitmap& candidates);
 
 /// \brief Orders skyline rows by a weighted normalized score: each attribute
 /// is min-max normalized over the skyline (inverted for kMin so that better

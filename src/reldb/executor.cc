@@ -17,6 +17,18 @@ std::pair<std::string, std::string> SplitQualifiedName(
   return {name.substr(0, dot), name.substr(dot + 1)};
 }
 
+uint32_t DenseDictionary::Intern(const Value& v) {
+  auto [it, inserted] =
+      ids_.emplace(v, static_cast<uint32_t>(values_.size()));
+  if (inserted) values_.push_back(v);
+  return it->second;
+}
+
+uint32_t DenseDictionary::Lookup(const Value& v) const {
+  auto it = ids_.find(v);
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
 std::string Query::ToSql() const {
   std::string sql = "SELECT ";
   if (select.empty()) {
@@ -547,6 +559,32 @@ Result<std::vector<Value>> Executor::DistinctValues(
         if (seen.insert(v).second) out.push_back(v);
       }));
   return out;
+}
+
+Status Executor::InternDistinctValues(const Query& query,
+                                      const std::string& column,
+                                      DenseDictionary* dict) const {
+  HYPRE_ASSIGN_OR_RETURN(PlannedQuery plan, Plan(*db_, query));
+  HYPRE_ASSIGN_OR_RETURN(auto loc, ResolveQualified(plan.slots, column));
+  return ForEachMatch(
+      *db_, query,
+      [&](const std::vector<Slot>& slots, const std::vector<RowId>& tuple) {
+        dict->Intern(slots[loc.first].table->row(tuple[loc.first])[loc.second]);
+      });
+}
+
+Status Executor::ForEachDenseId(const Query& query, const std::string& column,
+                                const DenseDictionary& dict,
+                                const std::function<void(uint32_t)>& fn) const {
+  HYPRE_ASSIGN_OR_RETURN(PlannedQuery plan, Plan(*db_, query));
+  HYPRE_ASSIGN_OR_RETURN(auto loc, ResolveQualified(plan.slots, column));
+  return ForEachMatch(
+      *db_, query,
+      [&](const std::vector<Slot>& slots, const std::vector<RowId>& tuple) {
+        uint32_t id = dict.Lookup(
+            slots[loc.first].table->row(tuple[loc.first])[loc.second]);
+        if (id != DenseDictionary::kNotFound) fn(id);
+      });
 }
 
 namespace {

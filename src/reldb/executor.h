@@ -10,7 +10,10 @@
 // the probes stay cheap.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -81,6 +84,27 @@ struct GroupByQuery {
 std::pair<std::string, std::string> SplitQualifiedName(
     const std::string& name);
 
+/// \brief Interns distinct values into contiguous dense ids (first-seen
+/// order). Equality/hashing follow Value::Compare, so Int(2) and Real(2.0)
+/// share an id, matching DistinctValues' dedup semantics. The dense ids are
+/// the bit positions used by the bitmap-backed probe engine.
+class DenseDictionary {
+ public:
+  static constexpr uint32_t kNotFound = ~uint32_t{0};
+
+  /// \brief Id of `v`, interning it if absent.
+  uint32_t Intern(const Value& v);
+  /// \brief Id of `v`, or kNotFound if it was never interned.
+  uint32_t Lookup(const Value& v) const;
+
+  const Value& value(uint32_t id) const { return values_[id]; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, uint32_t, ValueHash> ids_;
+};
+
 class Executor {
  public:
   explicit Executor(const Database* db) : db_(db) {}
@@ -96,6 +120,20 @@ class Executor {
   /// order.
   Result<std::vector<Value>> DistinctValues(const Query& query,
                                             const std::string& column) const;
+
+  /// \brief Interns the distinct values of `column` over the matching rows
+  /// into `dict` (first-seen order). The dense-dictionary hook behind the
+  /// probe engine's one-time key-universe scan.
+  Status InternDistinctValues(const Query& query, const std::string& column,
+                              DenseDictionary* dict) const;
+
+  /// \brief Streams the dense id (under `dict`) of `column` for every
+  /// matching row; values absent from the dictionary are skipped. Ids repeat
+  /// when several joined rows share a key — callers typically OR them into a
+  /// bitmap, which dedups for free.
+  Status ForEachDenseId(const Query& query, const std::string& column,
+                        const DenseDictionary& dict,
+                        const std::function<void(uint32_t)>& fn) const;
 
   /// \brief Grouped aggregation. Output columns: the group-by columns then
   /// one per aggregate; rows sorted by the group key. SUM/AVG require

@@ -57,6 +57,20 @@ TEST(SkylineTest, BnlFindsUndominatedSet) {
   EXPECT_EQ(*skyline, (std::vector<RowId>{0, 1, 3}));
 }
 
+TEST(SkylineTest, BnlOverCandidateBitmap) {
+  Table t = MakeHotels();
+  // Excluding row 1 removes the dominator of row 2, so the restricted
+  // skyline is {0, 2, 3}.
+  KeyBitmap candidates(t.num_rows(), /*all_set=*/true);
+  candidates.Reset(1);
+  auto skyline = BlockNestedLoopSkyline(t, MinMinPrefs(), candidates);
+  ASSERT_TRUE(skyline.ok()) << skyline.status().ToString();
+  EXPECT_EQ(*skyline, (std::vector<RowId>{0, 2, 3}));
+  // A wrongly sized bitmap is rejected.
+  EXPECT_FALSE(
+      BlockNestedLoopSkyline(t, MinMinPrefs(), KeyBitmap(2)).ok());
+}
+
 TEST(SkylineTest, MaxDirection) {
   Table t = MakeHotels();
   // Maximize price: only the most expensive hotel survives.
