@@ -5,12 +5,16 @@
 // compose, so regressions are attributable.
 #include <benchmark/benchmark.h>
 
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "bench_util.h"
+#include "common/random.h"
 #include "graphdb/cypher_lite.h"
 #include "graphdb/traversal.h"
+#include "hypre/algorithms/peps.h"
+#include "hypre/batch_prober.h"
 #include "hypre/probe_engine.h"
 #include "sqlparse/parser.h"
 #include "sqlparse/select_parser.h"
@@ -249,6 +253,140 @@ void BM_ProbeAlgebraBitmap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProbeAlgebraBitmap)->Unit(benchmark::kMicrosecond);
+
+// --- Batch vs scalar combination probing ------------------------------------
+//
+// The batch layer pays off when the frontier's leaf bitmaps exceed cache:
+// scalar probing re-streams whole bitmaps per probe, the batch path keeps
+// one shard of every leaf cache-resident while all pending combinations
+// consume it. So these benches run on their own larger workload — a
+// 400k-paper universe (~6250 words, ~50 KB per leaf bitmap, ~2.4 MB for the
+// 48 preference leaves: past L2 on this box). The frontier benchmarks probe
+// the same 512 mixed combinations scalar vs one CountBatch; the pair-table
+// benchmarks rebuild the PEPS pair table (the C(48,2) upper triangle); the
+// Cold variants use a fresh engine per iteration, so they include leaf
+// loading — 48 on-demand leaf queries scalar vs one bulk prefetch pass
+// batched.
+
+struct BatchBench {
+  std::unique_ptr<Workload> w;
+  std::unique_ptr<core::QueryEnhancer> enhancer;
+  reldb::Query base;
+  std::vector<core::PreferenceAtom> atoms;
+  std::unique_ptr<core::Combiner> combiner;
+  std::unique_ptr<core::CombinationProber> prober;
+  std::vector<core::Combination> frontier;
+};
+
+BatchBench* GetBatchBench() {
+  static BatchBench* bench = [] {
+    auto* b = new BatchBench();
+    workload::DblpConfig config;
+    config.num_papers = 400000;
+    config.num_authors = 40000;
+    config.max_authors_per_paper = 2;
+    config.avg_citations_per_paper = 0.0;  // citations are not probed here
+    b->w = std::make_unique<Workload>();
+    b->w->stats = Unwrap(workload::GenerateDblp(config, &b->w->db));
+    b->base.from = "dblp";
+    b->base.joins.push_back({"dblp_author", "dblp.pid", "pid"});
+    b->enhancer = std::make_unique<core::QueryEnhancer>(&b->w->db, b->base,
+                                                        "dblp.pid");
+    auto add = [&](const std::string& pred, double intensity) {
+      b->atoms.push_back(Unwrap(core::MakeAtom(pred, intensity)));
+    };
+    for (int aid = 1; aid <= 40; ++aid) {
+      add("dblp_author.aid=" + std::to_string(aid), 0.9 - aid * 0.01);
+    }
+    const char* venues[] = {"SIGMOD", "VLDB",     "PVLDB", "PODS",
+                            "ICDE",   "CIKM",     "KDD",   "INFOCOM"};
+    for (int v = 0; v < 8; ++v) {
+      add(std::string("dblp.venue='") + venues[v] + "'", 0.85 - v * 0.01);
+    }
+    core::SortByIntensityDesc(&b->atoms);
+    b->combiner = std::make_unique<core::Combiner>(&b->atoms);
+    b->prober = std::make_unique<core::CombinationProber>(
+        b->combiner.get(), &b->enhancer->probe_engine());
+    Status st = b->prober->PrefetchAll();
+    if (!st.ok()) Die(st);
+    Rng rng(7);
+    for (int i = 0; i < 512; ++i) {
+      size_t size = 2 + rng.NextBounded(3);
+      std::set<size_t> members;
+      while (members.size() < size) members.insert(rng.NextBounded(48));
+      b->frontier.push_back(b->combiner->MixedClause(
+          std::vector<size_t>(members.begin(), members.end())));
+    }
+    return b;
+  }();
+  return bench;
+}
+
+void BM_FrontierProbeScalar(benchmark::State& state) {
+  BatchBench* b = GetBatchBench();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const core::Combination& c : b->frontier) {
+      total += b->prober->Count(c).value();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_FrontierProbeScalar)->Unit(benchmark::kMicrosecond);
+
+void BM_FrontierProbeBatch(benchmark::State& state) {
+  BatchBench* b = GetBatchBench();
+  core::ProbeOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  core::BatchProber batch(b->prober.get(), options);
+  for (auto _ : state) {
+    auto counts = batch.CountBatch(b->frontier);
+    benchmark::DoNotOptimize(counts->size());
+  }
+}
+BENCHMARK(BM_FrontierProbeBatch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void RunPairTable(benchmark::State& state, bool batching, bool cold) {
+  BatchBench* b = GetBatchBench();
+  core::ProbeOptions options;
+  options.batching = batching;
+  for (auto _ : state) {
+    std::unique_ptr<core::QueryEnhancer> fresh;
+    const core::QueryEnhancer* enhancer = b->enhancer.get();
+    if (cold) {
+      fresh = std::make_unique<core::QueryEnhancer>(&b->w->db, b->base,
+                                                    "dblp.pid");
+      enhancer = fresh.get();
+    }
+    core::Peps peps(&b->atoms, enhancer, options);
+    Status st = peps.PrecomputePairs();
+    if (!st.ok()) {
+      state.SkipWithError("precompute failed");
+      return;
+    }
+    benchmark::DoNotOptimize(peps.pairs().size());
+  }
+}
+
+void BM_PepsPairTableScalar(benchmark::State& state) {
+  RunPairTable(state, /*batching=*/false, /*cold=*/false);
+}
+void BM_PepsPairTableBatch(benchmark::State& state) {
+  RunPairTable(state, /*batching=*/true, /*cold=*/false);
+}
+void BM_PepsPairTableColdScalar(benchmark::State& state) {
+  RunPairTable(state, /*batching=*/false, /*cold=*/true);
+}
+void BM_PepsPairTableColdBatch(benchmark::State& state) {
+  RunPairTable(state, /*batching=*/true, /*cold=*/true);
+}
+BENCHMARK(BM_PepsPairTableScalar)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PepsPairTableBatch)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PepsPairTableColdScalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PepsPairTableColdBatch)->Unit(benchmark::kMillisecond);
 
 void BM_GraphAddNode(benchmark::State& state) {
   graphdb::GraphStore store;

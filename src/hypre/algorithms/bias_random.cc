@@ -35,68 +35,120 @@ size_t DrawBiased(const std::vector<PreferenceAtom>& preferences,
   return chosen;
 }
 
-Status Record(const Combiner& combiner, const CombinationProber& prober,
-              const Combination& combination,
-              std::vector<CombinationRecord>* records) {
+void Record(const Combiner& combiner, const Combination& combination,
+            size_t num_tuples, std::vector<CombinationRecord>* records) {
   CombinationRecord record;
   record.num_predicates = combination.NumPredicates();
+  record.num_tuples = num_tuples;
   record.intensity = combiner.ComputeIntensity(combination);
-  HYPRE_ASSIGN_OR_RETURN(record.num_tuples, prober.Count(combination));
   record.predicate_sql = combiner.ToSql(combination);
   record.combination = combination;
   records->push_back(std::move(record));
-  return Status::OK();
 }
 
 }  // namespace
 
 Result<BiasRandomResult> BiasRandomSelection(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer, uint64_t seed) {
+    const QueryEnhancer& enhancer, uint64_t seed,
+    const ProbeOptions& options) {
   Combiner combiner(&preferences);
   CombinationProber prober(&combiner, &enhancer.probe_engine());
+  BatchProber batch(&prober, options);
+  if (options.batching && !preferences.empty()) {
+    HYPRE_RETURN_NOT_OK(prober.PrefetchAll());
+  }
   BiasRandomResult result;
   Rng rng(seed);
 
-  auto probe = [&](const Combination& c) -> Result<bool> {
-    HYPRE_ASSIGN_OR_RETURN(size_t count, prober.Count(c));
+  // With batching on, the seed generation (chain = {first} against every
+  // other preference) is evaluated as ONE batch and the Step-4 redraw loop
+  // consults the precomputed counts; ext_counts[p] is only valid for p in
+  // the pool the last refresh saw. The draw sequence and every probe
+  // verdict are identical to the scalar path, which probes one candidate
+  // at a time.
+  std::vector<size_t> ext_counts(preferences.size(), 0);
+  auto refresh = [&](const KeyBitmap& chain_bits,
+                     const std::vector<size_t>& pool) -> Status {
+    HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                           batch.CountExtensions(chain_bits, pool));
+    for (size_t p = 0; p < pool.size(); ++p) ext_counts[pool[p]] = counts[p];
+    return Status::OK();
+  };
+  auto consult = [&](size_t count) {
     if (count > 0) {
       ++result.valid_checks;
-      return true;
+    } else {
+      ++result.invalid_checks;
     }
-    ++result.invalid_checks;
-    return false;
+    return count > 0;
   };
 
+  KeyBitmap chain_bits;
   for (size_t first = 0; first < preferences.size(); ++first) {
     std::vector<size_t> pool;
     for (size_t i = 0; i < preferences.size(); ++i) {
       if (i != first) pool.push_back(i);
+    }
+    if (options.batching && !pool.empty()) {
+      // chain = {first}: one generation answers every seed probe below.
+      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* first_bits,
+                             prober.PreferenceBits(first));
+      HYPRE_RETURN_NOT_OK(refresh(*first_bits, pool));
     }
     // Find an applicable two-preference seed (Step 1-2 of §5.4).
     while (!pool.empty()) {
       size_t second = DrawBiased(preferences, &pool, &rng);
       Combination chain =
           combiner.AndExtend(combiner.Single(first), second);
-      HYPRE_ASSIGN_OR_RETURN(bool ok, probe(chain));
-      if (!ok) continue;  // try another second (Step 4 loops back)
+      size_t chain_count;
+      if (options.batching) {
+        chain_count = ext_counts[second];
+      } else {
+        HYPRE_ASSIGN_OR_RETURN(chain_count, prober.Count(chain));
+      }
+      if (!consult(chain_count)) continue;  // try another second (Step 4)
+      if (options.batching) {
+        HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* first_bits,
+                               prober.PreferenceBits(first));
+        HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* second_bits,
+                               prober.PreferenceBits(second));
+        chain_bits = *first_bits;
+        chain_bits.AndWith(*second_bits);
+      }
       // Extend the chain until a probe fails or the pool runs dry
-      // (Steps 3-6).
+      // (Steps 3-6). Unlike the seed loop, an extension table would be
+      // consulted at most once before the chain state changes (success) or
+      // the chain is recorded (failure), so batching the whole pool here
+      // would discard |pool|-1 counts — probe just the drawn candidate
+      // against the incrementally maintained chain bitmap instead.
       for (;;) {
         if (pool.empty()) {
-          HYPRE_RETURN_NOT_OK(
-              Record(combiner, prober, chain, &result.records));
+          Record(combiner, chain, chain_count, &result.records);
           break;
         }
         size_t next = DrawBiased(preferences, &pool, &rng);
         Combination extended = combiner.AndExtend(chain, next);
-        HYPRE_ASSIGN_OR_RETURN(bool extended_ok, probe(extended));
-        if (!extended_ok) {
-          HYPRE_RETURN_NOT_OK(
-              Record(combiner, prober, chain, &result.records));
+        size_t extended_count;
+        if (options.batching) {
+          HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* next_bits,
+                                 prober.PreferenceBits(next));
+          extended_count = KeyBitmap::AndCount(chain_bits, *next_bits);
+          enhancer.probe_engine().NoteProbesAnswered(1);
+        } else {
+          HYPRE_ASSIGN_OR_RETURN(extended_count, prober.Count(extended));
+        }
+        if (!consult(extended_count)) {
+          Record(combiner, chain, chain_count, &result.records);
           break;
         }
         chain = std::move(extended);
+        chain_count = extended_count;
+        if (options.batching) {
+          HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* next_bits,
+                                 prober.PreferenceBits(next));
+          chain_bits.AndWith(*next_bits);
+        }
       }
       break;  // chain recorded; move to the next starting preference
     }

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "hypre/algorithms/common.h"
+#include "hypre/batch_prober.h"
 #include "hypre/preference.h"
 #include "hypre/query_enhancement.h"
 
@@ -31,10 +32,18 @@ struct BiasRandomResult {
 /// chain start; subsequent members are drawn (without replacement) with
 /// probability proportional to intensity. A chain ends — and is recorded —
 /// when an extension probe comes back empty or the pool is exhausted.
-/// Deterministic given `seed`.
+/// Deterministic given `seed`. With `options.batching` the seed generation
+/// (every candidate second member of a chain start) is evaluated as one
+/// batch up front — that table answers the whole Step-4 redraw loop, which
+/// is where a random search burns most of its probes (Figures 35/36) —
+/// while chain extensions probe the drawn candidate against an
+/// incrementally maintained chain bitmap. The draw sequence, probe
+/// verdicts, valid/invalid tallies, and records are identical to the
+/// scalar path.
 Result<BiasRandomResult> BiasRandomSelection(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer, uint64_t seed);
+    const QueryEnhancer& enhancer, uint64_t seed,
+    const ProbeOptions& options = ProbeOptions{});
 
 }  // namespace core
 }  // namespace hypre

@@ -5,32 +5,46 @@ namespace core {
 
 Result<std::vector<CombinationRecord>> CombineTwo(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer, CombineSemantics semantics) {
+    const QueryEnhancer& enhancer, CombineSemantics semantics,
+    const ProbeOptions& options) {
   Combiner combiner(&preferences);
   CombinationProber prober(&combiner, &enhancer.probe_engine());
+  BatchProber batch(&prober, options);
   std::vector<CombinationRecord> records;
   if (preferences.size() < 2) return records;
-  records.reserve(preferences.size() * (preferences.size() - 1) / 2);
 
+  // Build the whole C(N,2) frontier in generation order, then evaluate it as
+  // one batch (or scalar probes when batching is off).
+  std::vector<Combination> frontier;
+  frontier.reserve(preferences.size() * (preferences.size() - 1) / 2);
   for (size_t i = 0; i + 1 < preferences.size(); ++i) {
     for (size_t j = i + 1; j < preferences.size(); ++j) {
       Combination base = combiner.Single(i);
-      Combination combination;
       bool same_attribute =
           preferences[i].attribute_key == preferences[j].attribute_key;
       if (semantics == CombineSemantics::kAndOr && same_attribute) {
-        combination = combiner.OrInto(base, j);
+        frontier.push_back(combiner.OrInto(base, j));
       } else {
-        combination = combiner.AndExtend(base, j);
+        frontier.push_back(combiner.AndExtend(base, j));
       }
-      CombinationRecord record;
-      record.num_predicates = 2;
-      record.intensity = combiner.ComputeIntensity(combination);
-      HYPRE_ASSIGN_OR_RETURN(record.num_tuples, prober.Count(combination));
-      record.predicate_sql = combiner.ToSql(combination);
-      record.combination = std::move(combination);
-      records.push_back(std::move(record));
     }
+  }
+
+  if (options.batching) {
+    HYPRE_RETURN_NOT_OK(prober.PrefetchAll());
+  }
+  HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                         batch.CountMaybeBatched(frontier));
+
+  records.reserve(frontier.size());
+  for (size_t f = 0; f < frontier.size(); ++f) {
+    CombinationRecord record;
+    record.num_predicates = 2;
+    record.num_tuples = counts[f];
+    record.intensity = combiner.ComputeIntensity(frontier[f]);
+    record.predicate_sql = combiner.ToSql(frontier[f]);
+    record.combination = std::move(frontier[f]);
+    records.push_back(std::move(record));
   }
   return records;
 }

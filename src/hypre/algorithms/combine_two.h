@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "hypre/algorithms/common.h"
+#include "hypre/batch_prober.h"
 #include "hypre/preference.h"
 #include "hypre/query_enhancement.h"
 
@@ -24,10 +25,14 @@ enum class CombineSemantics { kAnd, kAndOr };
 
 /// \brief Runs Combine-Two over `preferences` (must be sorted descending by
 /// intensity; use SortByIntensityDesc). Emits one record per pair in
-/// generation order: (0,1), (0,2), ..., (1,2), (1,3), ...
+/// generation order: (0,1), (0,2), ..., (1,2), (1,3), ... With
+/// `options.batching` all C(N,2) pair combinations are submitted as one
+/// batch frontier (bulk leaf prefetch + one blocked shard pass); records
+/// are identical either way.
 Result<std::vector<CombinationRecord>> CombineTwo(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer, CombineSemantics semantics);
+    const QueryEnhancer& enhancer, CombineSemantics semantics,
+    const ProbeOptions& options = ProbeOptions{});
 
 }  // namespace core
 }  // namespace hypre

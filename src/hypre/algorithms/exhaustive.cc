@@ -9,7 +9,8 @@ namespace core {
 
 Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer, size_t max_n) {
+    const QueryEnhancer& enhancer, size_t max_n,
+    const ProbeOptions& options) {
   size_t n = preferences.size();
   if (n > max_n) {
     return Status::InvalidArgument(StringFormat(
@@ -19,7 +20,35 @@ Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
   }
   Combiner combiner(&preferences);
   CombinationProber prober(&combiner, &enhancer.probe_engine());
+  BatchProber batch(&prober, options);
+  if (options.batching && n > 0) {
+    HYPRE_RETURN_NOT_OK(prober.PrefetchAll());
+  }
   std::vector<CombinationRecord> records;
+
+  // Probe the subset space one fixed-size generation at a time: build the
+  // next chunk of combinations, evaluate them in one blocked batch pass (or
+  // scalar probes when batching is off), keep the applicable ones.
+  constexpr size_t kGeneration = 2048;
+  std::vector<Combination> frontier;
+  auto flush = [&]() -> Status {
+    if (frontier.empty()) return Status::OK();
+    HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                           batch.CountMaybeBatched(frontier));
+    for (size_t f = 0; f < frontier.size(); ++f) {
+      if (counts[f] == 0) continue;
+      CombinationRecord record;
+      record.num_predicates = frontier[f].NumPredicates();
+      record.num_tuples = counts[f];
+      record.intensity = combiner.ComputeIntensity(frontier[f]);
+      record.predicate_sql = combiner.ToSql(frontier[f]);
+      record.combination = std::move(frontier[f]);
+      records.push_back(std::move(record));
+    }
+    frontier.clear();
+    return Status::OK();
+  };
+
   for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
     Combination combination;
     for (size_t i = 0; i < n; ++i) {
@@ -29,15 +58,10 @@ Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
                           : combiner.AndExtend(combination, i);
       }
     }
-    CombinationRecord record;
-    record.num_predicates = combination.NumPredicates();
-    record.intensity = combiner.ComputeIntensity(combination);
-    HYPRE_ASSIGN_OR_RETURN(record.num_tuples, prober.Count(combination));
-    if (record.num_tuples == 0) continue;
-    record.predicate_sql = combiner.ToSql(combination);
-    record.combination = std::move(combination);
-    records.push_back(std::move(record));
+    frontier.push_back(std::move(combination));
+    if (frontier.size() >= kGeneration) HYPRE_RETURN_NOT_OK(flush());
   }
+  HYPRE_RETURN_NOT_OK(flush());
   std::stable_sort(records.begin(), records.end(),
                    [](const CombinationRecord& a, const CombinationRecord& b) {
                      return a.intensity > b.intensity;

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "hypre/algorithms/common.h"
+#include "hypre/batch_prober.h"
 #include "hypre/preference.h"
 #include "hypre/query_enhancement.h"
 
@@ -18,10 +19,14 @@ namespace core {
 
 /// \brief All applicable AND combinations (any size >= 1), descending by
 /// combined intensity. Fails with InvalidArgument when N > `max_n`
-/// (default 20) to prevent accidental 2^N blowups.
+/// (default 20) to prevent accidental 2^N blowups. With `options.batching`
+/// the subset space is probed in fixed-size batched generations (bulk leaf
+/// prefetch + blocked shard passes) instead of one scalar probe per subset;
+/// records are identical either way.
 Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer, size_t max_n = 20);
+    const QueryEnhancer& enhancer, size_t max_n = 20,
+    const ProbeOptions& options = ProbeOptions{});
 
 }  // namespace core
 }  // namespace hypre

@@ -1,22 +1,31 @@
 #include "hypre/algorithms/partially_combine_all.h"
 
+#include <set>
+
 namespace hypre {
 namespace core {
 
 namespace {
 
-Status RunAndRecord(const Combiner& combiner,
-                    const CombinationProber& prober, Combination combination,
-                    std::vector<CombinationRecord>* records,
-                    std::vector<Combination>* queries_ran) {
-  CombinationRecord record;
-  record.num_predicates = combination.NumPredicates();
-  record.intensity = combiner.ComputeIntensity(combination);
-  HYPRE_ASSIGN_OR_RETURN(record.num_tuples, prober.Count(combination));
-  record.predicate_sql = combiner.ToSql(combination);
-  record.combination = combination;
-  records->push_back(std::move(record));
-  queries_ran->push_back(std::move(combination));
+/// Probes one generation of combinations — as a single batch frontier when
+/// batching is on, scalar probes otherwise — and appends a record per
+/// combination in generation order.
+Status RunGeneration(const Combiner& combiner, const BatchProber& batch,
+                     std::vector<Combination> generation,
+                     std::vector<CombinationRecord>* records,
+                     std::vector<Combination>* queries_ran) {
+  HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                         batch.CountMaybeBatched(generation));
+  for (size_t g = 0; g < generation.size(); ++g) {
+    CombinationRecord record;
+    record.num_predicates = generation[g].NumPredicates();
+    record.num_tuples = counts[g];
+    record.intensity = combiner.ComputeIntensity(generation[g]);
+    record.predicate_sql = combiner.ToSql(generation[g]);
+    record.combination = generation[g];
+    records->push_back(std::move(record));
+    queries_ran->push_back(std::move(generation[g]));
+  }
   return Status::OK();
 }
 
@@ -24,33 +33,38 @@ Status RunAndRecord(const Combiner& combiner,
 
 Result<std::vector<CombinationRecord>> PartiallyCombineAll(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer) {
+    const QueryEnhancer& enhancer, const ProbeOptions& options) {
   Combiner combiner(&preferences);
   CombinationProber prober(&combiner, &enhancer.probe_engine());
+  BatchProber batch(&prober, options);
+  if (options.batching && !preferences.empty()) {
+    HYPRE_RETURN_NOT_OK(prober.PrefetchAll());
+  }
   std::vector<CombinationRecord> records;
   std::vector<Combination> queries_ran;
   std::set<std::string> attributes_used;
 
+  auto run = [&](std::vector<Combination> generation) {
+    return RunGeneration(combiner, batch, std::move(generation), &records,
+                         &queries_ran);
+  };
+
   for (size_t i = 0; i < preferences.size(); ++i) {
     const std::string& attr = preferences[i].attribute_key;
     if (queries_ran.empty()) {
-      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, prober,
-                                       combiner.Single(i), &records,
-                                       &queries_ran));
+      HYPRE_RETURN_NOT_OK(run({combiner.Single(i)}));
       attributes_used.insert(attr);
       continue;
     }
     if (attributes_used.count(attr) == 0) {
-      // New attribute: AND-extend every combination created so far.
-      std::vector<Combination> to_run;
-      to_run.reserve(queries_ran.size());
+      // New attribute: AND-extend every combination created so far — one
+      // generation, one batch.
+      std::vector<Combination> generation;
+      generation.reserve(queries_ran.size());
       for (const Combination& c : queries_ran) {
-        to_run.push_back(combiner.AndExtend(c, i));
+        generation.push_back(combiner.AndExtend(c, i));
       }
-      for (Combination& c : to_run) {
-        HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, prober, std::move(c),
-                                         &records, &queries_ran));
-      }
+      HYPRE_RETURN_NOT_OK(run(std::move(generation)));
       attributes_used.insert(attr);
       continue;
     }
@@ -58,24 +72,19 @@ Result<std::vector<CombinationRecord>> PartiallyCombineAll(
     const Combination last = queries_ran.back();
     if (!last.HasAnd()) {
       // Single-attribute combination so far: OR into it only.
-      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, prober,
-                                       combiner.OrInto(last, i), &records,
-                                       &queries_ran));
+      HYPRE_RETURN_NOT_OK(run({combiner.OrInto(last, i)}));
       continue;
     }
     // Mixed combination: AND-extend earlier combinations that do not
     // constrain this attribute, then OR into the latest combination.
-    std::vector<Combination> to_run;
+    std::vector<Combination> generation;
     for (const Combination& c : queries_ran) {
       if (!c.ContainsAttribute(attr)) {
-        to_run.push_back(combiner.AndExtend(c, i));
+        generation.push_back(combiner.AndExtend(c, i));
       }
     }
-    to_run.push_back(combiner.OrInto(last, i));
-    for (Combination& c : to_run) {
-      HYPRE_RETURN_NOT_OK(RunAndRecord(combiner, prober, std::move(c),
-                                       &records, &queries_ran));
-    }
+    generation.push_back(combiner.OrInto(last, i));
+    HYPRE_RETURN_NOT_OK(run(std::move(generation)));
   }
   return records;
 }

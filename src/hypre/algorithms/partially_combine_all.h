@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "hypre/algorithms/common.h"
+#include "hypre/batch_prober.h"
 #include "hypre/preference.h"
 #include "hypre/query_enhancement.h"
 
@@ -30,10 +31,13 @@ namespace core {
 /// by intensity). Records are emitted in probe order; combination sizes grow
 /// over time, and the same size reappears whenever older combinations are
 /// re-run with a new conjunct (which is why Figures 32-34 plot "combination
-/// order" per size).
+/// order" per size). With `options.batching` each generation — the set of
+/// combinations a new preference spawns — is submitted as one batch
+/// frontier; records are identical either way.
 Result<std::vector<CombinationRecord>> PartiallyCombineAll(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer);
+    const QueryEnhancer& enhancer,
+    const ProbeOptions& options = ProbeOptions{});
 
 }  // namespace core
 }  // namespace hypre

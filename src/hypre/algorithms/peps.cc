@@ -8,11 +8,13 @@ namespace hypre {
 namespace core {
 
 Peps::Peps(const std::vector<PreferenceAtom>* preferences,
-           const QueryEnhancer* enhancer)
+           const QueryEnhancer* enhancer, ProbeOptions options)
     : preferences_(preferences),
       enhancer_(enhancer),
       combiner_(preferences),
-      prober_(&combiner_, &enhancer->probe_engine()) {}
+      prober_(&combiner_, &enhancer->probe_engine()),
+      options_(options),
+      batch_(&prober_, options) {}
 
 bool Peps::PairApplicable(size_t a, size_t b) const {
   size_t n = preferences_->size();
@@ -26,23 +28,42 @@ Status Peps::PrecomputePairs() {
   pairs_.clear();
   pair_applicable_.assign(n * n, false);
 
-  for (size_t i = 0; i + 1 < n; ++i) {
-    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits_i,
-                           prober_.PreferenceBits(i));
-    for (size_t j = i + 1; j < n; ++j) {
-      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits_j,
-                             prober_.PreferenceBits(j));
-      size_t count = KeyBitmap::AndCount(*bits_i, *bits_j);
-      if (count == 0) continue;
-      PairEntry entry;
-      entry.i = i;
-      entry.j = j;
-      entry.intensity = combiner_.ComputeIntensity(
-          combiner_.AndExtend(combiner_.Single(i), j));
-      entry.num_tuples = count;
-      pairs_.push_back(entry);
-      pair_applicable_[i * n + j] = true;
-      pair_applicable_[j * n + i] = true;
+  auto record_pair = [&](size_t i, size_t j, size_t count) {
+    if (count == 0) return;
+    PairEntry entry;
+    entry.i = i;
+    entry.j = j;
+    entry.intensity = combiner_.ComputeIntensity(
+        combiner_.AndExtend(combiner_.Single(i), j));
+    entry.num_tuples = count;
+    pairs_.push_back(entry);
+    pair_applicable_[i * n + j] = true;
+    pair_applicable_[j * n + i] = true;
+  };
+
+  if (options_.batching) {
+    // Bulk leaf prefetch (one executor pass), then the whole upper triangle
+    // as one blocked shard pass.
+    HYPRE_RETURN_NOT_OK(prober_.PrefetchAll());
+    std::vector<std::pair<size_t, size_t>> pair_list;
+    pair_list.reserve(n * (n - 1) / 2);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) pair_list.emplace_back(i, j);
+    }
+    HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                           batch_.CountPairs(pair_list));
+    for (size_t p = 0; p < pair_list.size(); ++p) {
+      record_pair(pair_list[p].first, pair_list[p].second, counts[p]);
+    }
+  } else {
+    for (size_t i = 0; i + 1 < n; ++i) {
+      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits_i,
+                             prober_.PreferenceBits(i));
+      for (size_t j = i + 1; j < n; ++j) {
+        HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits_j,
+                               prober_.PreferenceBits(j));
+        record_pair(i, j, KeyBitmap::AndCount(*bits_i, *bits_j));
+      }
     }
   }
   std::stable_sort(pairs_.begin(), pairs_.end(),
@@ -105,6 +126,7 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
   }
 
   KeyBitmap frame_bits;
+  std::vector<size_t> candidates;  // reused per-frame extension batch
   while (!stack.empty()) {
     Frame frame = std::move(stack.back());
     stack.pop_back();
@@ -117,7 +139,9 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
     record.combination = frame.combination;
     order.push_back(std::move(record));
 
-    bool bits_ready = false;
+    // Collect every extension k that survives the pair-table pruning and the
+    // dedup check; they form the frame's candidate frontier.
+    candidates.clear();
     size_t last = frame.members.back();
     for (size_t k = last + 1; k < prefs.size(); ++k) {
       bool all_pairs_ok = true;
@@ -130,21 +154,35 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
       if (!all_pairs_ok) continue;
       std::vector<size_t> extended_members = frame.members;
       extended_members.push_back(k);
-      std::string key = member_key(extended_members);
-      if (!seen.insert(key).second) continue;
-      if (!bits_ready) {
-        HYPRE_RETURN_NOT_OK(prober_.BitsInto(frame.combination, &frame_bits));
-        bits_ready = true;
+      if (!seen.insert(member_key(extended_members)).second) continue;
+      candidates.push_back(k);
+    }
+    if (candidates.empty()) continue;
+
+    // Verify the whole frontier against the frame's bitmap: one blocked
+    // batch pass when batching is on, one AND+popcount per candidate off.
+    HYPRE_RETURN_NOT_OK(prober_.BitsInto(frame.combination, &frame_bits));
+    num_expansion_probes_ += candidates.size();
+    std::vector<size_t> counts;
+    if (options_.batching) {
+      HYPRE_ASSIGN_OR_RETURN(counts,
+                             batch_.CountExtensions(frame_bits, candidates));
+    } else {
+      counts.reserve(candidates.size());
+      for (size_t k : candidates) {
+        HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* k_bits,
+                               prober_.PreferenceBits(k));
+        counts.push_back(KeyBitmap::AndCount(frame_bits, *k_bits));
       }
-      ++num_expansion_probes_;
-      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* k_bits,
-                             prober_.PreferenceBits(k));
-      size_t count = KeyBitmap::AndCount(frame_bits, *k_bits);
-      if (count == 0) continue;
+    }
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] == 0) continue;
+      size_t k = candidates[c];
       Frame next;
-      next.members = std::move(extended_members);
+      next.members = frame.members;
+      next.members.push_back(k);
       next.combination = combiner_.AndExtend(frame.combination, k);
-      next.num_tuples = count;
+      next.num_tuples = counts[c];
       stack.push_back(std::move(next));
     }
   }

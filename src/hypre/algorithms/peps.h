@@ -25,6 +25,7 @@
 
 #include "common/status.h"
 #include "hypre/algorithms/common.h"
+#include "hypre/batch_prober.h"
 #include "hypre/preference.h"
 #include "hypre/query_enhancement.h"
 #include "hypre/ranking.h"
@@ -46,11 +47,16 @@ class Peps {
  public:
   /// `preferences` must be sorted descending by intensity and must outlive
   /// the engine; `enhancer` likewise. All probes run through the enhancer's
-  /// bitmap-backed probe engine: the pair table is built from per-preference
-  /// key bitmaps with an AND+popcount per pair, and expansion carries each
-  /// frame's bitmap so candidate verification is one AND+popcount too.
-  Peps(const std::vector<PreferenceAtom>* preferences,
-       const QueryEnhancer* enhancer);
+  /// bitmap-backed probe engine. With `options.batching` (the default) the
+  /// preference leaf bitmaps are bulk-prefetched in one executor pass, the
+  /// pair table is one batched upper-triangle pass, and DFS expansion
+  /// batches all candidate extensions of a popped frame into one blocked
+  /// shard pass (optionally multi-threaded via options.num_threads). With
+  /// batching off every probe is a scalar AND+popcount — outputs are
+  /// byte-identical either way (enforced by the differential tests).
+  explicit Peps(const std::vector<PreferenceAtom>* preferences,
+                const QueryEnhancer* enhancer,
+                ProbeOptions options = ProbeOptions{});
 
   // prober_ points at combiner_, so default copy/move would leave the new
   // object probing through the old one's (possibly destroyed) combiner.
@@ -81,6 +87,8 @@ class Peps {
   const QueryEnhancer* enhancer_;
   Combiner combiner_;
   CombinationProber prober_;
+  ProbeOptions options_;
+  BatchProber batch_;
   bool pairs_ready_ = false;
   std::vector<PairEntry> pairs_;
   // pair applicability matrix, row-major over preference indices

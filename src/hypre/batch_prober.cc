@@ -1,0 +1,301 @@
+#include "hypre/batch_prober.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace hypre {
+namespace core {
+
+Result<BatchProber::CompiledFrontier> BatchProber::Compile(
+    const std::vector<Combination>& frontier) const {
+  CompiledFrontier compiled;
+  for (const auto& combination : frontier) {
+    CompiledFrontier::Item item;
+    item.begin = static_cast<uint32_t>(compiled.groups.size());
+    for (const auto& group : combination.groups) {
+      CompiledFrontier::Group g;
+      g.begin = static_cast<uint32_t>(compiled.member_words.size());
+      for (size_t member : group.members) {
+        HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits,
+                               prober_->PreferenceBits(member));
+        compiled.member_words.push_back(bits->word_data());
+        compiled.num_words = bits->num_words();
+      }
+      g.end = static_cast<uint32_t>(compiled.member_words.size());
+      compiled.groups.push_back(g);
+    }
+    item.end = static_cast<uint32_t>(compiled.groups.size());
+    compiled.items.push_back(item);
+  }
+  return compiled;
+}
+
+template <typename Kernel>
+void BatchProber::ForEachShard(size_t num_words, Kernel&& kernel) const {
+  size_t shard_words = std::max<size_t>(1, options_.shard_words);
+  size_t num_shards = (num_words + shard_words - 1) / shard_words;
+  size_t num_threads = std::max<size_t>(1, options_.num_threads);
+  num_threads = std::min(num_threads, std::max<size_t>(1, num_shards));
+
+  auto run_range = [&](size_t shard_begin, size_t shard_end,
+                       size_t thread_idx) {
+    for (size_t s = shard_begin; s < shard_end; ++s) {
+      size_t w0 = s * shard_words;
+      size_t w1 = std::min(num_words, w0 + shard_words);
+      kernel(w0, w1, thread_idx);
+    }
+  };
+
+  if (num_threads <= 1 || num_shards <= 1) {
+    run_range(0, num_shards, 0);
+    return;
+  }
+  // Contiguous shard ranges per worker; per-thread accumulators make the
+  // reduction exact and deterministic for every thread count.
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  size_t per = (num_shards + num_threads - 1) / num_threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    size_t begin = std::min(num_shards, t * per);
+    size_t end = std::min(num_shards, begin + per);
+    if (begin >= end) break;
+    workers.emplace_back(run_range, begin, end, t);
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+Result<std::vector<size_t>> BatchProber::CountBatch(
+    const std::vector<Combination>& frontier) const {
+  std::vector<size_t> counts(frontier.size(), 0);
+  if (frontier.empty()) return counts;
+  HYPRE_ASSIGN_OR_RETURN(CompiledFrontier plan, Compile(frontier));
+
+  size_t num_threads = std::max<size_t>(1, options_.num_threads);
+  size_t shard_words = std::max<size_t>(1, options_.shard_words);
+  // Per-thread scratch: one OR-group buffer and one AND accumulator, each
+  // one shard wide. The kernels below stream CONTIGUOUS word runs per
+  // member (hoisted pointers, auto-vectorizable) instead of gathering all
+  // members per word. Single-threaded runs accumulate straight into
+  // `counts` through reused member scratch (no per-call allocations);
+  // threaded runs use per-thread buffers reduced after the join.
+  bool inline_run = num_threads == 1;
+  std::vector<std::vector<size_t>> partial(
+      inline_run ? 0 : num_threads,
+      std::vector<size_t>(frontier.size(), 0));
+  std::vector<std::vector<uint64_t>> group_scratch(
+      inline_run ? 0 : num_threads, std::vector<uint64_t>(shard_words));
+  std::vector<std::vector<uint64_t>> acc_scratch(
+      inline_run ? 0 : num_threads, std::vector<uint64_t>(shard_words));
+  if (inline_run) {
+    if (group_word_scratch_.size() < shard_words) {
+      group_word_scratch_.resize(shard_words);
+      acc_word_scratch_.resize(shard_words);
+    }
+  }
+  ForEachShard(plan.num_words, [&](size_t w0, size_t w1, size_t thread_idx) {
+    std::vector<size_t>& mine = inline_run ? counts : partial[thread_idx];
+    uint64_t* grp = inline_run ? group_word_scratch_.data()
+                               : group_scratch[thread_idx].data();
+    uint64_t* acc = inline_run ? acc_word_scratch_.data()
+                               : acc_scratch[thread_idx].data();
+    size_t len = w1 - w0;
+    for (size_t i = 0; i < plan.items.size(); ++i) {
+      const auto& item = plan.items[i];
+      // Empty combination: matches the scalar path's empty bitmap (count 0).
+      if (item.begin == item.end) continue;
+      // acc_src tracks the current accumulated words; it stays a borrowed
+      // member pointer until a second group forces a materialized AND.
+      const uint64_t* acc_src = nullptr;
+      for (uint32_t g = item.begin; g < item.end; ++g) {
+        const auto& group = plan.groups[g];
+        const uint64_t* group_src;
+        if (group.end - group.begin == 1) {
+          group_src = plan.member_words[group.begin] + w0;
+        } else {
+          const uint64_t* m0 = plan.member_words[group.begin] + w0;
+          for (size_t w = 0; w < len; ++w) grp[w] = m0[w];
+          for (uint32_t m = group.begin + 1; m < group.end; ++m) {
+            const uint64_t* mw = plan.member_words[m] + w0;
+            for (size_t w = 0; w < len; ++w) grp[w] |= mw[w];
+          }
+          group_src = grp;
+        }
+        if (acc_src == nullptr) {
+          if (group_src == grp && item.end - item.begin > 1) {
+            // grp is overwritten by the next group's OR fold; materialize.
+            for (size_t w = 0; w < len; ++w) acc[w] = grp[w];
+            acc_src = acc;
+          } else {
+            acc_src = group_src;
+          }
+        } else {
+          for (size_t w = 0; w < len; ++w) acc[w] = acc_src[w] & group_src[w];
+          acc_src = acc;
+        }
+      }
+      size_t count = 0;
+      for (size_t w = 0; w < len; ++w) {
+        count += static_cast<size_t>(std::popcount(acc_src[w]));
+      }
+      mine[i] += count;
+    }
+  });
+  for (const auto& mine : partial) {
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += mine[i];
+  }
+  prober_->engine().NoteProbesAnswered(frontier.size());
+  return counts;
+}
+
+Result<std::vector<size_t>> BatchProber::CountMaybeBatched(
+    const std::vector<Combination>& frontier) const {
+  if (options_.batching) return CountBatch(frontier);
+  std::vector<size_t> counts;
+  counts.reserve(frontier.size());
+  for (const Combination& combination : frontier) {
+    HYPRE_ASSIGN_OR_RETURN(size_t count, prober_->Count(combination));
+    counts.push_back(count);
+  }
+  return counts;
+}
+
+Result<std::vector<size_t>> BatchProber::CountExtensions(
+    const KeyBitmap& base, const std::vector<size_t>& candidates) const {
+  std::vector<size_t> counts(candidates.size(), 0);
+  if (candidates.empty()) return counts;
+  ptr_scratch_.clear();
+  for (size_t candidate : candidates) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits,
+                           prober_->PreferenceBits(candidate));
+    ptr_scratch_.push_back(bits->word_data());
+  }
+  const uint64_t* base_words = base.word_data();
+  size_t num_words = base.num_words();
+
+  size_t num_threads = std::max<size_t>(1, options_.num_threads);
+  bool inline_run = num_threads == 1;
+  std::vector<std::vector<size_t>> partial(
+      inline_run ? 0 : num_threads,
+      std::vector<size_t>(candidates.size(), 0));
+  ForEachShard(num_words, [&](size_t w0, size_t w1, size_t thread_idx) {
+    std::vector<size_t>& mine = inline_run ? counts : partial[thread_idx];
+    for (size_t i = 0; i < ptr_scratch_.size(); ++i) {
+      const uint64_t* cand = ptr_scratch_[i];
+      size_t count = 0;
+      for (size_t w = w0; w < w1; ++w) {
+        count += static_cast<size_t>(std::popcount(base_words[w] & cand[w]));
+      }
+      mine[i] += count;
+    }
+  });
+  for (const auto& mine : partial) {
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += mine[i];
+  }
+  prober_->engine().NoteProbesAnswered(candidates.size());
+  return counts;
+}
+
+Result<std::vector<size_t>> BatchProber::CountPairs(
+    const std::vector<std::pair<size_t, size_t>>& pairs) const {
+  std::vector<size_t> counts(pairs.size(), 0);
+  if (pairs.empty()) return counts;
+  std::vector<std::pair<const uint64_t*, const uint64_t*>> words(pairs.size());
+  size_t num_words = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* a,
+                           prober_->PreferenceBits(pairs[i].first));
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* b,
+                           prober_->PreferenceBits(pairs[i].second));
+    words[i] = {a->word_data(), b->word_data()};
+    num_words = a->num_words();
+  }
+
+  size_t num_threads = std::max<size_t>(1, options_.num_threads);
+  bool inline_run = num_threads == 1;
+  std::vector<std::vector<size_t>> partial(
+      inline_run ? 0 : num_threads, std::vector<size_t>(pairs.size(), 0));
+  ForEachShard(num_words, [&](size_t w0, size_t w1, size_t thread_idx) {
+    std::vector<size_t>& mine = inline_run ? counts : partial[thread_idx];
+    for (size_t i = 0; i < words.size(); ++i) {
+      const uint64_t* a = words[i].first;
+      const uint64_t* b = words[i].second;
+      size_t count = 0;
+      for (size_t w = w0; w < w1; ++w) {
+        count += static_cast<size_t>(std::popcount(a[w] & b[w]));
+      }
+      mine[i] += count;
+    }
+  });
+  for (const auto& mine : partial) {
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += mine[i];
+  }
+  prober_->engine().NoteProbesAnswered(pairs.size());
+  return counts;
+}
+
+Status BatchProber::EvalBatch(const std::vector<Combination>& frontier,
+                              std::vector<KeyBitmap>* out) const {
+  out->clear();
+  if (frontier.empty()) return Status::OK();
+  HYPRE_ASSIGN_OR_RETURN(CompiledFrontier plan, Compile(frontier));
+  HYPRE_ASSIGN_OR_RETURN(size_t universe_bits,
+                         prober_->engine().UniverseSize());
+
+  out->resize(frontier.size());
+  std::vector<uint64_t*> out_words(frontier.size(), nullptr);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    // The scalar path leaves an empty combination as a default (0-bit)
+    // bitmap; stay byte-identical.
+    if (plan.items[i].begin == plan.items[i].end) continue;
+    (*out)[i] = KeyBitmap(universe_bits);
+    out_words[i] = (*out)[i].word_data();
+  }
+
+  size_t num_threads = std::max<size_t>(1, options_.num_threads);
+  size_t shard_words = std::max<size_t>(1, options_.shard_words);
+  std::vector<std::vector<uint64_t>> group_scratch(
+      num_threads, std::vector<uint64_t>(shard_words));
+  ForEachShard(plan.num_words, [&](size_t w0, size_t w1, size_t thread_idx) {
+    uint64_t* grp = group_scratch[thread_idx].data();
+    size_t len = w1 - w0;
+    for (size_t i = 0; i < plan.items.size(); ++i) {
+      const auto& item = plan.items[i];
+      uint64_t* base = out_words[i];
+      if (base == nullptr) continue;
+      // The output's own shard range is the AND accumulator: first group
+      // ORs straight into it, later groups AND in (threads touch disjoint
+      // word ranges, so this is race-free).
+      uint64_t* dst = base + w0;
+      for (uint32_t g = item.begin; g < item.end; ++g) {
+        const auto& group = plan.groups[g];
+        bool first_group = g == item.begin;
+        if (group.end - group.begin == 1) {
+          const uint64_t* mw = plan.member_words[group.begin] + w0;
+          if (first_group) {
+            for (size_t w = 0; w < len; ++w) dst[w] = mw[w];
+          } else {
+            for (size_t w = 0; w < len; ++w) dst[w] &= mw[w];
+          }
+          continue;
+        }
+        const uint64_t* m0 = plan.member_words[group.begin] + w0;
+        for (size_t w = 0; w < len; ++w) grp[w] = m0[w];
+        for (uint32_t m = group.begin + 1; m < group.end; ++m) {
+          const uint64_t* mw = plan.member_words[m] + w0;
+          for (size_t w = 0; w < len; ++w) grp[w] |= mw[w];
+        }
+        if (first_group) {
+          for (size_t w = 0; w < len; ++w) dst[w] = grp[w];
+        } else {
+          for (size_t w = 0; w < len; ++w) dst[w] &= grp[w];
+        }
+      }
+    }
+  });
+  prober_->engine().NoteProbesAnswered(frontier.size());
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace hypre

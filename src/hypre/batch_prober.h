@@ -1,0 +1,131 @@
+// Batched, sharded combination probing.
+//
+// The scalar CombinationProber answers one combination probe at a time, so a
+// frontier of F combinations re-streams every referenced leaf bitmap F
+// times. BatchProber evaluates the whole frontier in one BLOCKED pass
+// instead: the universe's bitmap words are partitioned into fixed-width
+// shards, and for each shard every pending combination's OR-within-group /
+// AND-across-groups words and popcounts are computed while that shard's
+// leaf words are cache-resident. The inner loop is straight-line word ops
+// over contiguous arrays (auto-vectorizable, no Result plumbing, no virtual
+// calls).
+//
+// Sharding is also the parallelism seam: with ProbeOptions::num_threads > 1
+// the shards are split across std::thread workers. Per-combination counts
+// are sums of per-shard popcounts and bitmap outputs write disjoint word
+// ranges, so results are exact and deterministic for every thread count —
+// the batch layer must stay byte-identical to the scalar path by contract.
+//
+// All probes are answered from the per-preference bitmaps the shared
+// CombinationProber caches; the only DB work on this path is the bulk leaf
+// prefetch (CombinationProber::PrefetchAll) before the first batch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/combination.h"
+#include "hypre/key_bitmap.h"
+
+namespace hypre {
+namespace core {
+
+/// \brief Knobs for the batch probe layer, threaded through the combination
+/// algorithms.
+struct ProbeOptions {
+  /// 64-bit words per shard. Bounds the cache working set of one blocked
+  /// pass: one shard touches shard_words * 8 bytes of every distinct leaf
+  /// bitmap in the frontier. The default (512 words = 4 KiB per bitmap per
+  /// shard) keeps ~50 concurrent leaves inside a 256 KiB L2 while keeping
+  /// the per-shard loop overhead small.
+  size_t shard_words = 512;
+  /// Worker threads for shard evaluation; <= 1 evaluates inline on the
+  /// calling thread.
+  size_t num_threads = 1;
+  /// When false, algorithms that accept ProbeOptions fall back to scalar
+  /// CombinationProber probing — the differential-testing switch.
+  bool batching = true;
+};
+
+/// \brief Evaluates frontiers of combinations in blocked, optionally
+/// multi-threaded passes over the shared CombinationProber's cached
+/// per-preference bitmaps. `prober` must outlive the batch prober. Results
+/// are byte-identical to probing each combination through the scalar
+/// CombinationProber.
+class BatchProber {
+ public:
+  explicit BatchProber(const CombinationProber* prober,
+                       ProbeOptions options = ProbeOptions{})
+      : prober_(prober), options_(options) {}
+
+  /// \brief Matching-key counts for every combination in `frontier`, in
+  /// order; counts[i] == CombinationProber::Count(frontier[i]).
+  Result<std::vector<size_t>> CountBatch(
+      const std::vector<Combination>& frontier) const;
+
+  /// \brief CountBatch when options().batching, scalar
+  /// CombinationProber::Count per combination otherwise — the shared
+  /// dispatch the generation-based algorithms use around their frontiers.
+  Result<std::vector<size_t>> CountMaybeBatched(
+      const std::vector<Combination>& frontier) const;
+
+  /// \brief Counts of `base AND preference[candidates[k]]` for each
+  /// candidate — the PEPS expansion batch: all extensions of a popped DFS
+  /// frame are verified in one blocked pass. `base` must be universe-sized.
+  Result<std::vector<size_t>> CountExtensions(
+      const KeyBitmap& base, const std::vector<size_t>& candidates) const;
+
+  /// \brief AndCount for every preference pair in `pairs` — the PEPS pair
+  /// table as one blocked upper-triangle pass.
+  Result<std::vector<size_t>> CountPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs) const;
+
+  /// \brief Evaluates every combination into out->at(i), identical to
+  /// CombinationProber::BitsInto on each element (including the empty-
+  /// combination degenerate case). `out` is resized to the frontier.
+  Status EvalBatch(const std::vector<Combination>& frontier,
+                   std::vector<KeyBitmap>* out) const;
+
+  const ProbeOptions& options() const { return options_; }
+  const CombinationProber& prober() const { return *prober_; }
+
+ private:
+  // A frontier compiled to flat word-pointer arrays the shard kernels can
+  // walk without touching Combination or Result machinery.
+  struct CompiledFrontier {
+    struct Group {
+      uint32_t begin = 0;  // [begin, end) into member_words
+      uint32_t end = 0;
+    };
+    struct Item {
+      uint32_t begin = 0;  // [begin, end) into groups
+      uint32_t end = 0;
+    };
+    std::vector<const uint64_t*> member_words;
+    std::vector<Group> groups;
+    std::vector<Item> items;
+    size_t num_words = 0;
+  };
+
+  Result<CompiledFrontier> Compile(
+      const std::vector<Combination>& frontier) const;
+  /// Runs `kernel(shard_begin_word, shard_end_word, thread_index)` over all
+  /// shards, splitting contiguous shard ranges across options_.num_threads.
+  template <typename Kernel>
+  void ForEachShard(size_t num_words, Kernel&& kernel) const;
+
+  const CombinationProber* prober_;
+  ProbeOptions options_;
+  // Reused scratch for the single-threaded fast paths (CountExtensions runs
+  // once per popped PEPS DFS frame), so hot batches do no per-call heap
+  // allocation beyond the returned counts.
+  mutable std::vector<const uint64_t*> ptr_scratch_;
+  mutable std::vector<uint64_t> group_word_scratch_;
+  mutable std::vector<uint64_t> acc_word_scratch_;
+};
+
+}  // namespace core
+}  // namespace hypre

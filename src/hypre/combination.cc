@@ -117,6 +117,19 @@ std::string Combiner::ToSql(const Combination& combination) const {
   return BuildExpr(combination)->ToString();
 }
 
+Status CombinationProber::PrefetchAll() const {
+  const auto& prefs = combiner_->preferences();
+  std::vector<reldb::ExprPtr> exprs;
+  exprs.reserve(prefs.size());
+  for (const auto& pref : prefs) exprs.push_back(pref.expr);
+  HYPRE_RETURN_NOT_OK(engine_->PrefetchLeaves(exprs));
+  // Materializing the per-preference bitmaps is now pure bitmap algebra.
+  for (size_t i = 0; i < prefs.size(); ++i) {
+    HYPRE_RETURN_NOT_OK(PreferenceBits(i).status());
+  }
+  return Status::OK();
+}
+
 Result<const KeyBitmap*> CombinationProber::PreferenceBits(
     size_t index) const {
   if (member_bits_.size() < combiner_->preferences().size()) {
@@ -164,20 +177,28 @@ Status CombinationProber::BitsInto(const Combination& combination,
 Result<size_t> CombinationProber::Count(
     const Combination& combination) const {
   const auto& groups = combination.groups;
-  if (groups.size() == 1 && groups[0].members.size() == 1) {
-    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits,
-                           PreferenceBits(groups[0].members[0]));
-    return bits->Count();
+  bool pure_and = !groups.empty();
+  for (const auto& group : groups) {
+    if (group.members.size() != 1) {
+      pure_and = false;
+      break;
+    }
   }
-  if (groups.size() == 2 && groups[0].members.size() == 1 &&
-      groups[1].members.size() == 1) {
-    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* a,
-                           PreferenceBits(groups[0].members[0]));
-    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* b,
-                           PreferenceBits(groups[1].members[0]));
-    return KeyBitmap::AndCount(*a, *b);
+  if (pure_and) {
+    // AND chain of any length: fold the popcount in one fused word pass over
+    // the cached per-preference bitmaps, no scratch materialization.
+    and_operands_.clear();
+    for (const auto& group : groups) {
+      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits,
+                             PreferenceBits(group.members[0]));
+      and_operands_.push_back(bits);
+    }
+    engine_->NoteProbesAnswered(1);
+    return KeyBitmap::AndCountMulti(and_operands_.data(),
+                                    and_operands_.size());
   }
   HYPRE_RETURN_NOT_OK(BitsInto(combination, &count_scratch_));
+  engine_->NoteProbesAnswered(1);
   return count_scratch_.Count();
 }
 

@@ -91,6 +91,12 @@ class CombinationProber {
   CombinationProber(const Combiner* combiner, const ProbeEngine* engine)
       : combiner_(combiner), engine_(engine) {}
 
+  /// \brief Bulk-prefetches every preference's leaf bitmaps through
+  /// ProbeEngine::PrefetchLeaves (ONE pass over the executor instead of one
+  /// query per leaf) and materializes all per-preference bitmaps from the
+  /// warmed cache. Idempotent; call before an algorithm starts probing.
+  Status PrefetchAll() const;
+
   /// \brief Key bitmap of one preference (the combination leaf handle).
   Result<const KeyBitmap*> PreferenceBits(size_t index) const;
 
@@ -100,8 +106,11 @@ class CombinationProber {
   /// would otherwise allocate a bitmap per probe.
   Status BitsInto(const Combination& combination, KeyBitmap* out) const;
 
-  /// \brief Number of matching keys; pure-AND combinations of two
-  /// preferences short-cut to an allocation-free popcount.
+  /// \brief Number of matching keys. Pure-AND combinations (every group a
+  /// single member, any chain length) short-cut to one fused multi-operand
+  /// AND+popcount pass without materializing a scratch bitmap; only mixed
+  /// AND/OR shapes fall back to BitsInto. Each call counts as one answered
+  /// probe in the engine's statistics.
   Result<size_t> Count(const Combination& combination) const;
 
   const ProbeEngine& engine() const { return *engine_; }
@@ -114,6 +123,8 @@ class CombinationProber {
   // Reused accumulators for BitsInto (OR-group) and Count.
   mutable KeyBitmap group_scratch_;
   mutable KeyBitmap count_scratch_;
+  // Reused operand list for the pure-AND-chain Count shortcut.
+  mutable std::vector<const KeyBitmap*> and_operands_;
 };
 
 }  // namespace core

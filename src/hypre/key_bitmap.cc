@@ -60,6 +60,22 @@ size_t KeyBitmap::AndCount(const KeyBitmap& a, const KeyBitmap& b) {
   return count;
 }
 
+size_t KeyBitmap::AndCountMulti(const KeyBitmap* const* operands, size_t n) {
+  if (n == 0) return 0;
+  if (n == 1) return operands[0]->Count();
+  size_t num_words = operands[0]->words_.size();
+  size_t count = 0;
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t acc = operands[0]->words_[w];
+    for (size_t k = 1; k < n && acc != 0; ++k) {
+      assert(operands[k]->num_bits_ == operands[0]->num_bits_);
+      acc &= operands[k]->words_[w];
+    }
+    count += static_cast<size_t>(std::popcount(acc));
+  }
+  return count;
+}
+
 bool KeyBitmap::Intersects(const KeyBitmap& a, const KeyBitmap& b) {
   assert(a.num_bits_ == b.num_bits_);
   for (size_t w = 0; w < a.words_.size(); ++w) {

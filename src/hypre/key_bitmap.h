@@ -18,11 +18,22 @@ namespace core {
 
 class KeyBitmap {
  public:
+  /// Bits per storage word. Shard widths (see batch_prober.h) are expressed
+  /// in words of this size.
+  static constexpr size_t kWordBits = 64;
+
   KeyBitmap() = default;
   /// \brief A bitmap of `num_bits` bits, all clear (or all set).
   explicit KeyBitmap(size_t num_bits, bool all_set = false);
 
   size_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+
+  /// \brief Raw word storage (num_words() entries, tail bits past num_bits()
+  /// always clear). The batch prober's blocked shard passes read and write
+  /// through these instead of per-bit accessors.
+  const uint64_t* word_data() const { return words_.data(); }
+  uint64_t* word_data() { return words_.data(); }
 
   void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
   void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
@@ -46,6 +57,10 @@ class KeyBitmap {
   /// \brief popcount(a & b) without materializing the intersection — the
   /// inner loop of the PEPS pair table and expansion probes.
   static size_t AndCount(const KeyBitmap& a, const KeyBitmap& b);
+  /// \brief popcount(operands[0] & ... & operands[n-1]) in one fused word
+  /// pass, without materializing any intermediate — the pure-AND-chain probe
+  /// shortcut. All operands must share num_bits(); n == 0 returns 0.
+  static size_t AndCountMulti(const KeyBitmap* const* operands, size_t n);
   /// \brief True iff (a & b) has at least one set bit.
   static bool Intersects(const KeyBitmap& a, const KeyBitmap& b);
 

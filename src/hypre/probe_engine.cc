@@ -1,6 +1,8 @@
 #include "hypre/probe_engine.h"
 
 #include <algorithm>
+#include <unordered_set>
+#include <utility>
 
 namespace hypre {
 namespace core {
@@ -38,6 +40,26 @@ void CollectNaryKeys(const reldb::Expr& expr, ExprKind kind,
     return;
   }
   out->push_back(ProbeEngine::CanonicalKey(expr));
+}
+
+/// Collects the leaf-level subexpressions of `expr` (everything below the
+/// AND/OR/NOT combinators — the nodes LeafBitmap would query one by one).
+void CollectLeaves(const reldb::ExprPtr& expr,
+                   std::vector<reldb::ExprPtr>* out) {
+  switch (expr->kind()) {
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      for (const auto& child :
+           static_cast<const reldb::NaryExpr&>(*expr).children()) {
+        CollectLeaves(child, out);
+      }
+      return;
+    case ExprKind::kNot:
+      CollectLeaves(static_cast<const reldb::NotExpr&>(*expr).child(), out);
+      return;
+    default:
+      out->push_back(expr);
+  }
 }
 
 }  // namespace
@@ -109,6 +131,10 @@ Status ProbeEngine::EnsureUniverse() const {
             [&](uint32_t a, uint32_t b) {
               return dict_.value(a).Compare(dict_.value(b)) < 0;
             });
+  rank_of_id_.resize(dict_.size());
+  for (uint32_t rank = 0; rank < sorted_ids_.size(); ++rank) {
+    rank_of_id_[sorted_ids_[rank]] = rank;
+  }
   universe_ready_ = true;
   return Status::OK();
 }
@@ -137,6 +163,42 @@ Result<const KeyBitmap*> ProbeEngine::LeafBitmap(
   const KeyBitmap* ptr = bits.get();
   leaf_cache_.emplace(std::move(key), std::move(bits));
   return ptr;
+}
+
+Status ProbeEngine::PrefetchLeaves(
+    const std::vector<reldb::ExprPtr>& exprs) const {
+  HYPRE_RETURN_NOT_OK(EnsureUniverse());
+  std::vector<reldb::ExprPtr> leaves;
+  for (const auto& expr : exprs) {
+    if (expr) CollectLeaves(expr, &leaves);
+  }
+  // Keep only leaves that are neither cached nor already pending.
+  std::vector<reldb::ExprPtr> pending;
+  std::vector<std::string> pending_keys;
+  std::unordered_set<std::string> queued;
+  for (const auto& leaf : leaves) {
+    std::string key = CanonicalKey(*leaf);
+    if (leaf_cache_.count(key) > 0 || !queued.insert(key).second) continue;
+    pending.push_back(leaf);
+    pending_keys.push_back(std::move(key));
+  }
+  if (pending.empty()) return Status::OK();
+
+  std::vector<std::unique_ptr<KeyBitmap>> bitmaps;
+  bitmaps.reserve(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    bitmaps.push_back(std::make_unique<KeyBitmap>(dict_.size()));
+  }
+  HYPRE_RETURN_NOT_OK(executor_.ForEachDenseIdMulti(
+      base_query_, key_column_, dict_, pending,
+      [&](size_t p, uint32_t id) { bitmaps[p]->Set(id); }));
+  // One leaf query per distinct leaf, even though the bulk pass ran the base
+  // query only once (the statistics contract in the header).
+  num_leaf_queries_ += pending.size();
+  for (size_t i = 0; i < pending.size(); ++i) {
+    leaf_cache_.emplace(std::move(pending_keys[i]), std::move(bitmaps[i]));
+  }
+  return Status::OK();
 }
 
 Result<KeyBitmap> ProbeEngine::Eval(const reldb::ExprPtr& expr) const {
@@ -203,11 +265,18 @@ Result<size_t> ProbeEngine::CountMatching(
 std::vector<reldb::Value> ProbeEngine::KeysOf(const KeyBitmap& bits) const {
   // The bitmap must come from this engine: its bits are dense key ids.
   assert(bits.num_bits() == dict_.size());
+  // Collect the set ids, then order them by their precomputed rank in the
+  // Value total order — O(count log count) instead of a full universe scan
+  // per call (KeysOf sits in the Top-K record-walk hot loop). Bits past the
+  // universe (foreign bitmaps) are ignored, as the old scan did.
+  std::vector<uint32_t> ranks;
+  bits.ForEachSet([&](uint32_t id) {
+    if (id < rank_of_id_.size()) ranks.push_back(rank_of_id_[id]);
+  });
+  std::sort(ranks.begin(), ranks.end());
   std::vector<reldb::Value> out;
-  out.reserve(bits.Count());
-  for (uint32_t id : sorted_ids_) {
-    if (id < bits.num_bits() && bits.Test(id)) out.push_back(dict_.value(id));
-  }
+  out.reserve(ranks.size());
+  for (uint32_t rank : ranks) out.push_back(dict_.value(sorted_ids_[rank]));
   return out;
 }
 

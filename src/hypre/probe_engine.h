@@ -66,6 +66,15 @@ class ProbeEngine {
   /// KeyBitmap ops instead of re-probing.
   Result<KeyBitmap> EvalBitmap(const reldb::ExprPtr& predicate) const;
 
+  /// \brief Bulk-populates the leaf cache for every leaf predicate reachable
+  /// from `exprs` (AND/OR/NOT nodes are walked; null entries are skipped) in
+  /// ONE pass over the executor: the base query runs once and every pending
+  /// leaf is evaluated against each matching row. After the call, probes
+  /// over these predicates do pure bitmap algebra — no per-probe DB work.
+  /// Counts one leaf query per distinct uncached leaf (see the statistics
+  /// contract below). Idempotent; already-cached leaves are not re-run.
+  Status PrefetchLeaves(const std::vector<reldb::ExprPtr>& exprs) const;
+
   /// \brief Bitmap with every universe key set. Valid until the engine dies.
   Result<const KeyBitmap*> UniverseBitmap() const;
 
@@ -84,11 +93,31 @@ class ProbeEngine {
   const reldb::Query& base_query() const { return base_query_; }
   const reldb::Database* db() const { return db_; }
 
+  // Probe statistics contract:
+  //  * num_leaf_queries counts leaf-bitmap materializations against the
+  //    database, exactly one per DISTINCT canonical leaf — whether the leaf
+  //    was loaded by its own query (LeafBitmap miss) or as part of one bulk
+  //    PrefetchLeaves pass. The one-time universe interning scan is not
+  //    counted. This holds for scalar, batched, and prefetched probing
+  //    alike.
+  //  * num_cache_hits counts probes answered from cached state with no DB
+  //    work: CountMatching memo hits, plus every combination probe answered
+  //    by CombinationProber::Count or a BatchProber batch (one per
+  //    combination/candidate/pair in the frontier, consumed by the caller
+  //    or not). Raw KeyBitmap algebra done by callers outside the probe
+  //    layer is never counted, so the ABSOLUTE hit count of an algorithm
+  //    may differ between its batched and scalar modes (e.g. PEPS answers
+  //    its scalar pair table through raw AndCount) — the per-call
+  //    accounting, not cross-mode equality, is the contract.
+
   /// \brief Number of leaf-predicate probes executed against the database
   /// (the one-time universe interning scan is not counted).
   size_t num_leaf_queries() const { return num_leaf_queries_; }
   /// \brief Number of count probes answered from the memo cache.
   size_t num_cache_hits() const { return num_cache_hits_; }
+  /// \brief Records `n` probes answered from cached bitmaps (no DB work) by
+  /// the combination/batch probe layer (see the statistics contract above).
+  void NoteProbesAnswered(size_t n) const { num_cache_hits_ += n; }
 
  private:
   Status EnsureUniverse() const;
@@ -103,8 +132,11 @@ class ProbeEngine {
   mutable reldb::DenseDictionary dict_;
   mutable bool universe_ready_ = false;
   mutable KeyBitmap universe_;
-  // Dense ids sorted by the Value total order, for deterministic key output.
+  // Dense ids sorted by the Value total order, for deterministic key output,
+  // plus the inverse permutation (id -> rank) so KeysOf can sort just the
+  // set bits instead of scanning the whole universe.
   mutable std::vector<uint32_t> sorted_ids_;
+  mutable std::vector<uint32_t> rank_of_id_;
   // Canonical leaf key -> matching-key bitmap.
   mutable std::unordered_map<std::string, std::unique_ptr<KeyBitmap>>
       leaf_cache_;

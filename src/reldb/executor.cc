@@ -587,6 +587,33 @@ Status Executor::ForEachDenseId(const Query& query, const std::string& column,
       });
 }
 
+Status Executor::ForEachDenseIdMulti(
+    const Query& query, const std::string& column, const DenseDictionary& dict,
+    const std::vector<ExprPtr>& predicates,
+    const std::function<void(size_t, uint32_t)>& fn) const {
+  HYPRE_ASSIGN_OR_RETURN(PlannedQuery plan, Plan(*db_, query));
+  HYPRE_ASSIGN_OR_RETURN(auto loc, ResolveQualified(plan.slots, column));
+  Status failure = Status::OK();
+  HYPRE_RETURN_NOT_OK(ForEachMatch(
+      *db_, query,
+      [&](const std::vector<Slot>& slots, const std::vector<RowId>& tuple) {
+        if (!failure.ok()) return;
+        uint32_t id = dict.Lookup(
+            slots[loc.first].table->row(tuple[loc.first])[loc.second]);
+        if (id == DenseDictionary::kNotFound) return;
+        JoinedRowAccessor accessor(&slots, &tuple);
+        for (size_t p = 0; p < predicates.size(); ++p) {
+          auto held = Evaluate(*predicates[p], accessor);
+          if (!held.ok()) {
+            failure = held.status();
+            return;
+          }
+          if (*held) fn(p, id);
+        }
+      }));
+  return failure;
+}
+
 namespace {
 
 /// Accumulator for one aggregate over one group.

@@ -135,6 +135,17 @@ class Executor {
                         const DenseDictionary& dict,
                         const std::function<void(uint32_t)>& fn) const;
 
+  /// \brief Bulk variant of ForEachDenseId for many predicates at once: runs
+  /// `query` ONCE (its own WHERE stays a hard constraint) and, for every
+  /// matching joined row, evaluates each of `predicates` against that row,
+  /// calling `fn(pred_idx, dense_id)` for the ones that hold. One pass over
+  /// the executor replaces one query per predicate — the bulk leaf-prefetch
+  /// hook behind the probe engine's PrefetchLeaves.
+  Status ForEachDenseIdMulti(
+      const Query& query, const std::string& column,
+      const DenseDictionary& dict, const std::vector<ExprPtr>& predicates,
+      const std::function<void(size_t, uint32_t)>& fn) const;
+
   /// \brief Grouped aggregation. Output columns: the group-by columns then
   /// one per aggregate; rows sorted by the group key. SUM/AVG require
   /// numeric (or NULL) inputs; NULLs are skipped by all aggregates except

@@ -1,0 +1,375 @@
+// BatchProber tests: randomized differential sweep of the batched, sharded
+// probe kernels against the scalar CombinationProber across shard widths
+// (1 word, 4 words, universe-in-one-shard) and thread counts (1, 4),
+// degenerate frontiers, the probe-statistics contract under prefetch and
+// batching, and byte-identical algorithm outputs with batching on vs off.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "hypre/algorithms/bias_random.h"
+#include "hypre/algorithms/combine_two.h"
+#include "hypre/algorithms/exhaustive.h"
+#include "hypre/algorithms/partially_combine_all.h"
+#include "hypre/algorithms/peps.h"
+#include "hypre/batch_prober.h"
+#include "test_fixtures.h"
+
+namespace hypre {
+namespace core {
+namespace {
+
+using reldb::Row;
+using reldb::Schema;
+using reldb::Value;
+using reldb::ValueType;
+using testing_fixtures::BuildMiniDblp;
+using testing_fixtures::MiniBaseQuery;
+using testing_fixtures::MiniPreferences;
+
+// The shard-width / thread-count matrix every differential sweep runs:
+// one-word shards (maximum shard count), small shards, and a shard wide
+// enough to hold any test universe in one piece; single-threaded and 4-way.
+std::vector<ProbeOptions> OptionMatrix() {
+  std::vector<ProbeOptions> matrix;
+  for (size_t shard_words : {size_t{1}, size_t{4}, size_t{1} << 20}) {
+    for (size_t num_threads : {size_t{1}, size_t{4}}) {
+      matrix.push_back(ProbeOptions{shard_words, num_threads, true});
+    }
+  }
+  return matrix;
+}
+
+/// Random papers/tags workload (same shape as the probe-engine fuzz) big
+/// enough that the universe spans several bitmap words.
+class RandomWorkload {
+ public:
+  explicit RandomWorkload(uint64_t seed) : rng_(seed) {
+    auto papers =
+        db_.CreateTable("p", Schema({{"pid", ValueType::kInt64},
+                                     {"venue", ValueType::kString}}));
+    EXPECT_TRUE(papers.ok());
+    auto tags = db_.CreateTable(
+        "tag", Schema({{"pid", ValueType::kInt64}, {"t", ValueType::kInt64}}));
+    EXPECT_TRUE(tags.ok());
+    const char* venues[] = {"V1", "V2", "V3", "V4"};
+    for (int64_t pid = 0; pid < 300; ++pid) {
+      (*papers)->AppendUnchecked(
+          Row{Value::Int(pid), Value::Str(venues[rng_.NextBounded(4)])});
+      size_t n = 1 + rng_.NextBounded(3);
+      std::set<int64_t> used;
+      for (size_t k = 0; k < n; ++k) {
+        int64_t tag = rng_.NextInt(0, 7);
+        if (used.insert(tag).second) {
+          (*tags)->AppendUnchecked(Row{Value::Int(pid), Value::Int(tag)});
+        }
+      }
+    }
+    EXPECT_TRUE((*papers)->CreateHashIndex("venue").ok());
+    EXPECT_TRUE((*tags)->CreateHashIndex("t").ok());
+    EXPECT_TRUE((*tags)->CreateHashIndex("pid").ok());
+
+    reldb::Query base;
+    base.from = "p";
+    base.joins.push_back({"tag", "p.pid", "pid"});
+    enhancer_ = std::make_unique<QueryEnhancer>(&db_, base, "p.pid");
+
+    auto add = [&](const std::string& pred, double intensity) {
+      auto atom = MakeAtom(pred, intensity);
+      ASSERT_TRUE(atom.ok()) << atom.status().ToString();
+      prefs_.push_back(std::move(atom.value()));
+    };
+    add("p.venue='V1'", 0.9);
+    add("p.venue='V2'", 0.8);
+    add("tag.t=0", 0.7);
+    add("tag.t=1", 0.6);
+    add("tag.t=2", 0.5);
+    add("tag.t=3", 0.4);
+    add("p.venue='V3'", 0.3);
+    add("tag.t=4", 0.2);
+    SortByIntensityDesc(&prefs_);
+  }
+
+  /// A random combination of 1..4 members (mixed AND/OR via the §4.6 rule).
+  Combination RandomCombination(const Combiner& combiner) {
+    size_t n = prefs_.size();
+    size_t size = 1 + rng_.NextBounded(4);
+    std::set<size_t> members;
+    while (members.size() < size) members.insert(rng_.NextBounded(n));
+    return combiner.MixedClause(
+        std::vector<size_t>(members.begin(), members.end()));
+  }
+
+  reldb::Database db_;
+  std::unique_ptr<QueryEnhancer> enhancer_;
+  std::vector<PreferenceAtom> prefs_;
+  Rng rng_;
+};
+
+TEST(BatchProber, CountAndEvalMatchScalarAcrossShardWidthsAndThreads) {
+  RandomWorkload w(1234);
+  Combiner combiner(&w.prefs_);
+  CombinationProber scalar(&combiner, &w.enhancer_->probe_engine());
+
+  // Frontier with mixed shapes, duplicates, and the empty combination.
+  std::vector<Combination> frontier;
+  for (int i = 0; i < 40; ++i) frontier.push_back(w.RandomCombination(combiner));
+  frontier.push_back(frontier.front());  // duplicate
+  frontier.push_back(Combination{});     // degenerate: no groups
+
+  std::vector<size_t> expected_counts;
+  std::vector<KeyBitmap> expected_bits(frontier.size());
+  for (size_t f = 0; f < frontier.size(); ++f) {
+    auto count = scalar.Count(frontier[f]);
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    expected_counts.push_back(count.value());
+    ASSERT_TRUE(scalar.BitsInto(frontier[f], &expected_bits[f]).ok());
+  }
+
+  for (const ProbeOptions& options : OptionMatrix()) {
+    SCOPED_TRACE(testing::Message() << "shard_words=" << options.shard_words
+                                    << " threads=" << options.num_threads);
+    BatchProber batch(&scalar, options);
+    auto counts = batch.CountBatch(frontier);
+    ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+    EXPECT_EQ(*counts, expected_counts);
+
+    std::vector<KeyBitmap> bits;
+    ASSERT_TRUE(batch.EvalBatch(frontier, &bits).ok());
+    ASSERT_EQ(bits.size(), frontier.size());
+    for (size_t f = 0; f < frontier.size(); ++f) {
+      EXPECT_EQ(bits[f], expected_bits[f]) << "frontier item " << f;
+    }
+
+    // Degenerate: the empty frontier.
+    auto empty_counts = batch.CountBatch({});
+    ASSERT_TRUE(empty_counts.ok());
+    EXPECT_TRUE(empty_counts->empty());
+    std::vector<KeyBitmap> empty_bits;
+    ASSERT_TRUE(batch.EvalBatch({}, &empty_bits).ok());
+    EXPECT_TRUE(empty_bits.empty());
+  }
+}
+
+TEST(BatchProber, CountExtensionsAndPairsMatchScalarAndCount) {
+  RandomWorkload w(99);
+  Combiner combiner(&w.prefs_);
+  CombinationProber scalar(&combiner, &w.enhancer_->probe_engine());
+  size_t n = w.prefs_.size();
+
+  KeyBitmap base;
+  ASSERT_TRUE(scalar.BitsInto(w.RandomCombination(combiner), &base).ok());
+  std::vector<size_t> candidates;
+  for (size_t k = 0; k < n; ++k) candidates.push_back(k);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+
+  for (const ProbeOptions& options : OptionMatrix()) {
+    SCOPED_TRACE(testing::Message() << "shard_words=" << options.shard_words
+                                    << " threads=" << options.num_threads);
+    BatchProber batch(&scalar, options);
+
+    auto ext = batch.CountExtensions(base, candidates);
+    ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+    ASSERT_EQ(ext->size(), candidates.size());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      auto bits = scalar.PreferenceBits(candidates[c]);
+      ASSERT_TRUE(bits.ok());
+      EXPECT_EQ((*ext)[c], KeyBitmap::AndCount(base, **bits));
+    }
+    auto no_ext = batch.CountExtensions(base, {});
+    ASSERT_TRUE(no_ext.ok());
+    EXPECT_TRUE(no_ext->empty());
+
+    auto pair_counts = batch.CountPairs(pairs);
+    ASSERT_TRUE(pair_counts.ok()) << pair_counts.status().ToString();
+    ASSERT_EQ(pair_counts->size(), pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      auto a = scalar.PreferenceBits(pairs[p].first);
+      auto b = scalar.PreferenceBits(pairs[p].second);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ((*pair_counts)[p], KeyBitmap::AndCount(**a, **b));
+    }
+  }
+}
+
+TEST(BatchProber, PureAndChainShortcutMatchesMaterializedPath) {
+  // The generalized Count shortcut: AND chains of every length must agree
+  // with the materializing BitsInto+Count evaluation.
+  RandomWorkload w(7);
+  Combiner combiner(&w.prefs_);
+  CombinationProber prober(&combiner, &w.enhancer_->probe_engine());
+  Combination chain;
+  for (size_t len = 1; len <= w.prefs_.size(); ++len) {
+    chain = len == 1 ? combiner.Single(0) : combiner.AndExtend(chain, len - 1);
+    // Force the chain into single-member groups regardless of attribute
+    // keys: AndExtend always appends a new group.
+    ASSERT_EQ(chain.groups.size(), len);
+    auto fast = prober.Count(chain);
+    ASSERT_TRUE(fast.ok());
+    KeyBitmap bits;
+    ASSERT_TRUE(prober.BitsInto(chain, &bits).ok());
+    EXPECT_EQ(fast.value(), bits.Count()) << "chain length " << len;
+  }
+}
+
+TEST(BatchProber, PrefetchedLeavesMatchOnDemandLeaves) {
+  // Two engines over the same data: one bulk-prefetched, one probing leaf
+  // by leaf. Every preference bitmap must come out identical.
+  reldb::Database db;
+  BuildMiniDblp(&db);
+  QueryEnhancer prefetched(&db, MiniBaseQuery(), "dblp.pid");
+  QueryEnhancer on_demand(&db, MiniBaseQuery(), "dblp.pid");
+  std::vector<PreferenceAtom> prefs = MiniPreferences();
+
+  std::vector<reldb::ExprPtr> exprs;
+  for (const auto& pref : prefs) exprs.push_back(pref.expr);
+  ASSERT_TRUE(prefetched.probe_engine().PrefetchLeaves(exprs).ok());
+
+  for (const auto& pref : prefs) {
+    auto a = prefetched.probe_engine().EvalBitmap(pref.expr);
+    auto b = on_demand.probe_engine().EvalBitmap(pref.expr);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << pref.predicate;
+  }
+}
+
+TEST(BatchProber, ProbeStatisticsContract) {
+  // Locks the statistics contract from probe_engine.h: one leaf query per
+  // distinct leaf (prefetched or not), one cache hit per answered probe.
+  reldb::Database db;
+  BuildMiniDblp(&db);
+  QueryEnhancer enhancer(&db, MiniBaseQuery(), "dblp.pid");
+  const ProbeEngine& engine = enhancer.probe_engine();
+  std::vector<PreferenceAtom> prefs = MiniPreferences();
+  Combiner combiner(&prefs);
+  CombinationProber prober(&combiner, &engine);
+  BatchProber batch(&prober, ProbeOptions{4, 2, true});
+
+  // Bulk prefetch: 5 preferences = 5 distinct leaves, ONE executor pass but
+  // one counted leaf query per leaf; no probes answered yet.
+  ASSERT_TRUE(prober.PrefetchAll().ok());
+  EXPECT_EQ(engine.num_leaf_queries(), 5u);
+  EXPECT_EQ(engine.num_cache_hits(), 0u);
+  // Idempotent: nothing new to load.
+  ASSERT_TRUE(prober.PrefetchAll().ok());
+  EXPECT_EQ(engine.num_leaf_queries(), 5u);
+
+  // A scalar combination probe answers one probe from cache.
+  ASSERT_TRUE(prober.Count(combiner.MixedClause({0, 1})).ok());
+  EXPECT_EQ(engine.num_cache_hits(), 1u);
+  EXPECT_EQ(engine.num_leaf_queries(), 5u);  // no new DB work
+
+  // A batch of M combinations answers M probes.
+  std::vector<Combination> frontier = {combiner.MixedClause({0, 1}),
+                                       combiner.MixedClause({1, 2, 3}),
+                                       combiner.MixedClause({0, 4})};
+  ASSERT_TRUE(batch.CountBatch(frontier).ok());
+  EXPECT_EQ(engine.num_cache_hits(), 4u);
+
+  // An extension batch answers one probe per candidate.
+  KeyBitmap base;
+  ASSERT_TRUE(prober.BitsInto(combiner.Single(0), &base).ok());
+  ASSERT_TRUE(batch.CountExtensions(base, {1, 2}).ok());
+  EXPECT_EQ(engine.num_cache_hits(), 6u);
+
+  // The CountMatching memo hit still counts (PR 1 behavior preserved).
+  auto pred = prefs[0].expr;
+  ASSERT_TRUE(engine.CountMatching(pred).ok());
+  size_t hits_before = engine.num_cache_hits();
+  ASSERT_TRUE(engine.CountMatching(pred).ok());
+  EXPECT_EQ(engine.num_cache_hits(), hits_before + 1);
+  EXPECT_EQ(engine.num_leaf_queries(), 5u);
+}
+
+// --- Byte-identical algorithm outputs, batching on vs off ------------------
+
+void ExpectRecordsIdentical(const std::vector<CombinationRecord>& a,
+                            const std::vector<CombinationRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "record " << i);
+    EXPECT_EQ(a[i].num_predicates, b[i].num_predicates);
+    EXPECT_EQ(a[i].num_tuples, b[i].num_tuples);
+    EXPECT_EQ(a[i].intensity, b[i].intensity);  // exact, not approximate
+    EXPECT_EQ(a[i].predicate_sql, b[i].predicate_sql);
+    EXPECT_EQ(a[i].combination.SortedMembers(), b[i].combination.SortedMembers());
+  }
+}
+
+class BatchVsScalarAlgorithms : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scalar_.batching = false;
+    batched_ = ProbeOptions{2, 4, true};  // tiny shards + threads: max stress
+  }
+
+  ProbeOptions scalar_;
+  ProbeOptions batched_;
+};
+
+TEST_F(BatchVsScalarAlgorithms, PepsOrderAndTopKByteIdentical) {
+  RandomWorkload w(42);
+  SortByIntensityDesc(&w.prefs_);
+  for (PepsMode mode : {PepsMode::kComplete, PepsMode::kApproximate}) {
+    Peps off(&w.prefs_, w.enhancer_.get(), scalar_);
+    Peps on(&w.prefs_, w.enhancer_.get(), batched_);
+    auto order_off = off.GenerateOrder(mode);
+    auto order_on = on.GenerateOrder(mode);
+    ASSERT_TRUE(order_off.ok() && order_on.ok());
+    ExpectRecordsIdentical(*order_off, *order_on);
+    EXPECT_EQ(off.num_expansion_probes(), on.num_expansion_probes());
+    EXPECT_EQ(off.pairs().size(), on.pairs().size());
+
+    auto topk_off = off.TopK(25, mode);
+    auto topk_on = on.TopK(25, mode);
+    ASSERT_TRUE(topk_off.ok() && topk_on.ok());
+    ASSERT_EQ(topk_off->size(), topk_on->size());
+    for (size_t i = 0; i < topk_off->size(); ++i) {
+      EXPECT_EQ((*topk_off)[i].key, (*topk_on)[i].key) << "rank " << i;
+      EXPECT_EQ((*topk_off)[i].intensity, (*topk_on)[i].intensity);
+    }
+  }
+}
+
+TEST_F(BatchVsScalarAlgorithms, ExhaustiveCombineTwoPartiallyByteIdentical) {
+  RandomWorkload w(77);
+  auto ex_off = ExhaustiveAndCombinations(w.prefs_, *w.enhancer_, 20, scalar_);
+  auto ex_on = ExhaustiveAndCombinations(w.prefs_, *w.enhancer_, 20, batched_);
+  ASSERT_TRUE(ex_off.ok() && ex_on.ok());
+  ExpectRecordsIdentical(*ex_off, *ex_on);
+
+  for (CombineSemantics semantics :
+       {CombineSemantics::kAnd, CombineSemantics::kAndOr}) {
+    auto ct_off = CombineTwo(w.prefs_, *w.enhancer_, semantics, scalar_);
+    auto ct_on = CombineTwo(w.prefs_, *w.enhancer_, semantics, batched_);
+    ASSERT_TRUE(ct_off.ok() && ct_on.ok());
+    ExpectRecordsIdentical(*ct_off, *ct_on);
+  }
+
+  auto pca_off = PartiallyCombineAll(w.prefs_, *w.enhancer_, scalar_);
+  auto pca_on = PartiallyCombineAll(w.prefs_, *w.enhancer_, batched_);
+  ASSERT_TRUE(pca_off.ok() && pca_on.ok());
+  ExpectRecordsIdentical(*pca_off, *pca_on);
+}
+
+TEST_F(BatchVsScalarAlgorithms, BiasRandomByteIdentical) {
+  RandomWorkload w(5);
+  for (uint64_t seed : {1ull, 17ull, 123ull}) {
+    auto off = BiasRandomSelection(w.prefs_, *w.enhancer_, seed, scalar_);
+    auto on = BiasRandomSelection(w.prefs_, *w.enhancer_, seed, batched_);
+    ASSERT_TRUE(off.ok() && on.ok());
+    ExpectRecordsIdentical(off->records, on->records);
+    EXPECT_EQ(off->valid_checks, on->valid_checks);
+    EXPECT_EQ(off->invalid_checks, on->invalid_checks);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hypre
