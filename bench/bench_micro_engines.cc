@@ -388,6 +388,134 @@ BENCHMARK(BM_PepsPairTableBatch)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PepsPairTableColdScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PepsPairTableColdBatch)->Unit(benchmark::kMillisecond);
 
+// --- Update throughput: incremental Refresh vs full rebuild -----------------
+//
+// The delta subsystem's contract: after base-table mutations, an
+// incremental ProbeEngine::Refresh() must beat tearing the engine down and
+// rebuilding it (full universe scan + bulk leaf prefetch) on small deltas.
+// Each iteration applies a churn batch — Arg(0)/2 appended papers (with one
+// author link each) and the same number of deleted papers — then brings a
+// warm engine back to a probe-ready state either incrementally (Refresh;
+// the shared prober re-derives its bitmaps from the patched caches) or from
+// scratch (fresh QueryEnhancer + PrefetchAll). One representative
+// combination probe closes each iteration so both variants end probe-ready.
+// items_per_second == mutations absorbed per second.
+
+struct DeltaBench {
+  std::unique_ptr<Workload> w;
+  reldb::Query base;
+  std::unique_ptr<core::QueryEnhancer> enhancer;
+  std::vector<core::PreferenceAtom> atoms;
+  std::unique_ptr<core::Combiner> combiner;
+  std::unique_ptr<core::CombinationProber> prober;
+  core::Combination probe_combo;
+  int64_t next_pid = 0;
+  Rng rng{17};
+};
+
+DeltaBench* GetDeltaBench() {
+  static DeltaBench* bench = [] {
+    auto* b = new DeltaBench();
+    workload::DblpConfig config;
+    config.num_papers = 100000;
+    config.num_authors = 10000;
+    config.max_authors_per_paper = 2;
+    config.avg_citations_per_paper = 0.0;
+    b->w = std::make_unique<Workload>();
+    b->w->stats = Unwrap(workload::GenerateDblp(config, &b->w->db));
+    b->next_pid = static_cast<int64_t>(config.num_papers);
+    b->base.from = "dblp";
+    b->base.joins.push_back({"dblp_author", "dblp.pid", "pid"});
+    b->enhancer = std::make_unique<core::QueryEnhancer>(&b->w->db, b->base,
+                                                        "dblp.pid");
+    auto add = [&](const std::string& pred, double intensity) {
+      b->atoms.push_back(Unwrap(core::MakeAtom(pred, intensity)));
+    };
+    for (int aid = 1; aid <= 16; ++aid) {
+      add("dblp_author.aid=" + std::to_string(aid), 0.9 - aid * 0.01);
+    }
+    const char* venues[] = {"SIGMOD", "VLDB", "PVLDB", "PODS",
+                            "ICDE",   "CIKM", "KDD",   "INFOCOM"};
+    for (int v = 0; v < 8; ++v) {
+      add(std::string("dblp.venue='") + venues[v] + "'", 0.85 - v * 0.01);
+    }
+    core::SortByIntensityDesc(&b->atoms);
+    b->combiner = std::make_unique<core::Combiner>(&b->atoms);
+    b->prober = std::make_unique<core::CombinationProber>(
+        b->combiner.get(), &b->enhancer->probe_engine());
+    Status st = b->prober->PrefetchAll();
+    if (!st.ok()) Die(st);
+    b->probe_combo = b->combiner->MixedClause({0, 5, 20});
+    return b;
+  }();
+  return bench;
+}
+
+/// Appends `n/2` papers (+1 author link each) and deletes `n/2` random live
+/// papers from the bench tables.
+void ApplyChurn(DeltaBench* b, size_t n) {
+  static const char* venues[] = {"SIGMOD", "VLDB", "PVLDB", "PODS"};
+  reldb::Table* dblp = b->w->db.GetTable("dblp");
+  reldb::Table* da = b->w->db.GetTable("dblp_author");
+  for (size_t i = 0; i < n / 2; ++i) {
+    int64_t pid = b->next_pid++;
+    dblp->AppendUnchecked(reldb::Row{
+        reldb::Value::Int(pid), reldb::Value::Str("Paper"),
+        reldb::Value::Int(2026), reldb::Value::Str(venues[b->rng.NextBounded(4)])});
+    da->AppendUnchecked(reldb::Row{
+        reldb::Value::Int(pid),
+        reldb::Value::Int(1 + static_cast<int64_t>(b->rng.NextBounded(32)))});
+  }
+  for (size_t i = 0; i < n / 2; ++i) {
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      reldb::RowId id = b->rng.NextBounded(dblp->num_rows());
+      if (!dblp->is_deleted(id)) {
+        Status st = dblp->Delete(id);
+        if (!st.ok()) Die(st);
+        break;
+      }
+    }
+  }
+}
+
+void BM_UpdateChurnIncrementalRefresh(benchmark::State& state) {
+  DeltaBench* b = GetDeltaBench();
+  size_t churn = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ApplyChurn(b, churn);
+    state.ResumeTiming();
+    auto epoch = b->enhancer->Refresh();
+    if (!epoch.ok()) Die(epoch.status());
+    benchmark::DoNotOptimize(b->prober->Count(b->probe_combo).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * churn));
+}
+BENCHMARK(BM_UpdateChurnIncrementalRefresh)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UpdateChurnFullRebuild(benchmark::State& state) {
+  DeltaBench* b = GetDeltaBench();
+  size_t churn = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ApplyChurn(b, churn);
+    state.ResumeTiming();
+    core::QueryEnhancer fresh(&b->w->db, b->base, "dblp.pid");
+    core::CombinationProber prober(b->combiner.get(), &fresh.probe_engine());
+    Status st = prober.PrefetchAll();
+    if (!st.ok()) Die(st);
+    benchmark::DoNotOptimize(prober.Count(b->probe_combo).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * churn));
+}
+BENCHMARK(BM_UpdateChurnFullRebuild)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GraphAddNode(benchmark::State& state) {
   graphdb::GraphStore store;
   (void)store.CreateIndex("uidIndex", "uid");

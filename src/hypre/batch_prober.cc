@@ -10,6 +10,17 @@ namespace core {
 Result<BatchProber::CompiledFrontier> BatchProber::Compile(
     const std::vector<Combination>& frontier) const {
   CompiledFrontier compiled;
+  // With tombstoned keys in the engine, the live mask joins every non-empty
+  // combination as one more single-member AND group, so the shard kernels
+  // mask deleted keys out with zero extra code paths — byte-identical to
+  // the scalar prober, which ANDs the same mask.
+  const uint64_t* mask_words = nullptr;
+  if (prober_->engine().has_tombstones()) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* live,
+                           prober_->engine().UniverseBitmap());
+    mask_words = live->word_data();
+    compiled.num_words = live->num_words();
+  }
   for (const auto& combination : frontier) {
     CompiledFrontier::Item item;
     item.begin = static_cast<uint32_t>(compiled.groups.size());
@@ -22,6 +33,13 @@ Result<BatchProber::CompiledFrontier> BatchProber::Compile(
         compiled.member_words.push_back(bits->word_data());
         compiled.num_words = bits->num_words();
       }
+      g.end = static_cast<uint32_t>(compiled.member_words.size());
+      compiled.groups.push_back(g);
+    }
+    if (mask_words != nullptr && !combination.groups.empty()) {
+      CompiledFrontier::Group g;
+      g.begin = static_cast<uint32_t>(compiled.member_words.size());
+      compiled.member_words.push_back(mask_words);
       g.end = static_cast<uint32_t>(compiled.member_words.size());
       compiled.groups.push_back(g);
     }
@@ -172,6 +190,12 @@ Result<std::vector<size_t>> BatchProber::CountExtensions(
   }
   const uint64_t* base_words = base.word_data();
   size_t num_words = base.num_words();
+  const uint64_t* mask = nullptr;
+  if (prober_->engine().has_tombstones()) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* live,
+                           prober_->engine().UniverseBitmap());
+    mask = live->word_data();
+  }
 
   size_t num_threads = std::max<size_t>(1, options_.num_threads);
   bool inline_run = num_threads == 1;
@@ -183,8 +207,15 @@ Result<std::vector<size_t>> BatchProber::CountExtensions(
     for (size_t i = 0; i < ptr_scratch_.size(); ++i) {
       const uint64_t* cand = ptr_scratch_[i];
       size_t count = 0;
-      for (size_t w = w0; w < w1; ++w) {
-        count += static_cast<size_t>(std::popcount(base_words[w] & cand[w]));
+      if (mask == nullptr) {
+        for (size_t w = w0; w < w1; ++w) {
+          count += static_cast<size_t>(std::popcount(base_words[w] & cand[w]));
+        }
+      } else {
+        for (size_t w = w0; w < w1; ++w) {
+          count += static_cast<size_t>(
+              std::popcount(base_words[w] & cand[w] & mask[w]));
+        }
       }
       mine[i] += count;
     }
@@ -210,6 +241,12 @@ Result<std::vector<size_t>> BatchProber::CountPairs(
     words[i] = {a->word_data(), b->word_data()};
     num_words = a->num_words();
   }
+  const uint64_t* mask = nullptr;
+  if (prober_->engine().has_tombstones()) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* live,
+                           prober_->engine().UniverseBitmap());
+    mask = live->word_data();
+  }
 
   size_t num_threads = std::max<size_t>(1, options_.num_threads);
   bool inline_run = num_threads == 1;
@@ -221,8 +258,14 @@ Result<std::vector<size_t>> BatchProber::CountPairs(
       const uint64_t* a = words[i].first;
       const uint64_t* b = words[i].second;
       size_t count = 0;
-      for (size_t w = w0; w < w1; ++w) {
-        count += static_cast<size_t>(std::popcount(a[w] & b[w]));
+      if (mask == nullptr) {
+        for (size_t w = w0; w < w1; ++w) {
+          count += static_cast<size_t>(std::popcount(a[w] & b[w]));
+        }
+      } else {
+        for (size_t w = w0; w < w1; ++w) {
+          count += static_cast<size_t>(std::popcount(a[w] & b[w] & mask[w]));
+        }
       }
       mine[i] += count;
     }

@@ -19,6 +19,13 @@
 // All probes are answered from the per-preference bitmaps the shared
 // CombinationProber caches; the only DB work on this path is the bulk leaf
 // prefetch (CombinationProber::PrefetchAll) before the first batch.
+//
+// Delta maintenance: the member bitmaps come from the CombinationProber,
+// which revalidates them against the engine epoch, so batches issued after
+// a ProbeEngine::Refresh() see the refreshed state. When the engine carries
+// tombstoned keys, Compile() appends the engine's live mask to every
+// combination as one more AND group (and the extension/pair kernels AND it
+// in directly), keeping deleted keys out of every count and bitmap.
 #pragma once
 
 #include <cstddef>

@@ -132,6 +132,13 @@ Status CombinationProber::PrefetchAll() const {
 
 Result<const KeyBitmap*> CombinationProber::PreferenceBits(
     size_t index) const {
+  if (cached_epoch_ != engine_->epoch()) {
+    // The engine refreshed under us: every cached bitmap reflects a dead
+    // epoch. Drop them all; re-materialization below is pure bitmap algebra
+    // over the patched leaf cache.
+    member_bits_.clear();
+    cached_epoch_ = engine_->epoch();
+  }
   if (member_bits_.size() < combiner_->preferences().size()) {
     member_bits_.resize(combiner_->preferences().size());
   }
@@ -170,7 +177,15 @@ Status CombinationProber::BitsInto(const Combination& combination,
       if (out->None()) break;  // short-circuit: empty intersection
     }
   }
-  if (first) *out = KeyBitmap();
+  if (first) {
+    *out = KeyBitmap();
+    return Status::OK();
+  }
+  // Tombstoned keys are masked out of every probe result (delta contract).
+  if (engine_->has_tombstones()) {
+    HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* live, engine_->UniverseBitmap());
+    out->AndWith(*live);
+  }
   return Status::OK();
 }
 
@@ -186,12 +201,18 @@ Result<size_t> CombinationProber::Count(
   }
   if (pure_and) {
     // AND chain of any length: fold the popcount in one fused word pass over
-    // the cached per-preference bitmaps, no scratch materialization.
+    // the cached per-preference bitmaps, no scratch materialization. The
+    // live mask joins the chain as one more operand when keys are
+    // tombstoned.
     and_operands_.clear();
     for (const auto& group : groups) {
       HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits,
                              PreferenceBits(group.members[0]));
       and_operands_.push_back(bits);
+    }
+    if (engine_->has_tombstones()) {
+      HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* live, engine_->UniverseBitmap());
+      and_operands_.push_back(live);
     }
     engine_->NoteProbesAnswered(1);
     return KeyBitmap::AndCountMulti(and_operands_.data(),

@@ -80,11 +80,19 @@ class Combiner {
 };
 
 /// \brief Bitmap-backed prober over a fixed preference list: materializes
-/// each preference's key bitmap (lazily, once) through the probe engine,
-/// then answers combination probes with word-wise OR within groups and AND
-/// across groups — the same group-level semantics as engine-evaluating
-/// BuildExpr(), without rebuilding and re-walking an expression tree per
-/// probe.
+/// each preference's key bitmap (lazily, once per engine epoch) through the
+/// probe engine, then answers combination probes with word-wise OR within
+/// groups and AND across groups — the same group-level semantics as
+/// engine-evaluating BuildExpr(), without rebuilding and re-walking an
+/// expression tree per probe.
+///
+/// Epoch consistency: the prober revalidates its cached per-preference
+/// bitmaps against ProbeEngine::epoch() on every access, so after a
+/// Refresh() the next probe transparently re-derives them from the patched
+/// leaf cache (pure bitmap algebra, no DB work unless the refresh
+/// compacted). When the engine carries tombstoned keys, every probe result
+/// additionally ANDs the engine's live mask, keeping deleted keys out even
+/// of stale-bit corners.
 class CombinationProber {
  public:
   /// `combiner` and `engine` must outlive the prober.
@@ -118,8 +126,10 @@ class CombinationProber {
  private:
   const Combiner* combiner_;
   const ProbeEngine* engine_;
-  // Lazily materialized per-preference bitmaps, indexed like the list.
+  // Lazily materialized per-preference bitmaps, indexed like the list;
+  // dropped wholesale when the engine epoch moves past cached_epoch_.
   mutable std::vector<std::unique_ptr<KeyBitmap>> member_bits_;
+  mutable uint64_t cached_epoch_ = 0;
   // Reused accumulators for BitsInto (OR-group) and Count.
   mutable KeyBitmap group_scratch_;
   mutable KeyBitmap count_scratch_;

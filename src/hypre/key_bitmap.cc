@@ -9,6 +9,12 @@ KeyBitmap::KeyBitmap(size_t num_bits, bool all_set)
   if (all_set) ClearTail();
 }
 
+void KeyBitmap::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize((num_bits + 63) / 64, uint64_t{0});
+  ClearTail();
+}
+
 void KeyBitmap::ClearTail() {
   size_t tail = num_bits_ & 63;
   if (tail != 0 && !words_.empty()) {

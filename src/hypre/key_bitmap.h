@@ -29,6 +29,12 @@ class KeyBitmap {
   size_t num_bits() const { return num_bits_; }
   size_t num_words() const { return words_.size(); }
 
+  /// \brief Grows (or shrinks) to `num_bits` bits, preserving the common
+  /// prefix; new bits are clear. The delta engine's universe tail-growth
+  /// path resizes every cached bitmap through this before setting new-key
+  /// bits.
+  void Resize(size_t num_bits);
+
   /// \brief Raw word storage (num_words() entries, tail bits past num_bits()
   /// always clear). The batch prober's blocked shard passes read and write
   /// through these instead of per-bit accessors.

@@ -221,6 +221,7 @@ Result<std::vector<PreferenceSqlRow>> EvaluatePreferring(
   rows.reserve(table.num_rows());
   TableRowAccessor accessor(&table, 0);
   for (reldb::RowId id = 0; id < table.num_rows(); ++id) {
+    if (table.is_deleted(id)) continue;
     accessor.set_row(id);
     PreferenceSqlRow row;
     row.row = id;

@@ -4,8 +4,26 @@
 #include <unordered_set>
 #include <utility>
 
+#include "hypre/delta_engine.h"
+
 namespace hypre {
 namespace core {
+
+ProbeEngine::ProbeEngine(const reldb::Database* db, reldb::Query base_query,
+                         std::string key_column)
+    : db_(db),
+      executor_(db),
+      base_query_(std::move(base_query)),
+      key_column_(std::move(key_column)),
+      delta_(std::make_unique<DeltaEngine>(this, DeltaOptions{})) {}
+
+ProbeEngine::~ProbeEngine() = default;
+
+Result<uint64_t> ProbeEngine::Refresh() { return delta_->Refresh(); }
+
+void ProbeEngine::set_delta_options(const DeltaOptions& options) {
+  delta_->set_options(options);
+}
 
 using reldb::CompareOp;
 using reldb::ExprKind;
@@ -122,11 +140,22 @@ std::string ProbeEngine::CanonicalKey(const reldb::Expr& expr) {
 
 Status ProbeEngine::EnsureUniverse() const {
   if (universe_ready_) return Status::OK();
+  // The fresh scan bakes in every mutation recorded so far; re-anchor the
+  // delta cursor before scanning so Refresh only replays what comes after.
+  delta_->OnUniverseInterned(db_->journal().sequence());
   HYPRE_RETURN_NOT_OK(
       executor_.InternDistinctValues(base_query_, key_column_, &dict_));
   universe_ = KeyBitmap(dict_.size(), /*all_set=*/true);
+  RebuildKeyOrder();
+  universe_ready_ = true;
+  return Status::OK();
+}
+
+void ProbeEngine::RebuildKeyOrder() const {
   sorted_ids_.resize(dict_.size());
   for (uint32_t id = 0; id < dict_.size(); ++id) sorted_ids_[id] = id;
+  // Tombstoned ids keep their stale value and sort wherever it lands; they
+  // never surface because every probe result is masked by the live mask.
   std::sort(sorted_ids_.begin(), sorted_ids_.end(),
             [&](uint32_t a, uint32_t b) {
               return dict_.value(a).Compare(dict_.value(b)) < 0;
@@ -135,8 +164,6 @@ Status ProbeEngine::EnsureUniverse() const {
   for (uint32_t rank = 0; rank < sorted_ids_.size(); ++rank) {
     rank_of_id_[sorted_ids_[rank]] = rank;
   }
-  universe_ready_ = true;
-  return Status::OK();
 }
 
 Result<const KeyBitmap*> ProbeEngine::UniverseBitmap() const {
@@ -153,7 +180,7 @@ Result<const KeyBitmap*> ProbeEngine::LeafBitmap(
     const reldb::ExprPtr& expr) const {
   std::string key = CanonicalKey(*expr);
   auto it = leaf_cache_.find(key);
-  if (it != leaf_cache_.end()) return it->second.get();
+  if (it != leaf_cache_.end()) return it->second.bits.get();
   ++num_leaf_queries_;
   reldb::Query query = base_query_;
   query.where = query.where ? reldb::MakeAnd(query.where, expr) : expr;
@@ -161,7 +188,7 @@ Result<const KeyBitmap*> ProbeEngine::LeafBitmap(
   HYPRE_RETURN_NOT_OK(executor_.ForEachDenseId(
       query, key_column_, dict_, [&](uint32_t id) { bits->Set(id); }));
   const KeyBitmap* ptr = bits.get();
-  leaf_cache_.emplace(std::move(key), std::move(bits));
+  leaf_cache_.emplace(std::move(key), LeafEntry{expr, std::move(bits)});
   return ptr;
 }
 
@@ -196,7 +223,8 @@ Status ProbeEngine::PrefetchLeaves(
   // query only once (the statistics contract in the header).
   num_leaf_queries_ += pending.size();
   for (size_t i = 0; i < pending.size(); ++i) {
-    leaf_cache_.emplace(std::move(pending_keys[i]), std::move(bitmaps[i]));
+    leaf_cache_.emplace(std::move(pending_keys[i]),
+                        LeafEntry{pending[i], std::move(bitmaps[i])});
   }
   return Status::OK();
 }
@@ -232,11 +260,17 @@ Result<KeyBitmap> ProbeEngine::Eval(const reldb::ExprPtr& expr) const {
       const auto& n = static_cast<const reldb::NotExpr&>(*expr);
       HYPRE_ASSIGN_OR_RETURN(KeyBitmap child_bits, Eval(n.child()));
       child_bits.FlipAll();  // complement against the key universe
+      // The flip resurrects tombstoned ids; mask them back out.
+      if (num_tombstones_ > 0) child_bits.AndWith(universe_);
       return child_bits;
     }
     default: {
       HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* leaf, LeafBitmap(expr));
-      return *leaf;
+      KeyBitmap bits = *leaf;
+      // Cached leaves may carry stale bits at tombstoned ids (scrubbed only
+      // on recycle or compaction); the live mask hides them.
+      if (num_tombstones_ > 0) bits.AndWith(universe_);
+      return bits;
     }
   }
 }
@@ -264,7 +298,11 @@ Result<size_t> ProbeEngine::CountMatching(
 
 std::vector<reldb::Value> ProbeEngine::KeysOf(const KeyBitmap& bits) const {
   // The bitmap must come from this engine: its bits are dense key ids.
-  assert(bits.num_bits() == dict_.size());
+  // Smaller bitmaps are fine — ids are stable under tail growth, and the
+  // empty-combination degenerate is a 0-bit bitmap — but a LARGER one can
+  // only be foreign (or predate an epoch compaction that shrank the id
+  // space), so its ids would name the wrong keys.
+  assert(bits.num_bits() <= dict_.size());
   // Collect the set ids, then order them by their precomputed rank in the
   // Value total order — O(count log count) instead of a full universe scan
   // per call (KeysOf sits in the Top-K record-walk hot loop). Bits past the

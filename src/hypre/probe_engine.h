@@ -35,6 +35,9 @@
 namespace hypre {
 namespace core {
 
+class DeltaEngine;
+struct DeltaOptions;
+
 class ProbeEngine {
  public:
   /// \param db database to run against (must outlive the engine)
@@ -42,11 +45,10 @@ class ProbeEngine {
   ///        a hard constraint that every probe keeps)
   /// \param key_column the tuple identity column (e.g. "dblp.pid")
   ProbeEngine(const reldb::Database* db, reldb::Query base_query,
-              std::string key_column)
-      : db_(db),
-        executor_(db),
-        base_query_(std::move(base_query)),
-        key_column_(std::move(key_column)) {}
+              std::string key_column);
+  ~ProbeEngine();
+  ProbeEngine(const ProbeEngine&) = delete;
+  ProbeEngine& operator=(const ProbeEngine&) = delete;
 
   /// \brief Canonical cache key for a predicate: stable under whitespace,
   /// commutative AND/OR child order, IN-list order, and mirrored
@@ -78,7 +80,11 @@ class ProbeEngine {
   /// \brief Bitmap with every universe key set. Valid until the engine dies.
   Result<const KeyBitmap*> UniverseBitmap() const;
 
-  /// \brief Number of keys in the universe (forces interning).
+  /// \brief Size of the dense-id space (forces interning). This INCLUDES
+  /// tombstoned ids awaiting recycling, so after deletes it may exceed the
+  /// live key count — use CountMatching(nullptr) for the latter. Callers
+  /// sizing bitmaps over dense ids (e.g. EvalBatch outputs) want exactly
+  /// this value.
   Result<size_t> UniverseSize() const;
 
   /// \brief The key Value for a dense id. Only valid after any probe or
@@ -93,13 +99,56 @@ class ProbeEngine {
   const reldb::Query& base_query() const { return base_query_; }
   const reldb::Database* db() const { return db_; }
 
+  // --- Incremental maintenance (delta subsystem) --------------------------
+  //
+  // The engine is a snapshot of the database: cached state (the universe
+  // and previously materialized leaves) keeps answering against the state
+  // of the last Refresh (or interning) even after the base tables mutate.
+  // A leaf FIRST touched after a mutation reads current table rows, so the
+  // contract for exact snapshots is: mutate, Refresh(), then probe —
+  // Refresh() also reconciles any such mixed-state leaf exactly.
+  // Refresh() consumes the database's mutation journal and patches the
+  // interned universe and every cached leaf bitmap in place — dense-id
+  // recycling for deleted keys, tail growth for new keys, per-epoch delta
+  // evaluation restricted to the mutated rows — falling back to a full
+  // epoch rebuild once tombstones pass the configured threshold. See
+  // delta_engine.h for the mechanics.
+
+  /// \brief Applies all journal entries recorded since the last Refresh (or
+  /// since universe interning) and advances the epoch if anything relevant
+  /// changed. Returns the current epoch. Must not be called while an
+  /// algorithm run is in flight (algorithms hold bitmap handles that a
+  /// refresh may resize or remap).
+  Result<uint64_t> Refresh();
+
+  /// \brief Monotone counter of applied refreshes; probers revalidate their
+  /// cached bitmap handles against this.
+  uint64_t epoch() const { return epoch_; }
+
+  /// \brief True if any interned key is currently tombstoned (deleted from
+  /// the universe but its dense id not yet recycled). When true, cached leaf
+  /// bitmaps may carry stale bits at tombstoned ids and every probe must
+  /// AND the live mask (UniverseBitmap) — the engine's own evaluation and
+  /// the combination/batch probers all do.
+  bool has_tombstones() const { return num_tombstones_ > 0; }
+  size_t num_tombstones() const { return num_tombstones_; }
+
+  /// \brief The delta subsystem (journal cursor, epoch statistics,
+  /// compaction counters).
+  const DeltaEngine& delta_engine() const { return *delta_; }
+  /// \brief Tunes the delta subsystem (e.g. the tombstone ratio that forces
+  /// an epoch rebuild).
+  void set_delta_options(const DeltaOptions& options);
+
   // Probe statistics contract:
   //  * num_leaf_queries counts leaf-bitmap materializations against the
   //    database, exactly one per DISTINCT canonical leaf — whether the leaf
   //    was loaded by its own query (LeafBitmap miss) or as part of one bulk
   //    PrefetchLeaves pass. The one-time universe interning scan is not
-  //    counted. This holds for scalar, batched, and prefetched probing
-  //    alike.
+  //    counted, and neither are the delta passes of an incremental
+  //    Refresh(); an epoch-compaction rebuild clears the leaf cache, so the
+  //    "one query per distinct leaf" accounting restarts per epoch rebuild.
+  //    This holds for scalar, batched, and prefetched probing alike.
   //  * num_cache_hits counts probes answered from cached state with no DB
   //    work: CountMatching memo hits, plus every combination probe answered
   //    by CombinationProber::Count or a BatchProber batch (one per
@@ -120,9 +169,22 @@ class ProbeEngine {
   void NoteProbesAnswered(size_t n) const { num_cache_hits_ += n; }
 
  private:
+  friend class DeltaEngine;  // patches the interned state on Refresh
+
+  /// One cached leaf: the bitmap plus the expression it was evaluated from
+  /// (retained so the delta engine can re-evaluate the leaf against mutated
+  /// rows only).
+  struct LeafEntry {
+    reldb::ExprPtr expr;
+    std::unique_ptr<KeyBitmap> bits;
+  };
+
   Status EnsureUniverse() const;
   Result<const KeyBitmap*> LeafBitmap(const reldb::ExprPtr& expr) const;
   Result<KeyBitmap> Eval(const reldb::ExprPtr& expr) const;
+  /// Rebuilds sorted_ids_/rank_of_id_ from the dictionary (after the delta
+  /// engine added or recycled keys).
+  void RebuildKeyOrder() const;
 
   const reldb::Database* db_;
   reldb::Executor executor_;
@@ -131,18 +193,26 @@ class ProbeEngine {
 
   mutable reldb::DenseDictionary dict_;
   mutable bool universe_ready_ = false;
+  // The LIVE mask: one bit per interned dense id, cleared while the id is
+  // tombstoned. Doubles as the "whole universe" probe answer.
   mutable KeyBitmap universe_;
+  mutable size_t num_tombstones_ = 0;
+  // Tombstoned dense ids available for recycling (their dictionary mapping
+  // was Forgotten; the delta engine scrubs their stale leaf bits before
+  // rebinding them to a new key).
+  mutable std::vector<uint32_t> free_ids_;
+  mutable uint64_t epoch_ = 0;
   // Dense ids sorted by the Value total order, for deterministic key output,
   // plus the inverse permutation (id -> rank) so KeysOf can sort just the
   // set bits instead of scanning the whole universe.
   mutable std::vector<uint32_t> sorted_ids_;
   mutable std::vector<uint32_t> rank_of_id_;
-  // Canonical leaf key -> matching-key bitmap.
-  mutable std::unordered_map<std::string, std::unique_ptr<KeyBitmap>>
-      leaf_cache_;
+  // Canonical leaf key -> retained expr + matching-key bitmap.
+  mutable std::unordered_map<std::string, LeafEntry> leaf_cache_;
   mutable std::unordered_map<std::string, size_t> count_cache_;
   mutable size_t num_leaf_queries_ = 0;
   mutable size_t num_cache_hits_ = 0;
+  std::unique_ptr<DeltaEngine> delta_;
 };
 
 }  // namespace core

@@ -69,6 +69,10 @@ class QueryEnhancer {
   /// results with KeyBitmap handles directly.
   const ProbeEngine& probe_engine() const { return engine_; }
 
+  /// \brief Catches the engine up with base-table mutations recorded since
+  /// the last Refresh (see ProbeEngine::Refresh). Returns the new epoch.
+  Result<uint64_t> Refresh() { return engine_.Refresh(); }
+
   const std::string& key_column() const { return engine_.key_column(); }
   const reldb::Query& base_query() const { return engine_.base_query(); }
   const reldb::Database* db() const { return engine_.db(); }

@@ -98,6 +98,7 @@ Result<std::vector<reldb::RowId>> BlockNestedLoopSkyline(
   for (reldb::RowId candidate = 0; candidate < table.num_rows();
        ++candidate) {
     if (!candidates.Test(candidate)) continue;
+    if (table.is_deleted(candidate)) continue;  // tombstones never compete
     bool dominated = false;
     for (size_t w = 0; w < window.size();) {
       if (dominates(window[w], candidate)) {

@@ -126,7 +126,9 @@ Status WriteCsv(const Table& table, std::ostream* out) {
     *out << QuoteField(table.schema().column(c).name);
   }
   *out << "\n";
-  for (const auto& row : table.rows()) {
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    if (table.is_deleted(id)) continue;  // tombstones are not exported
+    const Row& row = table.row(id);
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) *out << ",";
       *out << ValueToField(row[c]);
@@ -177,21 +179,33 @@ Result<size_t> AppendCsv(std::istream* in, Table* table) {
   while (std::getline(*in, line)) {
     ++line_number;
     if (line.empty()) continue;
+    // Errors below name the data row (1-based, blank lines skipped) AND the
+    // physical line, so callers can locate the offending record either way.
     HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> fields,
                            SplitRecord(line));
     if (fields.size() != table->schema().num_columns()) {
       return Status::ParseError(StringFormat(
-          "line %zu has %zu fields, expected %zu", line_number,
-          fields.size(), table->schema().num_columns()));
+          "row %zu (line %zu) has %zu fields, expected %zu", loaded + 1,
+          line_number, fields.size(), table->schema().num_columns()));
     }
     Row row;
     row.reserve(fields.size());
     for (size_t c = 0; c < fields.size(); ++c) {
-      HYPRE_ASSIGN_OR_RETURN(
-          Value v, ParseField(fields[c], table->schema().column(c).type));
-      row.push_back(std::move(v));
+      auto v = ParseField(fields[c], table->schema().column(c).type);
+      if (!v.ok()) {
+        return Status::ParseError(StringFormat(
+            "row %zu (line %zu) column '%s': %s", loaded + 1, line_number,
+            table->schema().column(c).name.c_str(),
+            v.status().message().c_str()));
+      }
+      row.push_back(std::move(v).TakeValue());
     }
-    HYPRE_RETURN_NOT_OK(table->Append(std::move(row)));
+    Status appended = table->Append(std::move(row));
+    if (!appended.ok()) {
+      return Status::InvalidArgument(
+          StringFormat("row %zu (line %zu): %s", loaded + 1, line_number,
+                       appended.message().c_str()));
+    }
     ++loaded;
   }
   return loaded;

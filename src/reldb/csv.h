@@ -25,6 +25,9 @@ Status WriteCsv(const ResultSet& result, std::ostream* out);
 
 /// \brief Appends rows from CSV into an existing table. The header must
 /// match the schema's column names (order included). Returns rows loaded.
+/// Appends route through Table::Append, so bulk loads land in the owning
+/// database's mutation journal and a later ProbeEngine::Refresh() picks
+/// them up. Arity and type errors name the offending data row and line.
 Result<size_t> AppendCsv(std::istream* in, Table* table);
 
 /// \brief Creates `table_name` in `db` by inferring the schema from the CSV

@@ -8,6 +8,7 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   auto table = std::make_unique<Table>(name, std::move(schema));
+  table->set_journal(&journal_);
   Table* ptr = table.get();
   tables_.emplace(name, std::move(table));
   return ptr;

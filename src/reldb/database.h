@@ -7,16 +7,26 @@
 #include <vector>
 
 #include "common/status.h"
+#include "reldb/mutation_journal.h"
 #include "reldb/table.h"
 
 namespace hypre {
 namespace reldb {
 
 /// \brief A named collection of tables (the engine's catalog).
+///
+/// The database owns the MutationJournal its tables record into: every
+/// append/delete on a catalog table lands in the journal, and delta
+/// consumers (the probe engine's Refresh path) replay the suffix they have
+/// not yet seen.
 class Database {
  public:
-  /// \brief Creates a table; fails if the name is taken.
+  /// \brief Creates a table; fails if the name is taken. The table records
+  /// its mutations into this database's journal.
   Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  const MutationJournal& journal() const { return journal_; }
+  MutationJournal* mutable_journal() { return &journal_; }
 
   /// \brief Looks a table up by name (nullptr if absent).
   Table* GetTable(const std::string& name);
@@ -29,6 +39,7 @@ class Database {
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  MutationJournal journal_;
 };
 
 }  // namespace reldb

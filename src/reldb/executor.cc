@@ -29,6 +29,13 @@ uint32_t DenseDictionary::Lookup(const Value& v) const {
   return it == ids_.end() ? kNotFound : it->second;
 }
 
+void DenseDictionary::Forget(const Value& v) { ids_.erase(v); }
+
+void DenseDictionary::Reassign(uint32_t id, const Value& v) {
+  values_[id] = v;
+  ids_[v] = id;
+}
+
 std::string Query::ToSql() const {
   std::string sql = "SELECT ";
   if (select.empty()) {
@@ -319,6 +326,42 @@ struct PlannedQuery {
   std::vector<ExprPtr> residual;
 };
 
+/// Per-slot candidate restrictions for the delta-maintenance passes. The
+/// default restriction is "all live rows" — tombstoned rows are always
+/// skipped unless explicitly made visible.
+struct ScanRestriction {
+  // Restrict this slot to exactly pinned_row (visible even if tombstoned).
+  int pinned_slot = -1;
+  RowId pinned_row = 0;
+  // Restrict this slot to row ids >= min_row (the append watermark).
+  int min_slot = -1;
+  RowId min_row = 0;
+  // Tombstoned rows to treat as visible, keyed by table name (pre-delete
+  // state reconstruction).
+  const std::unordered_map<std::string, std::vector<RowId>>* extra_visible =
+      nullptr;
+};
+
+/// True if `id` of `slot` may appear in a scan under `restriction`.
+bool RowVisible(const Slot& slot, size_t slot_idx, RowId id,
+                const ScanRestriction* restriction) {
+  if (!slot.table->is_deleted(id)) return true;
+  if (restriction == nullptr) return false;
+  if (restriction->pinned_slot == static_cast<int>(slot_idx) &&
+      restriction->pinned_row == id) {
+    return true;
+  }
+  if (restriction->extra_visible != nullptr) {
+    auto it = restriction->extra_visible->find(slot.name);
+    if (it != restriction->extra_visible->end()) {
+      for (RowId visible : it->second) {
+        if (visible == id) return true;
+      }
+    }
+  }
+  return false;
+}
+
 Result<PlannedQuery> Plan(const Database& db, const Query& query) {
   PlannedQuery plan;
   HYPRE_ASSIGN_OR_RETURN(const Table* from_table,
@@ -353,29 +396,60 @@ Result<PlannedQuery> Plan(const Database& db, const Query& query) {
 }
 
 /// Computes the filtered candidate row ids for one slot: index probe from the
-/// first index-usable conjunct, then residual per-row evaluation of all of
-/// the slot's conjuncts.
+/// first index-usable conjunct (or the restriction's pin), then residual
+/// per-row evaluation of all of the slot's conjuncts. Tombstoned rows are
+/// skipped unless the restriction pins or explicitly exposes them.
 Result<std::vector<RowId>> SlotCandidates(const Slot& slot,
-                                          const std::vector<ExprPtr>& conj) {
+                                          const std::vector<ExprPtr>& conj,
+                                          size_t slot_idx,
+                                          const ScanRestriction* restriction) {
+  bool pinned = restriction != nullptr &&
+                restriction->pinned_slot == static_cast<int>(slot_idx);
+  RowId min_row = 0;
+  if (restriction != nullptr &&
+      restriction->min_slot == static_cast<int>(slot_idx)) {
+    min_row = restriction->min_row;
+  }
   std::vector<RowId> candidates;
   bool have_candidates = false;
-  for (const auto& c : conj) {
-    auto idx_rows = TryIndexCandidates(slot, *c);
-    if (idx_rows) {
-      candidates = std::move(*idx_rows);
-      have_candidates = true;
-      break;
+  if (pinned) {
+    if (restriction->pinned_row < slot.table->num_rows()) {
+      candidates.push_back(restriction->pinned_row);
+    }
+    have_candidates = true;
+  }
+  if (!have_candidates) {
+    for (const auto& c : conj) {
+      auto idx_rows = TryIndexCandidates(slot, *c);
+      if (idx_rows) {
+        candidates = std::move(*idx_rows);
+        have_candidates = true;
+        // Tombstoned rows are unindexed; add back the ones the restriction
+        // makes visible. Every conjunct is re-evaluated below, so additions
+        // that fail the indexed predicate are filtered out again.
+        if (restriction != nullptr && restriction->extra_visible != nullptr) {
+          auto it = restriction->extra_visible->find(slot.name);
+          if (it != restriction->extra_visible->end()) {
+            for (RowId id : it->second) {
+              if (id < slot.table->num_rows()) candidates.push_back(id);
+            }
+          }
+        }
+        break;
+      }
     }
   }
   if (!have_candidates) {
-    candidates.resize(slot.table->num_rows());
-    for (RowId i = 0; i < candidates.size(); ++i) candidates[i] = i;
+    size_t num_rows = slot.table->num_rows();
+    candidates.reserve(num_rows - std::min<size_t>(min_row, num_rows));
+    for (RowId i = min_row; i < num_rows; ++i) candidates.push_back(i);
   }
-  if (conj.empty()) return candidates;
   std::vector<RowId> out;
   out.reserve(candidates.size());
   SingleRowAccessor accessor(&slot, 0);
   for (RowId id : candidates) {
+    if (id < min_row) continue;
+    if (!RowVisible(slot, slot_idx, id, restriction)) continue;
     accessor.set_row(id);
     bool keep = true;
     for (const auto& c : conj) {
@@ -394,14 +468,43 @@ Result<std::vector<RowId>> SlotCandidates(const Slot& slot,
 Status ForEachMatch(
     const Database& db, const Query& query,
     const std::function<void(const std::vector<Slot>&,
-                             const std::vector<RowId>&)>& fn) {
+                             const std::vector<RowId>&)>& fn,
+    const ScanRestriction* restriction = nullptr) {
   HYPRE_ASSIGN_OR_RETURN(PlannedQuery plan, Plan(db, query));
 
-  // Filtered candidates for every slot.
+  // A right slot with a hash index on its join column — and no conjuncts or
+  // scan restriction of its own — joins by probing that index directly:
+  // no candidate materialization, no per-query hash-table build. This is
+  // what keeps key-pinned delta recomputes proportional to the key's own
+  // rows instead of the joined table's size. (Tombstoned rows are erased
+  // from indexes, so the index probe and the hash build agree; an
+  // extra_visible override disables the shortcut because those rows are
+  // only reachable by scan.)
+  std::vector<const HashIndex*> join_index(plan.slots.size(), nullptr);
+  for (size_t j = 0; j < query.joins.size(); ++j) {
+    size_t s = j + 1;
+    if (!plan.slot_conjuncts[s].empty()) continue;
+    if (restriction != nullptr) {
+      if (restriction->pinned_slot == static_cast<int>(s) ||
+          restriction->min_slot == static_cast<int>(s)) {
+        continue;
+      }
+      if (restriction->extra_visible != nullptr &&
+          restriction->extra_visible->count(plan.slots[s].name) > 0) {
+        continue;
+      }
+    }
+    join_index[s] =
+        plan.slots[s].table->GetHashIndex(query.joins[j].right_column);
+  }
+
+  // Filtered candidates for every slot (skipped where the index joins).
   std::vector<std::vector<RowId>> candidates(plan.slots.size());
   for (size_t s = 0; s < plan.slots.size(); ++s) {
+    if (s > 0 && join_index[s] != nullptr) continue;
     HYPRE_ASSIGN_OR_RETURN(
-        candidates[s], SlotCandidates(plan.slots[s], plan.slot_conjuncts[s]));
+        candidates[s],
+        SlotCandidates(plan.slots[s], plan.slot_conjuncts[s], s, restriction));
   }
 
   // Left-deep hash joins.
@@ -425,28 +528,47 @@ Status ForEachMatch(
                               "' in table '" + right.name + "'");
     }
 
-    // Build hash table on the right candidates.
-    std::unordered_map<Value, std::vector<RowId>, ValueHash> hash;
-    hash.reserve(candidates[right_slot].size());
-    for (RowId id : candidates[right_slot]) {
-      const Value& key =
-          right.table->row(id)[static_cast<size_t>(right_col)];
-      if (key.is_null()) continue;
-      hash[key].push_back(id);
-    }
-
-    // Probe with the accumulated tuples.
     std::vector<std::vector<RowId>> next;
-    for (const auto& tuple : tuples) {
-      const Value& key = plan.slots[left_loc.first]
-                             .table->row(tuple[left_loc.first])[left_loc.second];
-      if (key.is_null()) continue;
-      auto it = hash.find(key);
-      if (it == hash.end()) continue;
-      for (RowId rid : it->second) {
-        std::vector<RowId> extended = tuple;
-        extended.push_back(rid);
-        next.push_back(std::move(extended));
+    if (join_index[right_slot] != nullptr) {
+      // Index-backed join: probe the table's own hash index per left tuple.
+      // Posting lists are ascending row ids, the same per-key order the
+      // built hash table would hold, so emission order is unchanged.
+      const HashIndex* idx = join_index[right_slot];
+      for (const auto& tuple : tuples) {
+        const Value& key =
+            plan.slots[left_loc.first]
+                .table->row(tuple[left_loc.first])[left_loc.second];
+        if (key.is_null()) continue;
+        for (RowId rid : idx->Lookup(key)) {
+          std::vector<RowId> extended = tuple;
+          extended.push_back(rid);
+          next.push_back(std::move(extended));
+        }
+      }
+    } else {
+      // Build hash table on the right candidates.
+      std::unordered_map<Value, std::vector<RowId>, ValueHash> hash;
+      hash.reserve(candidates[right_slot].size());
+      for (RowId id : candidates[right_slot]) {
+        const Value& key =
+            right.table->row(id)[static_cast<size_t>(right_col)];
+        if (key.is_null()) continue;
+        hash[key].push_back(id);
+      }
+
+      // Probe with the accumulated tuples.
+      for (const auto& tuple : tuples) {
+        const Value& key =
+            plan.slots[left_loc.first]
+                .table->row(tuple[left_loc.first])[left_loc.second];
+        if (key.is_null()) continue;
+        auto it = hash.find(key);
+        if (it == hash.end()) continue;
+        for (RowId rid : it->second) {
+          std::vector<RowId> extended = tuple;
+          extended.push_back(rid);
+          next.push_back(std::move(extended));
+        }
       }
     }
     tuples = std::move(next);
@@ -612,6 +734,137 @@ Status Executor::ForEachDenseIdMulti(
         }
       }));
   return failure;
+}
+
+namespace {
+
+/// Shared driver for the delta entry points: streams the key value of every
+/// matching tuple under `restriction` and evaluates `predicates` per tuple.
+Status KeyedMatchImpl(const Database& db, const Query& query,
+                      const std::string& column,
+                      const std::vector<ExprPtr>& predicates,
+                      const std::function<void(const Value&)>& tuple_fn,
+                      const std::function<void(size_t, const Value&)>& pred_fn,
+                      const ScanRestriction* restriction) {
+  HYPRE_ASSIGN_OR_RETURN(PlannedQuery plan, Plan(db, query));
+  HYPRE_ASSIGN_OR_RETURN(auto loc, ResolveQualified(plan.slots, column));
+  Status failure = Status::OK();
+  HYPRE_RETURN_NOT_OK(ForEachMatch(
+      db, query,
+      [&](const std::vector<Slot>& slots, const std::vector<RowId>& tuple) {
+        if (!failure.ok()) return;
+        const Value& key =
+            slots[loc.first].table->row(tuple[loc.first])[loc.second];
+        tuple_fn(key);
+        if (predicates.empty()) return;
+        JoinedRowAccessor accessor(&slots, &tuple);
+        for (size_t p = 0; p < predicates.size(); ++p) {
+          auto held = Evaluate(*predicates[p], accessor);
+          if (!held.ok()) {
+            failure = held.status();
+            return;
+          }
+          if (*held) pred_fn(p, key);
+        }
+      },
+      restriction));
+  return failure;
+}
+
+/// Slot-ordered table names of a query: FROM, then each JOIN's right table.
+std::vector<std::string> SlotTableNames(const Query& query) {
+  std::vector<std::string> names;
+  names.reserve(query.joins.size() + 1);
+  names.push_back(query.from);
+  for (const auto& join : query.joins) names.push_back(join.right_table);
+  return names;
+}
+
+}  // namespace
+
+Status Executor::ForEachKeyedMatch(
+    const Query& query, const std::string& column,
+    const std::vector<ExprPtr>& predicates,
+    const std::function<void(const Value&)>& tuple_fn,
+    const std::function<void(size_t, const Value&)>& pred_fn) const {
+  return KeyedMatchImpl(*db_, query, column, predicates, tuple_fn, pred_fn,
+                        nullptr);
+}
+
+Status Executor::ForEachAppendedMatch(
+    const Query& query, const std::string& column,
+    const std::unordered_map<std::string, RowId>& first_new_row,
+    const std::vector<ExprPtr>& predicates,
+    const std::function<void(const Value&)>& tuple_fn,
+    const std::function<void(size_t, const Value&)>& pred_fn) const {
+  // One pass per watermarked slot: pass s sees exactly the joined tuples
+  // whose slot-s row is new. The union over passes covers every tuple that
+  // did not exist at the watermarks (any other tuple is all-old rows).
+  std::vector<std::string> slot_names = SlotTableNames(query);
+  for (size_t s = 0; s < slot_names.size(); ++s) {
+    auto it = first_new_row.find(slot_names[s]);
+    if (it == first_new_row.end()) continue;
+    const Table* table = db_->GetTable(slot_names[s]);
+    if (table != nullptr && it->second >= table->num_rows()) continue;
+    // Left-deep joins enumerate the FROM slot, so a watermark on the joined
+    // slot of a two-table query would still scan the whole FROM table. Flip
+    // the query instead: the handful of new joined rows drive, and the FROM
+    // side is reached through its join-column index (or one hash build).
+    // Tuple emission order differs from the straight pass, which is fine —
+    // consumers of this API are declared order-independent.
+    if (s == 1 && query.joins.size() == 1) {
+      const JoinSpec& join = query.joins[0];
+      auto [left_table, left_col] = SplitQualifiedName(join.left_column);
+      if (left_table.empty()) left_table = query.from;
+      if (left_table == query.from) {
+        Query inverted;
+        inverted.from = join.right_table;
+        inverted.joins.push_back(
+            {query.from, join.right_table + "." + join.right_column,
+             left_col});
+        inverted.where = query.where;
+        ScanRestriction restriction;
+        restriction.min_slot = 0;
+        restriction.min_row = it->second;
+        HYPRE_RETURN_NOT_OK(KeyedMatchImpl(*db_, inverted, column, predicates,
+                                           tuple_fn, pred_fn, &restriction));
+        continue;
+      }
+    }
+    ScanRestriction restriction;
+    restriction.min_slot = static_cast<int>(s);
+    restriction.min_row = it->second;
+    HYPRE_RETURN_NOT_OK(KeyedMatchImpl(*db_, query, column, predicates,
+                                       tuple_fn, pred_fn, &restriction));
+  }
+  return Status::OK();
+}
+
+Status Executor::ForEachMatchOfRow(
+    const Query& query, const std::string& column, const std::string& table,
+    RowId row,
+    const std::unordered_map<std::string, std::vector<RowId>>& extra_visible,
+    const std::function<void(const Value&)>& fn) const {
+  std::vector<std::string> slot_names = SlotTableNames(query);
+  int slot = -1;
+  for (size_t s = 0; s < slot_names.size(); ++s) {
+    if (slot_names[s] == table) {
+      slot = static_cast<int>(s);
+      break;
+    }
+  }
+  if (slot < 0) {
+    return Status::InvalidArgument("table '" + table +
+                                   "' is not part of the query");
+  }
+  ScanRestriction restriction;
+  restriction.pinned_slot = slot;
+  restriction.pinned_row = row;
+  restriction.extra_visible = &extra_visible;
+  std::vector<ExprPtr> no_predicates;
+  return KeyedMatchImpl(
+      *db_, query, column, no_predicates, fn,
+      [](size_t, const Value&) {}, &restriction);
 }
 
 namespace {

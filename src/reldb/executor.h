@@ -97,6 +97,16 @@ class DenseDictionary {
   /// \brief Id of `v`, or kNotFound if it was never interned.
   uint32_t Lookup(const Value& v) const;
 
+  /// \brief Drops the value -> id mapping while keeping the id slot
+  /// allocated (the stale value stays addressable through value()). The
+  /// delta engine tombstones a dead key this way so its dense id can be
+  /// recycled later.
+  void Forget(const Value& v);
+
+  /// \brief Rebinds a previously Forgotten id to a new value — dense-id
+  /// recycling. The id must not currently be mapped to any value.
+  void Reassign(uint32_t id, const Value& v);
+
   const Value& value(uint32_t id) const { return values_[id]; }
   size_t size() const { return values_.size(); }
 
@@ -145,6 +155,48 @@ class Executor {
       const Query& query, const std::string& column,
       const DenseDictionary& dict, const std::vector<ExprPtr>& predicates,
       const std::function<void(size_t, uint32_t)>& fn) const;
+
+  // --- Delta-maintenance entry points -------------------------------------
+  //
+  // The three hooks below back the probe engine's incremental Refresh path
+  // (src/hypre/delta_engine.*). They stream raw key Values rather than
+  // dense ids because the delta consumer grows the dictionary as it goes.
+
+  /// \brief Streams the value of `column` for every matching joined tuple,
+  /// evaluating `predicates` against each: `tuple_fn(key)` once per tuple,
+  /// then `pred_fn(p, key)` for each predicate that holds. One pass answers
+  /// "does this key exist" and "which leaves does it match" together — the
+  /// per-key recompute hook behind delete maintenance.
+  Status ForEachKeyedMatch(
+      const Query& query, const std::string& column,
+      const std::vector<ExprPtr>& predicates,
+      const std::function<void(const Value&)>& tuple_fn,
+      const std::function<void(size_t, const Value&)>& pred_fn) const;
+
+  /// \brief Like ForEachKeyedMatch, restricted to the joined tuples that did
+  /// NOT exist before the per-table append watermarks: a tuple qualifies iff
+  /// at least one slot's row id is >= first_new_row[that slot's table].
+  /// Implemented as one restricted pass per watermarked slot, so a tuple
+  /// whose new rows span several slots is emitted once per such slot —
+  /// consumers must be idempotent (bitmap Set is). Tables absent from the
+  /// map are treated as having no new rows.
+  Status ForEachAppendedMatch(
+      const Query& query, const std::string& column,
+      const std::unordered_map<std::string, RowId>& first_new_row,
+      const std::vector<ExprPtr>& predicates,
+      const std::function<void(const Value&)>& tuple_fn,
+      const std::function<void(size_t, const Value&)>& pred_fn) const;
+
+  /// \brief Streams the value of `column` for every joined tuple containing
+  /// row `row` of `table`, treating that row — and any rows listed in
+  /// `extra_visible` — as visible even if tombstoned. This reconstructs the
+  /// pre-delete join state: the tuples a freshly deleted row participated in
+  /// name exactly the keys whose leaf memberships must be recomputed.
+  Status ForEachMatchOfRow(
+      const Query& query, const std::string& column, const std::string& table,
+      RowId row,
+      const std::unordered_map<std::string, std::vector<RowId>>& extra_visible,
+      const std::function<void(const Value&)>& fn) const;
 
   /// \brief Grouped aggregation. Output columns: the group-by columns then
   /// one per aggregate; rows sorted by the group key. SUM/AVG require

@@ -1,15 +1,37 @@
 #include "reldb/index.h"
 
+#include <algorithm>
+
 namespace hypre {
 namespace reldb {
 
 const std::vector<RowId> HashIndex::kEmpty;
+
+void HashIndex::Erase(const Value& key, RowId row) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  auto& rows = it->second;
+  auto pos = std::find(rows.begin(), rows.end(), row);
+  if (pos == rows.end()) return;
+  rows.erase(pos);
+  if (rows.empty()) map_.erase(it);
+}
 
 const std::vector<RowId>& HashIndex::Lookup(const Value& key) const {
   if (key.is_null()) return kEmpty;
   auto it = map_.find(key);
   if (it == map_.end()) return kEmpty;
   return it->second;
+}
+
+void OrderedIndex::Erase(const Value& key, RowId row) {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == row) {
+      map_.erase(it);
+      return;
+    }
+  }
 }
 
 std::vector<RowId> OrderedIndex::Range(const Value& lo, bool lo_inclusive,

@@ -24,6 +24,11 @@ class HashIndex {
 
   void Insert(const Value& key, RowId row) { map_[key].push_back(row); }
 
+  /// \brief Removes one (key, row) posting; no-op if absent. Keeps the
+  /// posting list sorted. The table's tombstone delete path calls this so
+  /// index lookups never surface deleted rows.
+  void Erase(const Value& key, RowId row);
+
   /// \brief Rows whose indexed column equals `key` (empty if none). NULL keys
   /// never match, mirroring SQL equality.
   const std::vector<RowId>& Lookup(const Value& key) const;
@@ -45,6 +50,9 @@ class OrderedIndex {
   size_t column() const { return column_; }
 
   void Insert(const Value& key, RowId row) { map_.emplace(key, row); }
+
+  /// \brief Removes one (key, row) posting; no-op if absent.
+  void Erase(const Value& key, RowId row);
 
   /// \brief Row ids with lo <= key <= hi (bounds optional via null Values
   /// meaning unbounded on that side; inclusive flags per side).

@@ -1,0 +1,72 @@
+// Mutation journal: the ordered append/delete log the delta subsystem rides.
+//
+// Every table owned by a Database records its mutations (row appends and
+// tombstone deletes) into the database's journal. Consumers — today the
+// probe engine's DeltaEngine, tomorrow any index or replica that must stay
+// consistent under updates — subscribe by remembering the journal sequence
+// number they last consumed and replaying the suffix: the half-open entry
+// range [cursor, sequence()) is exactly one epoch's worth of changes for
+// that consumer. Sequence numbers are dense and monotone, so two consumers
+// with different cursors see consistent (prefix-ordered) histories of the
+// same log.
+//
+// The journal records row identities, not row payloads: deleted rows keep
+// their data in the table (tombstones), so a consumer reconstructing the
+// pre-delete state joins against the retained payloads with a visibility
+// override (see Executor::ForEachMatchOfRow).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "reldb/index.h"
+
+namespace hypre {
+namespace reldb {
+
+/// \brief One recorded base-table mutation.
+struct Mutation {
+  enum class Kind : uint8_t { kAppend, kDelete };
+  Kind kind = Kind::kAppend;
+  RowId row = 0;
+  std::string table;
+};
+
+/// \brief Ordered log of table mutations with dense sequence numbers.
+class MutationJournal {
+ public:
+  /// \brief Sequence number one past the newest entry; entry `s` exists for
+  /// every s in [0, sequence()). A consumer's epoch is the slice between two
+  /// snapshots of this counter.
+  uint64_t sequence() const { return entries_.size(); }
+
+  void RecordAppend(const std::string& table, RowId row) {
+    entries_.push_back({Mutation::Kind::kAppend, row, table});
+    ++num_appends_;
+  }
+  void RecordDelete(const std::string& table, RowId row) {
+    entries_.push_back({Mutation::Kind::kDelete, row, table});
+    ++num_deletes_;
+  }
+
+  const Mutation& entry(uint64_t seq) const { return entries_[seq]; }
+
+  /// \brief Replays entries [since, sequence()) in order.
+  void ForEachSince(uint64_t since,
+                    const std::function<void(const Mutation&)>& fn) const {
+    for (uint64_t s = since; s < entries_.size(); ++s) fn(entries_[s]);
+  }
+
+  uint64_t num_appends() const { return num_appends_; }
+  uint64_t num_deletes() const { return num_deletes_; }
+
+ private:
+  std::vector<Mutation> entries_;
+  uint64_t num_appends_ = 0;
+  uint64_t num_deletes_ = 0;
+};
+
+}  // namespace reldb
+}  // namespace hypre

@@ -1,6 +1,7 @@
 #include "reldb/table.h"
 
 #include "common/string_util.h"
+#include "reldb/mutation_journal.h"
 
 namespace hypre {
 namespace reldb {
@@ -32,8 +33,30 @@ Status Table::Append(Row row) {
 RowId Table::AppendUnchecked(Row row) {
   RowId id = rows_.size();
   rows_.push_back(std::move(row));
+  deleted_.push_back(0);
   IndexRow(id);
+  if (journal_ != nullptr) journal_->RecordAppend(name_, id);
   return id;
+}
+
+Status Table::Delete(RowId id) {
+  if (id >= rows_.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "table '%s' has no row %llu (%zu rows)", name_.c_str(),
+        static_cast<unsigned long long>(id), rows_.size()));
+  }
+  if (deleted_[id] != 0) {
+    return Status::InvalidArgument(StringFormat(
+        "table '%s' row %llu is already deleted", name_.c_str(),
+        static_cast<unsigned long long>(id)));
+  }
+  deleted_[id] = 1;
+  ++num_deleted_;
+  const Row& r = rows_[id];
+  for (auto& idx : hash_indexes_) idx->Erase(r[idx->column()], id);
+  for (auto& idx : ordered_indexes_) idx->Erase(r[idx->column()], id);
+  if (journal_ != nullptr) journal_->RecordDelete(name_, id);
+  return Status::OK();
 }
 
 void Table::IndexRow(RowId id) {
@@ -49,13 +72,15 @@ Status Table::CreateHashIndex(const std::string& column_name) {
     if (idx->column() == col) {
       idx = std::make_unique<HashIndex>(col);
       for (RowId id = 0; id < rows_.size(); ++id) {
-        idx->Insert(rows_[id][col], id);
+        if (deleted_[id] == 0) idx->Insert(rows_[id][col], id);
       }
       return Status::OK();
     }
   }
   auto idx = std::make_unique<HashIndex>(col);
-  for (RowId id = 0; id < rows_.size(); ++id) idx->Insert(rows_[id][col], id);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (deleted_[id] == 0) idx->Insert(rows_[id][col], id);
+  }
   hash_indexes_.push_back(std::move(idx));
   return Status::OK();
 }
@@ -66,13 +91,15 @@ Status Table::CreateOrderedIndex(const std::string& column_name) {
     if (idx->column() == col) {
       idx = std::make_unique<OrderedIndex>(col);
       for (RowId id = 0; id < rows_.size(); ++id) {
-        idx->Insert(rows_[id][col], id);
+        if (deleted_[id] == 0) idx->Insert(rows_[id][col], id);
       }
       return Status::OK();
     }
   }
   auto idx = std::make_unique<OrderedIndex>(col);
-  for (RowId id = 0; id < rows_.size(); ++id) idx->Insert(rows_[id][col], id);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (deleted_[id] == 0) idx->Insert(rows_[id][col], id);
+  }
   ordered_indexes_.push_back(std::move(idx));
   return Status::OK();
 }

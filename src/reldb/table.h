@@ -12,10 +12,16 @@
 namespace hypre {
 namespace reldb {
 
+class MutationJournal;
+
 /// \brief A heap of rows plus its schema and secondary indexes.
 ///
-/// Rows are append-only (the workloads in this repo never delete), which
-/// keeps RowId stable and index maintenance trivial.
+/// Rows are append-only in the heap; Delete() tombstones a row instead of
+/// compacting, so RowId stays stable for the life of the table. Deleted rows
+/// are unindexed immediately and skipped by the executor's scans, but their
+/// payload is retained — the delta subsystem reconstructs pre-delete join
+/// states from it (see mutation_journal.h). Tables owned by a Database
+/// record every append/delete into the database's MutationJournal.
 class Table {
  public:
   Table(std::string name, Schema schema)
@@ -23,9 +29,19 @@ class Table {
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
+  /// \brief Physical row count, tombstones included (the RowId range).
   size_t num_rows() const { return rows_.size(); }
+  /// \brief Rows that have not been deleted.
+  size_t num_live_rows() const { return rows_.size() - num_deleted_; }
+  size_t num_deleted() const { return num_deleted_; }
   const Row& row(RowId id) const { return rows_[id]; }
+  /// \brief All physical rows, tombstones included; pair with is_deleted()
+  /// when the table may have seen deletes.
   const std::vector<Row>& rows() const { return rows_; }
+
+  bool is_deleted(RowId id) const {
+    return id < deleted_.size() && deleted_[id] != 0;
+  }
 
   /// \brief Appends a row after checking arity and (non-NULL) types.
   Status Append(Row row);
@@ -34,8 +50,17 @@ class Table {
   /// generators.
   RowId AppendUnchecked(Row row);
 
+  /// \brief Tombstones a row: unindexes it and hides it from scans while
+  /// keeping its payload addressable. Fails on out-of-range or
+  /// already-deleted ids.
+  Status Delete(RowId id);
+
+  /// \brief Journal that receives this table's mutations (may be null for
+  /// standalone tables). Set by Database::CreateTable.
+  void set_journal(MutationJournal* journal) { journal_ = journal; }
+
   /// \brief Builds (or rebuilds) a hash index on `column_name`, indexing all
-  /// current rows; future appends keep it up to date.
+  /// current live rows; future appends/deletes keep it up to date.
   Status CreateHashIndex(const std::string& column_name);
 
   /// \brief Builds (or rebuilds) an ordered index on `column_name`.
@@ -53,6 +78,10 @@ class Table {
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+  // Tombstone flags, parallel to rows_.
+  std::vector<uint8_t> deleted_;
+  size_t num_deleted_ = 0;
+  MutationJournal* journal_ = nullptr;
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
 };

@@ -84,19 +84,25 @@ Result<ExtractedPreferences> ExtractPreferences(
   // --- in-memory joins --------------------------------------------------------
   std::unordered_map<int64_t, std::string> paper_venue;
   paper_venue.reserve(dblp->num_rows());
-  for (const auto& row : dblp->rows()) {
+  for (reldb::RowId id = 0; id < dblp->num_rows(); ++id) {
+    if (dblp->is_deleted(id)) continue;
+    const auto& row = dblp->row(id);
     paper_venue.emplace(row[col_pid].AsInt(), row[col_venue].AsString());
   }
   std::unordered_map<int64_t, std::vector<int64_t>> papers_of_author;
   std::unordered_map<int64_t, std::vector<int64_t>> authors_of_paper;
-  for (const auto& row : dblp_author->rows()) {
+  for (reldb::RowId id = 0; id < dblp_author->num_rows(); ++id) {
+    if (dblp_author->is_deleted(id)) continue;
+    const auto& row = dblp_author->row(id);
     int64_t pid = row[col_da_pid].AsInt();
     int64_t aid = row[col_da_aid].AsInt();
     papers_of_author[aid].push_back(pid);
     authors_of_paper[pid].push_back(aid);
   }
   std::unordered_map<int64_t, std::vector<int64_t>> cites_of_paper;
-  for (const auto& row : citation->rows()) {
+  for (reldb::RowId id = 0; id < citation->num_rows(); ++id) {
+    if (citation->is_deleted(id)) continue;
+    const auto& row = citation->row(id);
     cites_of_paper[row[col_c_pid].AsInt()].push_back(row[col_c_cid].AsInt());
   }
 
