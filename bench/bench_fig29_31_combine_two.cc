@@ -10,22 +10,29 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "hypre/algorithms/combine_two.h"
+#include "hypre/api/session.h"
 
 using namespace hypre;
 using namespace hypre::bench;
 
 namespace {
 
-void RunForUser(const Workload& w, core::UserId uid, const char* tag) {
+void RunForUser(api::Session* session, const Workload& w, core::UserId uid,
+                const char* tag) {
   core::HypreGraph graph = w.BuildGraph(uid);
   std::vector<core::PreferenceAtom> atoms = w.Atoms(graph, uid, 30);
-  core::QueryEnhancer enhancer(&w.db, w.BaseQuery(), "dblp.pid");
 
-  auto and_records =
-      Unwrap(core::CombineTwo(atoms, enhancer, core::CombineSemantics::kAnd));
-  auto andor_records = Unwrap(
-      core::CombineTwo(atoms, enhancer, core::CombineSemantics::kAndOr));
+  // Both semantics run as requests against the shared session engine; only
+  // the semantics field differs between them.
+  api::EnumerationRequest request;
+  request.algorithm = "combine-two";
+  request.base_query = w.BaseQuery();
+  request.key_column = "dblp.pid";
+  request.preferences = atoms;
+  request.semantics = core::CombineSemantics::kAnd;
+  auto and_records = Unwrap(session->Enumerate(request)).records;
+  request.semantics = core::CombineSemantics::kAndOr;
+  auto andor_records = Unwrap(session->Enumerate(request)).records;
 
   std::printf("\n=== user %s (uid=%lld, %zu preferences, %zu pairs) ===\n",
               tag, (long long)uid, atoms.size(), and_records.size());
@@ -68,8 +75,9 @@ void RunForUser(const Workload& w, core::UserId uid, const char* tag) {
 
 int main() {
   auto w = Workload::Create();
+  api::Session session(&w->db);
   std::printf("Figures 29-31: Combine-Two intensity variation\n");
-  RunForUser(*w, w->user_a, "A");
-  RunForUser(*w, w->user_b, "B");
+  RunForUser(&session, *w, w->user_a, "A");
+  RunForUser(&session, *w, w->user_b, "B");
   return 0;
 }

@@ -9,19 +9,23 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "hypre/algorithms/partially_combine_all.h"
+#include "hypre/api/session.h"
 
 using namespace hypre;
 using namespace hypre::bench;
 
 namespace {
 
-void RunForUser(const Workload& w, core::UserId uid, const char* tag,
-                bool print_large) {
+void RunForUser(api::Session* session, const Workload& w, core::UserId uid,
+                const char* tag, bool print_large) {
   core::HypreGraph graph = w.BuildGraph(uid);
   std::vector<core::PreferenceAtom> atoms = w.Atoms(graph, uid, 40);
-  core::QueryEnhancer enhancer(&w.db, w.BaseQuery(), "dblp.pid");
-  auto records = Unwrap(core::PartiallyCombineAll(atoms, enhancer));
+  api::EnumerationRequest request;
+  request.algorithm = "partially-combine-all";
+  request.base_query = w.BaseQuery();
+  request.key_column = "dblp.pid";
+  request.preferences = atoms;
+  auto records = Unwrap(session->Enumerate(request)).records;
 
   std::printf("\n=== user %s (uid=%lld, %zu preferences, %zu probes) ===\n",
               tag, (long long)uid, atoms.size(), records.size());
@@ -73,8 +77,9 @@ void RunForUser(const Workload& w, core::UserId uid, const char* tag,
 
 int main() {
   auto w = Workload::Create();
+  api::Session session(&w->db);
   std::printf("Figures 32-34: Partially-Combine-All intensity variation\n");
-  RunForUser(*w, w->user_a, "A", /*print_large=*/true);
-  RunForUser(*w, w->user_b, "B", /*print_large=*/false);
+  RunForUser(&session, *w, w->user_a, "A", /*print_large=*/true);
+  RunForUser(&session, *w, w->user_b, "B", /*print_large=*/false);
   return 0;
 }

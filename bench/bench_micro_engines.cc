@@ -14,6 +14,7 @@
 #include "graphdb/cypher_lite.h"
 #include "graphdb/traversal.h"
 #include "hypre/algorithms/peps.h"
+#include "hypre/api/session.h"
 #include "hypre/batch_prober.h"
 #include "hypre/probe_engine.h"
 #include "sqlparse/parser.h"
@@ -405,6 +406,7 @@ struct DeltaBench {
   std::unique_ptr<Workload> w;
   reldb::Query base;
   std::unique_ptr<core::QueryEnhancer> enhancer;
+  std::unique_ptr<api::Session> session;
   std::vector<core::PreferenceAtom> atoms;
   std::unique_ptr<core::Combiner> combiner;
   std::unique_ptr<core::CombinationProber> prober;
@@ -446,10 +448,61 @@ DeltaBench* GetDeltaBench() {
     Status st = b->prober->PrefetchAll();
     if (!st.ok()) Die(st);
     b->probe_combo = b->combiner->MixedClause({0, 5, 20});
+    b->session = std::make_unique<api::Session>(&b->w->db);
     return b;
   }();
   return bench;
 }
+
+// --- Facade overhead: Session::Enumerate vs direct algorithm call -----------
+//
+// Both benchmarks run the identical PEPS workload — construct a Peps over
+// the 24 warm, prefetched preference leaves and GenerateOrder (dominated by
+// the C(24,2) batched pair table) — against the 100k-paper database. The
+// Direct variant calls the algorithm on a long-lived QueryEnhancer the way
+// pre-API call sites did; the Session variant goes through the full unified
+// API path: registry lookup by name, enhancer-cache hit, no-op Refresh
+// (epoch pin), preference copy + sort, leaf-prefetch dedup, and the
+// per-request ProbeStats delta. The difference is the facade tax on a warm
+// request (acceptance: <= 5%). Registered BEFORE the churn benches so both
+// variants see the same un-mutated tables.
+
+void BM_PepsOrderWarmDirect(benchmark::State& state) {
+  DeltaBench* b = GetDeltaBench();
+  for (auto _ : state) {
+    core::Peps peps(&b->atoms, b->enhancer.get(), core::ProbeOptions{});
+    auto order = peps.GenerateOrder(core::PepsMode::kComplete);
+    if (!order.ok()) {
+      state.SkipWithError("direct GenerateOrder failed");
+      return;
+    }
+    benchmark::DoNotOptimize(order->size());
+  }
+}
+BENCHMARK(BM_PepsOrderWarmDirect)->Unit(benchmark::kMicrosecond);
+
+void BM_PepsOrderWarmSession(benchmark::State& state) {
+  DeltaBench* b = GetDeltaBench();
+  api::EnumerationRequest request;
+  request.algorithm = "peps";
+  request.base_query = b->base;
+  request.key_column = "dblp.pid";
+  request.preferences = b->atoms;
+  // Warm the session's cached engine (universe + leaves) untimed.
+  if (!b->session->Enumerate(request).ok()) {
+    state.SkipWithError("session warmup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = b->session->Enumerate(request);
+    if (!result.ok()) {
+      state.SkipWithError("session Enumerate failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->records.size());
+  }
+}
+BENCHMARK(BM_PepsOrderWarmSession)->Unit(benchmark::kMicrosecond);
 
 /// Appends `n/2` papers (+1 author link each) and deletes `n/2` random live
 /// papers from the bench tables.

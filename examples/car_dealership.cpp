@@ -10,24 +10,14 @@
 
 #include <algorithm>
 
-#include "hypre/query_enhancement.h"
+#include "example_util.h"
+#include "hypre/api/session.h"
 #include "hypre/ranking.h"
-#include "workload/canonical.h"
 
 using namespace hypre;
+using examples::Unwrap;
 
 namespace {
-
-void Die(const Status& st) {
-  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-  std::exit(1);
-}
-
-template <typename T>
-T Unwrap(Result<T> result) {
-  if (!result.ok()) Die(result.status());
-  return std::move(result).TakeValue();
-}
 
 /// A Preference-SQL-style evaluation of
 ///   PREFERRING price BETWEEN ... AND mileage BETWEEN ...
@@ -67,9 +57,8 @@ std::vector<std::pair<std::string, double>> PreferenceSqlOrder(
 }  // namespace
 
 int main() {
-  reldb::Database db;
-  Status st = workload::BuildDealershipDatabase(&db);
-  if (!st.ok()) Die(st);
+  api::Session session(examples::MakeDealershipDatabase());
+  const reldb::Database& db = *session.db();
 
   std::printf("Dealership relation (Table 5):\n");
   for (const auto& row : db.GetTable("car")->rows()) {
@@ -96,8 +85,8 @@ int main() {
 
   reldb::Query base;
   base.from = "car";
-  core::QueryEnhancer enhancer(&db, base, "car.id");
-  auto ranked = Unwrap(core::ScoreTuplesByPreferences(enhancer, atoms));
+  core::QueryEnhancer* enhancer = Unwrap(session.GetEnhancer(base, "car.id"));
+  auto ranked = Unwrap(core::ScoreTuplesByPreferences(*enhancer, atoms));
 
   std::printf("\nHYPRE order (intensity-combined, expected t1 > t2 > t3):\n");
   for (const auto& tuple : ranked) {

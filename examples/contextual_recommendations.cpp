@@ -8,40 +8,34 @@
 //    movie night.
 #include <cstdio>
 
+#include "example_util.h"
+#include "hypre/api/session.h"
 #include "hypre/context.h"
 #include "hypre/cp_net.h"
 #include "hypre/group_profile.h"
 #include "hypre/hypre_graph.h"
-#include "hypre/query_enhancement.h"
 #include "hypre/ranking.h"
-#include "workload/canonical.h"
 
 using namespace hypre;
+using examples::Die;
+using examples::Unwrap;
 
 namespace {
 
-void Die(const Status& st) {
-  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-  std::exit(1);
-}
-
-template <typename T>
-T Unwrap(Result<T> result) {
-  if (!result.ok()) Die(result.status());
-  return std::move(result).TakeValue();
-}
-
-void PrintRanking(const reldb::Database& db,
+void PrintRanking(api::Session* session,
                   const std::vector<core::QuantitativePreference>& prefs) {
+  // Every context resolves through the SAME session-cached probe engine:
+  // the first ranking pays the leaf probes, later ones are pure algebra.
   reldb::Query base;
   base.from = "movie";
-  core::QueryEnhancer enhancer(&db, base, "movie.movie_id");
+  core::QueryEnhancer* enhancer =
+      Unwrap(session->GetEnhancer(base, "movie.movie_id"));
   std::vector<core::PreferenceAtom> atoms;
   for (const auto& p : prefs) {
     atoms.push_back(Unwrap(core::MakeAtom(p.predicate, p.intensity)));
   }
-  auto ranked = Unwrap(core::ScoreTuplesByPreferences(enhancer, atoms));
-  const reldb::Table* movies = db.GetTable("movie");
+  auto ranked = Unwrap(core::ScoreTuplesByPreferences(*enhancer, atoms));
+  const reldb::Table* movies = session->db()->GetTable("movie");
   for (const auto& tuple : ranked) {
     for (const auto& row : movies->rows()) {
       if (row[0].Equals(tuple.key)) {
@@ -55,9 +49,7 @@ void PrintRanking(const reldb::Database& db,
 }  // namespace
 
 int main() {
-  reldb::Database db;
-  Status st = workload::BuildMovieDatabase(&db);
-  if (!st.ok()) Die(st);
+  api::Session session(examples::MakeMovieDatabase());
 
   // --- 1. Contextual profile over (company, period) ------------------------
   core::ContextualProfile profile({"company", "period"});
@@ -77,9 +69,9 @@ int main() {
   add({"family", "holidays"}, "movie.genre='drama'", 0.8);
 
   std::printf("Context (friends, weekend):\n");
-  PrintRanking(db, Unwrap(profile.Resolve({"friends", "weekend"})));
+  PrintRanking(&session, Unwrap(profile.Resolve({"friends", "weekend"})));
   std::printf("\nContext (family, holidays):\n");
-  PrintRanking(db, Unwrap(profile.Resolve({"family", "holidays"})));
+  PrintRanking(&session, Unwrap(profile.Resolve({"family", "holidays"})));
 
   // --- 2. CP-net: Figure 3's genre-conditional director preference ---------
   core::CpNet net;
@@ -121,6 +113,6 @@ int main() {
     group_prefs.push_back({99, entry.predicate, entry.intensity});
   }
   std::printf("Group ranking:\n");
-  PrintRanking(db, group_prefs);
+  PrintRanking(&session, group_prefs);
   return 0;
 }

@@ -1,55 +1,39 @@
 // DBLP personalization: the dissertation's full pipeline at example scale.
 //
 //   synthetic DBLP -> §6.2 preference extraction -> HYPRE graph ->
-//   PEPS Top-K ("show me all papers" personalized) vs. the TA baseline.
+//   PEPS Top-K ("show me all papers" personalized) vs. the TA baseline —
+//   both dispatched BY NAME through the unified enumeration API, sharing
+//   one session-cached probe engine.
 //
 //   $ ./dblp_personalization [num_papers] [k]
 #include <cstdio>
 #include <cstdlib>
 
-#include "hypre/algorithms/peps.h"
-#include "hypre/algorithms/threshold_algorithm.h"
+#include "example_util.h"
+#include "hypre/api/session.h"
 #include "hypre/hypre_graph.h"
 #include "hypre/metrics.h"
-#include "sqlparse/parser.h"
 #include "workload/dblp_generator.h"
 #include "workload/preference_extraction.h"
 
 using namespace hypre;
-
-namespace {
-
-void Die(const Status& st) {
-  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-  std::exit(1);
-}
-
-template <typename T>
-T Unwrap(Result<T> result) {
-  if (!result.ok()) Die(result.status());
-  return std::move(result).TakeValue();
-}
-
-}  // namespace
+using examples::Unwrap;
 
 int main(int argc, char** argv) {
   size_t num_papers = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
   size_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 15;
 
-  // 1. Generate the citation network.
-  workload::DblpConfig config;
-  config.num_papers = num_papers;
-  config.num_authors = num_papers / 3;
-  config.seed = 2024;
-  reldb::Database db;
-  auto stats = Unwrap(workload::GenerateDblp(config, &db));
+  // 1. Generate the citation network into a session-owned database.
+  workload::DblpStats stats;
+  api::Session session(
+      examples::MakeDblpDatabase(num_papers, /*seed=*/2024, &stats));
   std::printf("Generated DBLP: %zu papers, %zu authors, %zu author links, "
               "%zu citations\n",
               stats.num_papers, stats.num_authors, stats.num_author_links,
               stats.num_citations);
 
   // 2. Extract preferences (§6.2) and pick the busiest user.
-  auto extracted = Unwrap(workload::ExtractPreferences(db, {}));
+  auto extracted = Unwrap(workload::ExtractPreferences(*session.db(), {}));
   core::UserId uid = extracted.UsersByPreferenceCount().front();
   std::printf("Extracted %zu quantitative + %zu qualitative preferences; "
               "focal user %lld has %zu\n",
@@ -75,52 +59,51 @@ int main(int argc, char** argv) {
               graph.num_nodes(), quant_nodes, labels.prefers, labels.cycle,
               labels.discard);
 
-  // 4. Personalize "SELECT * FROM dblp" via PEPS Top-K.
-  reldb::Query base;
-  base.from = "dblp";
-  base.joins.push_back({"dblp_author", "dblp.pid", "pid"});
-  core::QueryEnhancer enhancer(&db, base, "dblp.pid");
-
-  std::vector<core::PreferenceAtom> atoms;
+  // 4. Personalize "SELECT * FROM dblp": one request, algorithm by name.
+  api::EnumerationRequest request;
+  request.algorithm = "peps";
+  request.base_query = examples::DblpBaseQuery();
+  request.key_column = "dblp.pid";
+  request.k = k;
   for (const auto& entry : graph.ListPreferences(uid)) {
-    atoms.push_back(Unwrap(core::MakeAtom(entry.predicate, entry.intensity)));
-  }
-  core::SortByIntensityDesc(&atoms);
-
-  core::Peps peps(&atoms, &enhancer);
-  auto top = Unwrap(peps.TopK(k, core::PepsMode::kComplete));
-  std::printf("\nPEPS Top-%zu papers for user %lld:\n", k,
-              static_cast<long long>(uid));
-  const reldb::Table* dblp = db.GetTable("dblp");
-  const reldb::HashIndex* by_pid = dblp->GetHashIndex("pid");
-  for (const auto& tuple : top) {
-    const auto& rows = by_pid->Lookup(tuple.key);
-    if (rows.empty()) continue;
-    const reldb::Row& row = dblp->row(rows[0]);
-    std::printf("  %.3f  pid=%-6lld %-10s (%lld)\n", tuple.intensity,
-                (long long)tuple.key.AsInt(), row[3].AsString().c_str(),
-                (long long)row[2].AsInt());
+    request.preferences.push_back(
+        Unwrap(core::MakeAtom(entry.predicate, entry.intensity)));
   }
 
-  // 5. Compare coverage against the TA baseline (quantitative-only view).
-  core::GradedList venue_list("venue");
-  core::GradedList author_list("author");
+  api::EnumerationResult top = Unwrap(session.Enumerate(request));
+  std::printf("\nPEPS Top-%zu papers for user %lld "
+              "(epoch %llu, %zu leaf queries, %zu cache hits):\n",
+              k, static_cast<long long>(uid),
+              (unsigned long long)top.epoch, top.stats.num_leaf_queries,
+              top.stats.num_cache_hits);
+  for (const auto& tuple : top.top_k) {
+    examples::PrintRankedPaper(*session.db(), tuple);
+  }
+
+  // 5. Compare coverage against the TA baseline: SAME request shape, the
+  //    algorithm name and preference view swapped. TA sees only the
+  //    original quantitative preferences (no graph-derived intensities) —
+  //    exactly why PEPS covers more tuples in Figures 37/38.
+  api::EnumerationRequest ta_request;
+  ta_request.algorithm = "ta";
+  ta_request.base_query = request.base_query;
+  ta_request.key_column = request.key_column;
+  ta_request.k = 0;  // rank everything TA can see
   for (const auto& q : extracted.quantitative) {
     if (q.uid != uid || q.intensity <= 0) continue;
-    auto expr = Unwrap(sqlparse::ParsePredicate(q.predicate));
-    auto keys = Unwrap(enhancer.MatchingKeys(expr));
-    bool is_venue = q.predicate.find("venue") != std::string::npos;
-    for (const auto& key : keys) {
-      (is_venue ? venue_list : author_list).AddGrade(key, q.intensity);
-    }
+    ta_request.preferences.push_back(
+        Unwrap(core::MakeAtom(q.predicate, q.intensity)));
   }
-  venue_list.Finalize();
-  author_list.Finalize();
-  auto ta = Unwrap(core::ThresholdAlgorithmTopK({venue_list, author_list},
-                                                /*k=*/0));
-  auto all_peps = Unwrap(peps.TopK(/*k=*/0, core::PepsMode::kComplete));
+  api::EnumerationResult ta = Unwrap(session.Enumerate(ta_request));
+
+  api::EnumerationRequest all_request = request;
+  all_request.k = ~size_t{0};  // every ranked tuple
+  api::EnumerationResult all_peps = Unwrap(session.Enumerate(all_request));
   std::printf("\nCoverage: PEPS (hybrid graph) ranks %zu papers; "
-              "TA (original quantitative only) ranks %zu.\n",
-              all_peps.size(), ta.size());
+              "TA (original quantitative only) ranks %zu.\n"
+              "Second PEPS request reused the session's engine: "
+              "%zu leaf queries.\n",
+              all_peps.top_k.size(), ta.top_k.size(),
+              all_peps.stats.num_leaf_queries);
   return 0;
 }

@@ -1,0 +1,87 @@
+// Shared boilerplate for the example programs: Status exit helpers and the
+// canonical database setups, so each example is only its scenario.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/status.h"
+#include "hypre/ranking.h"
+#include "reldb/database.h"
+#include "reldb/executor.h"
+#include "workload/canonical.h"
+#include "workload/dblp_generator.h"
+
+namespace hypre {
+namespace examples {
+
+[[noreturn]] inline void Die(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  std::exit(1);
+}
+
+inline void CheckOk(const Status& st) {
+  if (!st.ok()) Die(st);
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).TakeValue();
+}
+
+/// \brief The dissertation's car-dealership relation (Tables 5/8).
+inline std::unique_ptr<reldb::Database> MakeDealershipDatabase() {
+  auto db = std::make_unique<reldb::Database>();
+  CheckOk(workload::BuildDealershipDatabase(db.get()));
+  return db;
+}
+
+/// \brief The Movie relation (Table 3).
+inline std::unique_ptr<reldb::Database> MakeMovieDatabase() {
+  auto db = std::make_unique<reldb::Database>();
+  CheckOk(workload::BuildMovieDatabase(db.get()));
+  return db;
+}
+
+/// \brief Synthetic DBLP sized to `num_papers`; `stats_out`, if non-null,
+/// receives the generation stats.
+inline std::unique_ptr<reldb::Database> MakeDblpDatabase(
+    size_t num_papers, uint64_t seed = 0,
+    workload::DblpStats* stats_out = nullptr) {
+  workload::DblpConfig config;
+  config.num_papers = num_papers;
+  config.num_authors = num_papers / 3;
+  if (seed != 0) config.seed = seed;
+  auto db = std::make_unique<reldb::Database>();
+  workload::DblpStats stats = Unwrap(workload::GenerateDblp(config, db.get()));
+  if (stats_out != nullptr) *stats_out = stats;
+  return db;
+}
+
+/// \brief The dissertation's base query: SELECT * FROM dblp JOIN
+/// dblp_author, tuple identity dblp.pid.
+inline reldb::Query DblpBaseQuery() {
+  reldb::Query q;
+  q.from = "dblp";
+  q.joins.push_back({"dblp_author", "dblp.pid", "pid"});
+  return q;
+}
+
+/// \brief Prints one "<intensity>  pid=<pid> <venue> (<year>)" line for a
+/// ranked DBLP paper, resolved through the pid hash index.
+inline void PrintRankedPaper(const reldb::Database& db,
+                             const core::RankedTuple& tuple) {
+  const reldb::Table* dblp = db.GetTable("dblp");
+  const reldb::HashIndex* by_pid = dblp->GetHashIndex("pid");
+  const auto& rows = by_pid->Lookup(tuple.key);
+  if (rows.empty()) return;
+  const reldb::Row& row = dblp->row(rows[0]);
+  std::printf("  %.3f  pid=%-6lld %-10s (%lld)\n", tuple.intensity,
+              (long long)tuple.key.AsInt(), row[3].AsString().c_str(),
+              (long long)row[2].AsInt());
+}
+
+}  // namespace examples
+}  // namespace hypre

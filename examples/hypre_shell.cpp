@@ -1,29 +1,37 @@
 // hypre_shell: an interactive driver for the whole stack — the "practical
-// system" face of the library. Loads the synthetic DBLP workload and lets
-// you manage a profile and personalize queries from a prompt.
+// system" face of the library. Loads the synthetic DBLP workload into a
+// Session and lets you manage a profile and personalize queries from a
+// prompt. Every personalization command dispatches by NAME through the
+// unified enumeration API (api::Session + EnumeratorRegistry), so all six
+// combination algorithms are one `\algo` switch away.
 //
 //   $ ./hypre_shell [num_papers]
 //   hypre> help
 //   hypre> pref add 0.5 dblp.venue='SIGMOD'
 //   hypre> pref over 0.3 dblp.venue='SIGMOD' dblp.venue='ICDE'
 //   hypre> pref list
-//   hypre> topk 10
+//   hypre> \algo                    list algorithms (current one starred)
+//   hypre> \algo combine-two       switch the enumeration algorithm
+//   hypre> topk 10                  personalized top-k / top records
+//   hypre> budget 500               cap probes per request (0 = unlimited)
 //   hypre> sql SELECT count(distinct dblp.pid) FROM dblp JOIN dblp_author
 //          ON dblp.pid = dblp_author.pid WHERE dblp.venue='SIGMOD'
 //   hypre> cypher START n=node(*) WHERE n.uid=1 RETURN n.predicate,
 //          n.intensity ORDER BY n.intensity DESC
 //
 // Also scriptable: pipe commands on stdin (used by the smoke test below).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "example_util.h"
 #include "graphdb/cypher_lite.h"
-#include "hypre/algorithms/peps.h"
+#include "hypre/api/session.h"
 #include "hypre/hypre_graph.h"
-#include "hypre/query_enhancement.h"
 #include "sqlparse/select_parser.h"
 #include "workload/dblp_generator.h"
 
@@ -42,7 +50,12 @@ void PrintHelp() {
       "spaces)\n"
       "  pref rm <predicate>                      remove a preference\n"
       "  pref list                                show the profile\n"
-      "  topk <k>                                 personalized top-k papers\n"
+      "  \\algo [name]                             list / switch the "
+      "enumeration algorithm\n"
+      "  topk <k>                                 personalized top-k via the "
+      "current algorithm\n"
+      "  budget <probes>                          probe budget per request "
+      "(0 = unlimited)\n"
       "  sql <select statement>                   run SQL directly\n"
       "  cypher <query>                           query the profile graph\n"
       "  help | quit\n");
@@ -64,25 +77,15 @@ void PrintValue(const reldb::Value& v) {
 int main(int argc, char** argv) {
   size_t num_papers = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
 
-  workload::DblpConfig config;
-  config.num_papers = num_papers;
-  config.num_authors = num_papers / 3;
-  reldb::Database db;
-  auto stats = workload::GenerateDblp(config, &db);
-  if (!stats.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n",
-                 stats.status().ToString().c_str());
-    return 1;
-  }
+  workload::DblpStats stats;
+  api::Session session(examples::MakeDblpDatabase(num_papers, 0, &stats));
   std::printf("loaded synthetic DBLP: %zu papers, %zu authors. "
               "Type 'help' for commands.\n",
-              stats->num_papers, stats->num_authors);
+              stats.num_papers, stats.num_authors);
 
   core::HypreGraph graph;
-  reldb::Query base;
-  base.from = "dblp";
-  base.joins.push_back({"dblp_author", "dblp.pid", "pid"});
-  core::QueryEnhancer enhancer(&db, base, "dblp.pid");
+  std::string algorithm = "peps";
+  size_t probe_budget = 0;
 
   std::string line;
   while ((std::printf("hypre> "), std::fflush(stdout),
@@ -94,6 +97,34 @@ int main(int argc, char** argv) {
     if (command == "quit" || command == "exit") break;
     if (command == "help") {
       PrintHelp();
+      continue;
+    }
+    if (command == "\\algo" || command == "algo") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        for (const api::CombinationEnumerator* e :
+             api::EnumeratorRegistry::Global().Enumerators()) {
+          std::printf("  %c %-22s %s\n",
+                      e->name() == algorithm ? '*' : ' ',
+                      std::string(e->name()).c_str(),
+                      std::string(e->description()).c_str());
+        }
+        continue;
+      }
+      auto found = api::EnumeratorRegistry::Global().Find(name);
+      if (!found.ok()) {
+        std::printf("%s\n", found.status().ToString().c_str());
+        continue;
+      }
+      algorithm = name;
+      std::printf("algorithm = %s\n", algorithm.c_str());
+      continue;
+    }
+    if (command == "budget") {
+      in >> probe_budget;
+      std::printf("probe budget = %zu%s\n", probe_budget,
+                  probe_budget == 0 ? " (unlimited)" : "");
       continue;
     }
     if (command == "pref") {
@@ -135,7 +166,14 @@ int main(int argc, char** argv) {
     if (command == "topk") {
       size_t k = 10;
       in >> k;
-      std::vector<core::PreferenceAtom> atoms;
+      api::EnumerationRequest request;
+      request.algorithm = algorithm;
+      request.base_query = examples::DblpBaseQuery();
+      request.key_column = "dblp.pid";
+      // "topk 0" means everything (matching TA's k=0-is-unlimited and
+      // PEPS's pre-API TopK(0) behavior).
+      request.k = k == 0 ? ~size_t{0} : k;
+      request.probe_budget = probe_budget;
       bool parse_failed = false;
       for (const auto& entry : graph.ListPreferences(kShellUser)) {
         auto atom = core::MakeAtom(entry.predicate, entry.intensity);
@@ -145,34 +183,54 @@ int main(int argc, char** argv) {
           parse_failed = true;
           break;
         }
-        atoms.push_back(std::move(atom.value()));
+        request.preferences.push_back(std::move(atom.value()));
       }
       if (parse_failed) continue;
-      if (atoms.empty()) {
+      if (request.preferences.empty()) {
         std::printf("profile is empty; use 'pref add' first\n");
         continue;
       }
-      core::SortByIntensityDesc(&atoms);
-      core::Peps peps(&atoms, &enhancer);
-      auto top = peps.TopK(k, core::PepsMode::kComplete);
-      if (!top.ok()) {
-        std::printf("%s\n", top.status().ToString().c_str());
+      auto result = session.Enumerate(request);
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
         continue;
       }
-      const reldb::Table* dblp = db.GetTable("dblp");
-      const reldb::HashIndex* by_pid = dblp->GetHashIndex("pid");
-      for (const auto& tuple : *top) {
-        const auto& rows = by_pid->Lookup(tuple.key);
-        if (rows.empty()) continue;
-        const reldb::Row& row = dblp->row(rows[0]);
-        std::printf("  %.3f  pid=%-6lld %-10s (%lld)\n", tuple.intensity,
-                    (long long)tuple.key.AsInt(), row[3].AsString().c_str(),
-                    (long long)row[2].AsInt());
+      if (!result->top_k.empty() || algorithm == "peps" ||
+          algorithm == "ta") {
+        for (const auto& tuple : result->top_k) {
+          examples::PrintRankedPaper(*session.db(), tuple);
+        }
+      } else {
+        // Enumeration-only algorithms: show the strongest k records.
+        // Records arrive in each algorithm's documented order (generation
+        // order for most), so sort a view by intensity first.
+        std::vector<const core::CombinationRecord*> strongest;
+        strongest.reserve(result->records.size());
+        for (const auto& record : result->records) {
+          strongest.push_back(&record);
+        }
+        std::stable_sort(strongest.begin(), strongest.end(),
+                         [](const core::CombinationRecord* a,
+                            const core::CombinationRecord* b) {
+                           return a->intensity > b->intensity;
+                         });
+        if (k > 0 && strongest.size() > k) strongest.resize(k);
+        for (const auto* record : strongest) {
+          std::printf("  %.3f  #%zu tuples=%-5zu %s\n", record->intensity,
+                      record->num_predicates, record->num_tuples,
+                      record->predicate_sql.c_str());
+        }
       }
+      std::printf(
+          "[%s] epoch=%llu leaf_queries=%zu cache_hits=%zu batches=%zu%s\n",
+          algorithm.c_str(), (unsigned long long)result->epoch,
+          result->stats.num_leaf_queries, result->stats.num_cache_hits,
+          result->stats.num_batches,
+          result->truncated ? " TRUNCATED (budget)" : "");
       continue;
     }
     if (command == "sql") {
-      auto result = sqlparse::ExecuteSql(db, Rest(&in));
+      auto result = sqlparse::ExecuteSql(*session.db(), Rest(&in));
       if (!result.ok()) {
         std::printf("%s\n", result.status().ToString().c_str());
         continue;

@@ -9,32 +9,17 @@
 //  * conflict handling: a cyclic statement is kept but quarantined (CYCLE).
 #include <cstdio>
 
+#include "example_util.h"
+#include "hypre/api/session.h"
 #include "hypre/hypre_graph.h"
-#include "hypre/query_enhancement.h"
 #include "hypre/ranking.h"
-#include "workload/canonical.h"
 
 using namespace hypre;
-
-namespace {
-
-void Die(const Status& st) {
-  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-  std::exit(1);
-}
-
-template <typename T>
-T Unwrap(Result<T> result) {
-  if (!result.ok()) Die(result.status());
-  return std::move(result).TakeValue();
-}
-
-}  // namespace
+using examples::Unwrap;
 
 int main() {
-  reldb::Database db;
-  Status st = workload::BuildMovieDatabase(&db);
-  if (!st.ok()) Die(st);
+  api::Session session(examples::MakeMovieDatabase());
+  const reldb::Database& db = *session.db();
 
   core::HypreGraph graph;
   const core::UserId uid = 7;
@@ -67,15 +52,17 @@ int main() {
   }
 
   // Rank all movies. Negative preferences push horror below everything.
+  // The session hands out the cached probe engine for this query spec.
   reldb::Query base;
   base.from = "movie";
-  core::QueryEnhancer enhancer(&db, base, "movie.movie_id");
+  core::QueryEnhancer* enhancer =
+      Unwrap(session.GetEnhancer(base, "movie.movie_id"));
   std::vector<core::PreferenceAtom> atoms;
   for (const auto& entry :
        graph.ListPreferences(uid, /*include_negative=*/true)) {
     atoms.push_back(Unwrap(core::MakeAtom(entry.predicate, entry.intensity)));
   }
-  auto ranked = Unwrap(core::ScoreTuplesByPreferences(enhancer, atoms));
+  auto ranked = Unwrap(core::ScoreTuplesByPreferences(*enhancer, atoms));
 
   std::printf("\nPersonalized movie ranking:\n");
   const reldb::Table* movies = db.GetTable("movie");

@@ -6,22 +6,18 @@
 // Expected ranking (Table 9): t1 (0.92), t2 (0.90), t3 (0.60).
 #include <cstdio>
 
+#include "example_util.h"
+#include "hypre/api/session.h"
 #include "hypre/combination.h"
 #include "hypre/hypre_graph.h"
-#include "hypre/query_enhancement.h"
 #include "hypre/ranking.h"
-#include "workload/canonical.h"
 
 using namespace hypre;
+using examples::Unwrap;
 
 int main() {
-  // 1. A database: the dealership relation of Tables 5/8.
-  reldb::Database db;
-  Status st = workload::BuildDealershipDatabase(&db);
-  if (!st.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  // 1. A session over the dealership relation of Tables 5/8.
+  api::Session session(examples::MakeDealershipDatabase());
 
   // 2. A user profile in the HYPRE graph: three quantitative preferences.
   core::HypreGraph graph;
@@ -35,11 +31,7 @@ int main() {
       {"make IN ('BMW', 'Honda')", 0.2},
   };
   for (const auto& p : prefs) {
-    auto r = graph.AddQuantitative({uid, p.predicate, p.intensity});
-    if (!r.ok()) {
-      std::fprintf(stderr, "insert failed: %s\n", r.status().ToString().c_str());
-      return 1;
-    }
+    Unwrap(graph.AddQuantitative({uid, p.predicate, p.intensity}));
   }
 
   std::printf("User profile (descending by intensity):\n");
@@ -50,20 +42,16 @@ int main() {
   }
 
   // 3. Enhance the base query "SELECT * FROM car" with the profile and rank
-  //    each car by f_and over the preferences it matches (§4.6.1).
+  //    each car by f_and over the preferences it matches (§4.6.1). The
+  //    session caches the probe engine under (base query, key column).
   reldb::Query base;
   base.from = "car";
-  core::QueryEnhancer enhancer(&db, base, "car.id");
+  core::QueryEnhancer* enhancer =
+      Unwrap(session.GetEnhancer(base, "car.id"));
 
   std::vector<core::PreferenceAtom> atoms;
   for (const auto& entry : graph.ListPreferences(uid)) {
-    auto atom = core::MakeAtom(entry.predicate, entry.intensity);
-    if (!atom.ok()) {
-      std::fprintf(stderr, "parse failed: %s\n",
-                   atom.status().ToString().c_str());
-      return 1;
-    }
-    atoms.push_back(std::move(atom.value()));
+    atoms.push_back(Unwrap(core::MakeAtom(entry.predicate, entry.intensity)));
   }
 
   // Show the §4.6-style rewritten SQL for the mixed clause.
@@ -72,17 +60,12 @@ int main() {
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
   core::Combination mixed = combiner.MixedClause(all);
   std::printf("\nEnhanced query:\n  %s\n",
-              enhancer.Enhance(combiner.BuildExpr(mixed)).ToSql().c_str());
+              enhancer->Enhance(combiner.BuildExpr(mixed)).ToSql().c_str());
 
-  auto ranked = core::ScoreTuplesByPreferences(enhancer, atoms);
-  if (!ranked.ok()) {
-    std::fprintf(stderr, "ranking failed: %s\n",
-                 ranked.status().ToString().c_str());
-    return 1;
-  }
+  auto ranked = Unwrap(core::ScoreTuplesByPreferences(*enhancer, atoms));
 
   std::printf("\nRanked results (Table 9 expects 0.92 / 0.90 / 0.60):\n");
-  for (const auto& tuple : *ranked) {
+  for (const auto& tuple : ranked) {
     std::printf("  car %-4s combined intensity = %.2f\n",
                 tuple.key.AsString().c_str(), tuple.intensity);
   }

@@ -16,6 +16,8 @@
 // without a rebuild.
 #include <cstdio>
 
+#include "example_util.h"
+#include "hypre/api/session.h"
 #include "hypre/combination.h"
 #include "hypre/delta_engine.h"
 #include "hypre/preference.h"
@@ -24,21 +26,8 @@
 #include "reldb/database.h"
 
 using namespace hypre;
-
-namespace {
-
-void Die(const Status& st) {
-  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-  std::exit(1);
-}
-
-template <typename T>
-T Unwrap(Result<T> result) {
-  if (!result.ok()) Die(result.status());
-  return std::move(result).TakeValue();
-}
-
-}  // namespace
+using examples::Die;
+using examples::Unwrap;
 
 int main() {
   using reldb::Row;
@@ -127,9 +116,13 @@ int main() {
   if (!(*hotels)->CreateHashIndex("name").ok()) {
     Die(Status::Internal("index build failed"));
   }
+  // The probe engine comes from a session over the (borrowed) database —
+  // the same cache Enumerate requests would share.
+  api::Session session(&db);
   reldb::Query base;
   base.from = "hotel";
-  core::ProbeEngine engine(&db, base, "hotel.name");
+  const core::ProbeEngine& engine =
+      Unwrap(session.GetEnhancer(base, "hotel.name"))->probe_engine();
 
   std::vector<core::PreferenceAtom> atoms;
   auto add = [&](const char* pred, double intensity) {
@@ -184,7 +177,7 @@ int main() {
   if (!(*hotels)->Delete(4).ok()) {  // Bay View closes
     Die(Status::Internal("delete failed"));
   }
-  auto epoch = engine.Refresh();
+  auto epoch = session.Refresh();  // refreshes every cached engine
   if (!epoch.ok()) Die(epoch.status());
   std::printf(
       "\nAfter one append + one delete (Refresh -> epoch %llu, "

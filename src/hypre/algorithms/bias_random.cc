@@ -35,14 +35,16 @@ size_t DrawBiased(const std::vector<PreferenceAtom>& preferences,
   return chosen;
 }
 
-void Record(const Combiner& combiner, const Combination& combination,
-            size_t num_tuples, std::vector<CombinationRecord>* records) {
+void Record(const Combiner& combiner, const EnumerationControl& control,
+            const Combination& combination, size_t num_tuples,
+            std::vector<CombinationRecord>* records) {
   CombinationRecord record;
   record.num_predicates = combination.NumPredicates();
   record.num_tuples = num_tuples;
   record.intensity = combiner.ComputeIntensity(combination);
   record.predicate_sql = combiner.ToSql(combination);
   record.combination = combination;
+  control.Emit(record);
   records->push_back(std::move(record));
 }
 
@@ -51,7 +53,7 @@ void Record(const Combiner& combiner, const Combination& combination,
 Result<BiasRandomResult> BiasRandomSelection(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer, uint64_t seed,
-    const ProbeOptions& options) {
+    const ProbeOptions& options, const EnumerationControl& control) {
   Combiner combiner(&preferences);
   CombinationProber prober(&combiner, &enhancer.probe_engine());
   BatchProber batch(&prober, options);
@@ -84,8 +86,15 @@ Result<BiasRandomResult> BiasRandomSelection(
     return count > 0;
   };
 
+  // Budget: one charge per CONSUMED verdict (the seed table's precomputed
+  // counts are only charged when a draw consults them), so the truncation
+  // point is identical batched or scalar. The in-flight chain is dropped,
+  // not recorded, when the budget runs dry mid-chain.
+  bool budget_dry = false;
+
   KeyBitmap chain_bits;
-  for (size_t first = 0; first < preferences.size(); ++first) {
+  for (size_t first = 0; first < preferences.size() && !budget_dry;
+       ++first) {
     std::vector<size_t> pool;
     for (size_t i = 0; i < preferences.size(); ++i) {
       if (i != first) pool.push_back(i);
@@ -98,6 +107,10 @@ Result<BiasRandomResult> BiasRandomSelection(
     }
     // Find an applicable two-preference seed (Step 1-2 of §5.4).
     while (!pool.empty()) {
+      if (control.Admit(1) == 0) {
+        budget_dry = true;
+        break;
+      }
       size_t second = DrawBiased(preferences, &pool, &rng);
       Combination chain =
           combiner.AndExtend(combiner.Single(first), second);
@@ -124,7 +137,11 @@ Result<BiasRandomResult> BiasRandomSelection(
       // against the incrementally maintained chain bitmap instead.
       for (;;) {
         if (pool.empty()) {
-          Record(combiner, chain, chain_count, &result.records);
+          Record(combiner, control, chain, chain_count, &result.records);
+          break;
+        }
+        if (control.Admit(1) == 0) {
+          budget_dry = true;
           break;
         }
         size_t next = DrawBiased(preferences, &pool, &rng);
@@ -139,7 +156,7 @@ Result<BiasRandomResult> BiasRandomSelection(
           HYPRE_ASSIGN_OR_RETURN(extended_count, prober.Count(extended));
         }
         if (!consult(extended_count)) {
-          Record(combiner, chain, chain_count, &result.records);
+          Record(combiner, control, chain, chain_count, &result.records);
           break;
         }
         chain = std::move(extended);

@@ -40,10 +40,20 @@ struct BiasRandomResult {
 /// incrementally maintained chain bitmap. The draw sequence, probe
 /// verdicts, valid/invalid tallies, and records are identical to the
 /// scalar path.
+///
+/// `control` bounds the probe spend: every consulted check (valid or
+/// invalid) charges one probe, and the run stops — truncated, the
+/// in-flight chain dropped — when the budget runs dry; because checks are
+/// charged as their verdicts are CONSUMED, a budgeted run is identical
+/// batched or scalar. Records stream through the control's sink in probe
+/// order. Prefer dispatching by name through
+/// api::Session::Enumerate("bias-random") — this free function is the
+/// compatibility entry point it wraps.
 Result<BiasRandomResult> BiasRandomSelection(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer, uint64_t seed,
-    const ProbeOptions& options = ProbeOptions{});
+    const ProbeOptions& options = ProbeOptions{},
+    const EnumerationControl& control = EnumerationControl{});
 
 }  // namespace core
 }  // namespace hypre

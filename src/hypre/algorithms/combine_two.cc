@@ -6,7 +6,7 @@ namespace core {
 Result<std::vector<CombinationRecord>> CombineTwo(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer, CombineSemantics semantics,
-    const ProbeOptions& options) {
+    const ProbeOptions& options, const EnumerationControl& control) {
   Combiner combiner(&preferences);
   CombinationProber prober(&combiner, &enhancer.probe_engine());
   BatchProber batch(&prober, options);
@@ -30,6 +30,11 @@ Result<std::vector<CombinationRecord>> CombineTwo(
     }
   }
 
+  // The budget admits a generation-order prefix of the pair frontier BEFORE
+  // probing, so batched and scalar runs truncate at the same pair.
+  frontier.resize(control.Admit(frontier.size()));
+  if (frontier.empty()) return records;
+
   if (options.batching) {
     HYPRE_RETURN_NOT_OK(prober.PrefetchAll());
   }
@@ -44,6 +49,7 @@ Result<std::vector<CombinationRecord>> CombineTwo(
     record.intensity = combiner.ComputeIntensity(frontier[f]);
     record.predicate_sql = combiner.ToSql(frontier[f]);
     record.combination = std::move(frontier[f]);
+    control.Emit(record);
     records.push_back(std::move(record));
   }
   return records;

@@ -29,10 +29,17 @@ enum class CombineSemantics { kAnd, kAndOr };
 /// `options.batching` all C(N,2) pair combinations are submitted as one
 /// batch frontier (bulk leaf prefetch + one blocked shard pass); records
 /// are identical either way.
+///
+/// `control` bounds the probe spend (one probe per pair; only the admitted
+/// generation-order prefix is probed, truncated otherwise) and streams each
+/// record as it is produced. Prefer dispatching by name through
+/// api::Session::Enumerate("combine-two") — this free function is the
+/// compatibility entry point it wraps.
 Result<std::vector<CombinationRecord>> CombineTwo(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer, CombineSemantics semantics,
-    const ProbeOptions& options = ProbeOptions{});
+    const ProbeOptions& options = ProbeOptions{},
+    const EnumerationControl& control = EnumerationControl{});
 
 }  // namespace core
 }  // namespace hypre

@@ -1,15 +1,29 @@
-// Shared result record for the combination-enumeration algorithms.
+// Shared result record and run controls for the combination-enumeration
+// algorithms.
 //
 // Every algorithm in this directory consumes a preference list sorted
 // descending by intensity and emits, per combination probed,
 //   <#predicates, #tuples returned, combined intensity>
 // exactly as the dissertation's experiment harness records (§5.3).
+//
+// EnumerationControl is the per-run control plane the unified API
+// (src/hypre/api/) threads through every algorithm: a probe budget that
+// bounds how many combination probes a run may spend (with a truncation
+// verdict when it stops early), and streaming sinks that receive records /
+// ranked tuples as they are produced instead of only in the final vector.
+// Budgets are charged at the SAME granularity on the batched and scalar
+// paths (a generation/frontier is admitted as a prefix before it is
+// probed), so a budgeted run emits byte-identical records whether batching
+// is on or off.
 #pragma once
 
+#include <algorithm>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "hypre/combination.h"
+#include "hypre/ranking.h"
 
 namespace hypre {
 namespace core {
@@ -24,6 +38,72 @@ struct CombinationRecord {
   /// \brief An applicable combination returns at least one tuple
   /// (Definition 15).
   bool applicable() const { return num_tuples > 0; }
+};
+
+/// \brief Streaming consumer of combination records, called in probe order
+/// as each record is produced (before any final intensity sort).
+using RecordSink = std::function<void(const CombinationRecord&)>;
+/// \brief Streaming consumer of ranked tuples, called in rank order as the
+/// Top-K walk emits them.
+using TupleSink = std::function<void(const RankedTuple&)>;
+
+/// \brief A bounded probe allowance. Combination probes (pair-table
+/// entries, frontier members, expansion candidates, bias-random checks, TA
+/// sorted-access rounds) are charged against it; once spent, enumeration
+/// stops with a truncation verdict instead of running to completion.
+class ProbeBudget {
+ public:
+  /// `limit` == 0 means unlimited.
+  explicit ProbeBudget(size_t limit = 0) : limit_(limit) {}
+
+  bool limited() const { return limit_ > 0; }
+  size_t limit() const { return limit_; }
+  size_t spent() const { return spent_; }
+  size_t remaining() const {
+    return limited() ? limit_ - spent_ : ~size_t{0};
+  }
+  bool exhausted() const { return limited() && spent_ >= limit_; }
+
+  /// \brief Admits up to `n` probes: charges what fits and returns how many
+  /// were admitted. A return < n means the budget ran dry.
+  size_t Admit(size_t n) {
+    if (!limited()) return n;
+    size_t admitted = std::min(n, limit_ - spent_);
+    spent_ += admitted;
+    return admitted;
+  }
+
+ private:
+  size_t limit_ = 0;
+  size_t spent_ = 0;
+};
+
+/// \brief Per-run control plane: optional probe budget, optional streaming
+/// sinks, and the truncation flag a budget-stopped run raises. The default
+/// (all null) reproduces the historical unbounded, collect-then-return
+/// behavior, so pre-API call sites pass `{}`.
+struct EnumerationControl {
+  ProbeBudget* budget = nullptr;       // null = unlimited
+  const RecordSink* record_sink = nullptr;
+  const TupleSink* tuple_sink = nullptr;
+  bool* truncated = nullptr;  // set when a run stops early on budget
+
+  /// \brief Admits up to `n` probes; raises the truncation flag when fewer
+  /// than `n` fit. Algorithms probe exactly the admitted prefix of the
+  /// pending generation and then stop.
+  size_t Admit(size_t n) const {
+    if (budget == nullptr) return n;
+    size_t admitted = budget->Admit(n);
+    if (admitted < n && truncated != nullptr) *truncated = true;
+    return admitted;
+  }
+
+  void Emit(const CombinationRecord& record) const {
+    if (record_sink != nullptr && *record_sink) (*record_sink)(record);
+  }
+  void Emit(const RankedTuple& tuple) const {
+    if (tuple_sink != nullptr && *tuple_sink) (*tuple_sink)(tuple);
+  }
 };
 
 }  // namespace core

@@ -10,7 +10,7 @@ namespace core {
 Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer, size_t max_n,
-    const ProbeOptions& options) {
+    const ProbeOptions& options, const EnumerationControl& control) {
   size_t n = preferences.size();
   if (n > max_n) {
     return Status::InvalidArgument(StringFormat(
@@ -31,8 +31,17 @@ Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
   // scalar probes when batching is off), keep the applicable ones.
   constexpr size_t kGeneration = 2048;
   std::vector<Combination> frontier;
+  bool budget_dry = false;
+  // The budget admits each generation as a prefix BEFORE it is probed, so
+  // batched and scalar runs truncate at the same subset either way.
   auto flush = [&]() -> Status {
     if (frontier.empty()) return Status::OK();
+    size_t admitted = control.Admit(frontier.size());
+    if (admitted < frontier.size()) {
+      budget_dry = true;
+      frontier.resize(admitted);
+      if (frontier.empty()) return Status::OK();
+    }
     HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
                            batch.CountMaybeBatched(frontier));
     for (size_t f = 0; f < frontier.size(); ++f) {
@@ -43,13 +52,14 @@ Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
       record.intensity = combiner.ComputeIntensity(frontier[f]);
       record.predicate_sql = combiner.ToSql(frontier[f]);
       record.combination = std::move(frontier[f]);
+      control.Emit(record);
       records.push_back(std::move(record));
     }
     frontier.clear();
     return Status::OK();
   };
 
-  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+  for (uint64_t mask = 1; mask < (1ULL << n) && !budget_dry; ++mask) {
     Combination combination;
     for (size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1ULL) {

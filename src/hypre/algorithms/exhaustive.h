@@ -23,10 +23,17 @@ namespace core {
 /// the subset space is probed in fixed-size batched generations (bulk leaf
 /// prefetch + blocked shard passes) instead of one scalar probe per subset;
 /// records are identical either way.
+///
+/// `control` bounds the probe spend (one probe per subset; the run stops —
+/// truncated — once the budget is spent) and streams applicable records in
+/// probe order; the returned vector stays intensity-sorted. Prefer
+/// dispatching by name through api::Session::Enumerate("exhaustive") — this
+/// free function is the compatibility entry point it wraps.
 Result<std::vector<CombinationRecord>> ExhaustiveAndCombinations(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer, size_t max_n = 20,
-    const ProbeOptions& options = ProbeOptions{});
+    const ProbeOptions& options = ProbeOptions{},
+    const EnumerationControl& control = EnumerationControl{});
 
 }  // namespace core
 }  // namespace hypre

@@ -9,11 +9,21 @@ namespace {
 
 /// Probes one generation of combinations — as a single batch frontier when
 /// batching is on, scalar probes otherwise — and appends a record per
-/// combination in generation order.
+/// combination in generation order. The budget admits a generation-order
+/// prefix BEFORE probing (identical truncation batched or scalar); sets
+/// `*budget_dry` when the generation did not fully fit.
 Status RunGeneration(const Combiner& combiner, const BatchProber& batch,
+                     const EnumerationControl& control,
                      std::vector<Combination> generation,
                      std::vector<CombinationRecord>* records,
-                     std::vector<Combination>* queries_ran) {
+                     std::vector<Combination>* queries_ran,
+                     bool* budget_dry) {
+  size_t admitted = control.Admit(generation.size());
+  if (admitted < generation.size()) {
+    *budget_dry = true;
+    generation.resize(admitted);
+    if (generation.empty()) return Status::OK();
+  }
   HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
                          batch.CountMaybeBatched(generation));
   for (size_t g = 0; g < generation.size(); ++g) {
@@ -23,6 +33,7 @@ Status RunGeneration(const Combiner& combiner, const BatchProber& batch,
     record.intensity = combiner.ComputeIntensity(generation[g]);
     record.predicate_sql = combiner.ToSql(generation[g]);
     record.combination = generation[g];
+    control.Emit(record);
     records->push_back(std::move(record));
     queries_ran->push_back(std::move(generation[g]));
   }
@@ -33,7 +44,8 @@ Status RunGeneration(const Combiner& combiner, const BatchProber& batch,
 
 Result<std::vector<CombinationRecord>> PartiallyCombineAll(
     const std::vector<PreferenceAtom>& preferences,
-    const QueryEnhancer& enhancer, const ProbeOptions& options) {
+    const QueryEnhancer& enhancer, const ProbeOptions& options,
+    const EnumerationControl& control) {
   Combiner combiner(&preferences);
   CombinationProber prober(&combiner, &enhancer.probe_engine());
   BatchProber batch(&prober, options);
@@ -43,13 +55,14 @@ Result<std::vector<CombinationRecord>> PartiallyCombineAll(
   std::vector<CombinationRecord> records;
   std::vector<Combination> queries_ran;
   std::set<std::string> attributes_used;
+  bool budget_dry = false;
 
   auto run = [&](std::vector<Combination> generation) {
-    return RunGeneration(combiner, batch, std::move(generation), &records,
-                         &queries_ran);
+    return RunGeneration(combiner, batch, control, std::move(generation),
+                         &records, &queries_ran, &budget_dry);
   };
 
-  for (size_t i = 0; i < preferences.size(); ++i) {
+  for (size_t i = 0; i < preferences.size() && !budget_dry; ++i) {
     const std::string& attr = preferences[i].attribute_key;
     if (queries_ran.empty()) {
       HYPRE_RETURN_NOT_OK(run({combiner.Single(i)}));

@@ -34,10 +34,18 @@ namespace core {
 /// order" per size). With `options.batching` each generation — the set of
 /// combinations a new preference spawns — is submitted as one batch
 /// frontier; records are identical either way.
+///
+/// `control` bounds the probe spend (one probe per spawned combination; each
+/// generation is admitted as a prefix before probing and the run stops —
+/// truncated — when the budget runs dry) and streams records in probe
+/// order. Prefer dispatching by name through
+/// api::Session::Enumerate("partially-combine-all") — this free function is
+/// the compatibility entry point it wraps.
 Result<std::vector<CombinationRecord>> PartiallyCombineAll(
     const std::vector<PreferenceAtom>& preferences,
     const QueryEnhancer& enhancer,
-    const ProbeOptions& options = ProbeOptions{});
+    const ProbeOptions& options = ProbeOptions{},
+    const EnumerationControl& control = EnumerationControl{});
 
 }  // namespace core
 }  // namespace hypre

@@ -21,7 +21,7 @@ bool Peps::PairApplicable(size_t a, size_t b) const {
   return pair_applicable_[a * n + b];
 }
 
-Status Peps::PrecomputePairs() {
+Status Peps::PrecomputePairs(const EnumerationControl& control) {
   if (pairs_ready_) return Status::OK();
   const auto& prefs = *preferences_;
   size_t n = prefs.size();
@@ -43,23 +43,32 @@ Status Peps::PrecomputePairs() {
 
   if (options_.batching) {
     // Bulk leaf prefetch (one executor pass), then the whole upper triangle
-    // as one blocked shard pass.
+    // as one blocked shard pass. The budget admits a generation-order
+    // prefix of the triangle, matching the scalar loop's truncation point.
     HYPRE_RETURN_NOT_OK(prober_.PrefetchAll());
     std::vector<std::pair<size_t, size_t>> pair_list;
     pair_list.reserve(n * (n - 1) / 2);
     for (size_t i = 0; i + 1 < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) pair_list.emplace_back(i, j);
     }
-    HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
-                           batch_.CountPairs(pair_list));
-    for (size_t p = 0; p < pair_list.size(); ++p) {
-      record_pair(pair_list[p].first, pair_list[p].second, counts[p]);
+    pair_list.resize(control.Admit(pair_list.size()));
+    if (!pair_list.empty()) {
+      HYPRE_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                             batch_.CountPairs(pair_list));
+      for (size_t p = 0; p < pair_list.size(); ++p) {
+        record_pair(pair_list[p].first, pair_list[p].second, counts[p]);
+      }
     }
   } else {
-    for (size_t i = 0; i + 1 < n; ++i) {
+    bool budget_dry = false;
+    for (size_t i = 0; i + 1 < n && !budget_dry; ++i) {
       HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits_i,
                              prober_.PreferenceBits(i));
       for (size_t j = i + 1; j < n; ++j) {
+        if (control.Admit(1) == 0) {
+          budget_dry = true;
+          break;
+        }
         HYPRE_ASSIGN_OR_RETURN(const KeyBitmap* bits_j,
                                prober_.PreferenceBits(j));
         record_pair(i, j, KeyBitmap::AndCount(*bits_i, *bits_j));
@@ -74,8 +83,9 @@ Status Peps::PrecomputePairs() {
   return Status::OK();
 }
 
-Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
-  HYPRE_RETURN_NOT_OK(PrecomputePairs());
+Result<std::vector<CombinationRecord>> Peps::GenerateOrder(
+    PepsMode mode, const EnumerationControl& control) {
+  HYPRE_RETURN_NOT_OK(PrecomputePairs(control));
   const auto& prefs = *preferences_;
   num_expansion_probes_ = 0;
 
@@ -127,7 +137,8 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
 
   KeyBitmap frame_bits;
   std::vector<size_t> candidates;  // reused per-frame extension batch
-  while (!stack.empty()) {
+  bool budget_dry = false;
+  while (!stack.empty() && !budget_dry) {
     Frame frame = std::move(stack.back());
     stack.pop_back();
 
@@ -137,6 +148,7 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
     record.intensity = combiner_.ComputeIntensity(frame.combination);
     record.predicate_sql = combiner_.ToSql(frame.combination);
     record.combination = frame.combination;
+    control.Emit(record);
     order.push_back(std::move(record));
 
     // Collect every extension k that survives the pair-table pruning and the
@@ -156,6 +168,14 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
       extended_members.push_back(k);
       if (!seen.insert(member_key(extended_members)).second) continue;
       candidates.push_back(k);
+    }
+    // The budget admits a prefix of the frame's candidate frontier BEFORE
+    // probing (identical truncation batched or scalar); once dry, the DFS
+    // stops after this frame.
+    size_t admitted = control.Admit(candidates.size());
+    if (admitted < candidates.size()) {
+      budget_dry = true;
+      candidates.resize(admitted);
     }
     if (candidates.empty()) continue;
 
@@ -194,10 +214,11 @@ Result<std::vector<CombinationRecord>> Peps::GenerateOrder(PepsMode mode) {
   return order;
 }
 
-Result<std::vector<RankedTuple>> Peps::TopK(size_t k, PepsMode mode) {
+Result<std::vector<RankedTuple>> Peps::TopK(
+    size_t k, PepsMode mode, const EnumerationControl& control) {
   const auto& prefs = *preferences_;
   HYPRE_ASSIGN_OR_RETURN(std::vector<CombinationRecord> order,
-                         GenerateOrder(mode));
+                         GenerateOrder(mode, control));
 
   // Singles participate too: tuples matching exactly one preference are
   // ranked by that preference's own intensity.
@@ -229,6 +250,7 @@ Result<std::vector<RankedTuple>> Peps::TopK(size_t k, PepsMode mode) {
       if (k > 0 && result.size() >= k) break;
       if (!ranked.insert(key).second) continue;
       result.push_back({key, record.intensity});
+      control.Emit(result.back());
     }
   }
   return result;

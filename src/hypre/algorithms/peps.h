@@ -64,19 +64,34 @@ class Peps {
   Peps& operator=(const Peps&) = delete;
 
   /// \brief Builds the applicable-pair table (one probe per AND pair).
-  /// Idempotent; TopK/GenerateOrder call it lazily.
-  Status PrecomputePairs();
+  /// Idempotent; TopK/GenerateOrder call it lazily. A probe budget admits a
+  /// generation-order prefix of the upper triangle (identical batched or
+  /// scalar); a truncated table seeds fewer expansions, and the truncation
+  /// flag records that the run was incomplete.
+  Status PrecomputePairs(const EnumerationControl& control =
+                             EnumerationControl{});
 
   /// \brief The applicable pairs, descending by combined intensity.
   const std::vector<PairEntry>& pairs() const { return pairs_; }
 
   /// \brief All applicable AND combinations of >= 2 preferences reachable in
-  /// the given mode, descending by combined intensity.
-  Result<std::vector<CombinationRecord>> GenerateOrder(PepsMode mode);
+  /// the given mode, descending by combined intensity. The control's budget
+  /// charges one probe per pair-table entry and per expansion candidate
+  /// (the DFS stops — truncated — when it runs dry); records stream through
+  /// the record sink in DFS pop order. Prefer dispatching by name through
+  /// api::Session::Enumerate("peps").
+  Result<std::vector<CombinationRecord>> GenerateOrder(
+      PepsMode mode,
+      const EnumerationControl& control = EnumerationControl{});
 
   /// \brief Top-K tuples: each tuple is ranked by the best applicable
-  /// combination (or single preference) that matches it, descending.
-  Result<std::vector<RankedTuple>> TopK(size_t k, PepsMode mode);
+  /// combination (or single preference) that matches it, descending. The
+  /// control's budget applies to the underlying GenerateOrder (the record
+  /// walk itself does bitmap algebra only and is not charged); ranked
+  /// tuples stream through the tuple sink in rank order.
+  Result<std::vector<RankedTuple>> TopK(
+      size_t k, PepsMode mode,
+      const EnumerationControl& control = EnumerationControl{});
 
   /// \brief Number of multi-predicate candidate probes issued by the last
   /// GenerateOrder call (observability for the Fig. 39/40 analysis).

@@ -30,12 +30,19 @@ std::optional<double> GradedList::Grade(const reldb::Value& key) const {
 
 Result<std::vector<RankedTuple>> ThresholdAlgorithmTopK(
     const std::vector<GradedList>& lists, size_t k,
-    size_t* sorted_accesses) {
+    size_t* sorted_accesses, size_t max_depth, bool* budget_capped) {
   if (lists.empty()) {
     return Status::InvalidArgument("TA requires at least one graded list");
   }
-  size_t max_depth = 0;
-  for (const auto& list : lists) max_depth = std::max(max_depth, list.size());
+  size_t natural_depth = 0;
+  for (const auto& list : lists) {
+    natural_depth = std::max(natural_depth, list.size());
+  }
+  // A depth cap (the API layer's probe budget, in sorted-access rounds)
+  // stops the descent early; the capped flag distinguishes that from the
+  // threshold halt and natural exhaustion.
+  size_t depth_limit = natural_depth;
+  if (max_depth > 0) depth_limit = std::min(depth_limit, max_depth);
 
   // Aggregate grade of an object: f_and over its grades, absent grades
   // contributing 0 (f_and(p, 0) = p).
@@ -64,7 +71,8 @@ Result<std::vector<RankedTuple>> ThresholdAlgorithmTopK(
   };
 
   size_t depth = 0;
-  for (; depth < max_depth; ++depth) {
+  bool halted = false;
+  for (; depth < depth_limit; ++depth) {
     // Sorted access in parallel across all lists.
     double threshold = 0.0;
     for (const auto& list : lists) {
@@ -78,10 +86,14 @@ Result<std::vector<RankedTuple>> ThresholdAlgorithmTopK(
     // Halt once k objects reach the threshold (Definition 20, step 2).
     if (k > 0 && top.size() >= k && top.front().intensity >= threshold) {
       ++depth;
+      halted = true;
       break;
     }
   }
   if (sorted_accesses != nullptr) *sorted_accesses = depth;
+  if (budget_capped != nullptr && !halted && depth_limit < natural_depth) {
+    *budget_capped = true;
+  }
 
   std::vector<RankedTuple> result(top.rbegin(), top.rend());
   SortRanked(&result);

@@ -61,10 +61,15 @@ class GradedList {
 /// \brief Runs TA over the finalized lists; returns min(k, #objects) tuples
 /// descending by aggregate grade. `sorted_accesses`, if non-null, receives
 /// the number of sorted-access rounds performed (early-termination
-/// observability).
+/// observability). `max_depth` > 0 caps the sorted-access depth — the probe
+/// budget of the unified API: when TA would have descended further,
+/// `*budget_capped` (if non-null) is set and the ranking reflects only the
+/// rounds performed. Prefer dispatching by name through
+/// api::Session::Enumerate("ta").
 Result<std::vector<RankedTuple>> ThresholdAlgorithmTopK(
     const std::vector<GradedList>& lists, size_t k,
-    size_t* sorted_accesses = nullptr);
+    size_t* sorted_accesses = nullptr, size_t max_depth = 0,
+    bool* budget_capped = nullptr);
 
 /// \brief Builds TA's finalized graded lists from preference atoms, probing
 /// each atom's matching keys through the engine's bitmap handles. Atoms are

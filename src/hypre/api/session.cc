@@ -1,0 +1,96 @@
+#include "hypre/api/session.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hypre {
+namespace api {
+
+Result<core::QueryEnhancer*> Session::GetEnhancer(
+    const reldb::Query& base_query, const std::string& key_column) {
+  if (base_query.from.empty()) {
+    return Status::InvalidArgument("request has no base query (FROM empty)");
+  }
+  if (key_column.empty()) {
+    return Status::InvalidArgument("request has no key column");
+  }
+  // The rendered SQL is a stable identity for the query skeleton; the key
+  // column joins it because one base query can be probed under different
+  // tuple identities.
+  std::string key = base_query.ToSql();
+  key += '\n';
+  key += key_column;
+  auto it = enhancers_.find(key);
+  if (it == enhancers_.end()) {
+    it = enhancers_
+             .emplace(std::move(key),
+                      std::make_unique<core::QueryEnhancer>(db_, base_query,
+                                                            key_column))
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<uint64_t> Session::Refresh() {
+  uint64_t epoch = 0;
+  for (auto& [key, enhancer] : enhancers_) {
+    HYPRE_ASSIGN_OR_RETURN(uint64_t e, enhancer->Refresh());
+    epoch = std::max(epoch, e);
+  }
+  return epoch;
+}
+
+Result<EnumerationResult> Session::Enumerate(
+    const EnumerationRequest& request) {
+  HYPRE_ASSIGN_OR_RETURN(
+      const CombinationEnumerator* enumerator,
+      EnumeratorRegistry::Global().Find(request.algorithm));
+  HYPRE_ASSIGN_OR_RETURN(
+      core::QueryEnhancer * enhancer,
+      GetEnhancer(request.base_query, request.key_column));
+
+  EnumerationResult result;
+  // Pin the epoch: drain the mutation journal up front so the whole run
+  // probes one consistent snapshot (Refresh must not run mid-algorithm —
+  // algorithms hold bitmap handles a refresh may resize).
+  if (request.refresh) {
+    HYPRE_ASSIGN_OR_RETURN(result.epoch, enhancer->Refresh());
+  } else {
+    result.epoch = enhancer->probe_engine().epoch();
+  }
+
+  // Every algorithm requires the list sorted descending by intensity; sort
+  // a copy so callers can hand preferences in any order.
+  std::vector<core::PreferenceAtom> atoms = request.preferences;
+  core::SortByIntensityDesc(&atoms);
+
+  // Snapshot before the prefetch so leaf loads count toward this request.
+  core::ProbeStats before = enhancer->stats();
+
+  // Shared leaf prefetch: load every leaf the request's preferences reach
+  // in ONE executor pass. The engine's leaf cache persists across requests,
+  // so later requests over the same query spec dedup to a no-op here.
+  if (request.probe_options.batching && !atoms.empty()) {
+    std::vector<reldb::ExprPtr> exprs;
+    exprs.reserve(atoms.size());
+    for (const core::PreferenceAtom& atom : atoms) exprs.push_back(atom.expr);
+    HYPRE_RETURN_NOT_OK(enhancer->probe_engine().PrefetchLeaves(exprs));
+  }
+
+  core::ProbeBudget budget(request.probe_budget);
+  EnumerationContext ctx;
+  ctx.enhancer = enhancer;
+  ctx.preferences = &atoms;
+  ctx.request = &request;
+  if (request.probe_budget > 0) ctx.control.budget = &budget;
+  if (request.record_sink) ctx.control.record_sink = &request.record_sink;
+  if (request.tuple_sink) ctx.control.tuple_sink = &request.tuple_sink;
+  ctx.control.truncated = &result.truncated;
+
+  HYPRE_RETURN_NOT_OK(enumerator->Run(ctx, &result));
+  result.stats = enhancer->stats() - before;
+  return result;
+}
+
+}  // namespace api
+}  // namespace hypre

@@ -1,0 +1,86 @@
+// Session: the multi-request facade over the probe stack.
+//
+// A Session owns (or borrows) one Database and serves any number of
+// EnumerationRequests against it. Per (base query, key column) it keeps ONE
+// QueryEnhancer — i.e. one ProbeEngine with its interned universe, leaf
+// cache, and delta subsystem — so consecutive requests share universe
+// interning and leaf prefetch instead of rebuilding them per call, and
+// every consumer goes through one versioned read path:
+//
+//   request ──▶ EnumeratorRegistry (by name)
+//           ──▶ enhancer cache [(base SQL, key column) → QueryEnhancer]
+//           ──▶ Refresh(): journal drained, epoch pinned for this request
+//           ──▶ bulk leaf prefetch over the request's preference leaves
+//           ──▶ enumerator Run (budget + sinks wired through)
+//           ──▶ result {records/top_k, ProbeStats delta, epoch, truncated}
+//
+// Thread model: a Session is NOT internally synchronized — it is one
+// client's handle (the multi-user story is one session per tenant or an
+// external lock), matching ProbeEngine's mutate → Refresh → probe contract.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/api/enumeration.h"
+#include "hypre/query_enhancement.h"
+#include "reldb/database.h"
+
+namespace hypre {
+namespace api {
+
+class Session {
+ public:
+  /// \brief Session over a borrowed database (must outlive the session).
+  explicit Session(const reldb::Database* db) : db_(db) {}
+  /// \brief Session that owns its database.
+  explicit Session(std::unique_ptr<reldb::Database> db)
+      : owned_db_(std::move(db)), db_(owned_db_.get()) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// \brief Runs one enumeration request end to end: registry dispatch,
+  /// enhancer-cache lookup, epoch pinning, leaf prefetch, the algorithm
+  /// itself, and the per-request statistics delta. With no probe budget the
+  /// records/tuples are byte-identical to calling the algorithm's direct
+  /// entry point on an equivalent enhancer.
+  Result<EnumerationResult> Enumerate(const EnumerationRequest& request);
+
+  /// \brief The cached enhancer for (base_query, key_column), created on
+  /// first use. Exposed for consumers outside the six enumerators (ranking,
+  /// skyline, metrics) so they share the same engines the requests warm.
+  Result<core::QueryEnhancer*> GetEnhancer(const reldb::Query& base_query,
+                                           const std::string& key_column);
+
+  /// \brief Catches every cached engine up with the database's mutation
+  /// journal. Returns the highest resulting epoch (0 when no engine is
+  /// cached yet). Individual requests with request.refresh (the default)
+  /// do this for their own engine automatically.
+  Result<uint64_t> Refresh();
+
+  /// \brief Registered algorithm names (sorted) — what `algorithm` accepts.
+  std::vector<std::string> Algorithms() const {
+    return EnumeratorRegistry::Global().Names();
+  }
+
+  const reldb::Database* db() const { return db_; }
+  /// \brief Mutable database access; null unless the session owns it.
+  reldb::Database* mutable_db() { return owned_db_.get(); }
+  /// \brief Number of distinct (base query, key column) engines cached.
+  size_t num_cached_engines() const { return enhancers_.size(); }
+
+ private:
+  std::unique_ptr<reldb::Database> owned_db_;
+  const reldb::Database* db_;
+  // (base query SQL + key column) -> the one enhancer/engine all requests
+  // over that query share.
+  std::unordered_map<std::string, std::unique_ptr<core::QueryEnhancer>>
+      enhancers_;
+};
+
+}  // namespace api
+}  // namespace hypre

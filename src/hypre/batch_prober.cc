@@ -7,6 +7,17 @@
 namespace hypre {
 namespace core {
 
+namespace {
+
+/// Shards a kernel pass walks over `num_words` words — the batch-shape unit
+/// reported into ProbeStats (and split across threads by ForEachShard).
+size_t NumShards(const ProbeOptions& options, size_t num_words) {
+  size_t shard_words = std::max<size_t>(1, options.shard_words);
+  return (num_words + shard_words - 1) / shard_words;
+}
+
+}  // namespace
+
 Result<BatchProber::CompiledFrontier> BatchProber::Compile(
     const std::vector<Combination>& frontier) const {
   CompiledFrontier compiled;
@@ -162,7 +173,8 @@ Result<std::vector<size_t>> BatchProber::CountBatch(
   for (const auto& mine : partial) {
     for (size_t i = 0; i < counts.size(); ++i) counts[i] += mine[i];
   }
-  prober_->engine().NoteProbesAnswered(frontier.size());
+  prober_->engine().NoteBatchAnswered(frontier.size(),
+                                      NumShards(options_, plan.num_words));
   return counts;
 }
 
@@ -223,7 +235,8 @@ Result<std::vector<size_t>> BatchProber::CountExtensions(
   for (const auto& mine : partial) {
     for (size_t i = 0; i < counts.size(); ++i) counts[i] += mine[i];
   }
-  prober_->engine().NoteProbesAnswered(candidates.size());
+  prober_->engine().NoteBatchAnswered(candidates.size(),
+                                      NumShards(options_, num_words));
   return counts;
 }
 
@@ -273,7 +286,8 @@ Result<std::vector<size_t>> BatchProber::CountPairs(
   for (const auto& mine : partial) {
     for (size_t i = 0; i < counts.size(); ++i) counts[i] += mine[i];
   }
-  prober_->engine().NoteProbesAnswered(pairs.size());
+  prober_->engine().NoteBatchAnswered(pairs.size(),
+                                      NumShards(options_, num_words));
   return counts;
 }
 
@@ -336,7 +350,8 @@ Status BatchProber::EvalBatch(const std::vector<Combination>& frontier,
       }
     }
   });
-  prober_->engine().NoteProbesAnswered(frontier.size());
+  prober_->engine().NoteBatchAnswered(frontier.size(),
+                                      NumShards(options_, plan.num_words));
   return Status::OK();
 }
 

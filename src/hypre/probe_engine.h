@@ -38,6 +38,37 @@ namespace core {
 class DeltaEngine;
 struct DeltaOptions;
 
+/// \brief One snapshot of every probe counter the engine and the batch
+/// layer maintain — the consolidated statistics record reported per
+/// request by the API layer (api::EnumerationResult). Counters are
+/// monotone over an engine's lifetime; subtract two snapshots for a
+/// per-request delta.
+struct ProbeStats {
+  /// Leaf-bitmap materializations against the database — one per DISTINCT
+  /// canonical leaf per epoch rebuild (see the contract in ProbeEngine).
+  size_t num_leaf_queries = 0;
+  /// Probes answered from cached state with no DB work (memo hits plus
+  /// every combination probe answered by the scalar or batch prober).
+  size_t num_cache_hits = 0;
+  /// Batch frontiers evaluated by BatchProber (CountBatch, CountExtensions,
+  /// CountPairs, EvalBatch calls that reached a kernel).
+  size_t num_batches = 0;
+  /// Probes answered inside those batches (sum of frontier sizes); always
+  /// <= num_cache_hits.
+  size_t num_batched_probes = 0;
+  /// Blocked shard passes the batch kernels walked (shards per batch,
+  /// summed) — the unit the thread split and a future node split divide.
+  size_t num_shard_passes = 0;
+
+  ProbeStats operator-(const ProbeStats& earlier) const {
+    return ProbeStats{num_leaf_queries - earlier.num_leaf_queries,
+                      num_cache_hits - earlier.num_cache_hits,
+                      num_batches - earlier.num_batches,
+                      num_batched_probes - earlier.num_batched_probes,
+                      num_shard_passes - earlier.num_shard_passes};
+  }
+};
+
 class ProbeEngine {
  public:
   /// \param db database to run against (must outlive the engine)
@@ -164,9 +195,26 @@ class ProbeEngine {
   size_t num_leaf_queries() const { return num_leaf_queries_; }
   /// \brief Number of count probes answered from the memo cache.
   size_t num_cache_hits() const { return num_cache_hits_; }
+  /// \brief One consolidated snapshot of every probe counter (leaf queries,
+  /// cache hits, batch layer activity). The API layer subtracts two
+  /// snapshots to report per-request statistics.
+  ProbeStats stats() const {
+    return ProbeStats{num_leaf_queries_, num_cache_hits_, num_batches_,
+                      num_batched_probes_, num_shard_passes_};
+  }
   /// \brief Records `n` probes answered from cached bitmaps (no DB work) by
   /// the combination/batch probe layer (see the statistics contract above).
   void NoteProbesAnswered(size_t n) const { num_cache_hits_ += n; }
+  /// \brief Records one batch-kernel pass answering `probes` probes across
+  /// `shard_passes` blocked shards. Counts the probes as cache hits (the
+  /// batch layer never touches the DB) and folds the batch-shape counters
+  /// into stats().
+  void NoteBatchAnswered(size_t probes, size_t shard_passes) const {
+    num_cache_hits_ += probes;
+    num_batches_ += 1;
+    num_batched_probes_ += probes;
+    num_shard_passes_ += shard_passes;
+  }
 
  private:
   friend class DeltaEngine;  // patches the interned state on Refresh
@@ -212,6 +260,9 @@ class ProbeEngine {
   mutable std::unordered_map<std::string, size_t> count_cache_;
   mutable size_t num_leaf_queries_ = 0;
   mutable size_t num_cache_hits_ = 0;
+  mutable size_t num_batches_ = 0;
+  mutable size_t num_batched_probes_ = 0;
+  mutable size_t num_shard_passes_ = 0;
   std::unique_ptr<DeltaEngine> delta_;
 };
 

@@ -1,13 +1,16 @@
 // Tests for Combine-Two, Partially-Combine-All, Bias-Random-Selection, and
 // the exhaustive reference enumerator, on the hand-crafted mini-DBLP whose
 // pair applicability is known by inspection (see test_fixtures.h).
+//
+// All runs dispatch BY NAME through the unified enumeration API
+// (api::Session::Enumerate) — the same path the shell, the examples, and a
+// serving deployment use; one test keeps exercising a direct free-function
+// entry point so the compatibility shims stay covered.
 #include <gtest/gtest.h>
 
 #include "common/string_util.h"
-#include "hypre/algorithms/bias_random.h"
 #include "hypre/algorithms/combine_two.h"
-#include "hypre/algorithms/exhaustive.h"
-#include "hypre/algorithms/partially_combine_all.h"
+#include "hypre/api/session.h"
 #include "hypre/intensity.h"
 #include "test_fixtures.h"
 
@@ -23,41 +26,64 @@ class AlgorithmsTest : public ::testing::Test {
  protected:
   void SetUp() override {
     BuildMiniDblp(&db_);
-    enhancer_ =
-        std::make_unique<QueryEnhancer>(&db_, MiniBaseQuery(), "dblp.pid");
+    session_ = std::make_unique<api::Session>(&db_);
     prefs_ = MiniPreferences();
   }
+
+  /// Dispatches through the registry with the fixture's query spec and
+  /// preference list (overridable per call).
+  Result<api::EnumerationResult> Run(
+      const std::string& algorithm,
+      CombineSemantics semantics = CombineSemantics::kAnd,
+      const std::vector<PreferenceAtom>* preferences = nullptr,
+      uint64_t seed = 0) {
+    api::EnumerationRequest request;
+    request.algorithm = algorithm;
+    request.base_query = MiniBaseQuery();
+    request.key_column = "dblp.pid";
+    request.preferences = preferences ? *preferences : prefs_;
+    request.semantics = semantics;
+    request.seed = seed;
+    return session_->Enumerate(request);
+  }
+
+  std::vector<CombinationRecord> Records(
+      const std::string& algorithm,
+      CombineSemantics semantics = CombineSemantics::kAnd,
+      const std::vector<PreferenceAtom>* preferences = nullptr,
+      uint64_t seed = 0) {
+    auto result = Run(algorithm, semantics, preferences, seed);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result->records);
+  }
+
   reldb::Database db_;
-  std::unique_ptr<QueryEnhancer> enhancer_;
+  std::unique_ptr<api::Session> session_;
   std::vector<PreferenceAtom> prefs_;
 };
 
 TEST_F(AlgorithmsTest, CombineTwoAndEmitsAllPairs) {
-  auto records = CombineTwo(prefs_, *enhancer_, CombineSemantics::kAnd);
-  ASSERT_TRUE(records.ok()) << records.status().ToString();
-  EXPECT_EQ(records->size(), 10u);  // C(5,2)
-  for (const auto& r : *records) {
+  auto records = Records("combine-two");
+  EXPECT_EQ(records.size(), 10u);  // C(5,2)
+  for (const auto& r : records) {
     EXPECT_EQ(r.num_predicates, 2u);
   }
   // Venue-venue AND combinations are inapplicable by construction.
   size_t empty = 0;
-  for (const auto& r : *records) {
+  for (const auto& r : records) {
     if (!r.applicable()) ++empty;
   }
   EXPECT_GE(empty, 1u);  // at least V1 AND V2
 }
 
 TEST_F(AlgorithmsTest, CombineTwoAndOrRescuesSameAttributePairs) {
-  auto and_records = CombineTwo(prefs_, *enhancer_, CombineSemantics::kAnd);
-  auto andor_records =
-      CombineTwo(prefs_, *enhancer_, CombineSemantics::kAndOr);
-  ASSERT_TRUE(and_records.ok());
-  ASSERT_TRUE(andor_records.ok());
-  ASSERT_EQ(and_records->size(), andor_records->size());
+  auto and_records = Records("combine-two", CombineSemantics::kAnd);
+  auto andor_records = Records("combine-two", CombineSemantics::kAndOr);
+  ASSERT_EQ(and_records.size(), andor_records.size());
   // Same-attribute pairs: AND gives 0 tuples, OR gives the union.
-  for (size_t i = 0; i < and_records->size(); ++i) {
-    const auto& a = (*and_records)[i];
-    const auto& o = (*andor_records)[i];
+  for (size_t i = 0; i < and_records.size(); ++i) {
+    const auto& a = and_records[i];
+    const auto& o = andor_records[i];
     if (a.predicate_sql.find("venue") != std::string::npos &&
         a.predicate_sql.find("AND") != std::string::npos &&
         a.predicate_sql.find("aid") == std::string::npos) {
@@ -70,12 +96,11 @@ TEST_F(AlgorithmsTest, CombineTwoAndOrRescuesSameAttributePairs) {
 }
 
 TEST_F(AlgorithmsTest, CombineTwoAndIntensityExceedsComponents) {
-  auto records = CombineTwo(prefs_, *enhancer_, CombineSemantics::kAnd);
-  ASSERT_TRUE(records.ok());
+  auto records = Records("combine-two");
   // Every AND pair's combined intensity is >= both member intensities
   // (inflationary behavior drives the §7.3 observation that pair order !=
   // single-preference order).
-  for (const auto& r : *records) {
+  for (const auto& r : records) {
     for (size_t member : r.combination.SortedMembers()) {
       EXPECT_GE(r.intensity + 1e-12, prefs_[member].intensity)
           << r.predicate_sql;
@@ -88,10 +113,9 @@ TEST_F(AlgorithmsTest, CombineTwoOrderingObservation) {
   // combining it with an earlier one. aid=1&aid=3 (applicable) has higher
   // combined intensity than aid=1&V2 pair ordering would suggest; verify
   // that the applicable-pair ranking is not the intensity-sorted pair order.
-  auto records = CombineTwo(prefs_, *enhancer_, CombineSemantics::kAnd);
-  ASSERT_TRUE(records.ok());
+  auto records = Records("combine-two");
   std::vector<const CombinationRecord*> applicable;
-  for (const auto& r : *records) {
+  for (const auto& r : records) {
     if (r.applicable()) applicable.push_back(&r);
   }
   ASSERT_GE(applicable.size(), 2u);
@@ -106,21 +130,35 @@ TEST_F(AlgorithmsTest, CombineTwoOrderingObservation) {
       << "generation order should not equal intensity order";
 }
 
+TEST_F(AlgorithmsTest, CombineTwoDirectShimMatchesSession) {
+  // The free-function entry point is kept as a compatibility shim; its
+  // output must stay identical to registry dispatch.
+  QueryEnhancer enhancer(&db_, MiniBaseQuery(), "dblp.pid");
+  auto direct = CombineTwo(prefs_, enhancer, CombineSemantics::kAnd);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto via_session = Records("combine-two");
+  ASSERT_EQ(direct->size(), via_session.size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ((*direct)[i].predicate_sql, via_session[i].predicate_sql);
+    EXPECT_EQ((*direct)[i].num_tuples, via_session[i].num_tuples);
+    EXPECT_EQ((*direct)[i].intensity, via_session[i].intensity);
+  }
+}
+
 TEST_F(AlgorithmsTest, PartiallyCombineAllTrace) {
-  auto records = PartiallyCombineAll(prefs_, *enhancer_);
-  ASSERT_TRUE(records.ok()) << records.status().ToString();
-  ASSERT_FALSE(records->empty());
+  auto records = Records("partially-combine-all");
+  ASSERT_FALSE(records.empty());
   // First record is the single top preference.
-  EXPECT_EQ((*records)[0].num_predicates, 1u);
-  EXPECT_EQ((*records)[0].predicate_sql, "dblp_author.aid=1");
+  EXPECT_EQ(records[0].num_predicates, 1u);
+  EXPECT_EQ(records[0].predicate_sql, "dblp_author.aid=1");
   // Second preference (V1) is a new attribute: ANDed onto the first.
-  EXPECT_EQ((*records)[1].num_predicates, 2u);
-  EXPECT_EQ((*records)[1].predicate_sql,
+  EXPECT_EQ(records[1].num_predicates, 2u);
+  EXPECT_EQ(records[1].predicate_sql,
             "dblp_author.aid=1 AND dblp.venue='V1'");
   // AND combinations carry higher intensity than their components.
-  EXPECT_GT((*records)[1].intensity, (*records)[0].intensity);
+  EXPECT_GT(records[1].intensity, records[0].intensity);
   // Combination sizes never exceed the preference count.
-  for (const auto& r : *records) {
+  for (const auto& r : records) {
     EXPECT_LE(r.num_predicates, prefs_.size());
     EXPECT_GE(r.num_predicates, 1u);
   }
@@ -133,21 +171,21 @@ TEST_F(AlgorithmsTest, PartiallyCombineAllOrIntoLastGroup) {
   venues.push_back(MakeAtom("dblp.venue='V1'", 0.5).value());
   venues.push_back(MakeAtom("dblp.venue='V2'", 0.3).value());
   venues.push_back(MakeAtom("dblp.venue='V3'", 0.1).value());
-  auto records = PartiallyCombineAll(venues, *enhancer_);
-  ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 3u);
-  EXPECT_EQ((*records)[1].predicate_sql,
+  auto records =
+      Records("partially-combine-all", CombineSemantics::kAnd, &venues);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1].predicate_sql,
             "dblp.venue='V1' OR dblp.venue='V2'");
-  EXPECT_EQ((*records)[2].predicate_sql,
+  EXPECT_EQ(records[2].predicate_sql,
             "dblp.venue='V1' OR dblp.venue='V2' OR dblp.venue='V3'");
   // OR keeps results growing while intensity shrinks.
-  EXPECT_GT((*records)[2].num_tuples, (*records)[0].num_tuples);
-  EXPECT_LT((*records)[2].intensity, (*records)[0].intensity);
+  EXPECT_GT(records[2].num_tuples, records[0].num_tuples);
+  EXPECT_LT(records[2].intensity, records[0].intensity);
 }
 
 TEST_F(AlgorithmsTest, BiasRandomDeterministicPerSeed) {
-  auto a = BiasRandomSelection(prefs_, *enhancer_, 7);
-  auto b = BiasRandomSelection(prefs_, *enhancer_, 7);
+  auto a = Run("bias-random", CombineSemantics::kAnd, nullptr, 7);
+  auto b = Run("bias-random", CombineSemantics::kAnd, nullptr, 7);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->valid_checks, b->valid_checks);
@@ -159,7 +197,7 @@ TEST_F(AlgorithmsTest, BiasRandomDeterministicPerSeed) {
 }
 
 TEST_F(AlgorithmsTest, BiasRandomRecordsAreApplicable) {
-  auto result = BiasRandomSelection(prefs_, *enhancer_, 3);
+  auto result = Run("bias-random", CombineSemantics::kAnd, nullptr, 3);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->records.empty());
   for (const auto& r : result->records) {
@@ -172,18 +210,17 @@ TEST_F(AlgorithmsTest, BiasRandomRecordsAreApplicable) {
 }
 
 TEST_F(AlgorithmsTest, ExhaustiveMatchesManualApplicability) {
-  auto records = ExhaustiveAndCombinations(prefs_, *enhancer_);
-  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  auto records = Records("exhaustive");
   // Applicable sets (by inspection, see fixture comment):
   //  singles: 5
   //  pairs: a1&a2 {1,7}, a1&a3 {4}, a2&a3 {3}, V1&a1 {1,2}, V1&a2 {1,6},
   //         V2&a1 {4,7}, V2&a2 {3,7}, V2&a3 {3,4}  -> 8
   //  triples: V1&a1&a2 {1}, V2&a1&a2 {7}, V2&a1&a3 {4}, V2&a2&a3 {3} -> 4
   //  (a1&a2&a3 empty; venue pairs empty)
-  EXPECT_EQ(records->size(), 5u + 8u + 4u);
+  EXPECT_EQ(records.size(), 5u + 8u + 4u);
   // Descending intensity.
-  for (size_t i = 0; i + 1 < records->size(); ++i) {
-    EXPECT_GE((*records)[i].intensity, (*records)[i + 1].intensity);
+  for (size_t i = 0; i + 1 < records.size(); ++i) {
+    EXPECT_GE(records[i].intensity, records[i + 1].intensity);
   }
 }
 
@@ -192,7 +229,7 @@ TEST_F(AlgorithmsTest, ExhaustiveGuardsAgainstBlowup) {
   for (int i = 0; i < 25; ++i) {
     many.push_back(MakeAtom(StringFormat("dblp_author.aid=%d", i), 0.1).value());
   }
-  EXPECT_FALSE(ExhaustiveAndCombinations(many, *enhancer_).ok());
+  EXPECT_FALSE(Run("exhaustive", CombineSemantics::kAnd, &many).ok());
 }
 
 }  // namespace
