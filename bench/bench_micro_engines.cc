@@ -16,6 +16,8 @@
 #include "hypre/algorithms/peps.h"
 #include "hypre/api/session.h"
 #include "hypre/batch_prober.h"
+#include "hypre/parallel/task_pool.h"
+#include "hypre/parallel/word_kernels.h"
 #include "hypre/probe_engine.h"
 #include "sqlparse/parser.h"
 #include "sqlparse/select_parser.h"
@@ -350,10 +352,158 @@ BENCHMARK(BM_FrontierProbeBatch)
     ->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
-void RunPairTable(benchmark::State& state, bool batching, bool cold) {
+// --- Work-stealing runtime + SIMD word kernels -------------------------------
+//
+// The scaling benches pit the PR 2 static split against the work-stealing
+// TaskPool on the same 512-combination frontier (uniform) and on a skewed
+// frontier (many 1-member combinations plus a block of 48-member ones) where
+// static per-tile seeding is maximally unbalanced. Arg(0) = num_threads; the
+// pool is a persistent 8-slot TaskPool so >hardware_concurrency thread
+// counts still exercise real stealing on small machines. The kernel benches
+// isolate the SIMD word loops (scalar vs compiled-in best) on a bitmap-sized
+// buffer so the speedup is attributable separately from scheduling.
+
+parallel::TaskPool* BenchPool() {
+  static parallel::TaskPool pool(7);  // 7 workers + caller = 8 slots
+  return &pool;
+}
+
+const std::vector<core::Combination>* GetSkewedFrontier() {
+  static const std::vector<core::Combination>* frontier = [] {
+    BatchBench* b = GetBatchBench();
+    auto* f = new std::vector<core::Combination>();
+    std::vector<size_t> all;
+    for (size_t k = 0; k < b->atoms.size(); ++k) all.push_back(k);
+    // 448 cheap singles + 64 full-width clauses, interleaved so consecutive
+    // tiles alternate between light and heavy work.
+    for (int i = 0; i < 512; ++i) {
+      if (i % 8 == 7) {
+        f->push_back(b->combiner->MixedClause(all));
+      } else {
+        f->push_back(b->combiner->Single(i % b->atoms.size()));
+      }
+    }
+    return f;
+  }();
+  return frontier;
+}
+
+void RunFrontierScheduled(benchmark::State& state,
+                          core::ProbeScheduler scheduler, bool simd,
+                          bool skewed) {
+  BatchBench* b = GetBatchBench();
+  core::ProbeOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.scheduler = scheduler;
+  options.simd = simd;
+  if (options.num_threads != 1) options.pool = BenchPool();
+  core::BatchProber batch(b->prober.get(), options);
+  const std::vector<core::Combination>& frontier =
+      skewed ? *GetSkewedFrontier() : b->frontier;
+  for (auto _ : state) {
+    auto counts = batch.CountBatch(frontier);
+    benchmark::DoNotOptimize(counts->size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * frontier.size()));
+}
+
+void BM_FrontierStaticSplit(benchmark::State& state) {
+  RunFrontierScheduled(state, core::ProbeScheduler::kStaticSplit,
+                       /*simd=*/true, /*skewed=*/false);
+}
+void BM_FrontierWorkStealing(benchmark::State& state) {
+  RunFrontierScheduled(state, core::ProbeScheduler::kWorkStealing,
+                       /*simd=*/true, /*skewed=*/false);
+}
+void BM_FrontierWorkStealingScalar(benchmark::State& state) {
+  RunFrontierScheduled(state, core::ProbeScheduler::kWorkStealing,
+                       /*simd=*/false, /*skewed=*/false);
+}
+void BM_SkewedFrontierStaticSplit(benchmark::State& state) {
+  RunFrontierScheduled(state, core::ProbeScheduler::kStaticSplit,
+                       /*simd=*/true, /*skewed=*/true);
+}
+void BM_SkewedFrontierWorkStealing(benchmark::State& state) {
+  RunFrontierScheduled(state, core::ProbeScheduler::kWorkStealing,
+                       /*simd=*/true, /*skewed=*/true);
+}
+BENCHMARK(BM_FrontierStaticSplit)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FrontierWorkStealing)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FrontierWorkStealingScalar)
+    ->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SkewedFrontierStaticSplit)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SkewedFrontierWorkStealing)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+// Kernel-level: one probe-shaped pass (AND two leaf bitmaps, count bits)
+// over a buffer the size of the 400k-key universe bitmap, scalar vs the
+// build's best compiled kernels. Bytes/sec makes the memory-bound ceiling
+// visible.
+void RunAndCountKernel(benchmark::State& state,
+                       const parallel::WordKernels& kn) {
+  constexpr size_t kWords = 400000 / 64 + 1;
+  std::vector<uint64_t> a(kWords), b(kWords);
+  Rng rng(11);
+  for (size_t i = 0; i < kWords; ++i) {
+    a[i] = rng.Next();
+    b[i] = rng.Next();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kn.and_count(a.data(), b.data(), kWords));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * kWords * 2 * sizeof(uint64_t)));
+  state.SetLabel(kn.name);
+}
+
+void BM_AndCountKernelScalar(benchmark::State& state) {
+  RunAndCountKernel(state, parallel::ScalarWordKernels());
+}
+void BM_AndCountKernelActive(benchmark::State& state) {
+  RunAndCountKernel(state, parallel::ActiveWordKernels());
+}
+BENCHMARK(BM_AndCountKernelScalar);
+BENCHMARK(BM_AndCountKernelActive);
+
+void RunPopcountKernel(benchmark::State& state,
+                       const parallel::WordKernels& kn) {
+  constexpr size_t kWords = 400000 / 64 + 1;
+  std::vector<uint64_t> a(kWords);
+  Rng rng(13);
+  for (size_t i = 0; i < kWords; ++i) a[i] = rng.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kn.popcount(a.data(), kWords));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * kWords * sizeof(uint64_t)));
+  state.SetLabel(kn.name);
+}
+
+void BM_PopcountKernelScalar(benchmark::State& state) {
+  RunPopcountKernel(state, parallel::ScalarWordKernels());
+}
+void BM_PopcountKernelActive(benchmark::State& state) {
+  RunPopcountKernel(state, parallel::ActiveWordKernels());
+}
+BENCHMARK(BM_PopcountKernelScalar);
+BENCHMARK(BM_PopcountKernelActive);
+
+void RunPairTable(benchmark::State& state, bool batching, bool cold,
+                  size_t num_threads = 1) {
   BatchBench* b = GetBatchBench();
   core::ProbeOptions options;
   options.batching = batching;
+  options.num_threads = num_threads;
+  if (num_threads != 1) options.pool = BenchPool();
   for (auto _ : state) {
     std::unique_ptr<core::QueryEnhancer> fresh;
     const core::QueryEnhancer* enhancer = b->enhancer.get();
@@ -384,10 +534,17 @@ void BM_PepsPairTableColdScalar(benchmark::State& state) {
 void BM_PepsPairTableColdBatch(benchmark::State& state) {
   RunPairTable(state, /*batching=*/true, /*cold=*/true);
 }
+void BM_PepsPairTableColdBatchWS(benchmark::State& state) {
+  // Cold pair table on the work-stealing pool: bulk leaf prefetch
+  // first-touches the bitmaps on the pool's workers, then the C(48,2)
+  // pair-count batch fans out over the same slots.
+  RunPairTable(state, /*batching=*/true, /*cold=*/true, /*num_threads=*/8);
+}
 BENCHMARK(BM_PepsPairTableScalar)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PepsPairTableBatch)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PepsPairTableColdScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PepsPairTableColdBatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PepsPairTableColdBatchWS)->Unit(benchmark::kMillisecond);
 
 // --- Update throughput: incremental Refresh vs full rebuild -----------------
 //

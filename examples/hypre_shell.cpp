@@ -56,6 +56,8 @@ void PrintHelp() {
       "current algorithm\n"
       "  budget <probes>                          probe budget per request "
       "(0 = unlimited)\n"
+      "  threads <n>                              probe threads per request "
+      "(1 = serial, 0 = auto)\n"
       "  sql <select statement>                   run SQL directly\n"
       "  cypher <query>                           query the profile graph\n"
       "  help | quit\n");
@@ -86,6 +88,7 @@ int main(int argc, char** argv) {
   core::HypreGraph graph;
   std::string algorithm = "peps";
   size_t probe_budget = 0;
+  size_t probe_threads = 1;
 
   std::string line;
   while ((std::printf("hypre> "), std::fflush(stdout),
@@ -125,6 +128,14 @@ int main(int argc, char** argv) {
       in >> probe_budget;
       std::printf("probe budget = %zu%s\n", probe_budget,
                   probe_budget == 0 ? " (unlimited)" : "");
+      continue;
+    }
+    if (command == "threads") {
+      in >> probe_threads;
+      // Runs on the session's work-stealing pool; 0 auto-detects the
+      // hardware concurrency (clamped to the batch shape per request).
+      std::printf("probe threads = %zu%s\n", probe_threads,
+                  probe_threads == 0 ? " (auto)" : "");
       continue;
     }
     if (command == "pref") {
@@ -174,6 +185,7 @@ int main(int argc, char** argv) {
       // PEPS's pre-API TopK(0) behavior).
       request.k = k == 0 ? ~size_t{0} : k;
       request.probe_budget = probe_budget;
+      request.probe_options.num_threads = probe_threads;
       bool parse_failed = false;
       for (const auto& entry : graph.ListPreferences(kShellUser)) {
         auto atom = core::MakeAtom(entry.predicate, entry.intensity);

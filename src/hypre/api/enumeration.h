@@ -136,6 +136,11 @@ struct EnumerationContext {
   /// Sorted descending by intensity (the session sorts its own copy).
   const std::vector<core::PreferenceAtom>* preferences = nullptr;
   const EnumerationRequest* request = nullptr;
+  /// The request's probe options with the session's runtime filled in: when
+  /// the request names no pool and asks for more than one thread, the
+  /// session injects its own persistent TaskPool here. Enumerators read
+  /// THIS copy, not request->probe_options.
+  core::ProbeOptions probe_options;
   core::EnumerationControl control;
 };
 

@@ -36,7 +36,7 @@ class ExhaustiveEnumerator : public CombinationEnumerator {
         result->records,
         core::ExhaustiveAndCombinations(
             *ctx.preferences, *ctx.enhancer, ctx.request->max_exhaustive_n,
-            ctx.request->probe_options, ctx.control));
+            ctx.probe_options, ctx.control));
     return Status::OK();
   }
 };
@@ -52,7 +52,7 @@ class CombineTwoEnumerator : public CombinationEnumerator {
     HYPRE_ASSIGN_OR_RETURN(
         result->records,
         core::CombineTwo(*ctx.preferences, *ctx.enhancer,
-                         ctx.request->semantics, ctx.request->probe_options,
+                         ctx.request->semantics, ctx.probe_options,
                          ctx.control));
     return Status::OK();
   }
@@ -70,7 +70,7 @@ class PartiallyCombineAllEnumerator : public CombinationEnumerator {
     HYPRE_ASSIGN_OR_RETURN(
         result->records,
         core::PartiallyCombineAll(*ctx.preferences, *ctx.enhancer,
-                                  ctx.request->probe_options, ctx.control));
+                                  ctx.probe_options, ctx.control));
     return Status::OK();
   }
 };
@@ -88,7 +88,7 @@ class BiasRandomEnumerator : public CombinationEnumerator {
         core::BiasRandomResult run,
         core::BiasRandomSelection(*ctx.preferences, *ctx.enhancer,
                                   ctx.request->seed,
-                                  ctx.request->probe_options, ctx.control));
+                                  ctx.probe_options, ctx.control));
     result->records = std::move(run.records);
     result->valid_checks = run.valid_checks;
     result->invalid_checks = run.invalid_checks;
@@ -105,7 +105,7 @@ class PepsEnumerator : public CombinationEnumerator {
   Status Run(const EnumerationContext& ctx,
              EnumerationResult* result) const override {
     core::Peps peps(ctx.preferences, ctx.enhancer,
-                    ctx.request->probe_options);
+                    ctx.probe_options);
     if (ctx.request->k > 0) {
       HYPRE_ASSIGN_OR_RETURN(
           result->top_k,

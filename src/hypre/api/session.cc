@@ -31,6 +31,11 @@ Result<core::QueryEnhancer*> Session::GetEnhancer(
   return it->second.get();
 }
 
+parallel::TaskPool* Session::task_pool() {
+  if (!pool_) pool_ = std::make_unique<parallel::TaskPool>();
+  return pool_.get();
+}
+
 Result<uint64_t> Session::Refresh() {
   uint64_t epoch = 0;
   for (auto& [key, enhancer] : enhancers_) {
@@ -64,6 +69,18 @@ Result<EnumerationResult> Session::Enumerate(
   std::vector<core::PreferenceAtom> atoms = request.preferences;
   core::SortByIntensityDesc(&atoms);
 
+  // Resolve the request's runtime: if it asks for parallelism (num_threads
+  // 0 = auto, or > 1) without naming a pool, inject the session's shared
+  // TaskPool — one persistent set of workers serves every request — and
+  // attach it to the engine so leaf allocation/resize paths first-touch on
+  // the same workers that will probe the bitmaps.
+  core::ProbeOptions probe_options = request.probe_options;
+  if (probe_options.pool == nullptr && probe_options.num_threads != 1) {
+    probe_options.pool = task_pool();
+  }
+  enhancer->probe_engine().set_task_pool(probe_options.pool,
+                                         probe_options.num_threads);
+
   // Snapshot before the prefetch so leaf loads count toward this request.
   core::ProbeStats before = enhancer->stats();
 
@@ -82,6 +99,7 @@ Result<EnumerationResult> Session::Enumerate(
   ctx.enhancer = enhancer;
   ctx.preferences = &atoms;
   ctx.request = &request;
+  ctx.probe_options = probe_options;
   if (request.probe_budget > 0) ctx.control.budget = &budget;
   if (request.record_sink) ctx.control.record_sink = &request.record_sink;
   if (request.tuple_sink) ctx.control.tuple_sink = &request.tuple_sink;

@@ -17,6 +17,12 @@
 // Thread model: a Session is NOT internally synchronized — it is one
 // client's handle (the multi-user story is one session per tenant or an
 // external lock), matching ProbeEngine's mutate → Refresh → probe contract.
+// Internally, though, a session owns ONE work-stealing parallel::TaskPool
+// (created lazily on the first request that asks for more than one probe
+// thread) and injects it into every request's probe options and into each
+// cached engine's allocation paths, so all batches of all requests share a
+// single set of persistent, parked-when-idle workers instead of spawning
+// threads per batch.
 #pragma once
 
 #include <memory>
@@ -26,6 +32,7 @@
 
 #include "common/status.h"
 #include "hypre/api/enumeration.h"
+#include "hypre/parallel/task_pool.h"
 #include "hypre/query_enhancement.h"
 #include "reldb/database.h"
 
@@ -73,9 +80,18 @@ class Session {
   /// \brief Number of distinct (base query, key column) engines cached.
   size_t num_cached_engines() const { return enhancers_.size(); }
 
+  /// \brief The session's work-stealing pool, created (auto-sized) on first
+  /// use. Requests that leave ProbeOptions::pool null and ask for more than
+  /// one thread run their batches here.
+  parallel::TaskPool* task_pool();
+  /// \brief True once a request has forced pool creation.
+  bool has_task_pool() const { return pool_ != nullptr; }
+
  private:
   std::unique_ptr<reldb::Database> owned_db_;
   const reldb::Database* db_;
+  // Lazily created shared runtime for all requests (see task_pool()).
+  std::unique_ptr<parallel::TaskPool> pool_;
   // (base query SQL + key column) -> the one enhancer/engine all requests
   // over that query share.
   std::unordered_map<std::string, std::unique_ptr<core::QueryEnhancer>>

@@ -4,17 +4,27 @@
 #include <bit>
 #include <thread>
 
+#include "hypre/parallel/task_pool.h"
+#include "hypre/parallel/word_kernels.h"
+
 namespace hypre {
 namespace core {
 
 namespace {
 
 /// Shards a kernel pass walks over `num_words` words — the batch-shape unit
-/// reported into ProbeStats (and split across threads by ForEachShard).
+/// reported into ProbeStats. Stats stay tile-layout-independent: the same
+/// batch reports the same shard count whether it ran inline, split, or
+/// work-stolen.
 size_t NumShards(const ProbeOptions& options, size_t num_words) {
   size_t shard_words = std::max<size_t>(1, options.shard_words);
   return (num_words + shard_words - 1) / shard_words;
 }
+
+/// Combinations per frontier-block tile. Small enough that a big frontier
+/// over few shards still fans out (512 combinations / 32 = 16 tiles per
+/// shard), large enough that a tile amortizes its scheduling cost.
+constexpr size_t kItemTile = 32;
 
 }  // namespace
 
@@ -60,38 +70,95 @@ Result<BatchProber::CompiledFrontier> BatchProber::Compile(
   return compiled;
 }
 
-template <typename Kernel>
-void BatchProber::ForEachShard(size_t num_words, Kernel&& kernel) const {
+size_t BatchProber::PlanSlots(size_t num_words, size_t num_items) const {
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    // Auto-detect: saturate the machine, never oversubscribe it.
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<size_t>(hw) : 1;
+  }
+  if (threads <= 1) return 1;
   size_t shard_words = std::max<size_t>(1, options_.shard_words);
   size_t num_shards = (num_words + shard_words - 1) / shard_words;
-  size_t num_threads = std::max<size_t>(1, options_.num_threads);
-  num_threads = std::min(num_threads, std::max<size_t>(1, num_shards));
+  size_t item_tiles = (num_items + kItemTile - 1) / kItemTile;
+  // Clamp so every slot can start with at least one tile: no worker range
+  // is ever empty, whatever the thread/shard ratio (the num_threads >
+  // num_shards regression of the old ceil-division split).
+  size_t max_tiles = num_shards * std::max<size_t>(1, item_tiles);
+  return std::min(threads, std::max<size_t>(1, max_tiles));
+}
 
-  auto run_range = [&](size_t shard_begin, size_t shard_end,
-                       size_t thread_idx) {
-    for (size_t s = shard_begin; s < shard_end; ++s) {
-      size_t w0 = s * shard_words;
-      size_t w1 = std::min(num_words, w0 + shard_words);
-      kernel(w0, w1, thread_idx);
-    }
+BatchProber::TileGrid BatchProber::MakeGrid(size_t num_words,
+                                            size_t num_items,
+                                            size_t slots) const {
+  TileGrid grid;
+  grid.shard_words = std::max<size_t>(1, options_.shard_words);
+  grid.num_words = num_words;
+  grid.num_shards = (num_words + grid.shard_words - 1) / grid.shard_words;
+  grid.num_items = num_items;
+  if (slots <= 1) {
+    // Inline runs keep the frontier whole per shard — the PR 2 loop shape,
+    // no tiling overhead.
+    grid.item_tile = std::max<size_t>(1, num_items);
+  } else {
+    grid.item_tile = kItemTile;
+  }
+  grid.num_item_tiles =
+      num_items == 0 ? 0 : (num_items + grid.item_tile - 1) / grid.item_tile;
+  return grid;
+}
+
+parallel::TaskPool* BatchProber::SchedulePool(size_t slots) const {
+  if (slots <= 1 || options_.scheduler != ProbeScheduler::kWorkStealing) {
+    return nullptr;
+  }
+  return options_.pool != nullptr ? options_.pool
+                                  : parallel::TaskPool::Shared();
+}
+
+template <typename Kernel>
+void BatchProber::ForEachTile(const TileGrid& grid, size_t slots,
+                              Kernel&& kernel) const {
+  size_t num_tiles = grid.num_tiles();
+  if (num_tiles == 0) return;
+  auto run_tile = [&](size_t t, size_t slot) {
+    size_t shard = t / grid.num_item_tiles;
+    size_t block = t % grid.num_item_tiles;
+    size_t w0 = shard * grid.shard_words;
+    size_t w1 = std::min(grid.num_words, w0 + grid.shard_words);
+    size_t i0 = block * grid.item_tile;
+    size_t i1 = std::min(grid.num_items, i0 + grid.item_tile);
+    kernel(w0, w1, i0, i1, slot);
   };
 
-  if (num_threads <= 1 || num_shards <= 1) {
-    run_range(0, num_shards, 0);
+  if (slots <= 1 || num_tiles <= 1) {
+    for (size_t t = 0; t < num_tiles; ++t) run_tile(t, 0);
     return;
   }
-  // Contiguous shard ranges per worker; per-thread accumulators make the
-  // reduction exact and deterministic for every thread count.
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  size_t per = (num_shards + num_threads - 1) / num_threads;
-  for (size_t t = 0; t < num_threads; ++t) {
-    size_t begin = std::min(num_shards, t * per);
-    size_t end = std::min(num_shards, begin + per);
-    if (begin >= end) break;
-    workers.emplace_back(run_range, begin, end, t);
+
+  if (options_.scheduler == ProbeScheduler::kStaticSplit) {
+    // Balanced contiguous split (PartitionRange: sizes differ by at most
+    // one, no empty ranges) on per-batch threads; the caller runs part 0.
+    size_t parts = std::min(slots, num_tiles);
+    std::vector<std::thread> workers;
+    workers.reserve(parts - 1);
+    for (size_t p = 1; p < parts; ++p) {
+      parallel::Range r = parallel::PartitionRange(num_tiles, parts, p);
+      workers.emplace_back([&run_tile, r, p] {
+        for (size_t t = r.begin; t < r.end; ++t) run_tile(t, p);
+      });
+    }
+    parallel::Range r0 = parallel::PartitionRange(num_tiles, parts, 0);
+    for (size_t t = r0.begin; t < r0.end; ++t) run_tile(t, 0);
+    for (auto& worker : workers) worker.join();
+    return;
   }
-  for (auto& worker : workers) worker.join();
+
+  parallel::TaskPool* pool = SchedulePool(slots);
+  pool->ParallelFor(num_tiles, options_.grain, slots,
+                    [&run_tile](size_t begin, size_t end, size_t slot) {
+                      for (size_t t = begin; t < end; ++t) run_tile(t, slot);
+                    });
 }
 
 Result<std::vector<size_t>> BatchProber::CountBatch(
@@ -99,37 +166,40 @@ Result<std::vector<size_t>> BatchProber::CountBatch(
   std::vector<size_t> counts(frontier.size(), 0);
   if (frontier.empty()) return counts;
   HYPRE_ASSIGN_OR_RETURN(CompiledFrontier plan, Compile(frontier));
+  const parallel::WordKernels& kn = parallel::SelectWordKernels(options_.simd);
 
-  size_t num_threads = std::max<size_t>(1, options_.num_threads);
-  size_t shard_words = std::max<size_t>(1, options_.shard_words);
-  // Per-thread scratch: one OR-group buffer and one AND accumulator, each
-  // one shard wide. The kernels below stream CONTIGUOUS word runs per
-  // member (hoisted pointers, auto-vectorizable) instead of gathering all
-  // members per word. Single-threaded runs accumulate straight into
-  // `counts` through reused member scratch (no per-call allocations);
-  // threaded runs use per-thread buffers reduced after the join.
-  bool inline_run = num_threads == 1;
+  size_t slots = PlanSlots(plan.num_words, frontier.size());
+  TileGrid grid = MakeGrid(plan.num_words, frontier.size(), slots);
+  size_t shard_words = grid.shard_words;
+  // Per-slot scratch: one OR-group buffer and one AND accumulator, each one
+  // shard wide, plus a per-slot counts buffer. The kernels stream
+  // CONTIGUOUS word runs per member (hoisted pointers) through the word-
+  // kernel table. Single-threaded runs accumulate straight into `counts`
+  // through reused member scratch (no per-call allocations); parallel runs
+  // use per-slot buffers reduced in slot order after the pass — exact
+  // commutative sums, so totals are byte-identical for every schedule.
+  bool inline_run = slots == 1;
   std::vector<std::vector<size_t>> partial(
-      inline_run ? 0 : num_threads,
-      std::vector<size_t>(frontier.size(), 0));
+      inline_run ? 0 : slots, std::vector<size_t>(frontier.size(), 0));
   std::vector<std::vector<uint64_t>> group_scratch(
-      inline_run ? 0 : num_threads, std::vector<uint64_t>(shard_words));
+      inline_run ? 0 : slots, std::vector<uint64_t>(shard_words));
   std::vector<std::vector<uint64_t>> acc_scratch(
-      inline_run ? 0 : num_threads, std::vector<uint64_t>(shard_words));
+      inline_run ? 0 : slots, std::vector<uint64_t>(shard_words));
   if (inline_run) {
     if (group_word_scratch_.size() < shard_words) {
       group_word_scratch_.resize(shard_words);
       acc_word_scratch_.resize(shard_words);
     }
   }
-  ForEachShard(plan.num_words, [&](size_t w0, size_t w1, size_t thread_idx) {
-    std::vector<size_t>& mine = inline_run ? counts : partial[thread_idx];
+  ForEachTile(grid, slots,
+              [&](size_t w0, size_t w1, size_t i0, size_t i1, size_t slot) {
+    std::vector<size_t>& mine = inline_run ? counts : partial[slot];
     uint64_t* grp = inline_run ? group_word_scratch_.data()
-                               : group_scratch[thread_idx].data();
+                               : group_scratch[slot].data();
     uint64_t* acc = inline_run ? acc_word_scratch_.data()
-                               : acc_scratch[thread_idx].data();
+                               : acc_scratch[slot].data();
     size_t len = w1 - w0;
-    for (size_t i = 0; i < plan.items.size(); ++i) {
+    for (size_t i = i0; i < i1; ++i) {
       const auto& item = plan.items[i];
       // Empty combination: matches the scalar path's empty bitmap (count 0).
       if (item.begin == item.end) continue;
@@ -142,32 +212,26 @@ Result<std::vector<size_t>> BatchProber::CountBatch(
         if (group.end - group.begin == 1) {
           group_src = plan.member_words[group.begin] + w0;
         } else {
-          const uint64_t* m0 = plan.member_words[group.begin] + w0;
-          for (size_t w = 0; w < len; ++w) grp[w] = m0[w];
+          kn.copy(grp, plan.member_words[group.begin] + w0, len);
           for (uint32_t m = group.begin + 1; m < group.end; ++m) {
-            const uint64_t* mw = plan.member_words[m] + w0;
-            for (size_t w = 0; w < len; ++w) grp[w] |= mw[w];
+            kn.or_into(grp, plan.member_words[m] + w0, len);
           }
           group_src = grp;
         }
         if (acc_src == nullptr) {
           if (group_src == grp && item.end - item.begin > 1) {
             // grp is overwritten by the next group's OR fold; materialize.
-            for (size_t w = 0; w < len; ++w) acc[w] = grp[w];
+            kn.copy(acc, grp, len);
             acc_src = acc;
           } else {
             acc_src = group_src;
           }
         } else {
-          for (size_t w = 0; w < len; ++w) acc[w] = acc_src[w] & group_src[w];
+          kn.and_to(acc, acc_src, group_src, len);
           acc_src = acc;
         }
       }
-      size_t count = 0;
-      for (size_t w = 0; w < len; ++w) {
-        count += static_cast<size_t>(std::popcount(acc_src[w]));
-      }
-      mine[i] += count;
+      mine[i] += kn.popcount(acc_src, len);
     }
   });
   for (const auto& mine : partial) {
@@ -208,28 +272,23 @@ Result<std::vector<size_t>> BatchProber::CountExtensions(
                            prober_->engine().UniverseBitmap());
     mask = live->word_data();
   }
+  const parallel::WordKernels& kn = parallel::SelectWordKernels(options_.simd);
 
-  size_t num_threads = std::max<size_t>(1, options_.num_threads);
-  bool inline_run = num_threads == 1;
+  size_t slots = PlanSlots(num_words, candidates.size());
+  TileGrid grid = MakeGrid(num_words, candidates.size(), slots);
+  bool inline_run = slots == 1;
   std::vector<std::vector<size_t>> partial(
-      inline_run ? 0 : num_threads,
-      std::vector<size_t>(candidates.size(), 0));
-  ForEachShard(num_words, [&](size_t w0, size_t w1, size_t thread_idx) {
-    std::vector<size_t>& mine = inline_run ? counts : partial[thread_idx];
-    for (size_t i = 0; i < ptr_scratch_.size(); ++i) {
+      inline_run ? 0 : slots, std::vector<size_t>(candidates.size(), 0));
+  ForEachTile(grid, slots,
+              [&](size_t w0, size_t w1, size_t i0, size_t i1, size_t slot) {
+    std::vector<size_t>& mine = inline_run ? counts : partial[slot];
+    size_t len = w1 - w0;
+    for (size_t i = i0; i < i1; ++i) {
       const uint64_t* cand = ptr_scratch_[i];
-      size_t count = 0;
-      if (mask == nullptr) {
-        for (size_t w = w0; w < w1; ++w) {
-          count += static_cast<size_t>(std::popcount(base_words[w] & cand[w]));
-        }
-      } else {
-        for (size_t w = w0; w < w1; ++w) {
-          count += static_cast<size_t>(
-              std::popcount(base_words[w] & cand[w] & mask[w]));
-        }
-      }
-      mine[i] += count;
+      mine[i] += mask == nullptr
+                     ? kn.and_count(base_words + w0, cand + w0, len)
+                     : kn.and3_count(base_words + w0, cand + w0, mask + w0,
+                                     len);
     }
   });
   for (const auto& mine : partial) {
@@ -260,27 +319,23 @@ Result<std::vector<size_t>> BatchProber::CountPairs(
                            prober_->engine().UniverseBitmap());
     mask = live->word_data();
   }
+  const parallel::WordKernels& kn = parallel::SelectWordKernels(options_.simd);
 
-  size_t num_threads = std::max<size_t>(1, options_.num_threads);
-  bool inline_run = num_threads == 1;
+  size_t slots = PlanSlots(num_words, pairs.size());
+  TileGrid grid = MakeGrid(num_words, pairs.size(), slots);
+  bool inline_run = slots == 1;
   std::vector<std::vector<size_t>> partial(
-      inline_run ? 0 : num_threads, std::vector<size_t>(pairs.size(), 0));
-  ForEachShard(num_words, [&](size_t w0, size_t w1, size_t thread_idx) {
-    std::vector<size_t>& mine = inline_run ? counts : partial[thread_idx];
-    for (size_t i = 0; i < words.size(); ++i) {
+      inline_run ? 0 : slots, std::vector<size_t>(pairs.size(), 0));
+  ForEachTile(grid, slots,
+              [&](size_t w0, size_t w1, size_t i0, size_t i1, size_t slot) {
+    std::vector<size_t>& mine = inline_run ? counts : partial[slot];
+    size_t len = w1 - w0;
+    for (size_t i = i0; i < i1; ++i) {
       const uint64_t* a = words[i].first;
       const uint64_t* b = words[i].second;
-      size_t count = 0;
-      if (mask == nullptr) {
-        for (size_t w = w0; w < w1; ++w) {
-          count += static_cast<size_t>(std::popcount(a[w] & b[w]));
-        }
-      } else {
-        for (size_t w = w0; w < w1; ++w) {
-          count += static_cast<size_t>(std::popcount(a[w] & b[w] & mask[w]));
-        }
-      }
-      mine[i] += count;
+      mine[i] += mask == nullptr
+                     ? kn.and_count(a + w0, b + w0, len)
+                     : kn.and3_count(a + w0, b + w0, mask + w0, len);
     }
   });
   for (const auto& mine : partial) {
@@ -298,31 +353,38 @@ Status BatchProber::EvalBatch(const std::vector<Combination>& frontier,
   HYPRE_ASSIGN_OR_RETURN(CompiledFrontier plan, Compile(frontier));
   HYPRE_ASSIGN_OR_RETURN(size_t universe_bits,
                          prober_->engine().UniverseSize());
+  const parallel::WordKernels& kn = parallel::SelectWordKernels(options_.simd);
 
+  size_t slots = PlanSlots(plan.num_words, frontier.size());
+  TileGrid grid = MakeGrid(plan.num_words, frontier.size(), slots);
+  // On work-stealing runs the output bitmaps are zeroed in parallel on the
+  // pool (first-touch page placement on the workers that fill them).
+  parallel::TaskPool* touch_pool = SchedulePool(slots);
   out->resize(frontier.size());
   std::vector<uint64_t*> out_words(frontier.size(), nullptr);
   for (size_t i = 0; i < frontier.size(); ++i) {
     // The scalar path leaves an empty combination as a default (0-bit)
     // bitmap; stay byte-identical.
     if (plan.items[i].begin == plan.items[i].end) continue;
-    (*out)[i] = KeyBitmap(universe_bits);
+    (*out)[i] = touch_pool != nullptr
+                    ? KeyBitmap(universe_bits, touch_pool, slots)
+                    : KeyBitmap(universe_bits);
     out_words[i] = (*out)[i].word_data();
   }
 
-  size_t num_threads = std::max<size_t>(1, options_.num_threads);
-  size_t shard_words = std::max<size_t>(1, options_.shard_words);
   std::vector<std::vector<uint64_t>> group_scratch(
-      num_threads, std::vector<uint64_t>(shard_words));
-  ForEachShard(plan.num_words, [&](size_t w0, size_t w1, size_t thread_idx) {
-    uint64_t* grp = group_scratch[thread_idx].data();
+      slots, std::vector<uint64_t>(grid.shard_words));
+  ForEachTile(grid, slots,
+              [&](size_t w0, size_t w1, size_t i0, size_t i1, size_t slot) {
+    uint64_t* grp = group_scratch[slot].data();
     size_t len = w1 - w0;
-    for (size_t i = 0; i < plan.items.size(); ++i) {
+    for (size_t i = i0; i < i1; ++i) {
       const auto& item = plan.items[i];
       uint64_t* base = out_words[i];
       if (base == nullptr) continue;
       // The output's own shard range is the AND accumulator: first group
-      // ORs straight into it, later groups AND in (threads touch disjoint
-      // word ranges, so this is race-free).
+      // copies straight into it, later groups AND in (tiles touch disjoint
+      // (item, word-range) cells, so this is race-free).
       uint64_t* dst = base + w0;
       for (uint32_t g = item.begin; g < item.end; ++g) {
         const auto& group = plan.groups[g];
@@ -330,22 +392,20 @@ Status BatchProber::EvalBatch(const std::vector<Combination>& frontier,
         if (group.end - group.begin == 1) {
           const uint64_t* mw = plan.member_words[group.begin] + w0;
           if (first_group) {
-            for (size_t w = 0; w < len; ++w) dst[w] = mw[w];
+            kn.copy(dst, mw, len);
           } else {
-            for (size_t w = 0; w < len; ++w) dst[w] &= mw[w];
+            kn.and_into(dst, mw, len);
           }
           continue;
         }
-        const uint64_t* m0 = plan.member_words[group.begin] + w0;
-        for (size_t w = 0; w < len; ++w) grp[w] = m0[w];
+        kn.copy(grp, plan.member_words[group.begin] + w0, len);
         for (uint32_t m = group.begin + 1; m < group.end; ++m) {
-          const uint64_t* mw = plan.member_words[m] + w0;
-          for (size_t w = 0; w < len; ++w) grp[w] |= mw[w];
+          kn.or_into(grp, plan.member_words[m] + w0, len);
         }
         if (first_group) {
-          for (size_t w = 0; w < len; ++w) dst[w] = grp[w];
+          kn.copy(dst, grp, len);
         } else {
-          for (size_t w = 0; w < len; ++w) dst[w] &= grp[w];
+          kn.and_into(dst, grp, len);
         }
       }
     }

@@ -6,15 +6,31 @@
 // instead: the universe's bitmap words are partitioned into fixed-width
 // shards, and for each shard every pending combination's OR-within-group /
 // AND-across-groups words and popcounts are computed while that shard's
-// leaf words are cache-resident. The inner loop is straight-line word ops
-// over contiguous arrays (auto-vectorizable, no Result plumbing, no virtual
-// calls).
+// leaf words are cache-resident. The inner word loops route through the
+// parallel::WordKernels table (AVX2 when compiled in, scalar fallback
+// otherwise; ProbeOptions::simd forces the scalar table for differentials).
 //
-// Sharding is also the parallelism seam: with ProbeOptions::num_threads > 1
-// the shards are split across std::thread workers. Per-combination counts
-// are sums of per-shard popcounts and bitmap outputs write disjoint word
-// ranges, so results are exact and deterministic for every thread count —
-// the batch layer must stay byte-identical to the scalar path by contract.
+// Parallelism: the blocked pass is cut into shard × frontier-block TILES
+// (one tile = one shard's words × a block of combinations), and the tiles
+// are scheduled one of three ways (ProbeOptions::scheduler):
+//
+//  * inline           — num_threads <= 1 (after auto-detect): the calling
+//                       thread walks all tiles; no scratch allocation.
+//  * kStaticSplit     — balanced contiguous tile ranges on spawned
+//                       std::threads (the PR 2 shape, kept for comparison
+//                       benches; the ceil-division tail imbalance is fixed
+//                       by parallel::PartitionRange).
+//  * kWorkStealing    — the default: tiles run on a persistent
+//                       parallel::TaskPool with per-slot Chase-Lev deques
+//                       and lazy binary splitting, so skewed tiles (mixed
+//                       combination sizes, warm/cold leaves, tail shards)
+//                       rebalance automatically and no per-batch thread
+//                       spawn is paid.
+//
+// Per-combination counts are sums of per-tile popcounts accumulated into
+// per-slot buffers reduced in slot order, and bitmap outputs write disjoint
+// word ranges — so results are exact and byte-identical to the scalar path
+// for every scheduler, thread count, and steal order, by contract.
 //
 // All probes are answered from the per-preference bitmaps the shared
 // CombinationProber caches; the only DB work on this path is the bulk leaf
@@ -38,7 +54,20 @@
 #include "hypre/key_bitmap.h"
 
 namespace hypre {
+namespace parallel {
+class TaskPool;
+}  // namespace parallel
+
 namespace core {
+
+/// \brief How BatchProber schedules shard×frontier tiles across threads.
+enum class ProbeScheduler {
+  /// Balanced contiguous tile ranges on per-batch std::threads (the legacy
+  /// static split; kept for regression tests and scaling benches).
+  kStaticSplit,
+  /// Work-stealing on a persistent parallel::TaskPool (the default).
+  kWorkStealing,
+};
 
 /// \brief Knobs for the batch probe layer, threaded through the combination
 /// algorithms.
@@ -49,12 +78,29 @@ struct ProbeOptions {
   /// shard) keeps ~50 concurrent leaves inside a 256 KiB L2 while keeping
   /// the per-shard loop overhead small.
   size_t shard_words = 512;
-  /// Worker threads for shard evaluation; <= 1 evaluates inline on the
-  /// calling thread.
+  /// Worker threads for tile evaluation. 1 (the default) evaluates inline
+  /// on the calling thread; 0 = AUTO-DETECT: use
+  /// std::thread::hardware_concurrency(), clamped to the tile count so no
+  /// slot starts idle (in particular never more threads than shards when
+  /// the frontier fits one block). Values > 1 are likewise clamped.
   size_t num_threads = 1;
   /// When false, algorithms that accept ProbeOptions fall back to scalar
   /// CombinationProber probing — the differential-testing switch.
   bool batching = true;
+  /// Tile scheduler; see ProbeScheduler. Only consulted when the effective
+  /// thread count is > 1.
+  ProbeScheduler scheduler = ProbeScheduler::kWorkStealing;
+  /// Work-stealing pool to run on. nullptr = the process-wide
+  /// parallel::TaskPool::Shared(). api::Session injects its own session
+  /// pool here. Not owned; must outlive the batch prober's calls.
+  parallel::TaskPool* pool = nullptr;
+  /// Minimum tiles per stolen chunk for kWorkStealing (TaskPool grain).
+  /// 0 = auto (tiles / (8 * slots), min 1).
+  size_t grain = 0;
+  /// When false, the inner word loops use the portable scalar kernels even
+  /// in a SIMD build — the SIMD-differential switch. Results are
+  /// byte-identical either way.
+  bool simd = true;
 };
 
 /// \brief Evaluates frontiers of combinations in blocked, optionally
@@ -117,12 +163,34 @@ class BatchProber {
     size_t num_words = 0;
   };
 
+  // The shard × frontier-block tiling of one batch. Tile t covers shard
+  // t / num_item_tiles (its word range) × item block t % num_item_tiles, so
+  // consecutive tiles share a shard and a stolen run stays cache-hot on the
+  // same leaf words.
+  struct TileGrid {
+    size_t shard_words = 1;
+    size_t num_shards = 0;
+    size_t num_words = 0;
+    size_t item_tile = 1;
+    size_t num_item_tiles = 0;
+    size_t num_items = 0;
+    size_t num_tiles() const { return num_shards * num_item_tiles; }
+  };
+
   Result<CompiledFrontier> Compile(
       const std::vector<Combination>& frontier) const;
-  /// Runs `kernel(shard_begin_word, shard_end_word, thread_index)` over all
-  /// shards, splitting contiguous shard ranges across options_.num_threads.
+  /// Resolves options_.num_threads (0 = auto) and clamps it so every slot
+  /// can start with at least one tile.
+  size_t PlanSlots(size_t num_words, size_t num_items) const;
+  TileGrid MakeGrid(size_t num_words, size_t num_items, size_t slots) const;
+  /// The pool a work-stealing run uses (options_.pool or the shared pool);
+  /// null when the run is inline/static.
+  parallel::TaskPool* SchedulePool(size_t slots) const;
+  /// Runs `kernel(word_begin, word_end, item_begin, item_end, slot)` over
+  /// every tile of `grid` on the configured scheduler. Slot ids are dense
+  /// and < slots; each tile runs exactly once.
   template <typename Kernel>
-  void ForEachShard(size_t num_words, Kernel&& kernel) const;
+  void ForEachTile(const TileGrid& grid, size_t slots, Kernel&& kernel) const;
 
   const CombinationProber* prober_;
   ProbeOptions options_;

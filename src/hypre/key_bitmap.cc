@@ -1,12 +1,44 @@
 #include "hypre/key_bitmap.h"
 
+#include <cstring>
+
+#include "hypre/parallel/task_pool.h"
+#include "hypre/parallel/word_kernels.h"
+
 namespace hypre {
 namespace core {
+
+namespace {
+
+// First-touch zeroing grain: 512 words = 4 KiB = one page, so page placement
+// follows the zeroing worker exactly.
+constexpr size_t kZeroGrainWords = 512;
+
+}  // namespace
 
 KeyBitmap::KeyBitmap(size_t num_bits, bool all_set)
     : num_bits_(num_bits),
       words_((num_bits + 63) / 64, all_set ? ~uint64_t{0} : uint64_t{0}) {
   if (all_set) ClearTail();
+}
+
+KeyBitmap::KeyBitmap(size_t num_bits, parallel::TaskPool* pool,
+                     size_t max_workers)
+    : num_bits_(num_bits) {
+  size_t num_words = (num_bits + 63) / 64;
+  // Default-init resize: the aligned allocator's zero-arg construct is a
+  // no-op, so no page is touched here.
+  words_.resize(num_words);
+  uint64_t* data = words_.data();
+  if (pool != nullptr && num_words > kZeroGrainWords) {
+    pool->ParallelFor(num_words, kZeroGrainWords, max_workers,
+                      [data](size_t begin, size_t end, size_t /*slot*/) {
+                        std::memset(data + begin, 0,
+                                    (end - begin) * sizeof(uint64_t));
+                      });
+  } else if (num_words > 0) {
+    std::memset(data, 0, num_words * sizeof(uint64_t));
+  }
 }
 
 void KeyBitmap::Resize(size_t num_bits) {
@@ -23,11 +55,7 @@ void KeyBitmap::ClearTail() {
 }
 
 size_t KeyBitmap::Count() const {
-  size_t count = 0;
-  for (uint64_t word : words_) {
-    count += static_cast<size_t>(std::popcount(word));
-  }
-  return count;
+  return parallel::ActiveWordKernels().popcount(words_.data(), words_.size());
 }
 
 bool KeyBitmap::Any() const {
@@ -39,17 +67,20 @@ bool KeyBitmap::Any() const {
 
 void KeyBitmap::AndWith(const KeyBitmap& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  parallel::ActiveWordKernels().and_into(words_.data(), other.words_.data(),
+                                         words_.size());
 }
 
 void KeyBitmap::OrWith(const KeyBitmap& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  parallel::ActiveWordKernels().or_into(words_.data(), other.words_.data(),
+                                        words_.size());
 }
 
 void KeyBitmap::AndNotWith(const KeyBitmap& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  parallel::ActiveWordKernels().andnot_into(words_.data(), other.words_.data(),
+                                            words_.size());
 }
 
 void KeyBitmap::FlipAll() {
@@ -59,27 +90,29 @@ void KeyBitmap::FlipAll() {
 
 size_t KeyBitmap::AndCount(const KeyBitmap& a, const KeyBitmap& b) {
   assert(a.num_bits_ == b.num_bits_);
-  size_t count = 0;
-  for (size_t w = 0; w < a.words_.size(); ++w) {
-    count += static_cast<size_t>(std::popcount(a.words_[w] & b.words_[w]));
-  }
-  return count;
+  return parallel::ActiveWordKernels().and_count(a.words_.data(),
+                                                 b.words_.data(),
+                                                 a.words_.size());
 }
 
 size_t KeyBitmap::AndCountMulti(const KeyBitmap* const* operands, size_t n) {
   if (n == 0) return 0;
   if (n == 1) return operands[0]->Count();
-  size_t num_words = operands[0]->words_.size();
-  size_t count = 0;
-  for (size_t w = 0; w < num_words; ++w) {
-    uint64_t acc = operands[0]->words_[w];
-    for (size_t k = 1; k < n && acc != 0; ++k) {
-      assert(operands[k]->num_bits_ == operands[0]->num_bits_);
-      acc &= operands[k]->words_[w];
-    }
-    count += static_cast<size_t>(std::popcount(acc));
+#ifndef NDEBUG
+  for (size_t k = 1; k < n; ++k) {
+    assert(operands[k]->num_bits_ == operands[0]->num_bits_);
   }
-  return count;
+#endif
+  const uint64_t* ops[8];
+  size_t num_words = operands[0]->words_.size();
+  if (n <= 8) {
+    for (size_t k = 0; k < n; ++k) ops[k] = operands[k]->words_.data();
+    return parallel::ActiveWordKernels().and_count_multi(ops, n, num_words);
+  }
+  std::vector<const uint64_t*> big(n);
+  for (size_t k = 0; k < n; ++k) big[k] = operands[k]->words_.data();
+  return parallel::ActiveWordKernels().and_count_multi(big.data(), n,
+                                                       num_words);
 }
 
 bool KeyBitmap::Intersects(const KeyBitmap& a, const KeyBitmap& b) {

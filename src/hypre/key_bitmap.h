@@ -5,6 +5,12 @@
 // of these bitmaps. Group-level set algebra (AND/OR/NOT over key sets)
 // becomes word-wise bitwise ops and counting becomes popcount, which is what
 // makes the thousands of probes the combination algorithms issue cheap.
+//
+// Storage is 64-byte aligned (cache-line / AVX2 vector) and the streaming
+// word passes route through parallel::ActiveWordKernels(), so Count /
+// AndWith / AndCount / AndCountMulti pick up the SIMD kernels when the
+// build compiles them in. Semantics are exact — the scalar and SIMD paths
+// produce byte-identical words and identical counts.
 #pragma once
 
 #include <bit>
@@ -13,7 +19,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "hypre/parallel/aligned_alloc.h"
+
 namespace hypre {
+namespace parallel {
+class TaskPool;
+}  // namespace parallel
+
 namespace core {
 
 class KeyBitmap {
@@ -22,9 +34,21 @@ class KeyBitmap {
   /// in words of this size.
   static constexpr size_t kWordBits = 64;
 
+  /// Aligned, default-initializing word storage (see aligned_alloc.h).
+  using WordVector =
+      std::vector<uint64_t, parallel::AlignedNoInitAllocator<uint64_t>>;
+
   KeyBitmap() = default;
   /// \brief A bitmap of `num_bits` bits, all clear (or all set).
   explicit KeyBitmap(size_t num_bits, bool all_set = false);
+  /// \brief A cleared bitmap of `num_bits` bits whose words are zeroed IN
+  /// PARALLEL on `pool` (first-touch NUMA placement: each page lands on the
+  /// node of the worker that zeroes it, which is the worker set that later
+  /// probes it). `max_workers` caps the zeroing slots (0 = all). A null
+  /// pool (or a tiny bitmap) zeroes inline, identical to KeyBitmap(n).
+  /// NOTE: pass a typed TaskPool* — a literal nullptr is ambiguous against
+  /// the bool overload.
+  KeyBitmap(size_t num_bits, parallel::TaskPool* pool, size_t max_workers = 0);
 
   size_t num_bits() const { return num_bits_; }
   size_t num_words() const { return words_.size(); }
@@ -97,7 +121,7 @@ class KeyBitmap {
   void ClearTail();
 
   size_t num_bits_ = 0;
-  std::vector<uint64_t> words_;
+  WordVector words_;
 };
 
 }  // namespace core

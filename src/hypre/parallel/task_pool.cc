@@ -1,0 +1,236 @@
+#include "hypre/parallel/task_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypre {
+namespace parallel {
+
+namespace {
+
+// True while the current thread is executing a region body; nested
+// ParallelFor calls run inline instead of deadlocking on the region mutex.
+thread_local bool t_in_region = false;
+
+}  // namespace
+
+Range PartitionRange(size_t n, size_t parts, size_t part) {
+  if (parts == 0) return Range{0, n};
+  size_t base = n / parts;
+  size_t rem = n % parts;
+  size_t begin = part * base + std::min(part, rem);
+  size_t size = base + (part < rem ? 1 : 0);
+  return Range{begin, begin + size};
+}
+
+// --- RangeDeque -------------------------------------------------------------
+//
+// The memory-ordering discipline follows the weak-memory Chase-Lev
+// formulation (Lê et al., PPoPP 2013), with the standalone fences replaced
+// by seq_cst operations on top_/bottom_ at the racing points — equivalent
+// ordering, and exact (not just heuristically clean) under TSan, which does
+// not model standalone fences.
+
+void RangeDeque::Reset(Range r) {
+  top_.store(0, std::memory_order_relaxed);
+  if (r.empty()) {
+    bottom_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  slots_[0].store(Pack(r), std::memory_order_relaxed);
+  bottom_.store(1, std::memory_order_relaxed);
+}
+
+bool RangeDeque::PushBottom(Range r) {
+  int64_t b = bottom_.load(std::memory_order_relaxed);
+  int64_t t = top_.load(std::memory_order_acquire);
+  if (b - t >= static_cast<int64_t>(kCapacity)) return false;  // full
+  slots_[static_cast<size_t>(b) & (kCapacity - 1)].store(
+      Pack(r), std::memory_order_relaxed);
+  // Publish the slot before the new bottom becomes visible to thieves.
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+bool RangeDeque::PopBottom(Range* out) {
+  int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_seq_cst);
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {
+    // Empty: restore bottom.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t packed = slots_[static_cast<size_t>(b) & (kCapacity - 1)].load(
+      std::memory_order_relaxed);
+  if (t == b) {
+    // Last element: race against a thief for it via top.
+    bool won = top_.compare_exchange_strong(t, t + 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_seq_cst);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    if (!won) return false;
+    *out = Unpack(packed);
+    return true;
+  }
+  *out = Unpack(packed);
+  return true;
+}
+
+bool RangeDeque::StealTop(Range* out) {
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return false;  // empty
+  uint64_t packed = slots_[static_cast<size_t>(t) & (kCapacity - 1)].load(
+      std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_seq_cst)) {
+    return false;  // lost the race; caller retries elsewhere
+  }
+  *out = Unpack(packed);
+  return true;
+}
+
+// --- TaskPool ---------------------------------------------------------------
+
+TaskPool::TaskPool(size_t num_workers) {
+  if (num_workers == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_workers = hw > 1 ? hw - 1 : 0;
+  }
+  slots_.reserve(num_workers + 1);
+  for (size_t s = 0; s < num_workers + 1; ++s) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  workers_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+TaskPool* TaskPool::Shared() {
+  // Leaked intentionally: parked workers are free, and tearing the pool
+  // down at static-destruction time would race engine teardown.
+  static TaskPool* pool = new TaskPool();
+  return pool;
+}
+
+void TaskPool::ParallelFor(size_t n, size_t grain, size_t max_slots,
+                           const Body& body) {
+  if (n == 0) return;
+  assert(n < (uint64_t{1} << 32) && "range tasks pack into 32-bit bounds");
+  size_t slots = max_parallelism();
+  if (max_slots > 0) slots = std::min(slots, max_slots);
+  if (grain == 0) grain = std::max<size_t>(1, n / (8 * std::max<size_t>(1, slots)));
+  // Every participating slot should start with at least one grain of work.
+  slots = std::min(slots, (n + grain - 1) / grain);
+  if (slots <= 1 || t_in_region) {
+    body(0, n, 0);
+    return;
+  }
+
+  std::lock_guard<std::mutex> serialize(serialize_);
+  Region region;
+  region.body = &body;
+  region.grain = grain;
+  region.num_slots = slots;
+  region.remaining.store(n, std::memory_order_relaxed);
+  region.exited.store(0, std::memory_order_relaxed);
+  for (size_t s = 0; s < slots; ++s) {
+    slots_[s]->deque.Reset(PartitionRange(n, slots, s));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_ = &region;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  RunSlot(&region, 0);  // the caller is slot 0
+
+  // The region object lives on this stack frame: wait until every
+  // participating worker has stopped touching it.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return region.exited.load(std::memory_order_acquire) == slots - 1;
+  });
+  region_ = nullptr;
+}
+
+void TaskPool::WorkerMain(size_t worker_index) {
+  size_t slot = worker_index + 1;  // slot 0 is the caller
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Region* region = nullptr;
+    bool participate = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (region_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      region = region_;
+      // num_slots is read under the lock: a worker whose slot is not
+      // participating must never dereference the region afterwards (the
+      // caller only waits for PARTICIPATING workers before destroying it).
+      participate = slot < region->num_slots;
+    }
+    if (!participate) continue;
+    RunSlot(region, slot);
+    region->exited.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void TaskPool::RunSlot(Region* region, size_t slot) {
+  t_in_region = true;
+  Range range;
+  while (region->remaining.load(std::memory_order_acquire) > 0) {
+    if (PopOrSteal(region, slot, &range)) {
+      Execute(region, slot, range);
+    } else {
+      // Nothing stealable but indices remain: another slot is executing the
+      // last chunks (and may split more off). Yield until it retires them.
+      std::this_thread::yield();
+    }
+  }
+  t_in_region = false;
+}
+
+bool TaskPool::PopOrSteal(Region* region, size_t slot, Range* out) {
+  if (slots_[slot]->deque.PopBottom(out)) return true;
+  for (size_t i = 1; i < region->num_slots; ++i) {
+    size_t victim = (slot + i) % region->num_slots;
+    if (slots_[victim]->deque.StealTop(out)) return true;
+  }
+  return false;
+}
+
+void TaskPool::Execute(Region* region, size_t slot, Range range) {
+  // Lazy binary splitting: shed the second half to the deque (where thieves
+  // take it) until the piece in hand is within the grain. If the deque ever
+  // fills (it cannot at kCapacity=256, but stay safe) run the piece whole.
+  while (range.size() > region->grain) {
+    size_t mid = range.begin + (range.size() + 1) / 2;
+    if (!slots_[slot]->deque.PushBottom(Range{mid, range.end})) break;
+    range.end = mid;
+  }
+  (*region->body)(range.begin, range.end, slot);
+  region->remaining.fetch_sub(range.size(), std::memory_order_acq_rel);
+}
+
+}  // namespace parallel
+}  // namespace hypre

@@ -1,0 +1,172 @@
+// Work-stealing parallel runtime: a persistent worker pool for the probe
+// path (and any other data-parallel loop in the engine).
+//
+// The PR 2 batch kernels parallelized shard passes with a static
+// std::thread partition: contiguous shard ranges, one thread per range,
+// spawned and joined per batch. That shape leaves cores idle whenever the
+// work is skewed — mixed combination sizes, warm/cold leaf mixes, tail
+// shards — and pays a thread spawn per batch. TaskPool replaces it with a
+// Galois/Cilk-style work-stealing loop:
+//
+//  * Persistent workers. The pool owns N worker threads that PARK on a
+//    condition variable between parallel regions, so an idle pool costs
+//    nothing. A ParallelFor publishes one region, wakes the workers, and
+//    the calling thread participates as slot 0.
+//  * Per-slot Chase-Lev deques. Each participating slot owns a lock-free
+//    deque of range tasks (packed [begin,end) chunks of the iteration
+//    space). Owners push/pop at the bottom (LIFO, cache-hot); thieves
+//    steal from the top.
+//  * Lazy binary splitting = steal-half. A slot executing a range first
+//    splits halves back onto its own deque until the piece in hand is at
+//    most the chunk grain. The deque top therefore always holds the
+//    LARGEST outstanding piece (~half the slot's remaining work), so one
+//    steal migrates half a victim's backlog — the steal-half policy
+//    without any extra protocol.
+//  * Deterministic results by construction. The runtime guarantees every
+//    index in [0, n) is executed exactly once and that slot ids are dense
+//    (< the slot count it reports); it does NOT guarantee which slot runs
+//    which chunk. Callers that reduce must therefore use per-slot
+//    accumulators combined in slot order with exact (associative,
+//    commutative) operations — which is what the batch-probe kernels'
+//    popcount sums and disjoint bitmap writes already are, so results stay
+//    byte-identical for every thread count and schedule.
+//
+// One region runs at a time per pool (regions are full barriers and the
+// probe path issues them back to back); concurrent ParallelFor calls from
+// different threads serialize on an internal mutex. A ParallelFor issued
+// from inside a region body runs inline on the calling slot.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hypre {
+namespace parallel {
+
+/// \brief A contiguous task range [begin, end).
+struct Range {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// \brief Balanced contiguous partition of [0, n) into `parts` ranges:
+/// part sizes differ by at most one, and no part is empty unless parts > n
+/// (the tail-imbalance fix for the old ceil-division split, which could
+/// hand later workers nothing while early workers carried two chunks).
+Range PartitionRange(size_t n, size_t parts, size_t part);
+
+/// \brief Fixed-capacity Chase-Lev work-stealing deque of Range tasks.
+/// PushBottom/PopBottom are owner-only; StealTop may be called by any
+/// thread. Ranges are packed into one 64-bit atomic per slot (32-bit
+/// begin/end), so every buffer access is an atomic op — race-free under
+/// TSan without fence tricks. Capacity is bounded: the owner's lazy binary
+/// splitting pushes at most log2(range) entries, so 256 slots are far more
+/// than any region needs; PushBottom reports overflow and the caller simply
+/// runs the range inline.
+class RangeDeque {
+ public:
+  static constexpr size_t kCapacity = 256;  // power of two
+
+  /// \brief Resets to a single seeded range (or empty). Only valid while no
+  /// other thread accesses the deque (region setup).
+  void Reset(Range r);
+
+  bool PushBottom(Range r);
+  bool PopBottom(Range* out);
+  bool StealTop(Range* out);
+
+ private:
+  static uint64_t Pack(Range r) {
+    return (static_cast<uint64_t>(r.begin) << 32) |
+           static_cast<uint64_t>(r.end);
+  }
+  static Range Unpack(uint64_t v) {
+    return Range{static_cast<size_t>(v >> 32),
+                 static_cast<size_t>(v & 0xffffffffu)};
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<uint64_t> slots_[kCapacity];
+};
+
+/// \brief Persistent work-stealing worker pool. Construct once, share
+/// across engines/requests (api::Session keeps one per session); workers
+/// park between regions. Thread-safe: concurrent ParallelFor calls
+/// serialize.
+class TaskPool {
+ public:
+  /// \brief Body of a parallel loop: `body(begin, end, slot)` processes the
+  /// chunk [begin, end); `slot` is a dense id < the slot count (use it to
+  /// index per-slot accumulators/scratch).
+  using Body = std::function<void(size_t begin, size_t end, size_t slot)>;
+
+  /// \param num_workers worker THREADS to spawn (the caller participates as
+  ///        one more slot). 0 = auto: hardware_concurrency() - 1, so a
+  ///        default pool saturates the machine without oversubscribing.
+  explicit TaskPool(size_t num_workers = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+  /// \brief Maximum concurrent slots a region can use (workers + caller).
+  size_t max_parallelism() const { return workers_.size() + 1; }
+
+  /// \brief Runs `body` over [0, n) in work-stolen chunks of at least
+  /// `grain` indices (0 = auto: n / (8 * slots), min 1). At most
+  /// `max_slots` slots participate (0 = all); the effective slot count is
+  /// also capped so every slot starts with work. Blocks until every index
+  /// has executed. Runs inline on the caller when n or the slot budget is
+  /// too small to parallelize, or when called from inside another region.
+  void ParallelFor(size_t n, size_t grain, size_t max_slots,
+                   const Body& body);
+
+  /// \brief Process-wide shared pool (auto-sized), created on first use.
+  /// Call sites that get no pool handle (ProbeOptions::pool == nullptr with
+  /// num_threads != 1) fall back to this.
+  static TaskPool* Shared();
+
+ private:
+  struct Region {
+    const Body* body = nullptr;
+    size_t grain = 1;
+    size_t num_slots = 0;
+    std::atomic<size_t> remaining{0};  // indices not yet executed
+    std::atomic<size_t> exited{0};     // participating workers done
+  };
+  struct alignas(64) Slot {
+    RangeDeque deque;
+  };
+
+  void WorkerMain(size_t worker_index);
+  /// Work loop for one participating slot; returns when the region drains.
+  void RunSlot(Region* region, size_t slot);
+  bool PopOrSteal(Region* region, size_t slot, Range* out);
+  /// Splits halves of `range` back onto `slot`'s deque until <= grain,
+  /// executes the remainder, and retires its indices.
+  void Execute(Region* region, size_t slot, Range range);
+
+  std::vector<std::unique_ptr<Slot>> slots_;  // [0] = caller slot
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;                 // guards region_/generation_/shutdown_
+  std::condition_variable work_cv_;  // workers park here
+  std::condition_variable done_cv_;  // caller waits for workers to exit
+  Region* region_ = nullptr;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::mutex serialize_;  // one region at a time
+};
+
+}  // namespace parallel
+}  // namespace hypre

@@ -184,7 +184,9 @@ Result<const KeyBitmap*> ProbeEngine::LeafBitmap(
   ++num_leaf_queries_;
   reldb::Query query = base_query_;
   query.where = query.where ? reldb::MakeAnd(query.where, expr) : expr;
-  auto bits = std::make_unique<KeyBitmap>(dict_.size());
+  // First-touch: with a pool attached the fresh bitmap's pages are zeroed
+  // by the workers that will probe them.
+  auto bits = std::make_unique<KeyBitmap>(dict_.size(), pool_, pool_threads_);
   HYPRE_RETURN_NOT_OK(executor_.ForEachDenseId(
       query, key_column_, dict_, [&](uint32_t id) { bits->Set(id); }));
   const KeyBitmap* ptr = bits.get();
@@ -214,7 +216,8 @@ Status ProbeEngine::PrefetchLeaves(
   std::vector<std::unique_ptr<KeyBitmap>> bitmaps;
   bitmaps.reserve(pending.size());
   for (size_t i = 0; i < pending.size(); ++i) {
-    bitmaps.push_back(std::make_unique<KeyBitmap>(dict_.size()));
+    bitmaps.push_back(
+        std::make_unique<KeyBitmap>(dict_.size(), pool_, pool_threads_));
   }
   HYPRE_RETURN_NOT_OK(executor_.ForEachDenseIdMulti(
       base_query_, key_column_, dict_, pending,

@@ -33,6 +33,10 @@
 #include "reldb/expr.h"
 
 namespace hypre {
+namespace parallel {
+class TaskPool;
+}  // namespace parallel
+
 namespace core {
 
 class DeltaEngine;
@@ -171,6 +175,21 @@ class ProbeEngine {
   /// an epoch rebuild).
   void set_delta_options(const DeltaOptions& options);
 
+  /// \brief Attaches a work-stealing pool to the engine's allocation paths:
+  /// leaf and prefetch bitmaps are then zeroed in parallel on the pool
+  /// (first-touch NUMA placement — each page lands on the node of the
+  /// worker that later probes it), and the delta layer's tail-growth resize
+  /// fans the per-leaf work out. `max_threads` caps the slots used (0 =
+  /// all). The pool is not owned and must outlive the engine's probe calls;
+  /// null detaches. Const because attachment is a performance hint, not
+  /// observable state (api::Session attaches through its const engine ref).
+  void set_task_pool(parallel::TaskPool* pool, size_t max_threads = 0) const {
+    pool_ = pool;
+    pool_threads_ = max_threads;
+  }
+  parallel::TaskPool* task_pool() const { return pool_; }
+  size_t task_pool_threads() const { return pool_threads_; }
+
   // Probe statistics contract:
   //  * num_leaf_queries counts leaf-bitmap materializations against the
   //    database, exactly one per DISTINCT canonical leaf — whether the leaf
@@ -263,6 +282,9 @@ class ProbeEngine {
   mutable size_t num_batches_ = 0;
   mutable size_t num_batched_probes_ = 0;
   mutable size_t num_shard_passes_ = 0;
+  // First-touch allocation pool (see set_task_pool); null = inline zeroing.
+  mutable parallel::TaskPool* pool_ = nullptr;
+  mutable size_t pool_threads_ = 0;
   std::unique_ptr<DeltaEngine> delta_;
 };
 

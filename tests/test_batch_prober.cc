@@ -1,8 +1,11 @@
 // BatchProber tests: randomized differential sweep of the batched, sharded
 // probe kernels against the scalar CombinationProber across shard widths
-// (1 word, 4 words, universe-in-one-shard) and thread counts (1, 4),
-// degenerate frontiers, the probe-statistics contract under prefetch and
-// batching, and byte-identical algorithm outputs with batching on vs off.
+// (1 word, 4 words, universe-in-one-shard), thread counts (1, 2, 4, 8,
+// auto), schedulers (static split vs work-stealing on a real 8-slot pool),
+// and SIMD on/off; degenerate frontiers; the probe-statistics contract
+// under prefetch and batching; and byte-identical algorithm outputs with
+// batching on vs off. Every configuration must be BYTE-identical to the
+// scalar path — the batch layer's core contract.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -10,6 +13,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "hypre/parallel/task_pool.h"
 #include "hypre/algorithms/bias_random.h"
 #include "hypre/algorithms/combine_two.h"
 #include "hypre/algorithms/exhaustive.h"
@@ -30,17 +34,50 @@ using testing_fixtures::BuildMiniDblp;
 using testing_fixtures::MiniBaseQuery;
 using testing_fixtures::MiniPreferences;
 
-// The shard-width / thread-count matrix every differential sweep runs:
-// one-word shards (maximum shard count), small shards, and a shard wide
-// enough to hold any test universe in one piece; single-threaded and 4-way.
+// A real work-stealing pool for the parallel matrix entries: the machine
+// running the tests may report 1 hardware thread (which would make the
+// shared pool run everything inline), so the sweep pins an explicit 8-slot
+// pool to genuinely exercise steals.
+parallel::TaskPool* TestPool() {
+  static parallel::TaskPool pool(7);  // 7 workers + caller = 8 slots
+  return &pool;
+}
+
+// The shard-width / thread-count / scheduler / SIMD matrix every
+// differential sweep runs: one-word shards (maximum shard count), small
+// shards, and a shard wide enough to hold any test universe in one piece;
+// serial, 4-way (legacy matrix), and 8-way on both schedulers; SIMD kernels
+// on and off; plus num_threads = 0 (auto-detect).
 std::vector<ProbeOptions> OptionMatrix() {
   std::vector<ProbeOptions> matrix;
   for (size_t shard_words : {size_t{1}, size_t{4}, size_t{1} << 20}) {
     for (size_t num_threads : {size_t{1}, size_t{4}}) {
       matrix.push_back(ProbeOptions{shard_words, num_threads, true});
     }
+    for (ProbeScheduler scheduler :
+         {ProbeScheduler::kStaticSplit, ProbeScheduler::kWorkStealing}) {
+      for (bool simd : {true, false}) {
+        ProbeOptions options{shard_words, 8, true};
+        options.scheduler = scheduler;
+        options.pool = TestPool();
+        options.simd = simd;
+        matrix.push_back(options);
+      }
+    }
+    // Auto-detected thread count on the work-stealing pool.
+    ProbeOptions auto_detect{shard_words, 0, true};
+    auto_detect.pool = TestPool();
+    matrix.push_back(auto_detect);
   }
   return matrix;
+}
+
+std::string DescribeOptions(const ProbeOptions& options) {
+  std::string desc = "shard_words=" + std::to_string(options.shard_words) +
+                     " threads=" + std::to_string(options.num_threads);
+  desc += options.scheduler == ProbeScheduler::kWorkStealing ? " ws" : " static";
+  if (!options.simd) desc += " scalar-kernels";
+  return desc;
 }
 
 /// Random papers/tags workload (same shape as the probe-engine fuzz) big
@@ -130,8 +167,7 @@ TEST(BatchProber, CountAndEvalMatchScalarAcrossShardWidthsAndThreads) {
   }
 
   for (const ProbeOptions& options : OptionMatrix()) {
-    SCOPED_TRACE(testing::Message() << "shard_words=" << options.shard_words
-                                    << " threads=" << options.num_threads);
+    SCOPED_TRACE(DescribeOptions(options));
     BatchProber batch(&scalar, options);
     auto counts = batch.CountBatch(frontier);
     ASSERT_TRUE(counts.ok()) << counts.status().ToString();
@@ -170,8 +206,7 @@ TEST(BatchProber, CountExtensionsAndPairsMatchScalarAndCount) {
   }
 
   for (const ProbeOptions& options : OptionMatrix()) {
-    SCOPED_TRACE(testing::Message() << "shard_words=" << options.shard_words
-                                    << " threads=" << options.num_threads);
+    SCOPED_TRACE(DescribeOptions(options));
     BatchProber batch(&scalar, options);
 
     auto ext = batch.CountExtensions(base, candidates);
@@ -194,6 +229,98 @@ TEST(BatchProber, CountExtensionsAndPairsMatchScalarAndCount) {
       auto b = scalar.PreferenceBits(pairs[p].second);
       ASSERT_TRUE(a.ok() && b.ok());
       EXPECT_EQ((*pair_counts)[p], KeyBitmap::AndCount(**a, **b));
+    }
+  }
+}
+
+TEST(BatchProber, SkewedFrontierByteIdenticalUnderWorkStealing) {
+  // Steal-heavy shape: a frontier mixing many cheap single-member
+  // combinations with a block of maximum-size ones, so seeded tile ranges
+  // have wildly different costs and the pool must rebalance. Counts and
+  // bitmaps must stay byte-identical to the scalar path.
+  RandomWorkload w(31337);
+  Combiner combiner(&w.prefs_);
+  CombinationProber scalar(&combiner, &w.enhancer_->probe_engine());
+  size_t n = w.prefs_.size();
+
+  std::vector<Combination> frontier;
+  std::vector<size_t> all_members;
+  for (size_t k = 0; k < n; ++k) all_members.push_back(k);
+  for (int rep = 0; rep < 60; ++rep) {
+    frontier.push_back(combiner.Single(rep % n));  // cheap: one member
+  }
+  for (int rep = 0; rep < 12; ++rep) {
+    frontier.push_back(combiner.MixedClause(all_members));  // heavy: all 8
+  }
+  for (int rep = 0; rep < 60; ++rep) {
+    frontier.push_back(combiner.Single((rep + 3) % n));
+  }
+
+  std::vector<size_t> expected;
+  std::vector<KeyBitmap> expected_bits(frontier.size());
+  for (size_t f = 0; f < frontier.size(); ++f) {
+    auto count = scalar.Count(frontier[f]);
+    ASSERT_TRUE(count.ok());
+    expected.push_back(count.value());
+    ASSERT_TRUE(scalar.BitsInto(frontier[f], &expected_bits[f]).ok());
+  }
+
+  for (size_t shard_words : {size_t{1}, size_t{4}}) {
+    for (bool simd : {true, false}) {
+      ProbeOptions options{shard_words, 8, true};
+      options.pool = TestPool();
+      options.simd = simd;
+      SCOPED_TRACE(DescribeOptions(options));
+      BatchProber batch(&scalar, options);
+      auto counts = batch.CountBatch(frontier);
+      ASSERT_TRUE(counts.ok());
+      EXPECT_EQ(*counts, expected);
+      std::vector<KeyBitmap> bits;
+      ASSERT_TRUE(batch.EvalBatch(frontier, &bits).ok());
+      for (size_t f = 0; f < frontier.size(); ++f) {
+        ASSERT_EQ(bits[f], expected_bits[f]) << "frontier item " << f;
+      }
+    }
+  }
+}
+
+TEST(BatchProber, MoreThreadsThanShardsStaysExact) {
+  // Regression for the tail imbalance of the old ceil-division static
+  // split: with num_threads > num_shards the per-worker quota rounded up,
+  // so early workers swallowed everything and later ones got empty ranges
+  // (and with shards % threads != 0 the last worker could carry half the
+  // quota of the rest). The split now partitions balanced and never hands
+  // out empty ranges; both schedulers must stay exact whatever the
+  // thread/shard ratio.
+  RandomWorkload w(2024);
+  Combiner combiner(&w.prefs_);
+  CombinationProber scalar(&combiner, &w.enhancer_->probe_engine());
+
+  std::vector<Combination> frontier;
+  for (int i = 0; i < 10; ++i) frontier.push_back(w.RandomCombination(combiner));
+  std::vector<size_t> expected;
+  for (const auto& c : frontier) {
+    auto count = scalar.Count(c);
+    ASSERT_TRUE(count.ok());
+    expected.push_back(count.value());
+  }
+
+  // The test universe is a few hundred bits (<= 6 words), so shard_words of
+  // {1 << 20, 3, 1} give ~1, 2-3, and 6+ shards respectively.
+  for (size_t shard_words : {size_t{1} << 20, size_t{3}, size_t{1}}) {
+    for (size_t num_threads : {size_t{2}, size_t{3}, size_t{5}, size_t{8},
+                               size_t{16}}) {
+      for (ProbeScheduler scheduler :
+           {ProbeScheduler::kStaticSplit, ProbeScheduler::kWorkStealing}) {
+        ProbeOptions options{shard_words, num_threads, true};
+        options.scheduler = scheduler;
+        options.pool = TestPool();
+        SCOPED_TRACE(DescribeOptions(options));
+        BatchProber batch(&scalar, options);
+        auto counts = batch.CountBatch(frontier);
+        ASSERT_TRUE(counts.ok());
+        EXPECT_EQ(*counts, expected);
+      }
     }
   }
 }
