@@ -14,6 +14,8 @@
 //   hypre> \algo combine-two       switch the enumeration algorithm
 //   hypre> topk 10                  personalized top-k / top records
 //   hypre> budget 500               cap probes per request (0 = unlimited)
+//   hypre> save /tmp/hypre_store    checkpoint (snapshot + journal)
+//   hypre> open /tmp/hypre_store    warm restart from a checkpoint
 //   hypre> sql SELECT count(distinct dblp.pid) FROM dblp JOIN dblp_author
 //          ON dblp.pid = dblp_author.pid WHERE dblp.venue='SIGMOD'
 //   hypre> cypher START n=node(*) WHERE n.uid=1 RETURN n.predicate,
@@ -58,6 +60,10 @@ void PrintHelp() {
       "(0 = unlimited)\n"
       "  threads <n>                              probe threads per request "
       "(1 = serial, 0 = auto)\n"
+      "  save <dir>                               checkpoint the session "
+      "(snapshot + journal)\n"
+      "  open <dir>                               reopen a session from a "
+      "saved directory\n"
       "  sql <select statement>                   run SQL directly\n"
       "  cypher <query>                           query the profile graph\n"
       "  help | quit\n");
@@ -80,7 +86,9 @@ int main(int argc, char** argv) {
   size_t num_papers = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
 
   workload::DblpStats stats;
-  api::Session session(examples::MakeDblpDatabase(num_papers, 0, &stats));
+  // Held by pointer so `open <dir>` can swap in a recovered session.
+  auto session = std::make_unique<api::Session>(
+      examples::MakeDblpDatabase(num_papers, 0, &stats));
   std::printf("loaded synthetic DBLP: %zu papers, %zu authors. "
               "Type 'help' for commands.\n",
               stats.num_papers, stats.num_authors);
@@ -202,7 +210,7 @@ int main(int argc, char** argv) {
         std::printf("profile is empty; use 'pref add' first\n");
         continue;
       }
-      auto result = session.Enumerate(request);
+      auto result = session->Enumerate(request);
       if (!result.ok()) {
         std::printf("%s\n", result.status().ToString().c_str());
         continue;
@@ -210,7 +218,7 @@ int main(int argc, char** argv) {
       if (!result->top_k.empty() || algorithm == "peps" ||
           algorithm == "ta") {
         for (const auto& tuple : result->top_k) {
-          examples::PrintRankedPaper(*session.db(), tuple);
+          examples::PrintRankedPaper(*session->db(), tuple);
         }
       } else {
         // Enumeration-only algorithms: show the strongest k records.
@@ -241,8 +249,43 @@ int main(int argc, char** argv) {
           result->truncated ? " TRUNCATED (budget)" : "");
       continue;
     }
+    if (command == "save") {
+      std::string dir = Rest(&in);
+      if (dir.empty()) {
+        std::printf("usage: save <dir>\n");
+        continue;
+      }
+      // First save attaches the store (initial checkpoint); later saves to
+      // the same session checkpoint incrementally.
+      Status st = session->has_storage() ? session->SaveSnapshot()
+                                         : session->AttachStorage(dir);
+      if (st.ok()) {
+        std::printf("checkpointed to %s (journal seq %llu)\n", dir.c_str(),
+                    (unsigned long long)session->store()->snapshot_sequence());
+      } else {
+        std::printf("%s\n", st.ToString().c_str());
+      }
+      continue;
+    }
+    if (command == "open") {
+      std::string dir = Rest(&in);
+      if (dir.empty()) {
+        std::printf("usage: open <dir>\n");
+        continue;
+      }
+      auto reopened = api::Session::OpenFromSnapshot(dir);
+      if (!reopened.ok()) {
+        std::printf("%s\n", reopened.status().ToString().c_str());
+        continue;
+      }
+      session = std::move(reopened).TakeValue();
+      std::printf("opened %s: %zu engine(s) restored, journal seq %llu\n",
+                  dir.c_str(), session->num_cached_engines(),
+                  (unsigned long long)session->store()->snapshot_sequence());
+      continue;
+    }
     if (command == "sql") {
-      auto result = sqlparse::ExecuteSql(*session.db(), Rest(&in));
+      auto result = sqlparse::ExecuteSql(*session->db(), Rest(&in));
       if (!result.ok()) {
         std::printf("%s\n", result.status().ToString().c_str());
         continue;

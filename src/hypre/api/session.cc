@@ -1,7 +1,10 @@
 #include "hypre/api/session.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
+
+#include "sqlparse/select_parser.h"
 
 namespace hypre {
 namespace api {
@@ -45,6 +48,106 @@ Result<uint64_t> Session::Refresh() {
   return epoch;
 }
 
+std::vector<storage::SnapshotEngineState> Session::CaptureEngineStates()
+    const {
+  // Sorted by cache key so identical sessions write byte-identical
+  // snapshots (the unordered_map's iteration order is not stable).
+  std::map<std::string, const core::QueryEnhancer*> ordered;
+  for (const auto& [key, enhancer] : enhancers_) {
+    ordered.emplace(key, enhancer.get());
+  }
+  std::vector<storage::SnapshotEngineState> states;
+  states.reserve(ordered.size());
+  for (const auto& [key, enhancer] : ordered) {
+    storage::SnapshotEngineState state;
+    state.base_sql = enhancer->base_query().ToSql();
+    state.key_column = enhancer->key_column();
+    state.image = enhancer->CaptureSnapshotImage();
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+Status Session::AttachStorage(const std::string& dir,
+                              const storage::StorageOptions& options) {
+  if (store_ != nullptr) {
+    return Status::InvalidArgument("session already has storage attached");
+  }
+  if (owned_db_ == nullptr) {
+    return Status::InvalidArgument(
+        "AttachStorage requires a session that owns its database (the "
+        "store truncates the mutation journal, which other consumers of a "
+        "borrowed database would not survive)");
+  }
+  // Catch every engine up so the captured images all cover the same
+  // journal sequence as the snapshot.
+  HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, Refresh());
+  (void)epoch;
+  HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<storage::EngineStore> store,
+                         storage::EngineStore::Open(dir, options));
+  Status st = store->InitialCheckpoint(owned_db_.get(), CaptureEngineStates());
+  if (!st.ok()) return st;
+  store_ = std::move(store);
+  return Status::OK();
+}
+
+Status Session::SaveSnapshot() {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "session has no storage attached (AttachStorage first)");
+  }
+  HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, Refresh());
+  (void)epoch;
+  return store_->WriteCheckpoint(owned_db_.get(), CaptureEngineStates());
+}
+
+Status Session::CommitJournal() {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "session has no storage attached (AttachStorage first)");
+  }
+  return store_->CommitJournal(*db_);
+}
+
+Status Session::MaybeAutoCheckpoint() {
+  if (store_ == nullptr) return Status::OK();
+  uint64_t threshold = store_->options().auto_checkpoint_mutations;
+  if (threshold == 0) return Status::OK();
+  uint64_t pending = db_->journal().sequence() - store_->snapshot_sequence();
+  if (pending < threshold) return Status::OK();
+  return SaveSnapshot();
+}
+
+Result<std::unique_ptr<Session>> Session::OpenFromSnapshot(
+    const std::string& dir, const storage::StorageOptions& options) {
+  HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<storage::EngineStore> store,
+                         storage::EngineStore::Open(dir, options));
+  HYPRE_ASSIGN_OR_RETURN(storage::SnapshotContents contents,
+                         store->Recover());
+  auto session = std::make_unique<Session>(std::move(contents.db));
+  session->store_ = std::move(store);
+  for (const storage::SnapshotEngineState& state : contents.engines) {
+    // The persisted base SQL round-trips through the SELECT parser into
+    // the same Query (and therefore the same enhancer cache key) it was
+    // rendered from.
+    auto stmt = sqlparse::ParseSelect(state.base_sql);
+    if (!stmt.ok()) {
+      return Status::Internal("snapshot engine base query '" +
+                              state.base_sql +
+                              "' failed to parse: " + stmt.status().message());
+    }
+    HYPRE_ASSIGN_OR_RETURN(
+        core::QueryEnhancer * enhancer,
+        session->GetEnhancer(stmt.value().query, state.key_column));
+    HYPRE_RETURN_NOT_OK(enhancer->RestoreSnapshotImage(state.image));
+  }
+  // Consume the replayed write-ahead-log tail so every restored engine is
+  // current with the recovered database before the first request.
+  HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, session->Refresh());
+  (void)epoch;
+  return session;
+}
+
 Result<EnumerationResult> Session::Enumerate(
     const EnumerationRequest& request) {
   HYPRE_ASSIGN_OR_RETURN(
@@ -53,6 +156,11 @@ Result<EnumerationResult> Session::Enumerate(
   HYPRE_ASSIGN_OR_RETURN(
       core::QueryEnhancer * enhancer,
       GetEnhancer(request.base_query, request.key_column));
+
+  // Auto-checkpoint BEFORE the epoch is pinned: a checkpoint refreshes
+  // every engine (no algorithm holds bitmap handles yet), so running it
+  // mid-request would invalidate the pinned snapshot.
+  HYPRE_RETURN_NOT_OK(MaybeAutoCheckpoint());
 
   EnumerationResult result;
   // Pin the epoch: drain the mutation journal up front so the whole run

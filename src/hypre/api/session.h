@@ -34,6 +34,7 @@
 #include "hypre/api/enumeration.h"
 #include "hypre/parallel/task_pool.h"
 #include "hypre/query_enhancement.h"
+#include "hypre/storage/store.h"
 #include "reldb/database.h"
 
 namespace hypre {
@@ -49,6 +50,15 @@ class Session {
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+
+  /// \brief Reopens a session from a storage directory: loads the snapshot,
+  /// replays the write-ahead journal tail, rebuilds every persisted engine
+  /// (dictionary, leaf cache, delta cursor) and attaches the store for
+  /// further checkpoints. Fails closed — on any corruption no session is
+  /// returned and the directory is left untouched. Requires a session that
+  /// OWNS its database, which this constructor arranges.
+  static Result<std::unique_ptr<Session>> OpenFromSnapshot(
+      const std::string& dir, const storage::StorageOptions& options = {});
 
   /// \brief Runs one enumeration request end to end: registry dispatch,
   /// enhancer-cache lookup, epoch pinning, leaf prefetch, the algorithm
@@ -87,7 +97,39 @@ class Session {
   /// \brief True once a request has forced pool creation.
   bool has_task_pool() const { return pool_ != nullptr; }
 
+  // --- Durable storage ------------------------------------------------------
+
+  /// \brief Attaches a storage directory and writes the initial checkpoint
+  /// (snapshot + fresh write-ahead log) covering the session's current
+  /// state. Requires a session that owns its database (the store truncates
+  /// the journal, which a borrowed database's other consumers would not
+  /// survive). Subsequent mutations become durable via CommitJournal() /
+  /// SaveSnapshot() or the auto-checkpoint policy in
+  /// StorageOptions::auto_checkpoint_mutations.
+  Status AttachStorage(const std::string& dir,
+                       const storage::StorageOptions& options = {});
+
+  /// \brief Refreshes every cached engine, then writes a full checkpoint:
+  /// journal spill, snapshot (atomic rename), WAL rotation, in-memory
+  /// journal truncation. Restarting from the result is warm — no CSV
+  /// re-parse, no universe re-intern, no leaf re-materialization.
+  Status SaveSnapshot();
+
+  /// \brief Spills the journal tail to the write-ahead log and fsyncs it —
+  /// the group-commit point making recent mutations durable without the
+  /// cost of a full snapshot.
+  Status CommitJournal();
+
+  bool has_storage() const { return store_ != nullptr; }
+  /// \brief The attached store (null when not storage-backed).
+  storage::EngineStore* store() { return store_.get(); }
+
  private:
+  /// Captures every cached engine's durable state, sorted by cache key so
+  /// snapshot bytes are deterministic.
+  std::vector<storage::SnapshotEngineState> CaptureEngineStates() const;
+  /// Applies the auto-checkpoint policy after a mutation-bearing request.
+  Status MaybeAutoCheckpoint();
   std::unique_ptr<reldb::Database> owned_db_;
   const reldb::Database* db_;
   // Lazily created shared runtime for all requests (see task_pool()).
@@ -96,6 +138,8 @@ class Session {
   // over that query share.
   std::unordered_map<std::string, std::unique_ptr<core::QueryEnhancer>>
       enhancers_;
+  // Durable storage backend; null until AttachStorage/OpenFromSnapshot.
+  std::unique_ptr<storage::EngineStore> store_;
 };
 
 }  // namespace api

@@ -92,6 +92,14 @@ class DeltaEngine {
     stats_.journal_cursor = journal_sequence;
   }
 
+  /// \brief Called by the engine after a snapshot image restore: the image
+  /// baked in everything up to `journal_cursor` at epoch `epoch`, so
+  /// consumption resumes there with the epoch counter carried over.
+  void OnSnapshotRestored(uint64_t journal_cursor, uint64_t epoch) {
+    stats_.journal_cursor = journal_cursor;
+    stats_.epoch = epoch;
+  }
+
   const Stats& stats() const { return stats_; }
   void set_options(const DeltaOptions& options) { options_ = options; }
   const DeltaOptions& options() const { return options_; }

@@ -124,6 +124,11 @@ Status LoadGraph(std::istream* in, HypreGraph* graph) {
   if (graph->num_nodes() != 0) {
     return Status::InvalidArgument("LoadGraph requires an empty graph");
   }
+  // All-or-nothing: parse into a scratch graph and swap it in only on
+  // success. A malformed line mid-file must not leave `graph` holding the
+  // valid prefix — callers reasonably treat a non-OK load as "nothing
+  // happened" and may retry into the same object.
+  HypreGraph scratch(graph->config());
   std::string line;
   if (!std::getline(*in, line) || Trim(line) != kHeader) {
     return Status::ParseError("missing or unsupported header");
@@ -161,7 +166,7 @@ Status LoadGraph(std::istream* in, HypreGraph* graph) {
                              ParseProvenance(provenance_text));
       HYPRE_ASSIGN_OR_RETURN(
           graphdb::NodeId restored,
-          graph->RestoreNode(uid, predicate, intensity, provenance));
+          scratch.RestoreNode(uid, predicate, intensity, provenance));
       id_map[saved_id] = restored;
     } else if (kind == "edge") {
       uint64_t src = 0;
@@ -180,15 +185,16 @@ Status LoadGraph(std::istream* in, HypreGraph* graph) {
             "edge references unknown node at line %zu", line_number));
       }
       HYPRE_ASSIGN_OR_RETURN(EdgeLabel label, ParseEdgeLabel(label_text));
-      HYPRE_RETURN_NOT_OK(graph
-                              ->RestoreEdge(src_it->second, dst_it->second,
-                                            label, intensity)
+      HYPRE_RETURN_NOT_OK(scratch
+                              .RestoreEdge(src_it->second, dst_it->second,
+                                           label, intensity)
                               .status());
     } else {
       return Status::ParseError(StringFormat(
           "unknown record '%s' at line %zu", kind.c_str(), line_number));
     }
   }
+  *graph = std::move(scratch);
   return Status::OK();
 }
 

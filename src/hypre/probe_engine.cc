@@ -4,7 +4,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/string_util.h"
 #include "hypre/delta_engine.h"
+#include "sqlparse/parser.h"
 
 namespace hypre {
 namespace core {
@@ -164,6 +166,104 @@ void ProbeEngine::RebuildKeyOrder() const {
   for (uint32_t rank = 0; rank < sorted_ids_.size(); ++rank) {
     rank_of_id_[sorted_ids_[rank]] = rank;
   }
+}
+
+EngineSnapshotImage ProbeEngine::CaptureSnapshotImage() const {
+  EngineSnapshotImage image;
+  image.universe_ready = universe_ready_;
+  if (!universe_ready_) return image;
+  image.epoch = epoch_;
+  image.journal_cursor = delta_->stats().journal_cursor;
+  image.keys.reserve(dict_.size());
+  for (uint32_t id = 0; id < dict_.size(); ++id) {
+    image.keys.emplace_back(dict_.value(id), universe_.Test(id));
+  }
+  image.free_ids = free_ids_;
+  image.leaves.reserve(leaf_cache_.size());
+  // Stable output order: sort by cache key so identical states produce
+  // byte-identical snapshots.
+  std::vector<const std::pair<const std::string, LeafEntry>*> entries;
+  entries.reserve(leaf_cache_.size());
+  for (const auto& kv : leaf_cache_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* kv : entries) {
+    EngineSnapshotImage::Leaf leaf;
+    leaf.predicate_sql = kv->second.expr->ToString();
+    const KeyBitmap& bits = *kv->second.bits;
+    leaf.words.assign(bits.word_data(), bits.word_data() + bits.num_words());
+    image.leaves.push_back(std::move(leaf));
+  }
+  return image;
+}
+
+Status ProbeEngine::RestoreSnapshotImage(const EngineSnapshotImage& image) {
+  if (universe_ready_ || dict_.size() != 0) {
+    return Status::InvalidArgument(
+        "RestoreSnapshotImage requires a freshly constructed engine");
+  }
+  if (!image.universe_ready) return Status::OK();  // interns lazily later
+
+  // Parse and validate everything BEFORE touching engine state, so a
+  // corrupt image fails closed with the engine still pristine.
+  size_t num_keys = image.keys.size();
+  size_t words_per_leaf = (num_keys + KeyBitmap::kWordBits - 1) /
+                          KeyBitmap::kWordBits;
+  struct ParsedLeaf {
+    reldb::ExprPtr expr;
+    const EngineSnapshotImage::Leaf* src;
+  };
+  std::vector<ParsedLeaf> parsed;
+  parsed.reserve(image.leaves.size());
+  for (const EngineSnapshotImage::Leaf& leaf : image.leaves) {
+    auto expr = sqlparse::ParsePredicate(leaf.predicate_sql);
+    if (!expr.ok()) {
+      return Status::Internal("snapshot leaf predicate '" +
+                              leaf.predicate_sql +
+                              "' failed to parse: " + expr.status().message());
+    }
+    if (leaf.words.size() != words_per_leaf) {
+      return Status::Internal(StringFormat(
+          "snapshot leaf '%s' carries %zu bitmap words, universe of %zu "
+          "keys needs %zu",
+          leaf.predicate_sql.c_str(), leaf.words.size(), num_keys,
+          words_per_leaf));
+    }
+    parsed.push_back({std::move(expr).TakeValue(), &leaf});
+  }
+  for (uint32_t id : image.free_ids) {
+    if (id >= num_keys) {
+      return Status::Internal(StringFormat(
+          "snapshot free id %u out of range (universe of %zu keys)",
+          unsigned{id}, num_keys));
+    }
+  }
+
+  size_t num_dead = 0;
+  dict_.Reserve(num_keys);
+  for (size_t id = 0; id < num_keys; ++id) {
+    dict_.Restore(image.keys[id].first, image.keys[id].second);
+    if (!image.keys[id].second) ++num_dead;
+  }
+  universe_ = KeyBitmap(num_keys);
+  for (size_t id = 0; id < num_keys; ++id) {
+    if (image.keys[id].second) universe_.Set(id);
+  }
+  num_tombstones_ = num_dead;
+  free_ids_ = image.free_ids;
+  epoch_ = image.epoch;
+  leaf_cache_.clear();
+  count_cache_.clear();
+  for (ParsedLeaf& p : parsed) {
+    auto bits = std::make_unique<KeyBitmap>(num_keys);
+    std::copy(p.src->words.begin(), p.src->words.end(), bits->word_data());
+    std::string key = CanonicalKey(*p.expr);
+    leaf_cache_[key] = LeafEntry{std::move(p.expr), std::move(bits)};
+  }
+  RebuildKeyOrder();
+  universe_ready_ = true;
+  delta_->OnSnapshotRestored(image.journal_cursor, image.epoch);
+  return Status::OK();
 }
 
 Result<const KeyBitmap*> ProbeEngine::UniverseBitmap() const {

@@ -73,6 +73,35 @@ struct ProbeStats {
   }
 };
 
+/// \brief A serializable image of one engine's interned state — what the
+/// durable storage layer persists per engine so a restarted process resumes
+/// with a warm universe and leaf cache instead of re-interning. Captured by
+/// ProbeEngine::CaptureSnapshotImage() and applied to a freshly constructed
+/// engine by RestoreSnapshotImage().
+struct EngineSnapshotImage {
+  /// False when the engine never interned (nothing else is meaningful and
+  /// restore is a no-op — the universe interns lazily on first probe).
+  bool universe_ready = false;
+  uint64_t epoch = 0;
+  /// The delta subsystem's journal cursor at capture time; a restored
+  /// engine resumes consuming the mutation journal here.
+  uint64_t journal_cursor = 0;
+  /// (key value, live) in dense-id order. The live flags are the universe
+  /// bitmap; dead entries are tombstoned ids whose stale value must stay
+  /// addressable without shadowing a live key.
+  std::vector<std::pair<reldb::Value, bool>> keys;
+  /// Tombstoned dense ids available for recycling, in free-list order.
+  std::vector<uint32_t> free_ids;
+  struct Leaf {
+    /// The predicate rendered by Expr::ToString() — parse-compatible with
+    /// sqlparse::ParsePredicate, so the expression (which the delta engine
+    /// needs for re-evaluation) survives the round trip.
+    std::string predicate_sql;
+    std::vector<uint64_t> words;  // bitmap words, num_bits = keys.size()
+  };
+  std::vector<Leaf> leaves;
+};
+
 class ProbeEngine {
  public:
   /// \param db database to run against (must outlive the engine)
@@ -167,6 +196,19 @@ class ProbeEngine {
   /// the combination/batch probers all do.
   bool has_tombstones() const { return num_tombstones_ > 0; }
   size_t num_tombstones() const { return num_tombstones_; }
+
+  // --- Durable storage hooks ----------------------------------------------
+
+  /// \brief Captures the interned state (dictionary, live mask, free ids,
+  /// leaf cache, epoch, journal cursor) for persistence. Cheap relative to
+  /// re-interning; never touches the database.
+  EngineSnapshotImage CaptureSnapshotImage() const;
+
+  /// \brief Applies a captured image to this engine. Only valid on a
+  /// freshly constructed engine (nothing interned yet); the image's leaf
+  /// SQL is re-parsed, so a malformed image fails closed without mutating
+  /// the engine's probe-visible state.
+  Status RestoreSnapshotImage(const EngineSnapshotImage& image);
 
   /// \brief The delta subsystem (journal cursor, epoch statistics,
   /// compaction counters).

@@ -89,6 +89,17 @@ class QueryEnhancer {
   /// \deprecated Legacy pass-through; use stats().num_cache_hits.
   size_t num_cache_hits() const { return engine_.num_cache_hits(); }
 
+  /// \brief Captures the engine's interned state for a durable snapshot
+  /// (see ProbeEngine::CaptureSnapshotImage).
+  EngineSnapshotImage CaptureSnapshotImage() const {
+    return engine_.CaptureSnapshotImage();
+  }
+  /// \brief Applies a snapshot image to the freshly built engine (see
+  /// ProbeEngine::RestoreSnapshotImage).
+  Status RestoreSnapshotImage(const EngineSnapshotImage& image) {
+    return engine_.RestoreSnapshotImage(image);
+  }
+
  private:
   ProbeEngine engine_;
 };

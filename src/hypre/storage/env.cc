@@ -1,0 +1,277 @@
+#include "hypre/storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace storage {
+
+namespace {
+
+Status PosixError(const std::string& context, const std::string& path) {
+  return Status::Internal(context + " '" + path + "': " +
+                          std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t written = ::write(fd_, p, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(StringFormat("write (%zu bytes at offset %llu) to",
+                                       n, (unsigned long long)offset_),
+                          path_);
+      }
+      p += written;
+      n -= static_cast<size_t>(written);
+      offset_ += static_cast<uint64_t>(written);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return PosixError("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return PosixError("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t offset_ = 0;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return PosixError("open for writing", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open for reading", path);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return PosixError(
+            StringFormat("read at offset %zu from", out.size()), path);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename to '" + to + "' from", from);
+    }
+    // Make the rename itself durable: fsync the containing directory
+    // (best-effort — some file systems refuse O_RDONLY dir fsync).
+    size_t slash = to.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : to.substr(0, slash);
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      (void)::fsync(fd);
+      ::close(fd);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return PosixError("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return PosixError("stat", path);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError("mkdir", path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return PosixError(
+          StringFormat("truncate to %llu bytes", (unsigned long long)size),
+          path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// --- Fault injection --------------------------------------------------------
+
+namespace {
+constexpr uint64_t kNoFault = ~uint64_t{0};
+}  // namespace
+
+/// Wraps a base WritableFile and applies the env's plan to the write stream.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(std::unique_ptr<WritableFile> base,
+                     FaultInjectionEnv* env, std::string path)
+      : base_(std::move(base)), env_(env), path_(std::move(path)) {}
+
+  Status Append(const void* data, size_t n) override {
+    if (env_->crashed_) return env_->CrashedStatus();
+    const FaultPlan& plan = env_->plan_;
+    bool applies = !env_->fired_ && env_->Matches(path_);
+    uint64_t fault_at = applies ? plan.byte_offset : kNoFault;
+    uint64_t end = offset_ + n;
+    const char* p = static_cast<const char*>(data);
+
+    if (applies && fault_at < end) {
+      switch (plan.kind) {
+        case FaultPlan::Kind::kTruncateWriteAt: {
+          // Write the prefix up to the cut, then die.
+          env_->fired_ = true;
+          size_t keep = static_cast<size_t>(fault_at - offset_);
+          if (keep > 0) (void)base_->Append(p, keep);
+          (void)base_->Sync();  // the surviving prefix reaches the disk
+          env_->crashed_ = true;
+          return env_->CrashedStatus();
+        }
+        case FaultPlan::Kind::kFlipBitAt: {
+          env_->fired_ = true;
+          std::string corrupted(p, n);
+          corrupted[static_cast<size_t>(fault_at - offset_)] ^= 0x01;
+          offset_ = end;
+          return base_->Append(corrupted.data(), corrupted.size());
+        }
+        case FaultPlan::Kind::kFailWriteAt: {
+          env_->fired_ = true;
+          return Status::Internal(
+              "injected write failure at byte " +
+              std::to_string(fault_at) + " of '" + path_ + "'");
+        }
+        default:
+          break;
+      }
+    }
+    offset_ = end;
+    return base_->Append(p, n);
+  }
+
+  Status Sync() override {
+    if (env_->crashed_) return env_->CrashedStatus();
+    if (!env_->fired_ && env_->Matches(path_) &&
+        env_->plan_.kind == FaultPlan::Kind::kFailSync) {
+      env_->fired_ = true;
+      env_->crashed_ = true;
+      return Status::Internal("injected fsync failure on '" + path_ + "'");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+  std::string path_;
+  uint64_t offset_ = 0;
+};
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  if (crashed_) return CrashedStatus();
+  HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultyWritableFile>(std::move(base), this, path));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  return base_->ReadFileToString(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (crashed_) return CrashedStatus();
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  return base_->FileSize(path);
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& path) {
+  if (crashed_) return CrashedStatus();
+  return base_->CreateDirIfMissing(path);
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  if (crashed_) return CrashedStatus();
+  return base_->TruncateFile(path, size);
+}
+
+}  // namespace storage
+}  // namespace hypre

@@ -1,0 +1,142 @@
+// storage::Env — the file-system seam under the durable storage layer.
+//
+// Every byte the snapshot writer and the write-ahead log touch goes through
+// this interface, for two reasons:
+//
+//  1. Crash-safe write discipline lives in ONE place. Snapshots are written
+//     to a temp file, Sync()ed, and RenameFile()d over the live name, so a
+//     reader never observes a half-written snapshot; WAL appends are
+//     Sync()ed at commit points. PosixEnv implements the fsync/rename
+//     contract with real file descriptors (including a best-effort
+//     directory fsync after rename, so the rename itself is durable).
+//
+//  2. Faults are injectable. FaultInjectionEnv wraps any Env and can cut a
+//     file at byte N, flip a bit, fail a write or an fsync, and then
+//     simulate the process dying (every subsequent operation fails). The
+//     crash-recovery differential test drives the whole storage layer
+//     through it, once per injection point, and asserts that recovery from
+//     the surviving bytes either reproduces the committed state exactly or
+//     fails closed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hypre {
+namespace storage {
+
+/// \brief An append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const void* data, size_t n) = 0;
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+  /// \brief Durably flushes everything appended so far (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// \brief File-system operations the storage layer needs. Paths are plain
+/// file-system paths; errors carry the path (and offset where meaningful).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// \brief The process-wide POSIX environment.
+  static Env* Default();
+
+  /// \brief Opens `path` for writing. `truncate` starts fresh; otherwise
+  /// appends to existing content (the WAL re-attach path).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// \brief Reads the whole file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// \brief Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+
+  /// \brief Truncates `path` to `size` bytes (discarding a torn WAL tail
+  /// before re-attaching a writer; also the test harness's crash scissors).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+};
+
+/// \brief One scheduled fault.
+struct FaultPlan {
+  enum class Kind {
+    kNone,
+    /// Write calls succeed until the file's cumulative written size would
+    /// exceed `byte_offset`; the write is cut there and the env "crashes".
+    kTruncateWriteAt,
+    /// The write covering `byte_offset` flips the lowest bit of that byte
+    /// and carries on silently (latent corruption reaching the disk).
+    kFlipBitAt,
+    /// The write covering `byte_offset` fails outright (clean error).
+    kFailWriteAt,
+    /// The next Sync() on a matching file fails (and the env crashes, so
+    /// nothing after the failed fsync can be observed as durable).
+    kFailSync,
+  };
+  Kind kind = Kind::kNone;
+  /// Byte offset within the matching file's write stream.
+  uint64_t byte_offset = 0;
+  /// Substring of the path the fault applies to (empty = every file).
+  std::string path_substring;
+};
+
+/// \brief Env wrapper that injects one fault, then optionally simulates the
+/// process dying (all later operations fail with kInternal "crashed").
+/// Reads pass through untouched — recovery is always run on a clean env
+/// against whatever bytes survived.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  void set_plan(FaultPlan plan) {
+    plan_ = plan;
+    fired_ = false;
+    crashed_ = false;
+  }
+  bool fault_fired() const { return fired_; }
+  bool crashed() const { return crashed_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+
+ private:
+  friend class FaultyWritableFile;
+
+  bool Matches(const std::string& path) const {
+    return plan_.path_substring.empty() ||
+           path.find(plan_.path_substring) != std::string::npos;
+  }
+  Status CrashedStatus() const {
+    return Status::Internal("storage env crashed (fault injection)");
+  }
+
+  Env* base_;
+  FaultPlan plan_;
+  bool fired_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace storage
+}  // namespace hypre

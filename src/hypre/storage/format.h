@@ -1,0 +1,126 @@
+// Binary on-disk format primitives for the durable storage layer.
+//
+// Both durable artifacts — the engine snapshot and the write-ahead journal
+// log — are built from the same vocabulary:
+//
+//  * Little-endian fixed-width integers (u8/u16/u32/u64) and length-prefixed
+//    strings, written through BufferWriter and decoded through BufferReader.
+//    Every reader error names the byte offset it failed at (and the file
+//    path once the caller adds it), so corruption reports are actionable.
+//  * reldb::Value codec: one type tag byte + the payload (int64 and the
+//    IEEE-754 bit pattern of doubles as fixed64, strings length-prefixed,
+//    NULL payload-free).
+//  * CRC32 (IEEE, same polynomial as zlib) over every section / record
+//    payload. A checksum mismatch is the reader's signal to fail closed.
+//  * Section framing: [u32 type][u64 payload_len][u32 crc32][payload].
+//    Files end with an explicit kSectionEnd marker so silent truncation at
+//    a section boundary is detected, not misread as a short-but-valid file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "reldb/value.h"
+
+namespace hypre {
+namespace storage {
+
+/// \brief CRC32 (IEEE 802.3 polynomial, zlib-compatible) of `data`.
+uint32_t Crc32(const void* data, size_t n);
+inline uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+/// \brief Appends little-endian primitives to a growing byte buffer.
+class BufferWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// \brief u32 length prefix + raw bytes.
+  void PutString(const std::string& s);
+  void PutRaw(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  void PutValue(const reldb::Value& v);
+
+  const std::string& data() const { return buf_; }
+  std::string TakeData() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked little-endian decoder over a byte range. Errors
+/// carry `context` (typically the file path plus section name) and the byte
+/// offset within that range.
+class BufferReader {
+ public:
+  BufferReader(const void* data, size_t n, std::string context)
+      : data_(static_cast<const char*>(data)),
+        size_(n),
+        context_(std::move(context)) {}
+  BufferReader(const std::string& data, std::string context)
+      : BufferReader(data.data(), data.size(), std::move(context)) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<std::string> ReadString();
+  /// \brief Copies `n` raw bytes into `out`.
+  Status ReadRaw(void* out, size_t n);
+  Result<reldb::Value> ReadValue();
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return size_ - offset_; }
+  bool AtEnd() const { return offset_ == size_; }
+  const std::string& context() const { return context_; }
+
+  /// \brief The standard "fail closed" error for this reader's position.
+  Status CorruptionError(const std::string& what) const;
+
+ private:
+  Status Need(size_t n) const;
+
+  const char* data_;
+  size_t size_;
+  size_t offset_ = 0;
+  std::string context_;
+};
+
+// --- Section framing --------------------------------------------------------
+
+/// \brief Section type tags shared by the snapshot format.
+enum SectionType : uint32_t {
+  kSectionMeta = 1,       // JSON catalog + engine metadata
+  kSectionTableRows = 2,  // one per table: physical rows + tombstone flags
+  kSectionDictionary = 3, // one per engine: interned keys + live mask
+  kSectionLeaf = 4,       // one per cached leaf: predicate SQL + bitmap
+  kSectionEnd = 0xE0F0,   // terminator; absence means the file was cut
+};
+
+/// \brief Appends one framed section ([type][len][crc][payload]) to `out`.
+void AppendSection(uint32_t type, const std::string& payload,
+                   std::string* out);
+
+/// \brief One decoded section (payload verified against its checksum).
+struct Section {
+  uint32_t type = 0;
+  const char* payload = nullptr;  // points into the caller's buffer
+  size_t size = 0;
+  uint64_t file_offset = 0;  // of the section header, for error context
+};
+
+/// \brief Reads the section at reader position `*offset` of `file` (size
+/// `file_size`), verifies its checksum, and advances `*offset`. The caller
+/// loops until it sees kSectionEnd; running out of bytes first is a
+/// truncation error.
+Result<Section> ReadSection(const char* file, size_t file_size,
+                            uint64_t* offset, const std::string& context);
+
+}  // namespace storage
+}  // namespace hypre

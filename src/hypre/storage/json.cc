@@ -1,0 +1,421 @@
+#include "hypre/storage/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace storage {
+
+Json Json::Bool(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Double(double v) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::Str(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::Has(const std::string& key) const { return Find(key) != nullptr; }
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& kv : object_) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+void Json::Set(const std::string& key, Json v) {
+  for (auto& kv : object_) {
+    if (kv.first == key) {
+      kv.second = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+Status Json::WrongKind(const std::string& key, const char* want,
+                       const std::string& context) const {
+  const Json* v = Find(key);
+  if (v == nullptr) {
+    return Status::Internal(StringFormat("%s: missing required key '%s'",
+                                         context.c_str(), key.c_str()));
+  }
+  return Status::Internal(StringFormat("%s: key '%s' is not %s",
+                                       context.c_str(), key.c_str(), want));
+}
+
+Result<int64_t> Json::GetInt(const std::string& key,
+                             const std::string& context) const {
+  const Json* v = Find(key);
+  if (v == nullptr || v->kind_ != Kind::kInt) {
+    return WrongKind(key, "an integer", context);
+  }
+  return v->int_;
+}
+
+Result<std::string> Json::GetString(const std::string& key,
+                                    const std::string& context) const {
+  const Json* v = Find(key);
+  if (v == nullptr || v->kind_ != Kind::kString) {
+    return WrongKind(key, "a string", context);
+  }
+  return v->string_;
+}
+
+Result<const Json*> Json::GetArray(const std::string& key,
+                                   const std::string& context) const {
+  const Json* v = Find(key);
+  if (v == nullptr || v->kind_ != Kind::kArray) {
+    return WrongKind(key, "an array", context);
+  }
+  return v;
+}
+
+Result<const Json*> Json::GetObject(const std::string& key,
+                                    const std::string& context) const {
+  const Json* v = Find(key);
+  if (v == nullptr || v->kind_ != Kind::kObject) {
+    return WrongKind(key, "an object", context);
+  }
+  return v;
+}
+
+// --- Serialization -----------------------------------------------------------
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string Json::Dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out = std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out = buf;
+      break;
+    }
+    case Kind::kString:
+      EscapeInto(string_, &out);
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out.append(array_[i].Dump());
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& kv : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        EscapeInto(kv.first, &out);
+        out.push_back(':');
+        out.append(kv.second.Dump());
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+// --- Parsing -----------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& context)
+      : text_(text), context_(context) {}
+
+  Result<Json> ParseDocument() {
+    HYPRE_ASSIGN_OR_RETURN(Json value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing garbage after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::Internal(StringFormat("%s: %s at byte %zu",
+                                         context_.c_str(), what.c_str(),
+                                         pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      HYPRE_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json::Str(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return Json::Bool(true);
+    if (ConsumeLiteral("false")) return Json::Bool(false);
+    if (ConsumeLiteral("null")) return Json::Null();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error(StringFormat("unexpected character '%c'", c));
+  }
+
+  Result<Json> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      HYPRE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      HYPRE_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray(int depth) {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    for (;;) {
+      HYPRE_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Error("invalid \\u escape");
+            }
+            // The writer only emits \u for control characters; decode the
+            // BMP subset as UTF-8 for robustness.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error(StringFormat("invalid escape '\\%c'", esc));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    size_t digits_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == digits_start) return Error("expected digits in number");
+    // JSON forbids leading zeros ("01"); accepting them would let two
+    // different byte sequences decode to the same catalog, weakening the
+    // "corruption is detected" story.
+    if (text_[digits_start] == '0' && pos_ - digits_start > 1) {
+      return Error("leading zero in number");
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Error("malformed number");
+    errno = 0;
+    char* end = nullptr;
+    if (is_double) {
+      double d = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        return Error("malformed number '" + token + "'");
+      }
+      return Json::Double(d);
+    }
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || errno == ERANGE) {
+      return Error("malformed integer '" + token + "'");
+    }
+    return Json::Int(static_cast<int64_t>(v));
+  }
+
+  const std::string& text_;
+  const std::string& context_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text, const std::string& context) {
+  return JsonParser(text, context).ParseDocument();
+}
+
+}  // namespace storage
+}  // namespace hypre

@@ -1,0 +1,90 @@
+// Minimal JSON DOM for the snapshot's catalog-metadata section.
+//
+// The catalog (table schemas, index columns, engine descriptors) is small
+// and human-debuggable, so it is stored as JSON rather than packed binary —
+// `strings <snapshot>` shows what a snapshot contains. This is a
+// deliberately tiny implementation: objects, arrays, strings, bools, null,
+// and numbers. Integers are kept as int64 exactly (no double round-trip),
+// which the format relies on for epochs and journal sequence numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hypre {
+namespace storage {
+
+/// \brief A JSON value. Ints and doubles are distinct kinds so 64-bit
+/// sequence numbers survive a round-trip exactly.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool v);
+  static Json Int(int64_t v);
+  static Json Double(double v);
+  static Json Str(std::string v);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_[i]; }
+  void Append(Json v) { array_.push_back(std::move(v)); }
+
+  // Object access. Insertion order is preserved for serialization so the
+  // written bytes are deterministic.
+  bool Has(const std::string& key) const;
+  const Json* Find(const std::string& key) const;
+  void Set(const std::string& key, Json v);
+
+  /// \brief Typed lookups with fail-closed errors carrying `context`.
+  Result<int64_t> GetInt(const std::string& key,
+                         const std::string& context) const;
+  Result<std::string> GetString(const std::string& key,
+                                const std::string& context) const;
+  Result<const Json*> GetArray(const std::string& key,
+                               const std::string& context) const;
+  Result<const Json*> GetObject(const std::string& key,
+                                const std::string& context) const;
+
+  /// \brief Compact serialization (no insignificant whitespace).
+  std::string Dump() const;
+
+  /// \brief Parses a complete JSON document; trailing garbage is an error.
+  /// Errors carry `context` and the byte offset of the failure.
+  static Result<Json> Parse(const std::string& text,
+                            const std::string& context);
+
+ private:
+  Status WrongKind(const std::string& key, const char* want,
+                   const std::string& context) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace storage
+}  // namespace hypre

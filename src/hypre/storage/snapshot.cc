@@ -1,0 +1,387 @@
+#include "hypre/storage/snapshot.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "hypre/storage/format.h"
+#include "hypre/storage/json.h"
+
+namespace hypre {
+namespace storage {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'H', 'Y', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr int64_t kFormatVersion = 1;
+
+std::string EncodeTableRows(const reldb::Table& table) {
+  BufferWriter w;
+  w.PutU64(table.num_rows());
+  for (reldb::RowId id = 0; id < table.num_rows(); ++id) {
+    w.PutU8(table.is_deleted(id) ? 1 : 0);
+    for (const reldb::Value& v : table.row(id)) w.PutValue(v);
+  }
+  return w.TakeData();
+}
+
+std::string EncodeDictionary(const core::EngineSnapshotImage& image) {
+  BufferWriter w;
+  w.PutU64(image.keys.size());
+  for (const auto& [value, live] : image.keys) {
+    w.PutU8(live ? 1 : 0);
+    w.PutValue(value);
+  }
+  w.PutU64(image.free_ids.size());
+  for (uint32_t id : image.free_ids) w.PutU32(id);
+  return w.TakeData();
+}
+
+std::string EncodeLeaf(const core::EngineSnapshotImage::Leaf& leaf) {
+  BufferWriter w;
+  w.PutString(leaf.predicate_sql);
+  w.PutU64(leaf.words.size());
+  for (uint64_t word : leaf.words) w.PutU64(word);
+  return w.TakeData();
+}
+
+Json JsonStringArray(const std::vector<std::string>& items) {
+  Json arr = Json::Array();
+  for (const std::string& s : items) arr.Append(Json::Str(s));
+  return arr;
+}
+
+Json EncodeMeta(const reldb::Database& db, uint64_t journal_sequence,
+                const std::vector<SnapshotEngineState>& engines) {
+  Json meta = Json::Object();
+  meta.Set("format_version", Json::Int(kFormatVersion));
+  meta.Set("journal_sequence",
+           Json::Int(static_cast<int64_t>(journal_sequence)));
+
+  Json tables = Json::Array();
+  for (const std::string& name : db.TableNames()) {
+    const reldb::Table* table = db.GetTable(name);
+    Json t = Json::Object();
+    t.Set("name", Json::Str(name));
+    Json columns = Json::Array();
+    for (const reldb::Column& col : table->schema().columns()) {
+      Json c = Json::Object();
+      c.Set("name", Json::Str(col.name));
+      c.Set("type", Json::Int(static_cast<int64_t>(col.type)));
+      columns.Append(std::move(c));
+    }
+    t.Set("columns", std::move(columns));
+    t.Set("hash_indexes", JsonStringArray(table->HashIndexColumns()));
+    t.Set("ordered_indexes", JsonStringArray(table->OrderedIndexColumns()));
+    t.Set("num_rows", Json::Int(static_cast<int64_t>(table->num_rows())));
+    tables.Append(std::move(t));
+  }
+  meta.Set("tables", std::move(tables));
+
+  Json engine_list = Json::Array();
+  for (const SnapshotEngineState& state : engines) {
+    Json e = Json::Object();
+    e.Set("base_sql", Json::Str(state.base_sql));
+    e.Set("key_column", Json::Str(state.key_column));
+    e.Set("universe_ready", Json::Int(state.image.universe_ready ? 1 : 0));
+    e.Set("epoch", Json::Int(static_cast<int64_t>(state.image.epoch)));
+    e.Set("journal_cursor",
+          Json::Int(static_cast<int64_t>(state.image.journal_cursor)));
+    e.Set("num_keys", Json::Int(static_cast<int64_t>(state.image.keys.size())));
+    e.Set("num_leaves",
+          Json::Int(static_cast<int64_t>(state.image.leaves.size())));
+    engine_list.Append(std::move(e));
+  }
+  meta.Set("engines", std::move(engine_list));
+  return meta;
+}
+
+}  // namespace
+
+Status WriteSnapshot(Env* env, const std::string& path,
+                     const reldb::Database& db, uint64_t journal_sequence,
+                     const std::vector<SnapshotEngineState>& engines) {
+  std::string blob(kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendSection(kSectionMeta,
+                EncodeMeta(db, journal_sequence, engines).Dump(), &blob);
+  for (const std::string& name : db.TableNames()) {
+    AppendSection(kSectionTableRows, EncodeTableRows(*db.GetTable(name)),
+                  &blob);
+  }
+  for (const SnapshotEngineState& state : engines) {
+    if (!state.image.universe_ready) continue;
+    AppendSection(kSectionDictionary, EncodeDictionary(state.image), &blob);
+    for (const auto& leaf : state.image.leaves) {
+      AppendSection(kSectionLeaf, EncodeLeaf(leaf), &blob);
+    }
+  }
+  AppendSection(kSectionEnd, "", &blob);
+
+  // Atomic publish: temp file, full sync, rename over the live name.
+  std::string tmp = path + ".tmp";
+  HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(tmp, /*truncate=*/true));
+  HYPRE_RETURN_NOT_OK(file->Append(blob));
+  HYPRE_RETURN_NOT_OK(file->Sync());
+  HYPRE_RETURN_NOT_OK(file->Close());
+  return env->RenameFile(tmp, path);
+}
+
+namespace {
+
+Status DecodeTableRows(const Section& section, const std::string& context,
+                       size_t expected_rows, reldb::Table* table) {
+  BufferReader r(section.payload, section.size, context);
+  HYPRE_ASSIGN_OR_RETURN(uint64_t num_rows, r.ReadU64());
+  if (num_rows != expected_rows) {
+    return r.CorruptionError(StringFormat(
+        "row count %llu disagrees with catalog (%zu)",
+        (unsigned long long)num_rows, expected_rows));
+  }
+  size_t num_cols = table->schema().num_columns();
+  table->Reserve(static_cast<size_t>(num_rows));
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    HYPRE_ASSIGN_OR_RETURN(uint8_t deleted, r.ReadU8());
+    if (deleted > 1) {
+      return r.CorruptionError(
+          StringFormat("bad tombstone flag %u", unsigned{deleted}));
+    }
+    reldb::Row row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      HYPRE_ASSIGN_OR_RETURN(reldb::Value v, r.ReadValue());
+      row.push_back(std::move(v));
+    }
+    table->RestoreRow(std::move(row), deleted != 0);
+  }
+  if (!r.AtEnd()) {
+    return r.CorruptionError("trailing bytes after table rows");
+  }
+  return Status::OK();
+}
+
+Status DecodeDictionary(const Section& section, const std::string& context,
+                        size_t expected_keys,
+                        core::EngineSnapshotImage* image) {
+  BufferReader r(section.payload, section.size, context);
+  HYPRE_ASSIGN_OR_RETURN(uint64_t num_keys, r.ReadU64());
+  if (num_keys != expected_keys) {
+    return r.CorruptionError(StringFormat(
+        "key count %llu disagrees with catalog (%zu)",
+        (unsigned long long)num_keys, expected_keys));
+  }
+  image->keys.reserve(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    HYPRE_ASSIGN_OR_RETURN(uint8_t live, r.ReadU8());
+    if (live > 1) {
+      return r.CorruptionError(
+          StringFormat("bad live flag %u", unsigned{live}));
+    }
+    HYPRE_ASSIGN_OR_RETURN(reldb::Value v, r.ReadValue());
+    image->keys.emplace_back(std::move(v), live != 0);
+  }
+  HYPRE_ASSIGN_OR_RETURN(uint64_t num_free, r.ReadU64());
+  if (num_free > num_keys) {
+    return r.CorruptionError(StringFormat(
+        "free list of %llu ids exceeds universe of %llu keys",
+        (unsigned long long)num_free, (unsigned long long)num_keys));
+  }
+  image->free_ids.reserve(num_free);
+  for (uint64_t i = 0; i < num_free; ++i) {
+    HYPRE_ASSIGN_OR_RETURN(uint32_t id, r.ReadU32());
+    image->free_ids.push_back(id);
+  }
+  if (!r.AtEnd()) {
+    return r.CorruptionError("trailing bytes after dictionary");
+  }
+  return Status::OK();
+}
+
+Status DecodeLeaf(const Section& section, const std::string& context,
+                  core::EngineSnapshotImage::Leaf* leaf) {
+  BufferReader r(section.payload, section.size, context);
+  HYPRE_ASSIGN_OR_RETURN(leaf->predicate_sql, r.ReadString());
+  HYPRE_ASSIGN_OR_RETURN(uint64_t num_words, r.ReadU64());
+  if (num_words * 8 != r.remaining()) {
+    return r.CorruptionError(StringFormat(
+        "leaf claims %llu bitmap words but %zu bytes follow",
+        (unsigned long long)num_words, r.remaining()));
+  }
+  leaf->words.reserve(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) {
+    HYPRE_ASSIGN_OR_RETURN(uint64_t word, r.ReadU64());
+    leaf->words.push_back(word);
+  }
+  return Status::OK();
+}
+
+Result<Section> NextSection(const std::string& data, uint64_t* offset,
+                            uint32_t expected_type,
+                            const std::string& context) {
+  if (*offset >= data.size()) {
+    return Status::Internal(context +
+                            ": file ends before its terminator section "
+                            "(truncated snapshot)");
+  }
+  HYPRE_ASSIGN_OR_RETURN(Section section,
+                         ReadSection(data.data(), data.size(), offset,
+                                     context));
+  if (section.type != expected_type) {
+    return Status::Internal(StringFormat(
+        "%s: expected section type %u at byte %llu, found %u",
+        context.c_str(), expected_type,
+        (unsigned long long)section.file_offset, section.type));
+  }
+  return section;
+}
+
+}  // namespace
+
+Result<SnapshotContents> ReadSnapshot(Env* env, const std::string& path) {
+  std::string context = "snapshot '" + path + "'";
+  HYPRE_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  if (data.size() < sizeof(kSnapshotMagic) ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Internal(
+        context + ": bad magic (not a snapshot file, or corrupted)");
+  }
+  uint64_t offset = sizeof(kSnapshotMagic);
+
+  // Catalog metadata.
+  HYPRE_ASSIGN_OR_RETURN(Section meta_section,
+                         NextSection(data, &offset, kSectionMeta, context));
+  HYPRE_ASSIGN_OR_RETURN(
+      Json meta, Json::Parse(std::string(meta_section.payload,
+                                         meta_section.size),
+                             context + " meta"));
+  HYPRE_ASSIGN_OR_RETURN(int64_t version,
+                         meta.GetInt("format_version", context));
+  if (version != kFormatVersion) {
+    return Status::Internal(StringFormat(
+        "%s: format version %lld not supported (this build reads %lld)",
+        context.c_str(), (long long)version, (long long)kFormatVersion));
+  }
+  SnapshotContents out;
+  HYPRE_ASSIGN_OR_RETURN(int64_t seq,
+                         meta.GetInt("journal_sequence", context));
+  out.journal_sequence = static_cast<uint64_t>(seq);
+  out.db = std::make_unique<reldb::Database>();
+
+  // Tables: schemas from the catalog, rows from the binary sections.
+  HYPRE_ASSIGN_OR_RETURN(const Json* tables, meta.GetArray("tables", context));
+  struct PendingIndexes {
+    reldb::Table* table;
+    std::vector<std::string> hash_columns;
+    std::vector<std::string> ordered_columns;
+  };
+  std::vector<PendingIndexes> pending;
+  for (size_t i = 0; i < tables->size(); ++i) {
+    const Json& t = tables->at(i);
+    std::string tctx = StringFormat("%s table[%zu]", context.c_str(), i);
+    HYPRE_ASSIGN_OR_RETURN(std::string name, t.GetString("name", tctx));
+    HYPRE_ASSIGN_OR_RETURN(const Json* columns, t.GetArray("columns", tctx));
+    std::vector<reldb::Column> cols;
+    cols.reserve(columns->size());
+    for (size_t c = 0; c < columns->size(); ++c) {
+      HYPRE_ASSIGN_OR_RETURN(std::string col_name,
+                             columns->at(c).GetString("name", tctx));
+      HYPRE_ASSIGN_OR_RETURN(int64_t type, columns->at(c).GetInt("type", tctx));
+      if (type < 0 || type > static_cast<int64_t>(reldb::ValueType::kString)) {
+        return Status::Internal(StringFormat(
+            "%s: column '%s' has unknown type tag %lld", tctx.c_str(),
+            col_name.c_str(), (long long)type));
+      }
+      cols.push_back({std::move(col_name), static_cast<reldb::ValueType>(type)});
+    }
+    HYPRE_ASSIGN_OR_RETURN(int64_t num_rows, t.GetInt("num_rows", tctx));
+    HYPRE_ASSIGN_OR_RETURN(reldb::Table * table,
+                           out.db->CreateTable(name, reldb::Schema(cols)));
+    HYPRE_ASSIGN_OR_RETURN(
+        Section rows_section,
+        NextSection(data, &offset, kSectionTableRows, context));
+    HYPRE_RETURN_NOT_OK(DecodeTableRows(rows_section, tctx + " rows",
+                                        static_cast<size_t>(num_rows), table));
+
+    PendingIndexes idx;
+    idx.table = table;
+    HYPRE_ASSIGN_OR_RETURN(const Json* hashes,
+                           t.GetArray("hash_indexes", tctx));
+    for (size_t h = 0; h < hashes->size(); ++h) {
+      idx.hash_columns.push_back(hashes->at(h).AsString());
+    }
+    HYPRE_ASSIGN_OR_RETURN(const Json* ordered,
+                           t.GetArray("ordered_indexes", tctx));
+    for (size_t o = 0; o < ordered->size(); ++o) {
+      idx.ordered_columns.push_back(ordered->at(o).AsString());
+    }
+    pending.push_back(std::move(idx));
+  }
+  // Indexes after all rows are restored (RestoreRow skips index upkeep) —
+  // and lazily: a declared index materializes on its first query touch, so
+  // a warm restart whose engines probe restored bitmaps never pays for
+  // index builds it does not use.
+  for (PendingIndexes& idx : pending) {
+    for (const std::string& col : idx.hash_columns) {
+      HYPRE_RETURN_NOT_OK(idx.table->DeclareHashIndex(col));
+    }
+    for (const std::string& col : idx.ordered_columns) {
+      HYPRE_RETURN_NOT_OK(idx.table->DeclareOrderedIndex(col));
+    }
+  }
+  // The restored journal starts numbering where the snapshot left off, so
+  // WAL replay reproduces the original sequence numbers.
+  out.db->mutable_journal()->SetStart(out.journal_sequence);
+
+  // Engines.
+  HYPRE_ASSIGN_OR_RETURN(const Json* engine_list,
+                         meta.GetArray("engines", context));
+  for (size_t i = 0; i < engine_list->size(); ++i) {
+    const Json& e = engine_list->at(i);
+    std::string ectx = StringFormat("%s engine[%zu]", context.c_str(), i);
+    SnapshotEngineState state;
+    HYPRE_ASSIGN_OR_RETURN(state.base_sql, e.GetString("base_sql", ectx));
+    HYPRE_ASSIGN_OR_RETURN(state.key_column, e.GetString("key_column", ectx));
+    HYPRE_ASSIGN_OR_RETURN(int64_t ready, e.GetInt("universe_ready", ectx));
+    state.image.universe_ready = ready != 0;
+    HYPRE_ASSIGN_OR_RETURN(int64_t epoch, e.GetInt("epoch", ectx));
+    state.image.epoch = static_cast<uint64_t>(epoch);
+    HYPRE_ASSIGN_OR_RETURN(int64_t cursor, e.GetInt("journal_cursor", ectx));
+    state.image.journal_cursor = static_cast<uint64_t>(cursor);
+    if (state.image.universe_ready) {
+      HYPRE_ASSIGN_OR_RETURN(int64_t num_keys, e.GetInt("num_keys", ectx));
+      HYPRE_ASSIGN_OR_RETURN(int64_t num_leaves, e.GetInt("num_leaves", ectx));
+      HYPRE_ASSIGN_OR_RETURN(
+          Section dict_section,
+          NextSection(data, &offset, kSectionDictionary, context));
+      HYPRE_RETURN_NOT_OK(DecodeDictionary(dict_section, ectx + " dictionary",
+                                           static_cast<size_t>(num_keys),
+                                           &state.image));
+      for (int64_t l = 0; l < num_leaves; ++l) {
+        HYPRE_ASSIGN_OR_RETURN(
+            Section leaf_section,
+            NextSection(data, &offset, kSectionLeaf, context));
+        core::EngineSnapshotImage::Leaf leaf;
+        HYPRE_RETURN_NOT_OK(
+            DecodeLeaf(leaf_section,
+                       StringFormat("%s leaf[%lld]", ectx.c_str(),
+                                    (long long)l),
+                       &leaf));
+        state.image.leaves.push_back(std::move(leaf));
+      }
+    }
+    out.engines.push_back(std::move(state));
+  }
+
+  // Terminator: its presence proves the file was written to the end.
+  HYPRE_ASSIGN_OR_RETURN(Section end_section,
+                         NextSection(data, &offset, kSectionEnd, context));
+  (void)end_section;
+  if (offset != data.size()) {
+    return Status::Internal(StringFormat(
+        "%s: %llu trailing bytes after the terminator section",
+        context.c_str(), (unsigned long long)(data.size() - offset)));
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace hypre

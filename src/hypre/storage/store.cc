@@ -1,0 +1,164 @@
+#include "hypre/storage/store.h"
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace storage {
+
+Result<std::unique_ptr<EngineStore>> EngineStore::Open(
+    const std::string& dir, const StorageOptions& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  HYPRE_RETURN_NOT_OK(env->CreateDirIfMissing(dir));
+  std::unique_ptr<EngineStore> store(new EngineStore(dir, options, env));
+  // In-flight temp files from a previous crashed run are dead weight; the
+  // live names are the only durable truth.
+  HYPRE_RETURN_NOT_OK(env->RemoveFile(store->snapshot_path() + ".tmp"));
+  HYPRE_RETURN_NOT_OK(env->RemoveFile(store->dir_ + "/wal.tmp"));
+  return store;
+}
+
+Status EngineStore::RotateWal(uint64_t base) {
+  writer_.reset();
+  std::string tmp = dir_ + "/wal.tmp";
+  HYPRE_ASSIGN_OR_RETURN(writer_, WalWriter::Create(env_, tmp, base));
+  // The open handle follows the inode through the rename, so appends after
+  // this land in the live file.
+  HYPRE_RETURN_NOT_OK(env_->RenameFile(tmp, wal_path()));
+  wal_seq_ = base;
+  return Status::OK();
+}
+
+Status EngineStore::InitialCheckpoint(
+    reldb::Database* db, const std::vector<SnapshotEngineState>& engines) {
+  uint64_t seq = db->journal().sequence();
+  HYPRE_RETURN_NOT_OK(
+      WriteSnapshot(env_, snapshot_path(), *db, seq, engines));
+  snapshot_seq_ = seq;
+  HYPRE_RETURN_NOT_OK(RotateWal(seq));
+  db->mutable_journal()->TruncateTo(seq);
+  return Status::OK();
+}
+
+Status EngineStore::SpillJournalTail(const reldb::Database& db) {
+  if (writer_ == nullptr) {
+    return Status::Internal("storage dir '" + dir_ +
+                            "' has no write-ahead log attached (checkpoint "
+                            "or recover first)");
+  }
+  const reldb::MutationJournal& journal = db.journal();
+  uint64_t end = journal.sequence();
+  for (uint64_t seq = wal_seq_; seq < end; ++seq) {
+    const reldb::Mutation& m = journal.entry(seq);
+    const reldb::Table* table = db.GetTable(m.table);
+    if (table == nullptr) {
+      return Status::Internal("journal names unknown table '" + m.table +
+                              "'");
+    }
+    // Appended payloads are read back from the table; tombstone retention
+    // guarantees they are still addressable even if the row died since.
+    const reldb::Row* row =
+        m.kind == reldb::Mutation::Kind::kAppend ? &table->row(m.row)
+                                                 : nullptr;
+    HYPRE_RETURN_NOT_OK(writer_->AppendRecord(
+        EncodeWalRecord(seq, m.kind, m.table, m.row, row)));
+  }
+  wal_seq_ = end;
+  return Status::OK();
+}
+
+Status EngineStore::CommitJournal(const reldb::Database& db) {
+  HYPRE_RETURN_NOT_OK(SpillJournalTail(db));
+  return writer_->Sync();
+}
+
+Status EngineStore::WriteCheckpoint(
+    reldb::Database* db, const std::vector<SnapshotEngineState>& engines) {
+  // Spill first so the WAL alone carries everything up to the snapshot —
+  // a crash during the snapshot write recovers from old snapshot + WAL.
+  HYPRE_RETURN_NOT_OK(CommitJournal(*db));
+  uint64_t seq = db->journal().sequence();
+  HYPRE_RETURN_NOT_OK(
+      WriteSnapshot(env_, snapshot_path(), *db, seq, engines));
+  snapshot_seq_ = seq;
+  HYPRE_RETURN_NOT_OK(RotateWal(seq));
+  // Every engine's cursor is at `seq` (the caller refreshed them before
+  // capturing images), and the WAL below `seq` is gone — the in-memory
+  // prefix has no remaining consumer.
+  db->mutable_journal()->TruncateTo(seq);
+  return Status::OK();
+}
+
+Result<SnapshotContents> EngineStore::Recover() {
+  if (!HasSnapshot()) {
+    return Status::NotFound("storage dir '" + dir_ +
+                            "' has no snapshot to recover from");
+  }
+  HYPRE_ASSIGN_OR_RETURN(SnapshotContents contents,
+                         ReadSnapshot(env_, snapshot_path()));
+  uint64_t snap_seq = contents.journal_sequence;
+
+  // Replay the WAL tail. A missing WAL is a crash window between the
+  // snapshot rename and the WAL rotation — the snapshot alone is the
+  // committed state.
+  if (env_->FileExists(wal_path())) {
+    HYPRE_ASSIGN_OR_RETURN(WalContents wal, ReadWal(env_, wal_path()));
+    if (wal.base_seq > snap_seq) {
+      return Status::Internal(StringFormat(
+          "wal '%s' starts at sequence %llu, beyond the snapshot's %llu — "
+          "the snapshot predates the log that references it",
+          wal_path().c_str(), (unsigned long long)wal.base_seq,
+          (unsigned long long)snap_seq));
+    }
+    for (const WalRecord& rec : wal.records) {
+      uint64_t next = contents.db->journal().sequence();
+      // Records below the snapshot (or already replayed — a re-spilled
+      // segment) are baked in; skipping them is what makes replay
+      // idempotent.
+      if (rec.seq < next) continue;
+      if (rec.seq != next) {
+        return Status::Internal(StringFormat(
+            "wal '%s': gap in the log — record sequence %llu where %llu "
+            "was expected",
+            wal_path().c_str(), (unsigned long long)rec.seq,
+            (unsigned long long)next));
+      }
+      reldb::Table* table = contents.db->GetTable(rec.table);
+      if (table == nullptr) {
+        return Status::Internal(
+            "wal '" + wal_path() + "': record " + std::to_string(rec.seq) +
+            " names table '" + rec.table + "' absent from the snapshot");
+      }
+      if (rec.kind == reldb::Mutation::Kind::kAppend) {
+        if (rec.row_id != table->num_rows()) {
+          return Status::Internal(StringFormat(
+              "wal '%s': record %llu appends row %llu to '%s' but the "
+              "table is at row %zu — snapshot and log disagree",
+              wal_path().c_str(), (unsigned long long)rec.seq,
+              (unsigned long long)rec.row_id, rec.table.c_str(),
+              table->num_rows()));
+        }
+        // AppendUnchecked re-journals the mutation, which is exactly what
+        // keeps replayed sequence numbers aligned with the originals.
+        table->AppendUnchecked(rec.row);
+      } else {
+        Status deleted = table->Delete(rec.row_id);
+        if (!deleted.ok()) {
+          return Status::Internal(StringFormat(
+              "wal '%s': record %llu delete failed: %s", wal_path().c_str(),
+              (unsigned long long)rec.seq, deleted.message().c_str()));
+        }
+      }
+    }
+  }
+
+  // Repair the directory to canonical form: a fresh WAL based at the
+  // snapshot with the replayed tail re-spilled, so the next crash recovers
+  // from exactly this state again.
+  snapshot_seq_ = snap_seq;
+  HYPRE_RETURN_NOT_OK(RotateWal(snap_seq));
+  HYPRE_RETURN_NOT_OK(CommitJournal(*contents.db));
+  return contents;
+}
+
+}  // namespace storage
+}  // namespace hypre

@@ -1,0 +1,201 @@
+#include "hypre/storage/wal.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "hypre/storage/format.h"
+
+namespace hypre {
+namespace storage {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'H', 'Y', 'W', 'A', 'L', '0', '0', '1'};
+constexpr size_t kWalHeaderSize = 8 + 8 + 4;     // magic + base_seq + crc
+constexpr size_t kRecordHeaderSize = 4 + 4 + 4;  // len + header_crc + payload_crc
+
+std::string EncodeWalHeader(uint64_t base_seq) {
+  BufferWriter w;
+  w.PutRaw(kWalMagic, sizeof(kWalMagic));
+  w.PutU64(base_seq);
+  w.PutU32(Crc32(w.data()));
+  return w.TakeData();
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(uint64_t seq, reldb::Mutation::Kind kind,
+                            const std::string& table, reldb::RowId row_id,
+                            const reldb::Row* row) {
+  BufferWriter w;
+  w.PutU64(seq);
+  w.PutU8(kind == reldb::Mutation::Kind::kAppend ? 0 : 1);
+  w.PutString(table);
+  w.PutU64(row_id);
+  if (kind == reldb::Mutation::Kind::kAppend) {
+    w.PutU32(static_cast<uint32_t>(row->size()));
+    for (const reldb::Value& v : *row) w.PutValue(v);
+  }
+  return w.TakeData();
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
+                                                     const std::string& path,
+                                                     uint64_t base_seq) {
+  HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(path, /*truncate=*/true));
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(std::move(file), path));
+  HYPRE_RETURN_NOT_OK(writer->file_->Append(EncodeWalHeader(base_seq)));
+  HYPRE_RETURN_NOT_OK(writer->Sync());
+  return writer;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Attach(Env* env,
+                                                     const std::string& path,
+                                                     uint64_t valid_size) {
+  HYPRE_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
+  if (size > valid_size) {
+    // Cut off a torn tail before appending after it.
+    HYPRE_RETURN_NOT_OK(env->TruncateFile(path, valid_size));
+  } else if (size < valid_size) {
+    return Status::Internal(StringFormat(
+        "wal '%s': file shrank below its valid prefix (%llu < %llu bytes)",
+        path.c_str(), (unsigned long long)size,
+        (unsigned long long)valid_size));
+  }
+  HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(path, /*truncate=*/false));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file), path));
+}
+
+Status WalWriter::AppendRecord(const std::string& payload) {
+  BufferWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(frame.data()));  // header crc protects the length field
+  frame.PutU32(Crc32(payload));
+  frame.PutRaw(payload.data(), payload.size());
+  return file_->Append(frame.data());
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+namespace {
+
+Result<WalRecord> DecodeWalRecord(const char* payload, size_t n,
+                                  const std::string& context) {
+  BufferReader r(payload, n, context);
+  WalRecord rec;
+  HYPRE_ASSIGN_OR_RETURN(rec.seq, r.ReadU64());
+  HYPRE_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+  if (kind > 1) {
+    return r.CorruptionError(
+        StringFormat("unknown record kind %u", unsigned{kind}));
+  }
+  rec.kind = kind == 0 ? reldb::Mutation::Kind::kAppend
+                       : reldb::Mutation::Kind::kDelete;
+  HYPRE_ASSIGN_OR_RETURN(rec.table, r.ReadString());
+  HYPRE_ASSIGN_OR_RETURN(rec.row_id, r.ReadU64());
+  if (rec.kind == reldb::Mutation::Kind::kAppend) {
+    HYPRE_ASSIGN_OR_RETURN(uint32_t num_cols, r.ReadU32());
+    rec.row.reserve(num_cols);
+    for (uint32_t i = 0; i < num_cols; ++i) {
+      HYPRE_ASSIGN_OR_RETURN(reldb::Value v, r.ReadValue());
+      rec.row.push_back(std::move(v));
+    }
+  }
+  if (!r.AtEnd()) {
+    return r.CorruptionError("trailing bytes after record payload");
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<WalContents> ReadWal(Env* env, const std::string& path) {
+  HYPRE_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+
+  // Header. A wal file is only ever observed under its final name after its
+  // header was written and synced (creation happens under a temp name or
+  // before the matching snapshot is exposed), so a short or mismatched
+  // header is corruption, not a torn tail.
+  BufferReader header(data.data(),
+                      data.size() < kWalHeaderSize ? data.size()
+                                                   : kWalHeaderSize,
+                      "wal '" + path + "' header");
+  char magic[sizeof(kWalMagic)];
+  HYPRE_RETURN_NOT_OK(header.ReadRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Internal("wal '" + path +
+                            "': bad magic (not a wal file, or corrupted)");
+  }
+  WalContents out;
+  HYPRE_ASSIGN_OR_RETURN(out.base_seq, header.ReadU64());
+  HYPRE_ASSIGN_OR_RETURN(uint32_t header_crc, header.ReadU32());
+  uint32_t expect = Crc32(data.data(), 8 + 8);
+  if (header_crc != expect) {
+    return Status::Internal(StringFormat(
+        "wal '%s': header checksum mismatch (stored %08x, computed %08x)",
+        path.c_str(), header_crc, expect));
+  }
+
+  uint64_t offset = kWalHeaderSize;
+  uint64_t prev_seq = out.base_seq;
+  while (offset < data.size()) {
+    uint64_t remaining = data.size() - offset;
+    if (remaining < kRecordHeaderSize) {
+      // Torn tail: the record header itself was cut mid-write.
+      break;
+    }
+    BufferReader rh(data.data() + offset, kRecordHeaderSize,
+                    StringFormat("wal '%s' record header at byte %llu",
+                                 path.c_str(), (unsigned long long)offset));
+    HYPRE_ASSIGN_OR_RETURN(uint32_t len, rh.ReadU32());
+    HYPRE_ASSIGN_OR_RETURN(uint32_t len_crc, rh.ReadU32());
+    HYPRE_ASSIGN_OR_RETURN(uint32_t payload_crc, rh.ReadU32());
+    uint32_t expect_len_crc = Crc32(data.data() + offset, 4);
+    if (len_crc != expect_len_crc) {
+      // The 12 header bytes are fully present, so they were once written
+      // whole; a mismatch means they changed since. Fail closed.
+      return Status::Internal(StringFormat(
+          "wal '%s': record length checksum mismatch at byte %llu (stored "
+          "%08x, computed %08x)",
+          path.c_str(), (unsigned long long)offset, len_crc,
+          expect_len_crc));
+    }
+    if (remaining - kRecordHeaderSize < len) {
+      // Torn tail: payload cut mid-write.
+      break;
+    }
+    const char* payload = data.data() + offset + kRecordHeaderSize;
+    uint32_t expect_payload_crc = Crc32(payload, len);
+    if (payload_crc != expect_payload_crc) {
+      return Status::Internal(StringFormat(
+          "wal '%s': record checksum mismatch at byte %llu (stored %08x, "
+          "computed %08x)",
+          path.c_str(), (unsigned long long)offset, payload_crc,
+          expect_payload_crc));
+    }
+    HYPRE_ASSIGN_OR_RETURN(
+        WalRecord rec,
+        DecodeWalRecord(payload, len,
+                        StringFormat("wal '%s' record at byte %llu",
+                                     path.c_str(),
+                                     (unsigned long long)offset)));
+    if (rec.seq < prev_seq) {
+      return Status::Internal(StringFormat(
+          "wal '%s': record at byte %llu has sequence %llu below its "
+          "predecessor %llu",
+          path.c_str(), (unsigned long long)offset,
+          (unsigned long long)rec.seq, (unsigned long long)prev_seq));
+    }
+    prev_seq = rec.seq;
+    out.records.push_back(std::move(rec));
+    offset += kRecordHeaderSize + len;
+  }
+  out.valid_size = offset;
+  return out;
+}
+
+}  // namespace storage
+}  // namespace hypre

@@ -1,0 +1,103 @@
+// Write-ahead journal log: durable spill of MutationJournal segments.
+//
+// File layout:
+//
+//   [8B magic "HYWAL001"][u64 base_seq][u32 crc(magic+base)]    <- header
+//   [u32 len][u32 header_crc][u32 payload_crc][payload]  ...    <- records
+//
+// where each record payload is
+//
+//   u64 seq, u8 kind (0=append 1=delete), string table, u64 row_id,
+//   and for appends: u32 num_columns followed by that many Values.
+//
+// `base_seq` is the journal sequence the co-resident snapshot covers: every
+// record in the file has seq >= base_seq, and replaying the file on top of
+// that snapshot reproduces the journal suffix exactly (appends re-journal
+// through Table::Append, so replayed sequence numbers line up).
+//
+// Tail semantics are the crux of crash safety. A record whose bytes run out
+// before its declared end is a TORN TAIL — the process died mid-write, the
+// record was never acknowledged, and recovery keeps the valid prefix. A
+// record that is fully present but fails either checksum is CORRUPTION —
+// those bytes were once written completely, so the file no longer says what
+// it said at commit time — and the reader fails closed rather than guess.
+// The header_crc exists precisely so a flipped bit in a length field cannot
+// disguise corruption as a torn tail (the unprotected-length weakness of
+// classic log formats).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/storage/env.h"
+#include "reldb/mutation_journal.h"
+#include "reldb/schema.h"
+
+namespace hypre {
+namespace storage {
+
+/// \brief One decoded WAL record.
+struct WalRecord {
+  uint64_t seq = 0;
+  reldb::Mutation::Kind kind = reldb::Mutation::Kind::kAppend;
+  std::string table;
+  reldb::RowId row_id = 0;
+  /// Row payload; meaningful for appends only.
+  reldb::Row row;
+};
+
+/// \brief Everything a valid WAL (or valid prefix of one) contains.
+struct WalContents {
+  uint64_t base_seq = 0;
+  std::vector<WalRecord> records;
+  /// Size in bytes of the valid prefix (header + intact records). When the
+  /// file carried a torn tail this is smaller than the file; re-attaching a
+  /// writer first truncates to this size.
+  uint64_t valid_size = 0;
+};
+
+/// \brief Serializes one mutation into a record payload. For appends `row`
+/// must point at the row's values; for deletes it may be null.
+std::string EncodeWalRecord(uint64_t seq, reldb::Mutation::Kind kind,
+                            const std::string& table, reldb::RowId row_id,
+                            const reldb::Row* row);
+
+/// \brief Appends framed records to a WAL file through an Env.
+class WalWriter {
+ public:
+  /// \brief Creates `path` fresh (truncating), writes + syncs the header.
+  static Result<std::unique_ptr<WalWriter>> Create(Env* env,
+                                                   const std::string& path,
+                                                   uint64_t base_seq);
+
+  /// \brief Re-attaches to an existing WAL whose valid prefix is
+  /// `valid_size` bytes (from ReadWal); any torn tail beyond it is cut off
+  /// before appending resumes.
+  static Result<std::unique_ptr<WalWriter>> Attach(Env* env,
+                                                   const std::string& path,
+                                                   uint64_t valid_size);
+
+  /// \brief Appends one framed record (no sync).
+  Status AppendRecord(const std::string& payload);
+
+  /// \brief Durably flushes all appended records.
+  Status Sync();
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+};
+
+/// \brief Reads and validates a WAL file. Returns the decoded records of
+/// the valid prefix; fails closed on header corruption or on any record
+/// that is fully present but fails a checksum.
+Result<WalContents> ReadWal(Env* env, const std::string& path);
+
+}  // namespace storage
+}  // namespace hypre

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <fstream>
 #include <istream>
 #include <ostream>
 
@@ -156,37 +157,54 @@ Status WriteCsv(const ResultSet& result, std::ostream* out) {
   return Status::OK();
 }
 
-Result<size_t> AppendCsv(std::istream* in, Table* table) {
+Result<size_t> AppendCsv(std::istream* in, Table* table,
+                         const std::string& source_name) {
   std::string line;
   if (!std::getline(*in, line)) {
-    return Status::ParseError("empty CSV input");
+    return Status::ParseError("'" + source_name + "': empty CSV input");
   }
   HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> header, SplitRecord(line));
   if (header.size() != table->schema().num_columns()) {
     return Status::InvalidArgument(StringFormat(
-        "CSV header has %zu columns; table expects %zu", header.size(),
-        table->schema().num_columns()));
+        "'%s': CSV header has %zu columns; table expects %zu",
+        source_name.c_str(), header.size(), table->schema().num_columns()));
   }
   for (size_t c = 0; c < header.size(); ++c) {
     if (Trim(header[c]) != table->schema().column(c).name) {
       return Status::InvalidArgument(
-          "CSV header mismatch at column '" + header[c] + "' (expected '" +
-          table->schema().column(c).name + "')");
+          "'" + source_name + "': CSV header mismatch at column '" +
+          header[c] + "' (expected '" + table->schema().column(c).name +
+          "')");
     }
   }
   size_t loaded = 0;
   size_t line_number = 1;
+  // Byte offset of the line currently being parsed (start-of-line), kept by
+  // accumulating consumed lines plus their newline.
+  uint64_t byte_offset = line.size() + 1;
+  uint64_t line_offset = byte_offset;
   while (std::getline(*in, line)) {
     ++line_number;
+    line_offset = byte_offset;
+    byte_offset += line.size() + 1;
     if (line.empty()) continue;
-    // Errors below name the data row (1-based, blank lines skipped) AND the
-    // physical line, so callers can locate the offending record either way.
-    HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                           SplitRecord(line));
+    // Errors below name the source, the data row (1-based, blank lines
+    // skipped), the physical line, AND the byte offset of that line, so a
+    // bad record is addressable with `tail -c +offset` as well as an editor.
+    auto split = SplitRecord(line);
+    if (!split.ok()) {
+      return Status::ParseError(StringFormat(
+          "'%s' row %zu (line %zu, byte %llu): %s", source_name.c_str(),
+          loaded + 1, line_number, (unsigned long long)line_offset,
+          split.status().message().c_str()));
+    }
+    std::vector<std::string> fields = std::move(split).TakeValue();
     if (fields.size() != table->schema().num_columns()) {
       return Status::ParseError(StringFormat(
-          "row %zu (line %zu) has %zu fields, expected %zu", loaded + 1,
-          line_number, fields.size(), table->schema().num_columns()));
+          "'%s' row %zu (line %zu, byte %llu) has %zu fields, expected %zu",
+          source_name.c_str(), loaded + 1, line_number,
+          (unsigned long long)line_offset, fields.size(),
+          table->schema().num_columns()));
     }
     Row row;
     row.reserve(fields.size());
@@ -194,7 +212,9 @@ Result<size_t> AppendCsv(std::istream* in, Table* table) {
       auto v = ParseField(fields[c], table->schema().column(c).type);
       if (!v.ok()) {
         return Status::ParseError(StringFormat(
-            "row %zu (line %zu) column '%s': %s", loaded + 1, line_number,
+            "'%s' row %zu (line %zu, byte %llu) column '%s': %s",
+            source_name.c_str(), loaded + 1, line_number,
+            (unsigned long long)line_offset,
             table->schema().column(c).name.c_str(),
             v.status().message().c_str()));
       }
@@ -202,13 +222,22 @@ Result<size_t> AppendCsv(std::istream* in, Table* table) {
     }
     Status appended = table->Append(std::move(row));
     if (!appended.ok()) {
-      return Status::InvalidArgument(
-          StringFormat("row %zu (line %zu): %s", loaded + 1, line_number,
-                       appended.message().c_str()));
+      return Status::InvalidArgument(StringFormat(
+          "'%s' row %zu (line %zu, byte %llu): %s", source_name.c_str(),
+          loaded + 1, line_number, (unsigned long long)line_offset,
+          appended.message().c_str()));
     }
     ++loaded;
   }
   return loaded;
+}
+
+Result<size_t> AppendCsvFile(const std::string& path, Table* table) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open CSV for reading: " + path);
+  }
+  return AppendCsv(&file, table, path);
 }
 
 Result<Table*> LoadCsvAsTable(std::istream* in, const std::string& table_name,

@@ -27,8 +27,16 @@ Status WriteCsv(const ResultSet& result, std::ostream* out);
 /// match the schema's column names (order included). Returns rows loaded.
 /// Appends route through Table::Append, so bulk loads land in the owning
 /// database's mutation journal and a later ProbeEngine::Refresh() picks
-/// them up. Arity and type errors name the offending data row and line.
-Result<size_t> AppendCsv(std::istream* in, Table* table);
+/// them up. Errors carry `source_name` (the file path when the caller has
+/// one), the offending data row and line, and the byte offset of that line
+/// in the stream, so a bad record in a multi-gigabyte dump is addressable
+/// directly.
+Result<size_t> AppendCsv(std::istream* in, Table* table,
+                         const std::string& source_name = "<csv>");
+
+/// \brief Opens `path` and appends its rows into `table`; error context
+/// names the path and byte offset.
+Result<size_t> AppendCsvFile(const std::string& path, Table* table);
 
 /// \brief Creates `table_name` in `db` by inferring the schema from the CSV
 /// header and the first data row (INT64 if it parses as an integer, DOUBLE

@@ -36,6 +36,13 @@ void DenseDictionary::Reassign(uint32_t id, const Value& v) {
   ids_[v] = id;
 }
 
+uint32_t DenseDictionary::Restore(const Value& v, bool live) {
+  uint32_t id = static_cast<uint32_t>(values_.size());
+  values_.push_back(v);
+  if (live) ids_[v] = id;
+  return id;
+}
+
 std::string Query::ToSql() const {
   std::string sql = "SELECT ";
   if (select.empty()) {

@@ -107,6 +107,19 @@ class DenseDictionary {
   /// recycling. The id must not currently be mapped to any value.
   void Reassign(uint32_t id, const Value& v);
 
+  /// \brief Snapshot-restore hook: appends `v` as the next dense id. When
+  /// `live` is false the value -> id mapping is NOT created (the slot is a
+  /// tombstone whose stale value must stay addressable through value() but
+  /// must not shadow a live key that re-interned the same value under a
+  /// different id). Ids must be restored in order, into an empty dictionary.
+  uint32_t Restore(const Value& v, bool live);
+
+  /// \brief Pre-sizes the slot vector and id map for a bulk Restore pass.
+  void Reserve(size_t num_keys) {
+    values_.reserve(num_keys);
+    ids_.reserve(num_keys);
+  }
+
   const Value& value(uint32_t id) const { return values_[id]; }
   size_t size() const { return values_.size(); }
 

@@ -1,21 +1,33 @@
 // Mutation journal: the ordered append/delete log the delta subsystem rides.
 //
 // Every table owned by a Database records its mutations (row appends and
-// tombstone deletes) into the database's journal. Consumers — today the
-// probe engine's DeltaEngine, tomorrow any index or replica that must stay
-// consistent under updates — subscribe by remembering the journal sequence
-// number they last consumed and replaying the suffix: the half-open entry
-// range [cursor, sequence()) is exactly one epoch's worth of changes for
-// that consumer. Sequence numbers are dense and monotone, so two consumers
-// with different cursors see consistent (prefix-ordered) histories of the
-// same log.
+// tombstone deletes) into the database's journal. Consumers — the probe
+// engine's DeltaEngine, the durable storage layer's write-ahead log, any
+// index or replica that must stay consistent under updates — subscribe by
+// remembering the journal sequence number they last consumed and replaying
+// the suffix: the half-open entry range [cursor, sequence()) is exactly one
+// epoch's worth of changes for that consumer. Sequence numbers are dense and
+// monotone, so two consumers with different cursors see consistent
+// (prefix-ordered) histories of the same log.
+//
+// Storage is SEGMENTED: entries live in fixed-size segments so that
+// TruncateTo() can drop whole segments once every consumer (and the durable
+// snapshot) has advanced past them, bounding journal memory under sustained
+// churn. Sequence numbers are NEVER reused by truncation — entry(seq)
+// addresses the same mutation forever; only entries below start() become
+// inaccessible. A journal restored from a snapshot begins numbering at the
+// snapshot's sequence via SetStart(), so replayed write-ahead-log records
+// line up with the sequences they carried when first recorded.
 //
 // The journal records row identities, not row payloads: deleted rows keep
 // their data in the table (tombstones), so a consumer reconstructing the
 // pre-delete state joins against the retained payloads with a visibility
-// override (see Executor::ForEachMatchOfRow).
+// override (see Executor::ForEachMatchOfRow). The storage layer's WAL spill
+// reads payloads the same way, which is why tombstone retention also makes
+// every journaled append durable even after the row dies.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -34,36 +46,104 @@ struct Mutation {
   std::string table;
 };
 
-/// \brief Ordered log of table mutations with dense sequence numbers.
+/// \brief Ordered log of table mutations with dense sequence numbers,
+/// segmented in memory so checkpointed prefixes can be dropped.
 class MutationJournal {
  public:
+  /// Entries per in-memory segment; TruncateTo frees whole segments only.
+  static constexpr uint64_t kSegmentEntries = 1024;
+
   /// \brief Sequence number one past the newest entry; entry `s` exists for
-  /// every s in [0, sequence()). A consumer's epoch is the slice between two
-  /// snapshots of this counter.
-  uint64_t sequence() const { return entries_.size(); }
+  /// every s in [start(), sequence()). A consumer's epoch is the slice
+  /// between two snapshots of this counter.
+  uint64_t sequence() const { return next_; }
+
+  /// \brief Oldest retained sequence number. Entries below this were
+  /// truncated after a snapshot covered them (or predate this journal — a
+  /// restore from snapshot starts the numbering at the snapshot sequence).
+  uint64_t start() const { return first_; }
+
+  /// \brief Entries currently held in memory (sequence() - start()).
+  uint64_t num_retained() const { return next_ - first_; }
 
   void RecordAppend(const std::string& table, RowId row) {
-    entries_.push_back({Mutation::Kind::kAppend, row, table});
+    Push({Mutation::Kind::kAppend, row, table});
     ++num_appends_;
   }
   void RecordDelete(const std::string& table, RowId row) {
-    entries_.push_back({Mutation::Kind::kDelete, row, table});
+    Push({Mutation::Kind::kDelete, row, table});
     ++num_deletes_;
   }
 
-  const Mutation& entry(uint64_t seq) const { return entries_[seq]; }
+  /// \brief Entry `seq`; seq must be in [start(), sequence()).
+  const Mutation& entry(uint64_t seq) const {
+    assert(seq >= first_ && seq < next_);
+    uint64_t off = seq - segments_.front().base;
+    return segments_[off / kSegmentEntries].entries[off % kSegmentEntries];
+  }
 
-  /// \brief Replays entries [since, sequence()) in order.
+  /// \brief Replays entries [max(since, start()), sequence()) in order.
+  /// A consumer whose cursor fell below start() missed truncated history —
+  /// callers coordinating truncation (the storage layer) guarantee every
+  /// consumer advanced past a prefix before dropping it.
   void ForEachSince(uint64_t since,
                     const std::function<void(const Mutation&)>& fn) const {
-    for (uint64_t s = since; s < entries_.size(); ++s) fn(entries_[s]);
+    for (uint64_t s = since < first_ ? first_ : since; s < next_; ++s) {
+      fn(entry(s));
+    }
+  }
+
+  /// \brief Drops whole segments wholly below `seq` (typically the sequence
+  /// a durable snapshot captured). Safe only once every journal consumer's
+  /// cursor is >= seq. Truncating an empty journal, or to a sequence that
+  /// keeps every segment, is a no-op.
+  void TruncateTo(uint64_t seq) {
+    if (seq > next_) seq = next_;
+    size_t drop = 0;
+    while (drop < segments_.size() &&
+           segments_[drop].base + segments_[drop].entries.size() <= seq) {
+      ++drop;
+    }
+    if (drop == 0) return;
+    segments_.erase(segments_.begin(), segments_.begin() + drop);
+    first_ = segments_.empty() ? next_ : segments_.front().base;
+  }
+
+  /// \brief Starts the numbering at `seq`; only valid while the journal is
+  /// empty (no entries ever recorded or all truncated with none since).
+  /// Used when restoring a database from a snapshot taken at sequence `seq`,
+  /// so replayed WAL records keep their original sequence numbers.
+  void SetStart(uint64_t seq) {
+    assert(segments_.empty() && first_ == next_);
+    first_ = next_ = seq;
   }
 
   uint64_t num_appends() const { return num_appends_; }
   uint64_t num_deletes() const { return num_deletes_; }
 
  private:
-  std::vector<Mutation> entries_;
+  struct Segment {
+    uint64_t base = 0;
+    std::vector<Mutation> entries;
+  };
+
+  void Push(Mutation m) {
+    if (segments_.empty() ||
+        segments_.back().entries.size() == kSegmentEntries) {
+      Segment seg;
+      seg.base = next_;
+      seg.entries.reserve(kSegmentEntries);
+      segments_.push_back(std::move(seg));
+    }
+    segments_.back().entries.push_back(std::move(m));
+    ++next_;
+  }
+
+  // Segment i's base is always segments_.front().base + i * kSegmentEntries
+  // (every segment except the last is full), so entry() is O(1).
+  std::vector<Segment> segments_;
+  uint64_t first_ = 0;  // oldest retained sequence
+  uint64_t next_ = 0;   // == sequence()
   uint64_t num_appends_ = 0;
   uint64_t num_deletes_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "reldb/table.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "reldb/mutation_journal.h"
 
@@ -39,6 +41,14 @@ RowId Table::AppendUnchecked(Row row) {
   return id;
 }
 
+RowId Table::RestoreRow(Row row, bool deleted) {
+  RowId id = rows_.size();
+  rows_.push_back(std::move(row));
+  deleted_.push_back(deleted ? 1 : 0);
+  if (deleted) ++num_deleted_;
+  return id;
+}
+
 Status Table::Delete(RowId id) {
   if (id >= rows_.size()) {
     return Status::InvalidArgument(StringFormat(
@@ -67,6 +77,10 @@ void Table::IndexRow(RowId id) {
 
 Status Table::CreateHashIndex(const std::string& column_name) {
   HYPRE_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
+  // An explicit build supersedes a lazy declaration on the same column.
+  pending_hash_.erase(
+      std::remove(pending_hash_.begin(), pending_hash_.end(), col),
+      pending_hash_.end());
   // Replace an existing index on the same column, if any.
   for (auto& idx : hash_indexes_) {
     if (idx->column() == col) {
@@ -87,6 +101,9 @@ Status Table::CreateHashIndex(const std::string& column_name) {
 
 Status Table::CreateOrderedIndex(const std::string& column_name) {
   HYPRE_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
+  pending_ordered_.erase(
+      std::remove(pending_ordered_.begin(), pending_ordered_.end(), col),
+      pending_ordered_.end());
   for (auto& idx : ordered_indexes_) {
     if (idx->column() == col) {
       idx = std::make_unique<OrderedIndex>(col);
@@ -104,11 +121,83 @@ Status Table::CreateOrderedIndex(const std::string& column_name) {
   return Status::OK();
 }
 
+Status Table::DeclareHashIndex(const std::string& column_name) {
+  HYPRE_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
+  for (const auto& idx : hash_indexes_) {
+    if (idx->column() == col) return Status::OK();
+  }
+  if (std::find(pending_hash_.begin(), pending_hash_.end(), col) ==
+      pending_hash_.end()) {
+    pending_hash_.push_back(col);
+  }
+  return Status::OK();
+}
+
+Status Table::DeclareOrderedIndex(const std::string& column_name) {
+  HYPRE_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
+  for (const auto& idx : ordered_indexes_) {
+    if (idx->column() == col) return Status::OK();
+  }
+  if (std::find(pending_ordered_.begin(), pending_ordered_.end(), col) ==
+      pending_ordered_.end()) {
+    pending_ordered_.push_back(col);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Table::HashIndexColumns() const {
+  std::vector<std::string> out;
+  out.reserve(hash_indexes_.size() + pending_hash_.size());
+  for (const auto& idx : hash_indexes_) {
+    out.push_back(schema_.column(idx->column()).name);
+  }
+  for (size_t col : pending_hash_) {
+    out.push_back(schema_.column(col).name);
+  }
+  return out;
+}
+
+std::vector<std::string> Table::OrderedIndexColumns() const {
+  std::vector<std::string> out;
+  out.reserve(ordered_indexes_.size() + pending_ordered_.size());
+  for (const auto& idx : ordered_indexes_) {
+    out.push_back(schema_.column(idx->column()).name);
+  }
+  for (size_t col : pending_ordered_) {
+    out.push_back(schema_.column(col).name);
+  }
+  return out;
+}
+
+const HashIndex* Table::MaterializeHashIndex(size_t col) const {
+  auto idx = std::make_unique<HashIndex>(col);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (deleted_[id] == 0) idx->Insert(rows_[id][col], id);
+  }
+  hash_indexes_.push_back(std::move(idx));
+  return hash_indexes_.back().get();
+}
+
+const OrderedIndex* Table::MaterializeOrderedIndex(size_t col) const {
+  auto idx = std::make_unique<OrderedIndex>(col);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (deleted_[id] == 0) idx->Insert(rows_[id][col], id);
+  }
+  ordered_indexes_.push_back(std::move(idx));
+  return ordered_indexes_.back().get();
+}
+
 const HashIndex* Table::GetHashIndex(const std::string& column_name) const {
   int col = schema_.FindColumn(column_name);
   if (col < 0) return nullptr;
   for (const auto& idx : hash_indexes_) {
     if (idx->column() == static_cast<size_t>(col)) return idx.get();
+  }
+  for (auto it = pending_hash_.begin(); it != pending_hash_.end(); ++it) {
+    if (*it == static_cast<size_t>(col)) {
+      pending_hash_.erase(it);
+      return MaterializeHashIndex(static_cast<size_t>(col));
+    }
   }
   return nullptr;
 }
@@ -119,6 +208,13 @@ const OrderedIndex* Table::GetOrderedIndex(
   if (col < 0) return nullptr;
   for (const auto& idx : ordered_indexes_) {
     if (idx->column() == static_cast<size_t>(col)) return idx.get();
+  }
+  for (auto it = pending_ordered_.begin(); it != pending_ordered_.end();
+       ++it) {
+    if (*it == static_cast<size_t>(col)) {
+      pending_ordered_.erase(it);
+      return MaterializeOrderedIndex(static_cast<size_t>(col));
+    }
   }
   return nullptr;
 }

@@ -50,6 +50,21 @@ class Table {
   /// generators.
   RowId AppendUnchecked(Row row);
 
+  /// \brief Snapshot-restore hook: appends a physical row (possibly a
+  /// tombstone) WITHOUT journaling it — the row is not a new mutation, it is
+  /// state a snapshot already covered. Restored tombstones keep their
+  /// payload addressable and stay invisible to scans/indexes, preserving
+  /// the table's RowId space so journal replay addresses the same rows.
+  /// Only valid on a table with no built secondary indexes yet (declare or
+  /// create them after the restore pass).
+  RowId RestoreRow(Row row, bool deleted);
+
+  /// \brief Pre-sizes the row heap for a bulk restore of `num_rows` rows.
+  void Reserve(size_t num_rows) {
+    rows_.reserve(num_rows);
+    deleted_.reserve(num_rows);
+  }
+
   /// \brief Tombstones a row: unindexes it and hides it from scans while
   /// keeping its payload addressable. Fails on out-of-range or
   /// already-deleted ids.
@@ -66,14 +81,34 @@ class Table {
   /// \brief Builds (or rebuilds) an ordered index on `column_name`.
   Status CreateOrderedIndex(const std::string& column_name);
 
+  /// \brief Declares a hash index on `column_name` without building it: the
+  /// index materializes (over the live rows at that moment) on the first
+  /// GetHashIndex() touch. The snapshot recovery path declares every
+  /// persisted index this way, so a warm restart pays for an index when a
+  /// query first needs it rather than up front. No-op if the column already
+  /// carries a built or declared hash index.
+  Status DeclareHashIndex(const std::string& column_name);
+
+  /// \brief Declares an ordered index that materializes on first touch.
+  Status DeclareOrderedIndex(const std::string& column_name);
+
   /// \brief Returns the hash index on `column_name` or nullptr.
   const HashIndex* GetHashIndex(const std::string& column_name) const;
 
   /// \brief Returns the ordered index on `column_name` or nullptr.
   const OrderedIndex* GetOrderedIndex(const std::string& column_name) const;
 
+  /// \brief Column names carrying a hash index (built first, then declared
+  /// ones), in creation order — the catalog metadata a snapshot persists so
+  /// indexes are re-declared on load.
+  std::vector<std::string> HashIndexColumns() const;
+  /// \brief Column names carrying an ordered index, built then declared.
+  std::vector<std::string> OrderedIndexColumns() const;
+
  private:
   void IndexRow(RowId id);
+  const HashIndex* MaterializeHashIndex(size_t col) const;
+  const OrderedIndex* MaterializeOrderedIndex(size_t col) const;
 
   std::string name_;
   Schema schema_;
@@ -82,8 +117,15 @@ class Table {
   std::vector<uint8_t> deleted_;
   size_t num_deleted_ = 0;
   MutationJournal* journal_ = nullptr;
-  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
-  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+  // The index vectors and pending lists are mutable so the const
+  // Get*Index() accessors can materialize a declared index on first touch.
+  // A Table is a single-client structure (no internal synchronization, like
+  // the Session that serves it), so this is a cache fill, not a race.
+  mutable std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  mutable std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+  // Declared-but-unbuilt index columns (see DeclareHashIndex).
+  mutable std::vector<size_t> pending_hash_;
+  mutable std::vector<size_t> pending_ordered_;
 };
 
 }  // namespace reldb

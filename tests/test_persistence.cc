@@ -104,6 +104,30 @@ TEST(PersistenceTest, LoadRejectsBadInput) {
   EXPECT_FALSE(LoadGraph(&bad_label, &graph4).ok());
 }
 
+TEST(PersistenceTest, FailedLoadLeavesTheGraphUntouched) {
+  // A malformed line MID-file must not leave the target holding the valid
+  // prefix — the load is all-or-nothing, so a caller can treat a non-OK
+  // load as "nothing happened" and retry into the same object.
+  std::stringstream partial{
+      "hypre-graph v1\n"
+      "node 0 1 user 1 0.5 a=1\n"
+      "node 1 1 user 1 0.4 b=2\n"
+      "edge 0 1 PREFERS 0.5\n"
+      "node 2 1 user broken\n"};
+  HypreGraph graph;
+  EXPECT_FALSE(LoadGraph(&partial, &graph).ok());
+  EXPECT_EQ(graph.num_nodes(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+
+  // And the untouched graph is still loadable afterwards.
+  HypreGraph sample = BuildSampleGraph();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(sample, &buffer).ok());
+  ASSERT_TRUE(LoadGraph(&buffer, &graph).ok());
+  EXPECT_EQ(graph.num_nodes(), sample.num_nodes());
+  EXPECT_EQ(graph.num_edges(), sample.num_edges());
+}
+
 TEST(PersistenceTest, LoadRequiresEmptyGraph) {
   HypreGraph graph = BuildSampleGraph();
   std::stringstream buffer{"hypre-graph v1\n"};

@@ -80,6 +80,59 @@ TEST(TableTest, HashIndexBackfillsExistingRows) {
   EXPECT_EQ(t.GetHashIndex("venue")->Lookup(Value::Str("VLDB")).size(), 1u);
 }
 
+TEST(TableTest, DeclaredHashIndexMaterializesOnFirstTouch) {
+  Table t("papers", PaperSchema());
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(1), Value::Str("VLDB"), Value::Int(2001)}).ok());
+  ASSERT_TRUE(t.DeclareHashIndex("venue").ok());
+  // Declared but unbuilt: it appears in the catalog listing (a snapshot of
+  // this table must persist it), and mutations before the first touch are
+  // reflected when the index finally materializes.
+  EXPECT_EQ(t.HashIndexColumns(), std::vector<std::string>{"venue"});
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(2), Value::Str("VLDB"), Value::Int(2002)}).ok());
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(3), Value::Str("SIGMOD"), Value::Int(2003)})
+          .ok());
+  ASSERT_TRUE(t.Delete(0).ok());
+  const HashIndex* idx = t.GetHashIndex("venue");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Lookup(Value::Str("VLDB")).size(), 1u);  // row 0 is dead
+  EXPECT_EQ(idx->Lookup(Value::Str("SIGMOD")).size(), 1u);
+  // After materialization the index is live-maintained like a built one.
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(4), Value::Str("VLDB"), Value::Int(2004)}).ok());
+  EXPECT_EQ(t.GetHashIndex("venue")->Lookup(Value::Str("VLDB")).size(), 2u);
+  EXPECT_EQ(t.HashIndexColumns(), std::vector<std::string>{"venue"});
+}
+
+TEST(TableTest, DeclaredOrderedIndexMaterializesOnFirstTouch) {
+  Table t("papers", PaperSchema());
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(1), Value::Str("VLDB"), Value::Int(2001)}).ok());
+  ASSERT_TRUE(t.DeclareOrderedIndex("year").ok());
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(2), Value::Str("VLDB"), Value::Int(2005)}).ok());
+  EXPECT_EQ(t.OrderedIndexColumns(), std::vector<std::string>{"year"});
+  const OrderedIndex* idx = t.GetOrderedIndex("year");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Range(Value::Int(2000), true, Value::Int(2010), true).size(),
+            2u);
+}
+
+TEST(TableTest, ExplicitBuildSupersedesDeclaredIndex) {
+  Table t("papers", PaperSchema());
+  ASSERT_TRUE(t.DeclareHashIndex("venue").ok());
+  ASSERT_TRUE(t.DeclareHashIndex("venue").ok());  // idempotent
+  ASSERT_TRUE(t.CreateHashIndex("venue").ok());
+  // One built index, no pending leftovers double-listing the column.
+  EXPECT_EQ(t.HashIndexColumns(), std::vector<std::string>{"venue"});
+  ASSERT_TRUE(
+      t.Append(Row{Value::Int(1), Value::Str("VLDB"), Value::Int(2001)}).ok());
+  EXPECT_EQ(t.GetHashIndex("venue")->Lookup(Value::Str("VLDB")).size(), 1u);
+  EXPECT_FALSE(t.DeclareHashIndex("nope").ok());
+}
+
 TEST(TableTest, OrderedIndexRange) {
   Table t("papers", PaperSchema());
   ASSERT_TRUE(t.CreateOrderedIndex("year").ok());

@@ -1,0 +1,696 @@
+// Tests for the durable storage layer: format primitives, JSON catalog,
+// write-ahead log, snapshots, journal truncation edge cases, and the
+// api::Session storage surface (AttachStorage / SaveSnapshot /
+// OpenFromSnapshot / auto-checkpoint).
+//
+// The load-bearing guarantees:
+//  * every on-disk artifact round-trips exactly (bytes in == state out);
+//  * a torn WAL tail recovers the valid prefix, while a fully-present
+//    record failing a checksum fails CLOSED (never a silent drop);
+//  * a session reopened from a snapshot answers enumeration requests
+//    byte-identically to the session that wrote it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypre/api/session.h"
+#include "hypre/storage/format.h"
+#include "hypre/storage/json.h"
+#include "hypre/storage/snapshot.h"
+#include "hypre/storage/store.h"
+#include "hypre/storage/wal.h"
+#include "sqlparse/select_parser.h"
+#include "test_fixtures.h"
+
+namespace hypre {
+namespace storage {
+namespace {
+
+using core::testing_fixtures::BuildMiniDblp;
+using core::testing_fixtures::MiniBaseQuery;
+using core::testing_fixtures::MiniPreferences;
+
+std::string MakeTempDir(const std::string& tag) {
+  std::string tpl = ::testing::TempDir() + "hypre_" + tag + "_XXXXXX";
+  std::vector<char> buf(tpl.begin(), tpl.end());
+  buf.push_back('\0');
+  char* got = mkdtemp(buf.data());
+  EXPECT_NE(got, nullptr) << tpl;
+  return got == nullptr ? std::string() : std::string(got);
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  auto file = Env::Default()->NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Append(bytes).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  auto contents = Env::Default()->ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status().ToString();
+  return contents.ok() ? *contents : std::string();
+}
+
+// --- format.h primitives ----------------------------------------------------
+
+TEST(FormatTest, Crc32MatchesTheStandardCheckValue) {
+  // The canonical CRC-32/IEEE check vector.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(FormatTest, BufferRoundTripsPrimitivesAndValues) {
+  BufferWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutString("hello");
+  w.PutValue(reldb::Value::Null());
+  w.PutValue(reldb::Value::Int(-42));
+  w.PutValue(reldb::Value::Real(3.25));
+  w.PutValue(reldb::Value::Str("SIGMOD"));
+
+  BufferReader r(w.data(), "test");
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU16().value(), 0xBEEF);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_TRUE(r.ReadValue().value().is_null());
+  EXPECT_EQ(r.ReadValue().value().AsInt(), -42);
+  EXPECT_EQ(r.ReadValue().value().AsDouble(), 3.25);
+  EXPECT_EQ(r.ReadValue().value().AsString(), "SIGMOD");
+  EXPECT_TRUE(r.AtEnd());
+
+  // Reading past the end fails with the context and offset in the message.
+  auto past = r.ReadU32();
+  ASSERT_FALSE(past.ok());
+  EXPECT_NE(past.status().message().find("test"), std::string::npos);
+}
+
+TEST(FormatTest, SectionFramingDetectsTruncationAndCorruption) {
+  std::string file;
+  AppendSection(kSectionMeta, "payload-bytes", &file);
+  AppendSection(kSectionEnd, "", &file);
+
+  uint64_t offset = 0;
+  auto meta = ReadSection(file.data(), file.size(), &offset, "test");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta->type, kSectionMeta);
+  EXPECT_EQ(std::string(meta->payload, meta->size), "payload-bytes");
+  auto end = ReadSection(file.data(), file.size(), &offset, "test");
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end->type, kSectionEnd);
+  EXPECT_EQ(offset, file.size());
+
+  // Any truncation point inside the first section fails the read.
+  for (size_t cut = 1; cut < file.size(); ++cut) {
+    uint64_t off = 0;
+    auto first = ReadSection(file.data(), cut, &off, "test");
+    if (!first.ok()) continue;  // cut inside section 0's frame
+    auto second = ReadSection(file.data(), cut, &off, "test");
+    EXPECT_FALSE(second.ok()) << "cut=" << cut;
+  }
+
+  // A flipped payload bit fails the checksum.
+  std::string corrupt = file;
+  corrupt[corrupt.size() - 20] ^= 0x01;
+  offset = 0;
+  bool failed = false;
+  while (true) {
+    auto section = ReadSection(corrupt.data(), corrupt.size(), &offset,
+                               "test");
+    if (!section.ok()) {
+      failed = true;
+      break;
+    }
+    if (section->type == kSectionEnd) break;
+  }
+  EXPECT_TRUE(failed);
+}
+
+// --- json.h -----------------------------------------------------------------
+
+TEST(JsonTest, RoundTripsThroughDumpAndParse) {
+  Json obj = Json::Object();
+  obj.Set("seq", Json::Int(int64_t{1} << 62));
+  obj.Set("name", Json::Str("wal \"quoted\" \n path"));
+  obj.Set("pi", Json::Double(3.5));
+  obj.Set("flag", Json::Bool(true));
+  obj.Set("nothing", Json::Null());
+  Json arr = Json::Array();
+  arr.Append(Json::Int(-7));
+  arr.Append(Json::Str("x"));
+  obj.Set("list", std::move(arr));
+
+  auto parsed = Json::Parse(obj.Dump(), "test");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetInt("seq", "t").value(), int64_t{1} << 62);
+  EXPECT_EQ(parsed->GetString("name", "t").value(), "wal \"quoted\" \n path");
+  EXPECT_EQ(parsed->Find("pi")->AsDouble(), 3.5);
+  EXPECT_TRUE(parsed->Find("flag")->AsBool());
+  EXPECT_TRUE(parsed->Find("nothing")->is_null());
+  ASSERT_TRUE(parsed->GetArray("list", "t").ok());
+  EXPECT_EQ((*parsed->GetArray("list", "t"))->at(0).AsInt(), -7);
+  // Insertion-ordered serialization: a second dump is byte-identical.
+  EXPECT_EQ(parsed->Dump(), obj.Dump());
+}
+
+TEST(JsonTest, ParseFailsClosedOnMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\":1} trailing", "\"\\q\"",
+        "nul", "01", "{\"a\" 1}"}) {
+    EXPECT_FALSE(Json::Parse(bad, "test").ok()) << bad;
+  }
+  // Typed lookups fail on absent keys and wrong kinds.
+  auto doc = Json::Parse("{\"a\":\"str\"}", "test");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc->GetInt("a", "t").ok());
+  EXPECT_FALSE(doc->GetInt("missing", "t").ok());
+}
+
+// --- WAL --------------------------------------------------------------------
+
+reldb::Row SampleRow(int64_t pid, const char* venue) {
+  return {reldb::Value::Int(pid), reldb::Value::Str(venue),
+          reldb::Value::Null()};
+}
+
+void WriteSampleWal(const std::string& path, uint64_t base_seq) {
+  auto writer = WalWriter::Create(Env::Default(), path, base_seq);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  reldb::Row row = SampleRow(9, "V1");
+  ASSERT_TRUE((*writer)
+                  ->AppendRecord(EncodeWalRecord(
+                      base_seq, reldb::Mutation::Kind::kAppend, "dblp", 8,
+                      &row))
+                  .ok());
+  ASSERT_TRUE((*writer)
+                  ->AppendRecord(EncodeWalRecord(
+                      base_seq + 1, reldb::Mutation::Kind::kDelete, "dblp", 3,
+                      nullptr))
+                  .ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+}
+
+TEST(WalTest, RoundTripsAppendAndDeleteRecords) {
+  std::string dir = MakeTempDir("wal");
+  std::string path = dir + "/wal.log";
+  WriteSampleWal(path, 20);
+
+  auto wal = ReadWal(Env::Default(), path);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(wal->base_seq, 20u);
+  ASSERT_EQ(wal->records.size(), 2u);
+  EXPECT_EQ(wal->records[0].seq, 20u);
+  EXPECT_EQ(wal->records[0].kind, reldb::Mutation::Kind::kAppend);
+  EXPECT_EQ(wal->records[0].table, "dblp");
+  EXPECT_EQ(wal->records[0].row_id, 8u);
+  ASSERT_EQ(wal->records[0].row.size(), 3u);
+  EXPECT_EQ(wal->records[0].row[0].AsInt(), 9);
+  EXPECT_EQ(wal->records[0].row[1].AsString(), "V1");
+  EXPECT_TRUE(wal->records[0].row[2].is_null());
+  EXPECT_EQ(wal->records[1].seq, 21u);
+  EXPECT_EQ(wal->records[1].kind, reldb::Mutation::Kind::kDelete);
+  auto size = Env::Default()->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(wal->valid_size, *size);
+}
+
+TEST(WalTest, TornTailRecoversTheValidPrefixAtEveryCut) {
+  std::string dir = MakeTempDir("wal_torn");
+  std::string path = dir + "/wal.log";
+  WriteSampleWal(path, 20);
+  std::string full = ReadFileBytes(path);
+  constexpr size_t kHeaderSize = 8 + 8 + 4;
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WriteFileBytes(path, full.substr(0, cut));
+    auto wal = ReadWal(Env::Default(), path);
+    if (cut < kHeaderSize) {
+      // The WAL only exists under its final name after a synced header, so
+      // a short header is corruption, not a torn tail.
+      EXPECT_FALSE(wal.ok()) << "cut=" << cut;
+      continue;
+    }
+    ASSERT_TRUE(wal.ok()) << "cut=" << cut << ": " << wal.status().ToString();
+    EXPECT_LE(wal->valid_size, cut) << "cut=" << cut;
+    EXPECT_LE(wal->records.size(), 2u) << "cut=" << cut;
+    // Whatever survived is a prefix: record i is only present if the full
+    // file's record i fit entirely under the cut.
+    for (size_t i = 0; i < wal->records.size(); ++i) {
+      EXPECT_EQ(wal->records[i].seq, 20u + i) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(WalTest, FullyPresentCorruptionFailsClosedAtEveryByte) {
+  std::string dir = MakeTempDir("wal_flip");
+  std::string path = dir + "/wal.log";
+  WriteSampleWal(path, 20);
+  std::string full = ReadFileBytes(path);
+
+  // Flip one bit at every byte of the file. Every record is fully present,
+  // so no flip may be silently absorbed: either some checksum catches it
+  // (the read fails) or the decoded records must be unchanged (impossible —
+  // every byte of this file is covered by a checksum, so we simply require
+  // failure).
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    WriteFileBytes(path, corrupt);
+    auto wal = ReadWal(Env::Default(), path);
+    EXPECT_FALSE(wal.ok()) << "flipped byte " << i;
+  }
+}
+
+TEST(WalTest, AttachTruncatesTheTornTailAndResumesAppending) {
+  std::string dir = MakeTempDir("wal_attach");
+  std::string path = dir + "/wal.log";
+  WriteSampleWal(path, 20);
+  std::string full = ReadFileBytes(path);
+  // Simulate a torn tail: half of record 1 survives.
+  WriteFileBytes(path, full.substr(0, full.size() - 5));
+  auto torn = ReadWal(Env::Default(), path);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_EQ(torn->records.size(), 1u);
+
+  auto writer = WalWriter::Attach(Env::Default(), path, torn->valid_size);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)
+                  ->AppendRecord(EncodeWalRecord(
+                      21, reldb::Mutation::Kind::kDelete, "dblp", 5, nullptr))
+                  .ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+
+  auto repaired = ReadWal(Env::Default(), path);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  ASSERT_EQ(repaired->records.size(), 2u);
+  EXPECT_EQ(repaired->records[1].seq, 21u);
+  EXPECT_EQ(repaired->records[1].row_id, 5u);
+}
+
+// --- Snapshot ---------------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripsTablesTombstonesAndIndexes) {
+  reldb::Database db;
+  BuildMiniDblp(&db);
+  ASSERT_TRUE(db.GetTable("dblp")->Delete(4).ok());  // pid 5 -> tombstone
+  uint64_t seq = db.journal().sequence();
+
+  std::string dir = MakeTempDir("snap");
+  std::string path = dir + "/snapshot.hypre";
+  ASSERT_TRUE(
+      WriteSnapshot(Env::Default(), path, db, seq, {}).ok());
+
+  auto contents = ReadSnapshot(Env::Default(), path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->journal_sequence, seq);
+  reldb::Database* restored = contents->db.get();
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->TableNames(), db.TableNames());
+  // The restored journal starts numbering at the snapshot's sequence and
+  // records nothing for the restore itself.
+  EXPECT_EQ(restored->journal().sequence(), seq);
+  EXPECT_EQ(restored->journal().start(), seq);
+
+  const reldb::Table* dblp = restored->GetTable("dblp");
+  ASSERT_NE(dblp, nullptr);
+  // Physical row space is preserved, tombstone included.
+  EXPECT_EQ(dblp->num_rows(), 8u);
+  EXPECT_EQ(dblp->num_live_rows(), 7u);
+  EXPECT_TRUE(dblp->is_deleted(4));
+  EXPECT_EQ(dblp->row(4)[0].AsInt(), 5);  // payload retained
+  // Indexes were rebuilt from the catalog and skip the tombstone.
+  const reldb::HashIndex* venue = dblp->GetHashIndex("venue");
+  ASSERT_NE(venue, nullptr);
+  for (size_t r = 0; r < db.GetTable("dblp")->num_rows(); ++r) {
+    EXPECT_EQ(dblp->row(r), db.GetTable("dblp")->row(r)) << "row " << r;
+  }
+}
+
+TEST(SnapshotTest, EveryFlippedBitFailsClosed) {
+  reldb::Database db;
+  BuildMiniDblp(&db);
+  std::string dir = MakeTempDir("snap_flip");
+  std::string path = dir + "/snapshot.hypre";
+  ASSERT_TRUE(WriteSnapshot(Env::Default(), path, db,
+                            db.journal().sequence(), {})
+                  .ok());
+  std::string full = ReadFileBytes(path);
+  // Stride 3 keeps the matrix fast while still hitting every section.
+  for (size_t i = 0; i < full.size(); i += 3) {
+    std::string corrupt = full;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    WriteFileBytes(path, corrupt);
+    EXPECT_FALSE(ReadSnapshot(Env::Default(), path).ok())
+        << "flipped byte " << i;
+  }
+  // Every truncation fails closed too (the end marker is load-bearing).
+  for (size_t cut = 0; cut < full.size(); cut += 3) {
+    WriteFileBytes(path, full.substr(0, cut));
+    EXPECT_FALSE(ReadSnapshot(Env::Default(), path).ok()) << "cut " << cut;
+  }
+}
+
+// --- MutationJournal edge cases (satellite: journal test coverage) ----------
+
+TEST(MutationJournalTest, TruncatingAnEmptyJournalIsANoOp) {
+  reldb::MutationJournal journal;
+  journal.TruncateTo(0);
+  journal.TruncateTo(100);  // beyond sequence(): clamped, still a no-op
+  EXPECT_EQ(journal.start(), 0u);
+  EXPECT_EQ(journal.sequence(), 0u);
+  EXPECT_EQ(journal.num_retained(), 0u);
+  journal.SetStart(7);  // still legal after the no-op truncations
+  EXPECT_EQ(journal.start(), 7u);
+  EXPECT_EQ(journal.sequence(), 7u);
+}
+
+TEST(MutationJournalTest, TruncationDropsWholeSegmentsOnly) {
+  reldb::MutationJournal journal;
+  const uint64_t seg = reldb::MutationJournal::kSegmentEntries;
+  for (uint64_t i = 0; i < 2 * seg + 10; ++i) {
+    journal.RecordAppend("t", i);
+  }
+  // Mid-segment truncation keeps the containing segment.
+  journal.TruncateTo(seg / 2);
+  EXPECT_EQ(journal.start(), 0u);
+  journal.TruncateTo(seg);
+  EXPECT_EQ(journal.start(), seg);
+  // Sequence numbers survive truncation: entry(seq) addresses the same
+  // mutation it always did.
+  EXPECT_EQ(journal.entry(seg).row, seg);
+  // Truncating to sequence() drops everything, the partial tail segment
+  // included — it is wholly covered.
+  journal.TruncateTo(journal.sequence());
+  EXPECT_EQ(journal.start(), journal.sequence());
+  EXPECT_EQ(journal.num_retained(), 0u);
+}
+
+TEST(MutationJournalTest, ReplayIsIdempotentBySequence) {
+  reldb::MutationJournal journal;
+  journal.RecordAppend("t", 0);
+  journal.RecordDelete("t", 0);
+  journal.RecordAppend("t", 1);
+
+  // A consumer that replays from its cursor twice sees the suffix once
+  // each time — and an up-to-date cursor sees nothing (the idempotence the
+  // WAL replay path relies on when the snapshot already covers a record).
+  size_t seen = 0;
+  journal.ForEachSince(1, [&](const reldb::Mutation&) { ++seen; });
+  EXPECT_EQ(seen, 2u);
+  seen = 0;
+  journal.ForEachSince(journal.sequence(),
+                       [&](const reldb::Mutation&) { ++seen; });
+  EXPECT_EQ(seen, 0u);
+  // A cursor below start() clamps instead of faulting.
+  journal.TruncateTo(journal.sequence());
+  seen = 0;
+  journal.ForEachSince(0, [&](const reldb::Mutation&) { ++seen; });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(MutationJournalTest, DeleteBeforeCheckpointKeepsThePayloadSpillable) {
+  // A row appended and deleted between two checkpoints: the WAL spill that
+  // runs at the next checkpoint must still find the append's payload (the
+  // table retains tombstone payloads precisely for this).
+  auto db = std::make_unique<reldb::Database>();
+  auto table = db->CreateTable(
+      "t", reldb::Schema({{"id", reldb::ValueType::kInt64}}));
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->Append({reldb::Value::Int(1)}).ok());
+
+  std::string dir = MakeTempDir("tombstone_spill");
+  StorageOptions options;
+  auto store = EngineStore::Open(dir, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->InitialCheckpoint(db.get(), {}).ok());
+  uint64_t base = (*store)->snapshot_sequence();
+
+  // Append + delete entirely within the un-checkpointed tail.
+  ASSERT_TRUE((*table)->Append({reldb::Value::Int(2)}).ok());
+  ASSERT_TRUE((*table)->Delete(1).ok());
+  ASSERT_TRUE((*store)->CommitJournal(*db).ok());
+
+  auto wal = ReadWal(Env::Default(), (*store)->wal_path());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(wal->records.size(), 2u);
+  EXPECT_EQ(wal->records[0].kind, reldb::Mutation::Kind::kAppend);
+  ASSERT_EQ(wal->records[0].row.size(), 1u);
+  EXPECT_EQ(wal->records[0].row[0].AsInt(), 2);  // dead row, payload intact
+  EXPECT_EQ(wal->records[1].kind, reldb::Mutation::Kind::kDelete);
+  EXPECT_EQ(wal->records[1].row_id, 1u);
+
+  // And recovery applies both: the row exists as a tombstone.
+  store->reset();
+  auto reopened = EngineStore::Open(dir, options);
+  ASSERT_TRUE(reopened.ok());
+  auto recovered = (*reopened)->Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  reldb::Table* t = recovered->db->GetTable("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->num_live_rows(), 1u);
+  EXPECT_TRUE(t->is_deleted(1));
+  EXPECT_EQ(recovered->db->journal().sequence(), base + 2);
+}
+
+TEST(MutationJournalTest, RecoveryIsDeterministic) {
+  // Recovering the same directory twice yields identical databases — the
+  // replay path has no hidden state.
+  auto db = std::make_unique<reldb::Database>();
+  BuildMiniDblp(db.get());
+  std::string dir = MakeTempDir("recover_twice");
+  StorageOptions options;
+  {
+    auto store = EngineStore::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->InitialCheckpoint(db.get(), {}).ok());
+    ASSERT_TRUE(db->GetTable("dblp")
+                    ->Append({reldb::Value::Int(9), reldb::Value::Str("V1"),
+                              reldb::Value::Int(2009)})
+                    .ok());
+    ASSERT_TRUE((*store)->CommitJournal(*db).ok());
+  }
+  for (int round = 0; round < 2; ++round) {
+    auto store = EngineStore::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    auto recovered = (*store)->Recover();
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const reldb::Table* dblp = recovered->db->GetTable("dblp");
+    ASSERT_NE(dblp, nullptr);
+    EXPECT_EQ(dblp->num_rows(), 9u) << "round " << round;
+    EXPECT_EQ(recovered->db->journal().sequence(),
+              db->journal().sequence())
+        << "round " << round;
+  }
+}
+
+// --- Session storage surface ------------------------------------------------
+
+class SessionStorageTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<reldb::Database> MakeDb() {
+    auto db = std::make_unique<reldb::Database>();
+    BuildMiniDblp(db.get());
+    return db;
+  }
+
+  static api::EnumerationRequest MakeRequest(const std::string& algorithm) {
+    api::EnumerationRequest request;
+    request.algorithm = algorithm;
+    request.base_query = MiniBaseQuery();
+    request.key_column = "dblp.pid";
+    request.preferences = MiniPreferences();
+    return request;
+  }
+
+  static void ExpectSameRecords(const api::EnumerationResult& actual,
+                                const api::EnumerationResult& expected,
+                                const std::string& label) {
+    ASSERT_EQ(actual.records.size(), expected.records.size()) << label;
+    for (size_t i = 0; i < actual.records.size(); ++i) {
+      EXPECT_EQ(actual.records[i].predicate_sql,
+                expected.records[i].predicate_sql)
+          << label << " record " << i;
+      EXPECT_EQ(actual.records[i].num_tuples, expected.records[i].num_tuples)
+          << label << " record " << i;
+      EXPECT_EQ(actual.records[i].intensity, expected.records[i].intensity)
+          << label << " record " << i;
+    }
+  }
+};
+
+TEST_F(SessionStorageTest, AttachStorageRequiresAnOwnedDatabase) {
+  reldb::Database db;
+  BuildMiniDblp(&db);
+  api::Session borrowed(&db);
+  Status st = borrowed.AttachStorage(MakeTempDir("borrowed"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("owns"), std::string::npos) << st.ToString();
+}
+
+TEST_F(SessionStorageTest, ReopenedSessionAnswersByteIdentically) {
+  std::string dir = MakeTempDir("session_e2e");
+  api::EnumerationRequest request = MakeRequest("combine-two");
+  api::EnumerationResult reference;
+  uint64_t saved_seq = 0;
+  {
+    api::Session session(MakeDb());
+    // Warm the engine BEFORE attaching so the snapshot carries a populated
+    // universe and leaf cache.
+    ASSERT_TRUE(session.Enumerate(request).ok());
+    ASSERT_TRUE(session.AttachStorage(dir).ok());
+
+    // Mutate past the initial checkpoint, checkpoint, mutate again, and
+    // group-commit the tail — the reopened session must see all of it.
+    reldb::Table* dblp = session.mutable_db()->GetTable("dblp");
+    reldb::Table* da = session.mutable_db()->GetTable("dblp_author");
+    ASSERT_TRUE(dblp->Append({reldb::Value::Int(9), reldb::Value::Str("V1"),
+                              reldb::Value::Int(2009)})
+                    .ok());
+    ASSERT_TRUE(da->Append({reldb::Value::Int(9), reldb::Value::Int(1)}).ok());
+    ASSERT_TRUE(session.SaveSnapshot().ok());
+    ASSERT_TRUE(dblp->Delete(4).ok());  // pid 5 disappears
+    ASSERT_TRUE(da->Append({reldb::Value::Int(2), reldb::Value::Int(2)}).ok());
+    ASSERT_TRUE(session.CommitJournal().ok());
+    saved_seq = session.db()->journal().sequence();
+
+    auto result = session.Enumerate(request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    reference = std::move(result).TakeValue();
+  }
+
+  auto reopened = api::Session::OpenFromSnapshot(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  api::Session* session = reopened->get();
+  EXPECT_EQ(session->db()->journal().sequence(), saved_seq);
+  EXPECT_TRUE(session->has_storage());
+  // The persisted engine came back as a cached engine (same cache key), so
+  // the request reuses it rather than re-interning.
+  EXPECT_EQ(session->num_cached_engines(), 1u);
+
+  auto result = session->Enumerate(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectSameRecords(*result, reference, "reopened combine-two");
+  // The restored leaf cache means the repeat request is leaf-query-free.
+  EXPECT_EQ(result->stats.num_leaf_queries, 0u);
+
+  // Top-k algorithms agree too.
+  api::EnumerationRequest topk = MakeRequest("ta");
+  topk.k = 4;
+  {
+    api::Session fresh(MakeDb());
+    reldb::Table* dblp = fresh.mutable_db()->GetTable("dblp");
+    reldb::Table* da = fresh.mutable_db()->GetTable("dblp_author");
+    ASSERT_TRUE(dblp->Append({reldb::Value::Int(9), reldb::Value::Str("V1"),
+                              reldb::Value::Int(2009)})
+                    .ok());
+    ASSERT_TRUE(da->Append({reldb::Value::Int(9), reldb::Value::Int(1)}).ok());
+    ASSERT_TRUE(dblp->Delete(4).ok());
+    ASSERT_TRUE(da->Append({reldb::Value::Int(2), reldb::Value::Int(2)}).ok());
+    auto expect = fresh.Enumerate(topk);
+    ASSERT_TRUE(expect.ok());
+    auto got = session->Enumerate(topk);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->top_k.size(), expect->top_k.size());
+    for (size_t i = 0; i < got->top_k.size(); ++i) {
+      EXPECT_EQ(got->top_k[i].key.Compare(expect->top_k[i].key), 0) << i;
+      EXPECT_EQ(got->top_k[i].intensity, expect->top_k[i].intensity) << i;
+    }
+  }
+
+  // The reopened session keeps checkpointing into the same directory.
+  ASSERT_TRUE(session->mutable_db()
+                  ->GetTable("dblp_author")
+                  ->Append({reldb::Value::Int(3), reldb::Value::Int(1)})
+                  .ok());
+  ASSERT_TRUE(session->SaveSnapshot().ok());
+  EXPECT_EQ(session->store()->snapshot_sequence(), saved_seq + 1);
+}
+
+TEST_F(SessionStorageTest, RecoveredTablesAnswerSqlThroughLazyIndexes) {
+  // Recovery declares the cataloged indexes instead of building them (a
+  // warm restart that only probes restored bitmaps never touches them).
+  // The first SQL query against a recovered table must materialize what it
+  // needs and answer exactly like the uncrashed database.
+  std::string dir = MakeTempDir("lazy_idx");
+  const std::string sql =
+      "SELECT count(distinct dblp.pid) FROM dblp JOIN dblp_author ON "
+      "dblp.pid = dblp_author.pid WHERE dblp.venue='V1'";
+  std::string expected;
+  {
+    api::Session session(MakeDb());
+    ASSERT_TRUE(session.Enumerate(MakeRequest("combine-two")).ok());
+    auto reference = sqlparse::ExecuteSql(*session.db(), sql);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    ASSERT_EQ(reference->rows.size(), 1u);
+    expected = reference->rows[0][0].ToString();
+    ASSERT_TRUE(session.AttachStorage(dir).ok());
+  }
+  auto reopened = api::Session::OpenFromSnapshot(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto got = sqlparse::ExecuteSql(*(*reopened)->db(), sql);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->rows.size(), 1u);
+  EXPECT_EQ(got->rows[0][0].ToString(), expected);
+  // The query's equality predicate touched the venue index, so by now it
+  // is a built, live-maintained index again.
+  EXPECT_NE((*reopened)->db()->GetTable("dblp")->GetHashIndex("venue"),
+            nullptr);
+}
+
+TEST_F(SessionStorageTest, OpenFromSnapshotFailsClosedOnMissingOrCorrupt) {
+  EXPECT_FALSE(
+      api::Session::OpenFromSnapshot(MakeTempDir("empty_dir")).ok());
+
+  std::string dir = MakeTempDir("corrupt_session");
+  {
+    api::Session session(MakeDb());
+    ASSERT_TRUE(session.Enumerate(MakeRequest("combine-two")).ok());
+    ASSERT_TRUE(session.AttachStorage(dir).ok());
+  }
+  std::string path = dir + "/snapshot.hypre";
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(api::Session::OpenFromSnapshot(dir).ok());
+}
+
+TEST_F(SessionStorageTest, AutoCheckpointFiresOnceEnoughMutationsAccrue) {
+  std::string dir = MakeTempDir("auto_ckpt");
+  StorageOptions options;
+  options.auto_checkpoint_mutations = 3;
+  api::Session session(MakeDb());
+  api::EnumerationRequest request = MakeRequest("combine-two");
+  ASSERT_TRUE(session.Enumerate(request).ok());
+  ASSERT_TRUE(session.AttachStorage(dir, options).ok());
+  uint64_t base = session.store()->snapshot_sequence();
+
+  reldb::Table* da = session.mutable_db()->GetTable("dblp_author");
+  // Two mutations: below the threshold, no new checkpoint.
+  ASSERT_TRUE(da->Append({reldb::Value::Int(2), reldb::Value::Int(3)}).ok());
+  ASSERT_TRUE(da->Append({reldb::Value::Int(5), reldb::Value::Int(1)}).ok());
+  ASSERT_TRUE(session.Enumerate(request).ok());
+  EXPECT_EQ(session.store()->snapshot_sequence(), base);
+
+  // A third crosses it: the next request checkpoints before pinning.
+  ASSERT_TRUE(da->Append({reldb::Value::Int(6), reldb::Value::Int(4)}).ok());
+  ASSERT_TRUE(session.Enumerate(request).ok());
+  EXPECT_EQ(session.store()->snapshot_sequence(), base + 3);
+
+  // The directory is immediately reopenable at the auto-checkpointed state.
+  auto reopened = api::Session::OpenFromSnapshot(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->db()->journal().sequence(), base + 3);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace hypre
