@@ -85,6 +85,13 @@ Status Session::AttachStorage(const std::string& dir,
   (void)epoch;
   HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<storage::EngineStore> store,
                          storage::EngineStore::Open(dir, options));
+  if (store->HasSnapshot()) {
+    return Status::InvalidArgument(
+        "storage dir '" + dir + "' already holds a snapshot; open it with "
+        "Session::OpenFromSnapshot, or point AttachStorage at a fresh "
+        "directory (the initial checkpoint would overwrite the existing "
+        "durable state)");
+  }
   Status st = store->InitialCheckpoint(owned_db_.get(), CaptureEngineStates());
   if (!st.ok()) return st;
   store_ = std::move(store);

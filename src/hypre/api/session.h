@@ -99,11 +99,14 @@ class Session {
 
   // --- Durable storage ------------------------------------------------------
 
-  /// \brief Attaches a storage directory and writes the initial checkpoint
-  /// (snapshot + fresh write-ahead log) covering the session's current
-  /// state. Requires a session that owns its database (the store truncates
-  /// the journal, which a borrowed database's other consumers would not
-  /// survive). Subsequent mutations become durable via CommitJournal() /
+  /// \brief Attaches a FRESH storage directory and writes the initial
+  /// checkpoint (snapshot + fresh write-ahead log) covering the session's
+  /// current state. Refuses a directory that already holds a snapshot —
+  /// overwriting another session's durable state would be silent data
+  /// loss; reopen such a directory with OpenFromSnapshot instead. Requires
+  /// a session that owns its database (the store truncates the journal,
+  /// which a borrowed database's other consumers would not survive).
+  /// Subsequent mutations become durable via CommitJournal() /
   /// SaveSnapshot() or the auto-checkpoint policy in
   /// StorageOptions::auto_checkpoint_mutations.
   Status AttachStorage(const std::string& dir,

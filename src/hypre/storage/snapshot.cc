@@ -201,7 +201,10 @@ Status DecodeLeaf(const Section& section, const std::string& context,
   BufferReader r(section.payload, section.size, context);
   HYPRE_ASSIGN_OR_RETURN(leaf->predicate_sql, r.ReadString());
   HYPRE_ASSIGN_OR_RETURN(uint64_t num_words, r.ReadU64());
-  if (num_words * 8 != r.remaining()) {
+  // Divide instead of multiplying: `num_words * 8` can wrap in uint64, and
+  // a wrapped count that passed the guard would reach reserve() as a
+  // multi-exabyte allocation (crash, not the contracted fail-closed error).
+  if (num_words > r.remaining() / 8 || num_words * 8 != r.remaining()) {
     return r.CorruptionError(StringFormat(
         "leaf claims %llu bitmap words but %zu bytes follow",
         (unsigned long long)num_words, r.remaining()));

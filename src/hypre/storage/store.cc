@@ -96,67 +96,76 @@ Result<SnapshotContents> EngineStore::Recover() {
   HYPRE_ASSIGN_OR_RETURN(SnapshotContents contents,
                          ReadSnapshot(env_, snapshot_path()));
   uint64_t snap_seq = contents.journal_sequence;
+  snapshot_seq_ = snap_seq;
 
-  // Replay the WAL tail. A missing WAL is a crash window between the
-  // snapshot rename and the WAL rotation — the snapshot alone is the
-  // committed state.
-  if (env_->FileExists(wal_path())) {
-    HYPRE_ASSIGN_OR_RETURN(WalContents wal, ReadWal(env_, wal_path()));
-    if (wal.base_seq > snap_seq) {
+  // A missing WAL is a crash window between the snapshot rename and the
+  // WAL rotation — the snapshot alone is the committed state, and creating
+  // a fresh WAL at its base destroys nothing.
+  if (!env_->FileExists(wal_path())) {
+    HYPRE_RETURN_NOT_OK(RotateWal(snap_seq));
+    return contents;
+  }
+
+  // Replay the WAL tail.
+  HYPRE_ASSIGN_OR_RETURN(WalContents wal, ReadWal(env_, wal_path()));
+  if (wal.base_seq > snap_seq) {
+    return Status::Internal(StringFormat(
+        "wal '%s' starts at sequence %llu, beyond the snapshot's %llu — "
+        "the snapshot predates the log that references it",
+        wal_path().c_str(), (unsigned long long)wal.base_seq,
+        (unsigned long long)snap_seq));
+  }
+  for (const WalRecord& rec : wal.records) {
+    uint64_t next = contents.db->journal().sequence();
+    // Records below the snapshot (or already replayed — a re-spilled
+    // segment) are baked in; skipping them is what makes replay
+    // idempotent.
+    if (rec.seq < next) continue;
+    if (rec.seq != next) {
       return Status::Internal(StringFormat(
-          "wal '%s' starts at sequence %llu, beyond the snapshot's %llu — "
-          "the snapshot predates the log that references it",
-          wal_path().c_str(), (unsigned long long)wal.base_seq,
-          (unsigned long long)snap_seq));
+          "wal '%s': gap in the log — record sequence %llu where %llu "
+          "was expected",
+          wal_path().c_str(), (unsigned long long)rec.seq,
+          (unsigned long long)next));
     }
-    for (const WalRecord& rec : wal.records) {
-      uint64_t next = contents.db->journal().sequence();
-      // Records below the snapshot (or already replayed — a re-spilled
-      // segment) are baked in; skipping them is what makes replay
-      // idempotent.
-      if (rec.seq < next) continue;
-      if (rec.seq != next) {
+    reldb::Table* table = contents.db->GetTable(rec.table);
+    if (table == nullptr) {
+      return Status::Internal(
+          "wal '" + wal_path() + "': record " + std::to_string(rec.seq) +
+          " names table '" + rec.table + "' absent from the snapshot");
+    }
+    if (rec.kind == reldb::Mutation::Kind::kAppend) {
+      if (rec.row_id != table->num_rows()) {
         return Status::Internal(StringFormat(
-            "wal '%s': gap in the log — record sequence %llu where %llu "
-            "was expected",
+            "wal '%s': record %llu appends row %llu to '%s' but the "
+            "table is at row %zu — snapshot and log disagree",
             wal_path().c_str(), (unsigned long long)rec.seq,
-            (unsigned long long)next));
+            (unsigned long long)rec.row_id, rec.table.c_str(),
+            table->num_rows()));
       }
-      reldb::Table* table = contents.db->GetTable(rec.table);
-      if (table == nullptr) {
-        return Status::Internal(
-            "wal '" + wal_path() + "': record " + std::to_string(rec.seq) +
-            " names table '" + rec.table + "' absent from the snapshot");
-      }
-      if (rec.kind == reldb::Mutation::Kind::kAppend) {
-        if (rec.row_id != table->num_rows()) {
-          return Status::Internal(StringFormat(
-              "wal '%s': record %llu appends row %llu to '%s' but the "
-              "table is at row %zu — snapshot and log disagree",
-              wal_path().c_str(), (unsigned long long)rec.seq,
-              (unsigned long long)rec.row_id, rec.table.c_str(),
-              table->num_rows()));
-        }
-        // AppendUnchecked re-journals the mutation, which is exactly what
-        // keeps replayed sequence numbers aligned with the originals.
-        table->AppendUnchecked(rec.row);
-      } else {
-        Status deleted = table->Delete(rec.row_id);
-        if (!deleted.ok()) {
-          return Status::Internal(StringFormat(
-              "wal '%s': record %llu delete failed: %s", wal_path().c_str(),
-              (unsigned long long)rec.seq, deleted.message().c_str()));
-        }
+      // AppendUnchecked re-journals the mutation, which is exactly what
+      // keeps replayed sequence numbers aligned with the originals.
+      table->AppendUnchecked(rec.row);
+    } else {
+      Status deleted = table->Delete(rec.row_id);
+      if (!deleted.ok()) {
+        return Status::Internal(StringFormat(
+            "wal '%s': record %llu delete failed: %s", wal_path().c_str(),
+            (unsigned long long)rec.seq, deleted.message().c_str()));
       }
     }
   }
 
-  // Repair the directory to canonical form: a fresh WAL based at the
-  // snapshot with the replayed tail re-spilled, so the next crash recovers
-  // from exactly this state again.
-  snapshot_seq_ = snap_seq;
-  HYPRE_RETURN_NOT_OK(RotateWal(snap_seq));
-  HYPRE_RETURN_NOT_OK(CommitJournal(*contents.db));
+  // Repair in place: re-attach to the surviving WAL, cutting off only its
+  // torn tail. Rotating a fresh WAL here would rename a header-only file
+  // over wal.log BEFORE the replayed tail was re-spilled — a crash in that
+  // window would silently destroy fsync'd, acknowledged mutations. The
+  // surviving WAL already holds every replayed record durably, so there is
+  // nothing to rewrite; records below the snapshot's base are dead weight
+  // that replay skips, and the next checkpoint rotates them away.
+  HYPRE_ASSIGN_OR_RETURN(writer_,
+                         WalWriter::Attach(env_, wal_path(), wal.valid_size));
+  wal_seq_ = contents.db->journal().sequence();
   return contents;
 }
 

@@ -22,8 +22,13 @@
 // Recovery itself (Recover) loads the snapshot, replays the WAL tail
 // through the normal Table::Append/Delete path (re-journaling, so replayed
 // records keep their sequence numbers), verifies row ids line up, then
-// repairs the directory to the canonical state (fresh WAL at the snapshot's
-// base, re-spilled tail) before handing the database back.
+// re-attaches the writer to the surviving WAL (cutting off only a torn
+// tail) before handing the database back. Recovery never rewrites the WAL:
+// its committed records are the durable truth, and rotating a fresh log
+// over them before they were re-spilled would turn a crash during recovery
+// into silent loss of acknowledged mutations. A fresh WAL is created only
+// when none exists (the crash window between steps 3 and 4 of the FIRST
+// checkpoint), where there is nothing to destroy.
 #pragma once
 
 #include <memory>
@@ -67,10 +72,11 @@ class EngineStore {
   Status InitialCheckpoint(reldb::Database* db,
                            const std::vector<SnapshotEngineState>& engines);
 
-  /// \brief Loads the snapshot, replays the WAL tail into it, repairs the
-  /// directory (fresh WAL with the tail re-spilled), and attaches the
-  /// store's writer. Fails closed on any corruption: no partial state, and
-  /// the directory is left untouched for forensics.
+  /// \brief Loads the snapshot, replays the WAL tail into it, and attaches
+  /// the store's writer to the surviving WAL (truncating only a torn
+  /// tail; the committed records are never rewritten). Fails closed on any
+  /// corruption: no partial state, and the directory is left untouched for
+  /// forensics.
   Result<SnapshotContents> Recover();
 
   /// \brief Spills journal entries [wal_sequence(), db.journal().sequence())

@@ -536,6 +536,83 @@ TEST_F(SessionStorageTest, AttachStorageRequiresAnOwnedDatabase) {
   EXPECT_NE(st.message().find("owns"), std::string::npos) << st.ToString();
 }
 
+TEST_F(SessionStorageTest, AttachStorageRefusesAnExistingSnapshot) {
+  std::string dir = MakeTempDir("attach_twice");
+  uint64_t saved_seq = 0;
+  {
+    api::Session first(MakeDb());
+    ASSERT_TRUE(first.AttachStorage(dir).ok());
+    saved_seq = first.store()->snapshot_sequence();
+  }
+  // Pointing a second session's AttachStorage at the same directory would
+  // overwrite the first one's durable state with an initial checkpoint of
+  // unrelated in-memory data — it must refuse, not silently destroy.
+  api::Session second(MakeDb());
+  Status st = second.AttachStorage(dir);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("OpenFromSnapshot"), std::string::npos)
+      << st.ToString();
+  EXPECT_FALSE(second.has_storage());
+  // The refusal left the original durable state intact and reopenable.
+  auto reopened = api::Session::OpenFromSnapshot(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->db()->journal().sequence(), saved_seq);
+}
+
+TEST_F(SessionStorageTest, SnapshotLeafWordCountOverflowFailsClosed) {
+  // A crafted leaf section whose declared word count wraps `num_words * 8`
+  // past 2^64 must be rejected with a clean Status: a multiply-based length
+  // check passes on the wrapped product and the bogus count then reaches
+  // words.reserve() as a multi-exabyte allocation (std::length_error).
+  std::string dir = MakeTempDir("leaf_overflow");
+  {
+    api::Session session(MakeDb());
+    // Warm the engine so the snapshot carries real leaf sections.
+    ASSERT_TRUE(session.Enumerate(MakeRequest("combine-two")).ok());
+    ASSERT_TRUE(session.AttachStorage(dir).ok());
+  }
+  std::string path = dir + "/snapshot.hypre";
+  std::string full = ReadFileBytes(path);
+
+  // Walk the section table to the first leaf.
+  uint64_t offset = 8;  // past the magic
+  Section leaf;
+  for (;;) {
+    auto section = ReadSection(full.data(), full.size(), &offset, "test");
+    ASSERT_TRUE(section.ok()) << section.status().ToString();
+    ASSERT_NE(section->type, uint32_t{kSectionEnd})
+        << "snapshot carries no leaf section";
+    if (section->type == kSectionLeaf) {
+      leaf = *section;
+      break;
+    }
+  }
+
+  // Leaf payload = [string sql][u64 num_words][words...]. Overwrite
+  // num_words with 2^61 + words, whose *8 wraps to exactly the remaining
+  // byte count, and re-stamp the section checksum so only the semantic
+  // guard stands between the count and the allocator.
+  size_t payload_off = static_cast<size_t>(leaf.payload - full.data());
+  BufferReader r(leaf.payload, leaf.size, "leaf");
+  ASSERT_TRUE(r.ReadString().ok());
+  size_t words_at = payload_off + r.offset();
+  uint64_t num_word_bytes = leaf.size - r.offset() - 8;
+  BufferWriter patched_count;
+  patched_count.PutU64((uint64_t{1} << 61) + num_word_bytes / 8);
+  full.replace(words_at, 8, patched_count.data());
+  BufferWriter patched_crc;
+  patched_crc.PutU32(Crc32(full.data() + payload_off, leaf.size));
+  full.replace(static_cast<size_t>(leaf.file_offset) + 12, 4,
+               patched_crc.data());
+  WriteFileBytes(path, full);
+
+  auto contents = ReadSnapshot(Env::Default(), path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_NE(contents.status().message().find("bitmap words"),
+            std::string::npos)
+      << contents.status().ToString();
+}
+
 TEST_F(SessionStorageTest, ReopenedSessionAnswersByteIdentically) {
   std::string dir = MakeTempDir("session_e2e");
   api::EnumerationRequest request = MakeRequest("combine-two");
