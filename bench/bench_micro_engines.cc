@@ -5,6 +5,8 @@
 // compose, so regressions are attributable.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <unordered_map>
@@ -20,6 +22,7 @@
 #include "hypre/parallel/task_pool.h"
 #include "hypre/parallel/word_kernels.h"
 #include "hypre/probe_engine.h"
+#include "hypre/telemetry/registry.h"
 #include "reldb/csv.h"
 #include "sqlparse/parser.h"
 #include "sqlparse/select_parser.h"
@@ -663,6 +666,33 @@ void BM_PepsOrderWarmSession(benchmark::State& state) {
 }
 BENCHMARK(BM_PepsOrderWarmSession)->Unit(benchmark::kMicrosecond);
 
+void BM_PepsOrderWarmSessionTraced(benchmark::State& state) {
+  // The same warm request with a per-request span trace attached — the
+  // telemetry overhead acceptance pits this (and the untraced Session
+  // variant under -DHYPRE_TELEMETRY=ON) against an OFF build.
+  DeltaBench* b = GetDeltaBench();
+  api::EnumerationRequest request;
+  request.algorithm = "peps";
+  request.base_query = b->base;
+  request.key_column = "dblp.pid";
+  request.preferences = b->atoms;
+  request.trace = true;
+  if (!b->session->Enumerate(request).ok()) {
+    state.SkipWithError("session warmup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = b->session->Enumerate(request);
+    if (!result.ok()) {
+      state.SkipWithError("session Enumerate failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->records.size());
+    benchmark::DoNotOptimize(result->trace.spans().size());
+  }
+}
+BENCHMARK(BM_PepsOrderWarmSessionTraced)->Unit(benchmark::kMicrosecond);
+
 /// Appends `n/2` papers (+1 author link each) and deletes `n/2` random live
 /// papers from the bench tables.
 void ApplyChurn(DeltaBench* b, size_t n) {
@@ -908,4 +938,25 @@ BENCHMARK(BM_CypherProfileListing)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Standard benchmark main plus an optional registry dump: when
+// HYPRE_TELEMETRY_DUMP names a file, everything the benchmarks just pushed
+// through the metrics registry (request counters, batch-shape histograms,
+// scheduler gauges) is written there as JSON after the run — CI uploads it
+// as an artifact next to the timing output.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* dump_path = std::getenv("HYPRE_TELEMETRY_DUMP")) {
+    BenchPool()->PublishStats();
+    std::ofstream out(dump_path);
+    out << telemetry::MetricsRegistry::Global().ToJson() << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write telemetry dump to %s\n",
+                   dump_path);
+      return 1;
+    }
+  }
+  return 0;
+}

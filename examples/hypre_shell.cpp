@@ -23,6 +23,7 @@
 //
 // Also scriptable: pipe commands on stdin (used by the smoke test below).
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -34,6 +35,8 @@
 #include "graphdb/cypher_lite.h"
 #include "hypre/api/session.h"
 #include "hypre/hypre_graph.h"
+#include "hypre/telemetry/registry.h"
+#include "hypre/telemetry/trace.h"
 #include "sqlparse/select_parser.h"
 #include "workload/dblp_generator.h"
 
@@ -66,6 +69,10 @@ void PrintHelp() {
       "saved directory\n"
       "  sql <select statement>                   run SQL directly\n"
       "  cypher <query>                           query the profile graph\n"
+      "  stats [prom]                             dump the telemetry "
+      "registry (JSON, or Prometheus text)\n"
+      "  trace on|off                             attach a span trace to "
+      "each topk and print it\n"
       "  help | quit\n");
 }
 
@@ -78,6 +85,21 @@ std::string Rest(std::istringstream* in) {
 
 void PrintValue(const reldb::Value& v) {
   std::printf("%s", v.ToString().c_str());
+}
+
+void PrintTrace(const telemetry::Trace& trace) {
+  if (trace.empty()) {
+    std::printf("(no trace; rebuild with -DHYPRE_TELEMETRY=ON)\n");
+    return;
+  }
+  for (const auto& span : trace.spans()) {
+    std::printf("  %*s%-8s %-20s %8.3f ms\n", int(span.depth * 2), "",
+                span.layer, span.name, double(span.duration_ns) / 1e6);
+  }
+  if (trace.dropped() > 0) {
+    std::printf("  (%" PRIu64 " spans dropped: buffer full)\n",
+                trace.dropped());
+  }
 }
 
 }  // namespace
@@ -97,6 +119,7 @@ int main(int argc, char** argv) {
   std::string algorithm = "peps";
   size_t probe_budget = 0;
   size_t probe_threads = 1;
+  bool trace_requests = false;
 
   std::string line;
   while ((std::printf("hypre> "), std::fflush(stdout),
@@ -144,6 +167,34 @@ int main(int argc, char** argv) {
       // hardware concurrency (clamped to the batch shape per request).
       std::printf("probe threads = %zu%s\n", probe_threads,
                   probe_threads == 0 ? " (auto)" : "");
+      continue;
+    }
+    if (command == "stats") {
+      std::string format;
+      in >> format;
+      if (format == "prom") {
+        std::printf("%s",
+                    telemetry::MetricsRegistry::Global()
+                        .ToPrometheusText()
+                        .c_str());
+      } else {
+        std::printf("%s\n",
+                    telemetry::MetricsRegistry::Global().ToJson().c_str());
+      }
+      continue;
+    }
+    if (command == "trace") {
+      std::string mode;
+      in >> mode;
+      if (mode == "on") {
+        trace_requests = true;
+      } else if (mode == "off") {
+        trace_requests = false;
+      } else {
+        std::printf("usage: trace on|off\n");
+        continue;
+      }
+      std::printf("trace = %s\n", trace_requests ? "on" : "off");
       continue;
     }
     if (command == "pref") {
@@ -194,6 +245,7 @@ int main(int argc, char** argv) {
       request.k = k == 0 ? ~size_t{0} : k;
       request.probe_budget = probe_budget;
       request.probe_options.num_threads = probe_threads;
+      request.trace = trace_requests;
       bool parse_failed = false;
       for (const auto& entry : graph.ListPreferences(kShellUser)) {
         auto atom = core::MakeAtom(entry.predicate, entry.intensity);
@@ -247,6 +299,7 @@ int main(int argc, char** argv) {
           result->stats.num_leaf_queries, result->stats.num_cache_hits,
           result->stats.num_batches,
           result->truncated ? " TRUNCATED (budget)" : "");
+      if (trace_requests) PrintTrace(result->trace);
       continue;
     }
     if (command == "save") {

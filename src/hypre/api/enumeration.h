@@ -41,6 +41,7 @@
 #include "hypre/probe_engine.h"
 #include "hypre/query_enhancement.h"
 #include "hypre/ranking.h"
+#include "hypre/telemetry/trace.h"
 #include "reldb/executor.h"
 
 namespace hypre {
@@ -100,6 +101,13 @@ struct EnumerationRequest {
   /// session applies all journal entries recorded since the engine's last
   /// Refresh (no-op when nothing mutated) and reports the epoch probed.
   bool refresh = true;
+
+  /// Collect a per-request trace: EnumerationResult::trace gets one span
+  /// per timed phase (enhancer cache, refresh, prefetch, batch passes, WAL
+  /// and checkpoint work) with parent/child nesting. Off by default — the
+  /// probe hot path stays untouched; in a -DHYPRE_TELEMETRY=OFF build the
+  /// flag is accepted but the trace comes back empty.
+  bool trace = false;
 };
 
 /// \brief One enumeration response. Which payload is filled depends on the
@@ -126,6 +134,8 @@ struct EnumerationResult {
   /// "bias-random" extras: probes that returned >= 1 tuple / nothing.
   size_t valid_checks = 0;
   size_t invalid_checks = 0;
+  /// Structured span timeline (empty unless EnumerationRequest::trace).
+  telemetry::Trace trace;
 };
 
 /// \brief Everything an enumerator implementation receives: the session's

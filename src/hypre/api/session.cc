@@ -1,13 +1,66 @@
 #include "hypre/api/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <utility>
 
+#include "hypre/telemetry/registry.h"
+#include "hypre/telemetry/trace.h"
 #include "sqlparse/select_parser.h"
 
 namespace hypre {
 namespace api {
+
+namespace {
+
+#if HYPRE_TELEMETRY_ENABLED
+/// Folds one finished request's ProbeStats delta into the registry — ONE
+/// counter add per field per request, so the probe hot path itself never
+/// touches the registry and the numbers exactly match the per-request
+/// stats contract (no double counting between layers).
+void FoldRequestStats(const core::ProbeStats& stats, uint64_t request_us) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Global();
+  static telemetry::Counter* requests = registry.GetCounter(
+      "hypre_api_requests_total", "api", "Enumeration requests served");
+  static telemetry::Histogram* latency = registry.GetHistogram(
+      "hypre_api_request_us", "api", "Microseconds per enumeration request");
+  static telemetry::Counter* leaf_queries = registry.GetCounter(
+      "hypre_engine_leaf_queries_total", "engine",
+      "Relational queries run to materialize leaf bitmaps");
+  static telemetry::Counter* cache_hits = registry.GetCounter(
+      "hypre_engine_cache_hits_total", "engine",
+      "Probes answered from the memoized count cache");
+  static telemetry::Counter* batches = registry.GetCounter(
+      "hypre_prober_batches_total", "prober", "Batch kernel invocations");
+  static telemetry::Counter* batched_probes = registry.GetCounter(
+      "hypre_prober_batched_probes_total", "prober",
+      "Probes answered through batch kernels");
+  static telemetry::Counter* shard_passes = registry.GetCounter(
+      "hypre_prober_shard_passes_total", "prober",
+      "Shard passes executed by batch kernels");
+  requests->Increment();
+  latency->Record(request_us);
+  leaf_queries->Add(stats.num_leaf_queries);
+  cache_hits->Add(stats.num_cache_hits);
+  batches->Add(stats.num_batches);
+  batched_probes->Add(stats.num_batched_probes);
+  shard_passes->Add(stats.num_shard_passes);
+}
+#endif
+
+}  // namespace
+
+Session::~Session() {
+  if (checkpoint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_mu_);
+      checkpoint_shutdown_ = true;
+    }
+    checkpoint_cv_.notify_all();
+    checkpoint_thread_.join();
+  }
+}
 
 Result<core::QueryEnhancer*> Session::GetEnhancer(
     const reldb::Query& base_query, const std::string& key_column) {
@@ -25,11 +78,14 @@ Result<core::QueryEnhancer*> Session::GetEnhancer(
   key += key_column;
   auto it = enhancers_.find(key);
   if (it == enhancers_.end()) {
+    telemetry::TraceNote("api", "enhancer_cache_miss");
     it = enhancers_
              .emplace(std::move(key),
                       std::make_unique<core::QueryEnhancer>(db_, base_query,
                                                             key_column))
              .first;
+  } else {
+    telemetry::TraceNote("api", "enhancer_cache_hit");
   }
   return it->second.get();
 }
@@ -103,6 +159,9 @@ Status Session::SaveSnapshot() {
     return Status::InvalidArgument(
         "session has no storage attached (AttachStorage first)");
   }
+  // An explicit snapshot must cover everything: wait out any background
+  // write, retire its snapshot, then checkpoint synchronously.
+  HYPRE_RETURN_NOT_OK(DrainBackgroundCheckpoint());
   HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, Refresh());
   (void)epoch;
   return store_->WriteCheckpoint(owned_db_.get(), CaptureEngineStates());
@@ -116,13 +175,145 @@ Status Session::CommitJournal() {
   return store_->CommitJournal(*db_);
 }
 
+Status Session::FinishPublishedCheckpoint() {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    if (!published_pending_) return Status::OK();
+    published_pending_ = false;
+    seq = published_seq_;
+  }
+  telemetry::TraceSpan span("storage", "checkpoint_retire");
+  store_->NoteSnapshotPublished(seq);
+  // The rotation re-spills every committed record past the snapshot into
+  // the fresh log before the rename, so this is safe at any time on the
+  // request path — see storage::EngineStore::RotateWalRespill.
+  HYPRE_RETURN_NOT_OK(store_->RotateWalRespill(*db_));
+  // Engine cursors were all >= seq when the blob was captured and only
+  // advance; the journal prefix below seq has no remaining consumer.
+  owned_db_->mutable_journal()->TruncateTo(seq);
+  return Status::OK();
+}
+
+Status Session::DrainBackgroundCheckpoint() {
+  {
+    std::unique_lock<std::mutex> lock(checkpoint_mu_);
+    checkpoint_cv_.wait(lock, [&] { return !checkpoint_inflight_; });
+    if (!checkpoint_error_.ok()) {
+      Status error = checkpoint_error_;
+      checkpoint_error_ = Status::OK();
+      return error;
+    }
+  }
+  return FinishPublishedCheckpoint();
+}
+
+void Session::EnsureCheckpointThread() {
+  if (checkpoint_thread_.joinable()) return;
+  checkpoint_thread_ = std::thread([this] { CheckpointWorkerMain(); });
+}
+
+void Session::CheckpointWorkerMain() {
+  std::unique_lock<std::mutex> lock(checkpoint_mu_);
+  for (;;) {
+    checkpoint_cv_.wait(lock, [&] {
+      return checkpoint_shutdown_ || checkpoint_job_.has_value();
+    });
+    if (checkpoint_shutdown_) return;
+    PendingCheckpoint job = std::move(*checkpoint_job_);
+    checkpoint_job_.reset();
+    lock.unlock();
+
+    // File I/O only: the worker never touches the database, the engines,
+    // or the WAL writer. The request thread owns all of those.
+#if HYPRE_TELEMETRY_ENABLED
+    auto start = std::chrono::steady_clock::now();
+#endif
+    Status published = store_->PublishSnapshotBlob(job.blob);
+    HYPRE_TELEMETRY_STMT(
+        telemetry::MetricsRegistry::Global()
+            .GetHistogram("hypre_storage_checkpoint_duration_ms", "storage",
+                          "Milliseconds per checkpoint (spill through "
+                          "rotation)")
+            ->Record(uint64_t(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
+        telemetry::MetricsRegistry::Global()
+            .GetCounter("hypre_storage_checkpoints_total", "storage",
+                        "Checkpoints published (snapshot + WAL rotation)")
+            ->Increment();
+        telemetry::MetricsRegistry::Global()
+            .GetCounter("hypre_storage_snapshot_bytes_total", "storage",
+                        "Encoded snapshot bytes written")
+            ->Add(job.blob.size()));
+
+    lock.lock();
+    if (published.ok()) {
+      published_pending_ = true;
+      published_seq_ = job.seq;
+    } else {
+      checkpoint_error_ = published;
+    }
+    checkpoint_inflight_ = false;
+    checkpoint_cv_.notify_all();
+  }
+}
+
 Status Session::MaybeAutoCheckpoint() {
   if (store_ == nullptr) return Status::OK();
+  // A background failure is surfaced on the next request — the policy is
+  // best-effort, but silent failure would let the WAL grow unbounded.
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    if (!checkpoint_error_.ok()) {
+      Status error = checkpoint_error_;
+      checkpoint_error_ = Status::OK();
+      return error;
+    }
+  }
+  HYPRE_RETURN_NOT_OK(FinishPublishedCheckpoint());
   uint64_t threshold = store_->options().auto_checkpoint_mutations;
   if (threshold == 0) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    if (checkpoint_inflight_) {
+      // One snapshot at a time; the threshold check re-fires next request.
+      HYPRE_TELEMETRY_STMT(
+          telemetry::MetricsRegistry::Global()
+              .GetCounter("hypre_storage_checkpoint_skipped_total", "storage",
+                          "Auto-checkpoints skipped (one already in flight)")
+              ->Increment());
+      return Status::OK();
+    }
+  }
   uint64_t pending = db_->journal().sequence() - store_->snapshot_sequence();
   if (pending < threshold) return Status::OK();
-  return SaveSnapshot();
+
+  telemetry::TraceSpan span("storage", "checkpoint_prepare");
+  // Durability point and blob capture stay on the request path: the
+  // database is quiescent here (no algorithm holds bitmap handles), which
+  // is exactly what EncodeSnapshot needs. What leaves the thread is only
+  // the snapshot's file I/O — the dominant cost.
+  HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, Refresh());
+  (void)epoch;
+  HYPRE_RETURN_NOT_OK(store_->CommitJournal(*db_));
+  uint64_t seq = db_->journal().sequence();
+  std::string blob =
+      storage::EncodeSnapshot(*owned_db_, seq, CaptureEngineStates());
+  HYPRE_TELEMETRY_STMT(
+      telemetry::MetricsRegistry::Global()
+          .GetCounter("hypre_storage_checkpoint_queued_total", "storage",
+                      "Snapshot writes handed to the background worker")
+          ->Increment());
+  EnsureCheckpointThread();
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    checkpoint_job_ = PendingCheckpoint{std::move(blob), seq};
+    checkpoint_inflight_ = true;
+  }
+  checkpoint_cv_.notify_all();
+  return Status::OK();
 }
 
 Result<std::unique_ptr<Session>> Session::OpenFromSnapshot(
@@ -157,6 +348,33 @@ Result<std::unique_ptr<Session>> Session::OpenFromSnapshot(
 
 Result<EnumerationResult> Session::Enumerate(
     const EnumerationRequest& request) {
+#if HYPRE_TELEMETRY_ENABLED
+  if (request.trace) {
+    EnumerationResult result;
+    telemetry::Trace trace;
+    {
+      // The target installs a thread_local, so every TraceSpan opened under
+      // EnumerateInternal — engine, prober, delta, storage — lands in this
+      // request's buffer with no plumbing. Both scopes must close before
+      // the trace moves into the result (open spans hold its address).
+      telemetry::ScopedTraceTarget target(&trace);
+      telemetry::TraceSpan root("api", "enumerate");
+      HYPRE_RETURN_NOT_OK(EnumerateInternal(request, &result));
+    }
+    result.trace = std::move(trace);
+    return result;
+  }
+#endif
+  EnumerationResult result;
+  HYPRE_RETURN_NOT_OK(EnumerateInternal(request, &result));
+  return result;
+}
+
+Status Session::EnumerateInternal(const EnumerationRequest& request,
+                                  EnumerationResult* result) {
+#if HYPRE_TELEMETRY_ENABLED
+  auto request_start = std::chrono::steady_clock::now();
+#endif
   HYPRE_ASSIGN_OR_RETURN(
       const CombinationEnumerator* enumerator,
       EnumeratorRegistry::Global().Find(request.algorithm));
@@ -169,14 +387,13 @@ Result<EnumerationResult> Session::Enumerate(
   // mid-request would invalidate the pinned snapshot.
   HYPRE_RETURN_NOT_OK(MaybeAutoCheckpoint());
 
-  EnumerationResult result;
   // Pin the epoch: drain the mutation journal up front so the whole run
   // probes one consistent snapshot (Refresh must not run mid-algorithm —
   // algorithms hold bitmap handles a refresh may resize).
   if (request.refresh) {
-    HYPRE_ASSIGN_OR_RETURN(result.epoch, enhancer->Refresh());
+    HYPRE_ASSIGN_OR_RETURN(result->epoch, enhancer->Refresh());
   } else {
-    result.epoch = enhancer->probe_engine().epoch();
+    result->epoch = enhancer->probe_engine().epoch();
   }
 
   // Every algorithm requires the list sorted descending by intensity; sort
@@ -218,11 +435,24 @@ Result<EnumerationResult> Session::Enumerate(
   if (request.probe_budget > 0) ctx.control.budget = &budget;
   if (request.record_sink) ctx.control.record_sink = &request.record_sink;
   if (request.tuple_sink) ctx.control.tuple_sink = &request.tuple_sink;
-  ctx.control.truncated = &result.truncated;
+  ctx.control.truncated = &result->truncated;
 
-  HYPRE_RETURN_NOT_OK(enumerator->Run(ctx, &result));
-  result.stats = enhancer->stats() - before;
-  return result;
+  {
+    telemetry::TraceSpan span("api", "run_algorithm");
+    HYPRE_RETURN_NOT_OK(enumerator->Run(ctx, result));
+  }
+  result->stats = enhancer->stats() - before;
+  HYPRE_TELEMETRY_STMT(FoldRequestStats(
+      result->stats,
+      uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - request_start)
+                   .count())));
+  // Scheduler counters are cumulative; mirroring them after each request
+  // keeps the registry's view current without touching the probe path.
+  if (pool_ != nullptr) {
+    HYPRE_TELEMETRY_STMT(pool_->PublishStats());
+  }
+  return Status::OK();
 }
 
 }  // namespace api

@@ -25,8 +25,12 @@
 // threads per batch.
 #pragma once
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +54,9 @@ class Session {
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+  /// Joins the background checkpoint worker (a queued-but-unstarted job is
+  /// dropped; its mutations are already durable in the WAL).
+  ~Session();
 
   /// \brief Reopens a session from a storage directory: loads the snapshot,
   /// replays the write-ahead journal tail, rebuilds every persisted engine
@@ -126,13 +133,52 @@ class Session {
   bool has_storage() const { return store_ != nullptr; }
   /// \brief The attached store (null when not storage-backed).
   storage::EngineStore* store() { return store_.get(); }
+  /// \brief True while the background worker is writing a snapshot.
+  bool checkpoint_in_flight() const {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    return checkpoint_inflight_;
+  }
 
  private:
   /// Captures every cached engine's durable state, sorted by cache key so
   /// snapshot bytes are deterministic.
   std::vector<storage::SnapshotEngineState> CaptureEngineStates() const;
-  /// Applies the auto-checkpoint policy after a mutation-bearing request.
+  /// The request pipeline behind Enumerate() (which only adds the optional
+  /// trace installation around it).
+  Status EnumerateInternal(const EnumerationRequest& request,
+                           EnumerationResult* result);
+
+  // --- Background auto-checkpointing ---------------------------------------
+  //
+  // The auto_checkpoint_mutations policy (PR 7) ran the full checkpoint —
+  // snapshot encode AND write — inside the triggering request. Now only
+  // the WAL group commit and the in-memory encode stay on the request
+  // path; the snapshot's file I/O (write + fsync + rename, the dominant
+  // cost) moves to a lazily spawned worker thread. The WAL rotation +
+  // journal truncation that retire a published snapshot are deferred to
+  // the NEXT request (FinishPublishedCheckpoint), because rotating the log
+  // off-thread while the request path appends to it would reintroduce the
+  // recovery data-loss hazard documented in storage/store.h.
+
+  /// Applies the auto-checkpoint policy after a mutation-bearing request:
+  /// surfaces any sticky background failure, retires a published snapshot,
+  /// and enqueues a new checkpoint when the threshold is reached (skipped
+  /// while one is in flight).
   Status MaybeAutoCheckpoint();
+  /// Request-path tail of a background checkpoint: records the published
+  /// snapshot, rotates the WAL (re-spilling the tail), truncates the
+  /// journal.
+  Status FinishPublishedCheckpoint();
+  /// Blocks until no snapshot write is in flight, surfaces any background
+  /// error, and retires a published snapshot.
+  Status DrainBackgroundCheckpoint();
+  void EnsureCheckpointThread();
+  void CheckpointWorkerMain();
+
+  struct PendingCheckpoint {
+    std::string blob;  // EncodeSnapshot output, captured while quiescent
+    uint64_t seq = 0;  // journal sequence the blob covers
+  };
   std::unique_ptr<reldb::Database> owned_db_;
   const reldb::Database* db_;
   // Lazily created shared runtime for all requests (see task_pool()).
@@ -143,6 +189,20 @@ class Session {
       enhancers_;
   // Durable storage backend; null until AttachStorage/OpenFromSnapshot.
   std::unique_ptr<storage::EngineStore> store_;
+
+  // Background checkpointer state (all guarded by checkpoint_mu_ except
+  // the thread handle, touched only by the session's owner thread).
+  std::thread checkpoint_thread_;
+  mutable std::mutex checkpoint_mu_;
+  std::condition_variable checkpoint_cv_;
+  std::optional<PendingCheckpoint> checkpoint_job_;
+  bool checkpoint_inflight_ = false;
+  bool checkpoint_shutdown_ = false;
+  // A snapshot the worker published whose WAL rotation is still pending.
+  bool published_pending_ = false;
+  uint64_t published_seq_ = 0;
+  // Sticky failure from the worker, surfaced on the next request.
+  Status checkpoint_error_;
 };
 
 }  // namespace api

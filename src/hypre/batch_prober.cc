@@ -6,6 +6,8 @@
 
 #include "hypre/parallel/task_pool.h"
 #include "hypre/parallel/word_kernels.h"
+#include "hypre/telemetry/registry.h"
+#include "hypre/telemetry/trace.h"
 
 namespace hypre {
 namespace core {
@@ -25,6 +27,24 @@ size_t NumShards(const ProbeOptions& options, size_t num_words) {
 /// over few shards still fans out (512 combinations / 32 = 16 tiles per
 /// shard), large enough that a tile amortizes its scheduling cost.
 constexpr size_t kItemTile = 32;
+
+#if HYPRE_TELEMETRY_ENABLED
+/// Batch-shape histograms: how many probes a batch call answers and how
+/// many shard passes it takes. Once per batch, never per word — the probe
+/// inner loops stay untouched.
+void RecordBatchShape(size_t batch, size_t shards) {
+  static telemetry::Histogram* batch_size =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "hypre_prober_batch_size", "prober",
+          "Probes answered per batch kernel call");
+  static telemetry::Histogram* shard_passes =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "hypre_prober_shards_per_batch", "prober",
+          "Shard passes per batch kernel call");
+  batch_size->Record(batch);
+  shard_passes->Record(shards);
+}
+#endif
 
 }  // namespace
 
@@ -163,6 +183,7 @@ void BatchProber::ForEachTile(const TileGrid& grid, size_t slots,
 
 Result<std::vector<size_t>> BatchProber::CountBatch(
     const std::vector<Combination>& frontier) const {
+  telemetry::TraceSpan span("prober", "count_batch");
   std::vector<size_t> counts(frontier.size(), 0);
   if (frontier.empty()) return counts;
   HYPRE_ASSIGN_OR_RETURN(CompiledFrontier plan, Compile(frontier));
@@ -239,6 +260,8 @@ Result<std::vector<size_t>> BatchProber::CountBatch(
   }
   prober_->engine().NoteBatchAnswered(frontier.size(),
                                       NumShards(options_, plan.num_words));
+  HYPRE_TELEMETRY_STMT(
+      RecordBatchShape(frontier.size(), NumShards(options_, plan.num_words)));
   return counts;
 }
 
@@ -256,6 +279,7 @@ Result<std::vector<size_t>> BatchProber::CountMaybeBatched(
 
 Result<std::vector<size_t>> BatchProber::CountExtensions(
     const KeyBitmap& base, const std::vector<size_t>& candidates) const {
+  telemetry::TraceSpan span("prober", "count_extensions");
   std::vector<size_t> counts(candidates.size(), 0);
   if (candidates.empty()) return counts;
   ptr_scratch_.clear();
@@ -296,11 +320,14 @@ Result<std::vector<size_t>> BatchProber::CountExtensions(
   }
   prober_->engine().NoteBatchAnswered(candidates.size(),
                                       NumShards(options_, num_words));
+  HYPRE_TELEMETRY_STMT(
+      RecordBatchShape(candidates.size(), NumShards(options_, num_words)));
   return counts;
 }
 
 Result<std::vector<size_t>> BatchProber::CountPairs(
     const std::vector<std::pair<size_t, size_t>>& pairs) const {
+  telemetry::TraceSpan span("prober", "count_pairs");
   std::vector<size_t> counts(pairs.size(), 0);
   if (pairs.empty()) return counts;
   std::vector<std::pair<const uint64_t*, const uint64_t*>> words(pairs.size());
@@ -343,11 +370,14 @@ Result<std::vector<size_t>> BatchProber::CountPairs(
   }
   prober_->engine().NoteBatchAnswered(pairs.size(),
                                       NumShards(options_, num_words));
+  HYPRE_TELEMETRY_STMT(
+      RecordBatchShape(pairs.size(), NumShards(options_, num_words)));
   return counts;
 }
 
 Status BatchProber::EvalBatch(const std::vector<Combination>& frontier,
                               std::vector<KeyBitmap>* out) const {
+  telemetry::TraceSpan span("prober", "eval_batch");
   out->clear();
   if (frontier.empty()) return Status::OK();
   HYPRE_ASSIGN_OR_RETURN(CompiledFrontier plan, Compile(frontier));
@@ -412,6 +442,8 @@ Status BatchProber::EvalBatch(const std::vector<Combination>& frontier,
   });
   prober_->engine().NoteBatchAnswered(frontier.size(),
                                       NumShards(options_, plan.num_words));
+  HYPRE_TELEMETRY_STMT(
+      RecordBatchShape(frontier.size(), NumShards(options_, plan.num_words)));
   return Status::OK();
 }
 

@@ -1,8 +1,11 @@
 #include "hypre/delta_engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "hypre/parallel/task_pool.h"
+#include "hypre/telemetry/registry.h"
+#include "hypre/telemetry/trace.h"
 #include "reldb/executor.h"
 #include "reldb/expr.h"
 
@@ -237,6 +240,10 @@ Result<uint64_t> DeltaEngine::Refresh() {
     return stats_.epoch;
   }
   if (stats_.journal_cursor == end) return stats_.epoch;
+  telemetry::TraceSpan refresh_span("delta", "refresh_epoch");
+#if HYPRE_TELEMETRY_ENABLED
+  auto refresh_start = std::chrono::steady_clock::now();
+#endif
 
   std::unordered_set<std::string> tables;
   tables.insert(engine_->base_query_.from);
@@ -271,8 +278,13 @@ Result<uint64_t> DeltaEngine::Refresh() {
   SnapshotLeaves(&leaf_exprs, &leaf_bits);
 
   bool needs_rebuild = false;
-  Status applied = ApplyAppends(first_new_row, leaf_exprs, leaf_bits);
+  Status applied;
+  {
+    telemetry::TraceSpan span("delta", "apply_appends");
+    applied = ApplyAppends(first_new_row, leaf_exprs, leaf_bits);
+  }
   if (applied.ok()) {
+    telemetry::TraceSpan span("delta", "apply_deletes");
     applied = ApplyDeletes(deleted_rows, leaf_exprs, leaf_bits,
                            &needs_rebuild);
   }
@@ -298,9 +310,26 @@ Result<uint64_t> DeltaEngine::Refresh() {
   }
   if (needs_rebuild) {
     FullRebuild();
+    HYPRE_TELEMETRY_STMT(
+        telemetry::MetricsRegistry::Global()
+            .GetCounter("hypre_delta_full_rebuilds_total", "delta",
+                        "Refreshes that dropped all interned state")
+            ->Increment());
   } else {
     ++stats_.incremental_refreshes;
+    HYPRE_TELEMETRY_STMT(
+        telemetry::MetricsRegistry::Global()
+            .GetCounter("hypre_delta_incremental_refreshes_total", "delta",
+                        "Refreshes applied in place to leaves/universe")
+            ->Increment());
   }
+  HYPRE_TELEMETRY_STMT(
+      telemetry::MetricsRegistry::Global()
+          .GetHistogram("hypre_delta_refresh_us", "delta",
+                        "Microseconds per mutation-bearing Refresh() epoch")
+          ->Record(uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - refresh_start)
+                                .count())));
   engine_->epoch_ = ++stats_.epoch;
   return stats_.epoch;
 }

@@ -1,5 +1,12 @@
 // Evaluation metrics (dissertation §5.1, §5.2, §7.6.2).
 //
+// NOT runtime telemetry. This file scores result QUALITY — how selective,
+// useful, and mutually similar the enumerated combinations are, per the
+// paper's evaluation chapter. Operational metrics (latency histograms,
+// cache hit counters, scheduler/WAL accounting) live in
+// hypre/telemetry/registry.h; the two share nothing but the word
+// "metrics".
+//
 //   Pref_Selectivity = #tuples / #preferences                  (Eq. 5.1)
 //   Utility          = Pref_Selectivity * combined intensity   (Eq. 5.2)
 //   Coverage         = distinct tuples touched when every preference is

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+#include "hypre/telemetry/registry.h"
 
 namespace hypre {
 namespace parallel {
@@ -174,9 +178,23 @@ void TaskPool::WorkerMain(size_t worker_index) {
     bool participate = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      bool parked = false;
       work_cv_.wait(lock, [&] {
-        return shutdown_ || (region_ != nullptr && generation_ != seen_generation);
+        bool ready = shutdown_ ||
+                     (region_ != nullptr && generation_ != seen_generation);
+        // First false evaluation = this worker is about to block: that is
+        // the park. Counted under mutex_, so a plain relaxed add is safe.
+        if (!ready && !parked) {
+          parked = true;
+          HYPRE_TELEMETRY_STMT(slots_[slot]->parks.fetch_add(
+              1, std::memory_order_relaxed));
+        }
+        return ready;
       });
+      if (parked) {
+        HYPRE_TELEMETRY_STMT(slots_[slot]->unparks.fetch_add(
+            1, std::memory_order_relaxed));
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       region = region_;
@@ -214,7 +232,11 @@ bool TaskPool::PopOrSteal(Region* region, size_t slot, Range* out) {
   if (slots_[slot]->deque.PopBottom(out)) return true;
   for (size_t i = 1; i < region->num_slots; ++i) {
     size_t victim = (slot + i) % region->num_slots;
-    if (slots_[victim]->deque.StealTop(out)) return true;
+    if (slots_[victim]->deque.StealTop(out)) {
+      HYPRE_TELEMETRY_STMT(
+          slots_[slot]->steals.fetch_add(1, std::memory_order_relaxed));
+      return true;
+    }
   }
   return false;
 }
@@ -227,9 +249,59 @@ void TaskPool::Execute(Region* region, size_t slot, Range range) {
     size_t mid = range.begin + (range.size() + 1) / 2;
     if (!slots_[slot]->deque.PushBottom(Range{mid, range.end})) break;
     range.end = mid;
+    HYPRE_TELEMETRY_STMT(
+        slots_[slot]->splits.fetch_add(1, std::memory_order_relaxed));
   }
+  HYPRE_TELEMETRY_STMT(
+      slots_[slot]->executes.fetch_add(1, std::memory_order_relaxed));
   (*region->body)(range.begin, range.end, slot);
   region->remaining.fetch_sub(range.size(), std::memory_order_acq_rel);
+}
+
+TaskPool::Stats TaskPool::DumpStats() const {
+  Stats stats;
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    stats.steals += slot->steals.load(std::memory_order_relaxed);
+    stats.executes += slot->executes.load(std::memory_order_relaxed);
+    stats.splits += slot->splits.load(std::memory_order_relaxed);
+    stats.parks += slot->parks.load(std::memory_order_relaxed);
+    stats.unparks += slot->unparks.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+std::string TaskPool::Stats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "steals=%" PRIu64 " executes=%" PRIu64 " splits=%" PRIu64
+                " parks=%" PRIu64 " unparks=%" PRIu64,
+                steals, executes, splits, parks, unparks);
+  return buf;
+}
+
+void TaskPool::PublishStats() const {
+  using telemetry::MetricsRegistry;
+  Stats stats = DumpStats();
+  static telemetry::Gauge* steals = MetricsRegistry::Global().GetGauge(
+      "hypre_parallel_steals", "parallel",
+      "Successful work-steal migrations since pool construction");
+  static telemetry::Gauge* executes = MetricsRegistry::Global().GetGauge(
+      "hypre_parallel_executes", "parallel",
+      "Chunks executed by the work-stealing runtime");
+  static telemetry::Gauge* splits = MetricsRegistry::Global().GetGauge(
+      "hypre_parallel_splits", "parallel",
+      "Lazy-binary-split halves shed back onto slot deques");
+  static telemetry::Gauge* parks = MetricsRegistry::Global().GetGauge(
+      "hypre_parallel_parks", "parallel",
+      "Worker park events (blocked on the region condvar)");
+  static telemetry::Gauge* unparks = MetricsRegistry::Global().GetGauge(
+      "hypre_parallel_unparks", "parallel",
+      "Worker unpark events (woken into a region or shutdown)");
+  steals->Set(int64_t(stats.steals));
+  executes->Set(int64_t(stats.executes));
+  splits->Set(int64_t(stats.splits));
+  parks->Set(int64_t(stats.parks));
+  unparks->Set(int64_t(stats.unparks));
 }
 
 }  // namespace parallel

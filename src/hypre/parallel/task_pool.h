@@ -44,8 +44,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "hypre/telemetry/telemetry.h"
 
 namespace hypre {
 namespace parallel {
@@ -136,6 +139,28 @@ class TaskPool {
   /// num_threads != 1) fall back to this.
   static TaskPool* Shared();
 
+  /// \brief Cumulative scheduler counters since pool construction, folded
+  /// across every slot. Increments are compiled out with
+  /// -DHYPRE_TELEMETRY=OFF (everything reads zero there); with telemetry on
+  /// they cost one relaxed add per scheduling event — per chunk, never per
+  /// index — which is what makes skew finally explainable: a balanced
+  /// region steals ~0 times, a skewed one steals proportionally to the
+  /// imbalance, and parks count how often workers ran dry.
+  struct Stats {
+    uint64_t steals = 0;    // successful StealTop migrations
+    uint64_t executes = 0;  // chunks executed (post-split pieces)
+    uint64_t splits = 0;    // lazy-binary-split halves shed to deques
+    uint64_t parks = 0;     // workers blocking on the region condvar
+    uint64_t unparks = 0;   // parked workers woken into a region/shutdown
+    std::string ToString() const;
+  };
+  /// \brief Folds all slots' counters. Safe to call anytime; between
+  /// regions the values are exact, during one they are a live snapshot.
+  Stats DumpStats() const;
+  /// \brief Mirrors DumpStats() into the global MetricsRegistry gauges
+  /// (hypre_parallel_steals, ...). Idempotent — gauges are Set, not added.
+  void PublishStats() const;
+
  private:
   struct Region {
     const Body* body = nullptr;
@@ -146,6 +171,14 @@ class TaskPool {
   };
   struct alignas(64) Slot {
     RangeDeque deque;
+    // Scheduler telemetry, owner-or-thief incremented (relaxed; folded by
+    // DumpStats). Present in every build so layout is config-independent;
+    // increments vanish under -DHYPRE_TELEMETRY=OFF.
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> executes{0};
+    std::atomic<uint64_t> splits{0};
+    std::atomic<uint64_t> parks{0};
+    std::atomic<uint64_t> unparks{0};
   };
 
   void WorkerMain(size_t worker_index);

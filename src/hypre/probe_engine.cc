@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "hypre/delta_engine.h"
+#include "hypre/telemetry/trace.h"
 #include "sqlparse/parser.h"
 
 namespace hypre {
@@ -21,7 +22,12 @@ ProbeEngine::ProbeEngine(const reldb::Database* db, reldb::Query base_query,
 
 ProbeEngine::~ProbeEngine() = default;
 
-Result<uint64_t> ProbeEngine::Refresh() { return delta_->Refresh(); }
+Result<uint64_t> ProbeEngine::Refresh() {
+  // The span covers the epoch pin even when the journal is drained — a
+  // traced request always shows where its version check happened.
+  telemetry::TraceSpan span("delta", "refresh");
+  return delta_->Refresh();
+}
 
 void ProbeEngine::set_delta_options(const DeltaOptions& options) {
   delta_->set_options(options);
@@ -281,6 +287,10 @@ Result<const KeyBitmap*> ProbeEngine::LeafBitmap(
   std::string key = CanonicalKey(*expr);
   auto it = leaf_cache_.find(key);
   if (it != leaf_cache_.end()) return it->second.bits.get();
+  // Cache MISSES get a span (each one runs a relational query); hits are
+  // visible as the stats ratio instead — noting every hit would flood the
+  // bounded trace buffer from the probe hot path.
+  telemetry::TraceSpan span("engine", "leaf_query");
   ++num_leaf_queries_;
   reldb::Query query = base_query_;
   query.where = query.where ? reldb::MakeAnd(query.where, expr) : expr;
@@ -296,6 +306,7 @@ Result<const KeyBitmap*> ProbeEngine::LeafBitmap(
 
 Status ProbeEngine::PrefetchLeaves(
     const std::vector<reldb::ExprPtr>& exprs) const {
+  telemetry::TraceSpan span("engine", "prefetch_leaves");
   HYPRE_RETURN_NOT_OK(EnsureUniverse());
   std::vector<reldb::ExprPtr> leaves;
   for (const auto& expr : exprs) {

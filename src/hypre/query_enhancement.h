@@ -78,16 +78,10 @@ class QueryEnhancer {
   const reldb::Database* db() const { return engine_.db(); }
 
   /// \brief Consolidated snapshot of every probe counter (leaf queries,
-  /// cache hits, batch activity) — prefer this over the two legacy
-  /// pass-throughs below; api::Session reports the per-request delta of it.
+  /// cache hits, batch activity) — the one statistics surface this class
+  /// exposes; api::Session reports the per-request delta of it, and the
+  /// telemetry registry folds the same deltas process-wide.
   ProbeStats stats() const { return engine_.stats(); }
-
-  /// \brief Number of leaf probes actually executed against the database.
-  /// \deprecated Legacy pass-through; use stats().num_leaf_queries.
-  size_t num_leaf_queries() const { return engine_.num_leaf_queries(); }
-  /// \brief Number of count probes answered from the memo cache.
-  /// \deprecated Legacy pass-through; use stats().num_cache_hits.
-  size_t num_cache_hits() const { return engine_.num_cache_hits(); }
 
   /// \brief Captures the engine's interned state for a durable snapshot
   /// (see ProbeEngine::CaptureSnapshotImage).

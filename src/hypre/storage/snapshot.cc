@@ -97,9 +97,9 @@ Json EncodeMeta(const reldb::Database& db, uint64_t journal_sequence,
 
 }  // namespace
 
-Status WriteSnapshot(Env* env, const std::string& path,
-                     const reldb::Database& db, uint64_t journal_sequence,
-                     const std::vector<SnapshotEngineState>& engines) {
+std::string EncodeSnapshot(const reldb::Database& db,
+                           uint64_t journal_sequence,
+                           const std::vector<SnapshotEngineState>& engines) {
   std::string blob(kSnapshotMagic, sizeof(kSnapshotMagic));
   AppendSection(kSectionMeta,
                 EncodeMeta(db, journal_sequence, engines).Dump(), &blob);
@@ -115,7 +115,11 @@ Status WriteSnapshot(Env* env, const std::string& path,
     }
   }
   AppendSection(kSectionEnd, "", &blob);
+  return blob;
+}
 
+Status WriteSnapshotBlob(Env* env, const std::string& path,
+                         const std::string& blob) {
   // Atomic publish: temp file, full sync, rename over the live name.
   std::string tmp = path + ".tmp";
   HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
@@ -124,6 +128,13 @@ Status WriteSnapshot(Env* env, const std::string& path,
   HYPRE_RETURN_NOT_OK(file->Sync());
   HYPRE_RETURN_NOT_OK(file->Close());
   return env->RenameFile(tmp, path);
+}
+
+Status WriteSnapshot(Env* env, const std::string& path,
+                     const reldb::Database& db, uint64_t journal_sequence,
+                     const std::vector<SnapshotEngineState>& engines) {
+  return WriteSnapshotBlob(env, path,
+                           EncodeSnapshot(db, journal_sequence, engines));
 }
 
 namespace {

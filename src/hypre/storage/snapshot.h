@@ -61,8 +61,23 @@ struct SnapshotContents {
   std::vector<SnapshotEngineState> engines;
 };
 
+/// \brief Serializes `db` (+ engine images) covering `journal_sequence`
+/// into the snapshot wire format. Pure encode, no I/O — the background
+/// checkpointer captures the blob on the request thread (where the
+/// database is quiescent) and hands only bytes to its worker.
+std::string EncodeSnapshot(const reldb::Database& db,
+                           uint64_t journal_sequence,
+                           const std::vector<SnapshotEngineState>& engines);
+
+/// \brief Atomically publishes an encoded snapshot blob to `path` via temp
+/// file + fsync + rename. Touches nothing but the filesystem, so it is
+/// safe off-thread while the database keeps mutating.
+Status WriteSnapshotBlob(Env* env, const std::string& path,
+                         const std::string& blob);
+
 /// \brief Atomically writes a snapshot of `db` (+ engine images) covering
 /// `journal_sequence` to `path` via temp file + fsync + rename.
+/// (EncodeSnapshot + WriteSnapshotBlob in one step.)
 Status WriteSnapshot(Env* env, const std::string& path,
                      const reldb::Database& db, uint64_t journal_sequence,
                      const std::vector<SnapshotEngineState>& engines);

@@ -1,9 +1,36 @@
 #include "hypre/storage/store.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
+#include "hypre/telemetry/registry.h"
+#include "hypre/telemetry/trace.h"
 
 namespace hypre {
 namespace storage {
+
+namespace {
+
+#if HYPRE_TELEMETRY_ENABLED
+/// Checkpoint accounting shared by the synchronous and background paths.
+void RecordCheckpoint(uint64_t duration_ms, size_t snapshot_bytes) {
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Global();
+  registry
+      .GetCounter("hypre_storage_checkpoints_total", "storage",
+                  "Checkpoints published (snapshot + WAL rotation)")
+      ->Increment();
+  registry
+      .GetHistogram("hypre_storage_checkpoint_duration_ms", "storage",
+                    "Milliseconds per checkpoint (spill through rotation)")
+      ->Record(duration_ms);
+  registry
+      .GetCounter("hypre_storage_snapshot_bytes_total", "storage",
+                  "Encoded snapshot bytes written")
+      ->Add(snapshot_bytes);
+}
+#endif
+
+}  // namespace
 
 Result<std::unique_ptr<EngineStore>> EngineStore::Open(
     const std::string& dir, const StorageOptions& options) {
@@ -67,25 +94,57 @@ Status EngineStore::SpillJournalTail(const reldb::Database& db) {
 }
 
 Status EngineStore::CommitJournal(const reldb::Database& db) {
+  telemetry::TraceSpan span("storage", "wal_commit");
   HYPRE_RETURN_NOT_OK(SpillJournalTail(db));
   return writer_->Sync();
 }
 
 Status EngineStore::WriteCheckpoint(
     reldb::Database* db, const std::vector<SnapshotEngineState>& engines) {
+  telemetry::TraceSpan span("storage", "checkpoint");
+#if HYPRE_TELEMETRY_ENABLED
+  auto start = std::chrono::steady_clock::now();
+#endif
   // Spill first so the WAL alone carries everything up to the snapshot —
   // a crash during the snapshot write recovers from old snapshot + WAL.
   HYPRE_RETURN_NOT_OK(CommitJournal(*db));
   uint64_t seq = db->journal().sequence();
-  HYPRE_RETURN_NOT_OK(
-      WriteSnapshot(env_, snapshot_path(), *db, seq, engines));
+  std::string blob = EncodeSnapshot(*db, seq, engines);
+  size_t snapshot_bytes = blob.size();
+  HYPRE_RETURN_NOT_OK(WriteSnapshotBlob(env_, snapshot_path(), blob));
   snapshot_seq_ = seq;
   HYPRE_RETURN_NOT_OK(RotateWal(seq));
   // Every engine's cursor is at `seq` (the caller refreshed them before
   // capturing images), and the WAL below `seq` is gone — the in-memory
   // prefix has no remaining consumer.
   db->mutable_journal()->TruncateTo(seq);
+  HYPRE_TELEMETRY_STMT(RecordCheckpoint(
+      uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count()),
+      snapshot_bytes));
+  (void)snapshot_bytes;
   return Status::OK();
+}
+
+Status EngineStore::PublishSnapshotBlob(const std::string& blob) {
+  telemetry::TraceSpan span("storage", "snapshot_publish");
+  return WriteSnapshotBlob(env_, snapshot_path(), blob);
+}
+
+Status EngineStore::RotateWalRespill(const reldb::Database& db) {
+  telemetry::TraceSpan span("storage", "wal_rotate_respill");
+  writer_.reset();
+  std::string tmp = dir_ + "/wal.tmp";
+  HYPRE_ASSIGN_OR_RETURN(writer_,
+                         WalWriter::Create(env_, tmp, snapshot_seq_));
+  wal_seq_ = snapshot_seq_;
+  // Every committed record at or past the snapshot goes into the fresh log
+  // BEFORE it replaces wal.log — the old WAL stays the durable truth until
+  // its successor carries the full tail.
+  HYPRE_RETURN_NOT_OK(SpillJournalTail(db));
+  HYPRE_RETURN_NOT_OK(writer_->Sync());
+  return env_->RenameFile(tmp, wal_path());
 }
 
 Result<SnapshotContents> EngineStore::Recover() {

@@ -89,6 +89,36 @@ class EngineStore {
   Status WriteCheckpoint(reldb::Database* db,
                          const std::vector<SnapshotEngineState>& engines);
 
+  // --- Background-checkpoint split ----------------------------------------
+  //
+  // api::Session's background checkpointer decomposes WriteCheckpoint so
+  // that only pure file I/O leaves the request thread:
+  //
+  //   request thread:   CommitJournal (durability point), EncodeSnapshot
+  //   worker thread:    PublishSnapshotBlob (tmp + fsync + rename)
+  //   request thread:   NoteSnapshotPublished, RotateWalRespill, TruncateTo
+  //
+  // The WAL steps stay on the request thread deliberately: rotating the log
+  // concurrently with new appends would re-create the recovery data-loss
+  // hazard documented above (a fresh WAL renamed over committed records
+  // before they are re-spilled).
+
+  /// \brief Publishes an encoded snapshot blob (see EncodeSnapshot) under
+  /// this store's snapshot name. Pure file I/O — safe off-thread; does NOT
+  /// advance snapshot_sequence() (the owning thread does, via
+  /// NoteSnapshotPublished).
+  Status PublishSnapshotBlob(const std::string& blob);
+
+  /// \brief Records that a snapshot covering `seq` is now the live file.
+  void NoteSnapshotPublished(uint64_t seq) { snapshot_seq_ = seq; }
+
+  /// \brief Rotates the WAL to base snapshot_sequence(), RE-SPILLING every
+  /// journal entry at or past it into the fresh log before the rename —
+  /// committed records that postdate the snapshot survive the rotation.
+  /// Leaves wal_sequence() == db.journal().sequence(); the caller may then
+  /// TruncateTo(snapshot_sequence()).
+  Status RotateWalRespill(const reldb::Database& db);
+
   /// \brief Journal sequence covered by the current snapshot.
   uint64_t snapshot_sequence() const { return snapshot_seq_; }
   /// \brief Next journal sequence the WAL has not spilled yet.

@@ -1,9 +1,12 @@
 #include "hypre/storage/wal.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/string_util.h"
 #include "hypre/storage/format.h"
+#include "hypre/telemetry/registry.h"
+#include "hypre/telemetry/trace.h"
 
 namespace hypre {
 namespace storage {
@@ -75,10 +78,36 @@ Status WalWriter::AppendRecord(const std::string& payload) {
   frame.PutU32(Crc32(frame.data()));  // header crc protects the length field
   frame.PutU32(Crc32(payload));
   frame.PutRaw(payload.data(), payload.size());
+  ++pending_records_;
+  HYPRE_TELEMETRY_STMT(
+      telemetry::MetricsRegistry::Global()
+          .GetCounter("hypre_storage_wal_bytes_total", "storage",
+                      "Framed bytes appended to the write-ahead log")
+          ->Add(frame.data().size()));
   return file_->Append(frame.data());
 }
 
-Status WalWriter::Sync() { return file_->Sync(); }
+Status WalWriter::Sync() {
+  telemetry::TraceSpan span("storage", "wal_fsync");
+#if HYPRE_TELEMETRY_ENABLED
+  auto start = std::chrono::steady_clock::now();
+#endif
+  Status synced = file_->Sync();
+  HYPRE_TELEMETRY_STMT(
+      telemetry::MetricsRegistry::Global()
+          .GetHistogram("hypre_storage_fsync_us", "storage",
+                        "Microseconds per WAL fsync")
+          ->Record(uint64_t(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+      telemetry::MetricsRegistry::Global()
+          .GetHistogram("hypre_storage_group_commit_records", "storage",
+                        "WAL records covered by one Sync group commit")
+          ->Record(pending_records_));
+  pending_records_ = 0;
+  return synced;
+}
 
 namespace {
 

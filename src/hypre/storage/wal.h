@@ -83,7 +83,9 @@ class WalWriter {
   /// \brief Appends one framed record (no sync).
   Status AppendRecord(const std::string& payload);
 
-  /// \brief Durably flushes all appended records.
+  /// \brief Durably flushes all appended records. Each call is one group
+  /// commit: telemetry records how many appended records it covered and the
+  /// fsync latency.
   Status Sync();
 
  private:
@@ -92,6 +94,8 @@ class WalWriter {
 
   std::unique_ptr<WritableFile> file_;
   std::string path_;
+  // Records appended since the last Sync — the group-commit batch size.
+  size_t pending_records_ = 0;
 };
 
 /// \brief Reads and validates a WAL file. Returns the decoded records of

@@ -1,0 +1,312 @@
+#include "hypre/telemetry/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace hypre {
+namespace telemetry {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q=1 maps to the last sample.
+  uint64_t rank = uint64_t(q * double(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < 65; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] < rank) {
+      seen += buckets[b];
+      continue;
+    }
+    if (b == 0) return 0.0;
+    // Interpolate within [2^(b-1), 2^b) by the rank's position among the
+    // bucket's samples.
+    double lo = double(uint64_t(1) << (b - 1));
+    // Bucket b spans exactly [lo, 2*lo).
+    double frac = double(rank - seen - 1) / double(buckets[b]);
+    return lo + frac * lo;
+  }
+  return 0.0;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < 65; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, Kind kind, const std::string& layer,
+    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry& e = entries_[name];
+    e.kind = kind;
+    e.layer = layer;
+    e.help = help;
+    switch (kind) {
+      case Kind::kCounter:
+        e.counter.reset(new Counter());
+        break;
+      case Kind::kGauge:
+        e.gauge.reset(new Gauge());
+        break;
+      case Kind::kHistogram:
+        e.histogram.reset(new Histogram());
+        break;
+    }
+    return &e;
+  }
+  if (it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& layer,
+                                     const std::string& help) {
+  Entry* e = FindOrCreate(name, Kind::kCounter, layer, help);
+  if (e != nullptr) return e->counter.get();
+  // Kind collision: a detached sink that keeps callers harmless.
+  static Counter* dummy = new Counter();
+  return dummy;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& layer,
+                                 const std::string& help) {
+  Entry* e = FindOrCreate(name, Kind::kGauge, layer, help);
+  if (e != nullptr) return e->gauge.get();
+  static Gauge* dummy = new Gauge();
+  return dummy;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& layer,
+                                         const std::string& help) {
+  Entry* e = FindOrCreate(name, Kind::kHistogram, layer, help);
+  if (e != nullptr) return e->histogram.get();
+  static Histogram* dummy = new Histogram();
+  return dummy;
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::pair<std::string, const MetricsRegistry::Entry*>>
+MetricsRegistry::Sorted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Entry*>> out;
+  out.reserve(entries_.size());
+  for (const auto& kv : entries_) {
+    out.emplace_back(kv.first, &kv.second);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+namespace {
+
+// JSON string escaping for metric names/help (control chars, quote, slash).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PromName(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':';
+    bool leading_digit =
+        i == 0 && std::isdigit(static_cast<unsigned char>(c));
+    out += (ok && !leading_digit) ? c : '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+// Prometheus label VALUES escape backslash, quote, and newline.
+std::string PromLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  auto sorted = Sorted();
+  std::string counters, gauges, histograms;
+  char buf[64];
+  for (const auto& kv : sorted) {
+    const Entry& e = *kv.second;
+    std::string key = "\"" + JsonEscape(kv.first) + "\":";
+    switch (e.kind) {
+      case Kind::kCounter: {
+        if (!counters.empty()) counters += ",";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, e.counter->Value());
+        counters += key + buf;
+        break;
+      }
+      case Kind::kGauge: {
+        if (!gauges.empty()) gauges += ",";
+        std::snprintf(buf, sizeof(buf), "%" PRId64, e.gauge->Value());
+        gauges += key + buf;
+        break;
+      }
+      case Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        HistogramSnapshot snap = e.histogram->Snapshot();
+        histograms += key + "{\"count\":";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, snap.count);
+        histograms += buf;
+        histograms += ",\"sum\":";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, snap.sum);
+        histograms += buf;
+        histograms += ",\"mean\":";
+        AppendDouble(&histograms, snap.Mean());
+        histograms += ",\"p50\":";
+        AppendDouble(&histograms, snap.Percentile(0.50));
+        histograms += ",\"p95\":";
+        AppendDouble(&histograms, snap.Percentile(0.95));
+        histograms += ",\"p99\":";
+        AppendDouble(&histograms, snap.Percentile(0.99));
+        histograms += "}";
+        break;
+      }
+    }
+  }
+  std::string out = "{\"counters\":{";
+  out += counters;
+  out += "},\"gauges\":{";
+  out += gauges;
+  out += "},\"histograms\":{";
+  out += histograms;
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  auto sorted = Sorted();
+  std::string out;
+  char buf[64];
+  for (const auto& kv : sorted) {
+    const Entry& e = *kv.second;
+    std::string name = PromName(kv.first);
+    std::string labels = "{layer=\"" + PromLabelValue(e.layer) + "\"}";
+    out += "# HELP " + name + " " + e.help + "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, e.counter->Value());
+        out += name + labels + " " + buf + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%" PRId64, e.gauge->Value());
+        out += name + labels + " " + buf + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        HistogramSnapshot snap = e.histogram->Snapshot();
+        uint64_t cumulative = 0;
+        // Bucket 64 ([2^63, 2^64)) folds into the trailing +Inf line.
+        for (size_t b = 0; b < 64; ++b) {
+          if (snap.buckets[b] == 0) continue;
+          cumulative += snap.buckets[b];
+          std::string le;
+          std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                        Histogram::UpperBound(b));
+          le = buf;
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
+          out += name + "_bucket{layer=\"" + PromLabelValue(e.layer) +
+                 "\",le=\"" + le + "\"} " + buf + "\n";
+        }
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, snap.count);
+        out += name + "_bucket{layer=\"" + PromLabelValue(e.layer) +
+               "\",le=\"+Inf\"} " + buf + "\n";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, snap.sum);
+        out += name + "_sum" + labels + " " + buf + "\n";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, snap.count);
+        out += name + "_count" + labels + " " + buf + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace hypre

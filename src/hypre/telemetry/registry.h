@@ -1,0 +1,199 @@
+// Runtime metrics registry: named counters, gauges, and log-bucketed
+// latency histograms shared by every layer of the engine.
+//
+// (Not to be confused with hypre/metrics.h, which holds the paper's result
+// QUALITY metrics — selectivity, coverage, rank agreement. This file is the
+// operational side: how fast, how often, how long.)
+//
+// Design constraints, in order:
+//
+//   1. Hot-path writes never take a lock. Counter::Add and Histogram::Record
+//      touch one cache-line-private atomic slot selected by a thread-local
+//      shard index; contention between probe workers is limited to threads
+//      that hash to the same of 16 shards. Reads (ToJson, Prometheus export,
+//      percentiles) fold the shards and are allowed to be slow.
+//   2. Registration is find-or-create by name under a mutex, but call sites
+//      do it ONCE via a function-local static, so steady state is a pointer
+//      deref. Entries are pointer-stable for the registry's lifetime.
+//   3. Everything works in a -DHYPRE_TELEMETRY=OFF build — the classes stay
+//      real so exports and tests compile; only the instrumentation sites
+//      (wrapped in HYPRE_TELEMETRY_STMT) vanish, which is what makes the
+//      compiled-out bench a fair baseline.
+//
+// Histograms bucket by bit width: value v lands in bucket bit_width(v), so
+// bucket b covers [2^(b-1), 2^b). 65 buckets cover the full uint64 range.
+// Percentiles interpolate linearly inside the winning bucket — coarse, but
+// monotone and allocation-free, and plenty to tell a 200µs fsync from a 2ms
+// one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hypre/telemetry/telemetry.h"
+
+namespace hypre {
+namespace telemetry {
+
+/// Number of per-thread slots counters and histograms stripe across.
+inline constexpr size_t kMetricShards = 16;
+
+/// \brief This thread's stripe index in [0, kMetricShards). Assigned once
+/// per thread from a global round-robin so thread counts beyond the shard
+/// count wrap instead of colliding on slot 0.
+size_t ThreadShard();
+
+/// \brief Monotonic counter, sharded per thread. Fold with Value().
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    shards_[ThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  /// \brief Folds all shards. Monotone between calls (writers only add).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// \brief Point-in-time signed value (queue depths, worker counts). A gauge
+/// is set/adjusted, not accumulated, so it is a single atomic — writers are
+/// expected to be rare (per-request, not per-probe).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Folded histogram state: everything an exporter or percentile
+/// query needs, detached from the live shards.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  // buckets[b] counts values in [2^(b-1), 2^b); buckets[0] counts zeros.
+  uint64_t buckets[65] = {};
+
+  /// \brief Approximate quantile (q in [0,1]) by cumulative bucket walk
+  /// with linear interpolation inside the winning bucket. 0 when empty.
+  double Percentile(double q) const;
+  double Mean() const { return count == 0 ? 0.0 : double(sum) / count; }
+};
+
+/// \brief Log2-bucketed histogram of nonnegative integer samples
+/// (latencies in ns or µs, batch sizes, byte counts). Sharded like Counter.
+class Histogram {
+ public:
+  void Record(uint64_t v) {
+    Shard& s = shards_[ThreadShard()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    s.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+  HistogramSnapshot Snapshot() const;
+
+  /// \brief Bucket index for a value: 0 for 0, else bit_width(v).
+  static size_t BucketOf(uint64_t v) {
+    size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;
+  }
+  /// \brief Exclusive upper bound of bucket b (its `le` in Prometheus
+  /// terms is UpperBound(b) - 1... we export le as inclusive 2^b - 1).
+  static uint64_t UpperBound(size_t b) {
+    return b >= 64 ? UINT64_MAX : (uint64_t(1) << b) - 1;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[65] = {};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// \brief Named metric directory. One process-wide instance behind
+/// Global(); tests construct their own to keep goldens deterministic.
+///
+/// Naming convention (Prometheus-compatible, snake_case):
+///   hypre_<layer>_<what>[_total|_ms|_us|_bytes]
+/// Layers: api, engine, prober, delta, parallel, storage.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Find-or-create by name. The returned pointer is stable for the
+  /// registry's lifetime; `layer` and `help` are recorded on first
+  /// registration and ignored after. Names are one global namespace:
+  /// re-registering a name as a different kind returns a detached dummy
+  /// metric (recorded values go nowhere) rather than corrupting the
+  /// original — keep names unique.
+  Counter* GetCounter(const std::string& name, const std::string& layer,
+                      const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& layer,
+                  const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& layer,
+                          const std::string& help);
+
+  /// \brief One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count,sum,mean,p50,p95,p99}, ...}}. Keys sorted.
+  std::string ToJson() const;
+
+  /// \brief Prometheus text exposition format v0.0.4: HELP/TYPE lines, a
+  /// `layer` label on every sample, histogram _bucket/_sum/_count series.
+  /// Metric names are sanitized to [a-zA-Z0-9_:]; label values escape
+  /// backslash, double-quote, and newline.
+  std::string ToPrometheusText() const;
+
+  size_t num_metrics() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string layer;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* FindOrCreate(const std::string& name, Kind kind,
+                      const std::string& layer, const std::string& help);
+  /// Name-sorted view of entries_ for deterministic export.
+  std::vector<std::pair<std::string, const Entry*>> Sorted() const;
+
+  mutable std::mutex mu_;
+  // unordered_map's pointer stability for mapped values is what makes the
+  // Get* pointers safe to cache in function-local statics.
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace telemetry
+}  // namespace hypre

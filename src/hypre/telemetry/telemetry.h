@@ -1,0 +1,27 @@
+// Telemetry build configuration.
+//
+// The whole telemetry layer (metrics registry, trace spans, and every
+// instrumentation site in the engine) compiles out under
+// -DHYPRE_TELEMETRY=OFF (cmake), which defines HYPRE_TELEMETRY_OFF. The
+// classes stay present either way so call sites and tests build in both
+// configurations; what changes is that recording becomes a no-op and the
+// HYPRE_TELEMETRY_STMT() instrumentation blocks disappear entirely. The
+// overhead bench (BENCH_telemetry.json) pins the enabled build within 2%
+// of the compiled-out build on the warm PEPS session path.
+#pragma once
+
+#if defined(HYPRE_TELEMETRY_OFF)
+#define HYPRE_TELEMETRY_ENABLED 0
+/// \brief Compiles its body out when telemetry is disabled. Use for
+/// instrumentation statements on hot paths so a -DHYPRE_TELEMETRY=OFF build
+/// carries zero telemetry cost (no statics, no clock reads, no atomics).
+#define HYPRE_TELEMETRY_STMT(...) \
+  do {                            \
+  } while (0)
+#else
+#define HYPRE_TELEMETRY_ENABLED 1
+#define HYPRE_TELEMETRY_STMT(...) \
+  do {                            \
+    __VA_ARGS__;                  \
+  } while (0)
+#endif

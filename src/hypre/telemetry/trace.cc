@@ -1,0 +1,104 @@
+#include "hypre/telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hypre {
+namespace telemetry {
+
+namespace {
+thread_local Trace* g_active_trace = nullptr;
+}  // namespace
+
+Trace* ActiveTrace() { return g_active_trace; }
+
+ScopedTraceTarget::ScopedTraceTarget(Trace* trace)
+    : previous_(g_active_trace) {
+  g_active_trace = trace;
+}
+
+ScopedTraceTarget::~ScopedTraceTarget() { g_active_trace = previous_; }
+
+int32_t Trace::Open(const char* layer, const char* name) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return -1;
+  }
+  TraceSpanRecord rec;
+  rec.name = name;
+  rec.layer = layer;
+  rec.parent = current_;
+  rec.depth = current_ < 0 ? 0 : spans_[size_t(current_)].depth + 1;
+  rec.start_ns = NowNs();
+  rec.duration_ns = 0;
+  spans_.push_back(rec);
+  current_ = int32_t(spans_.size() - 1);
+  return current_;
+}
+
+void Trace::Close(int32_t index) {
+  if (index < 0 || size_t(index) >= spans_.size()) return;
+  TraceSpanRecord& rec = spans_[size_t(index)];
+  rec.duration_ns = NowNs() - rec.start_ns;
+  // Spans are RAII scopes, so closes arrive innermost-first; restoring the
+  // closed span's parent keeps nesting correct even if an intermediate
+  // span was dropped at the buffer bound.
+  if (current_ == index) current_ = rec.parent;
+}
+
+void Trace::Note(const char* layer, const char* name) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  TraceSpanRecord rec;
+  rec.name = name;
+  rec.layer = layer;
+  rec.parent = current_;
+  rec.depth = current_ < 0 ? 0 : spans_[size_t(current_)].depth + 1;
+  rec.start_ns = NowNs();
+  rec.duration_ns = 0;
+  spans_.push_back(rec);
+}
+
+bool Trace::HasLayer(const char* layer) const {
+  std::string want(layer);
+  for (const TraceSpanRecord& rec : spans_) {
+    if (want == rec.layer) return true;
+  }
+  return false;
+}
+
+std::string Trace::ToJson() const {
+  std::string out = "{\"spans\":[";
+  char buf[64];
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpanRecord& rec = spans_[i];
+    if (i != 0) out += ",";
+    out += "{\"name\":\"";
+    out += rec.name;
+    out += "\",\"layer\":\"";
+    out += rec.layer;
+    out += "\",\"parent\":";
+    std::snprintf(buf, sizeof(buf), "%" PRId32, rec.parent);
+    out += buf;
+    out += ",\"depth\":";
+    std::snprintf(buf, sizeof(buf), "%" PRId32, rec.depth);
+    out += buf;
+    out += ",\"start_ns\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, rec.start_ns);
+    out += buf;
+    out += ",\"duration_ns\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, rec.duration_ns);
+    out += buf;
+    out += "}";
+  }
+  out += "],\"dropped\":";
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, dropped_);
+  out += buf;
+  out += "}";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace hypre

@@ -67,14 +67,14 @@ TEST_F(QueryEnhancerTest, CountCacheHitsOnRepeat) {
   QueryEnhancer enhancer(&db_, base_, "dblp.pid");
   reldb::ExprPtr p = Parse("dblp.venue='VLDB'");
   ASSERT_TRUE(enhancer.CountMatching(p).ok());
-  EXPECT_EQ(enhancer.num_leaf_queries(), 1u);
-  EXPECT_EQ(enhancer.num_cache_hits(), 0u);
+  EXPECT_EQ(enhancer.stats().num_leaf_queries, 1u);
+  EXPECT_EQ(enhancer.stats().num_cache_hits, 0u);
   ASSERT_TRUE(enhancer.CountMatching(p).ok());
-  EXPECT_EQ(enhancer.num_leaf_queries(), 1u);
-  EXPECT_EQ(enhancer.num_cache_hits(), 1u);
+  EXPECT_EQ(enhancer.stats().num_leaf_queries, 1u);
+  EXPECT_EQ(enhancer.stats().num_cache_hits, 1u);
   // A structurally identical but distinct AST also hits (keyed by SQL text).
   ASSERT_TRUE(enhancer.CountMatching(Parse("dblp.venue='VLDB'")).ok());
-  EXPECT_EQ(enhancer.num_leaf_queries(), 1u);
+  EXPECT_EQ(enhancer.stats().num_leaf_queries, 1u);
 }
 
 TEST_F(QueryEnhancerTest, GroupLevelSemanticsOnJoinedAuthors) {

@@ -11,9 +11,11 @@
 //    byte-identically to the session that wrote it.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hypre/api/session.h"
@@ -757,8 +759,15 @@ TEST_F(SessionStorageTest, AutoCheckpointFiresOnceEnoughMutationsAccrue) {
   ASSERT_TRUE(session.Enumerate(request).ok());
   EXPECT_EQ(session.store()->snapshot_sequence(), base);
 
-  // A third crosses it: the next request checkpoints before pinning.
+  // A third crosses it: the next request commits the WAL and hands the
+  // snapshot write to the background worker before pinning.
   ASSERT_TRUE(da->Append({reldb::Value::Int(6), reldb::Value::Int(4)}).ok());
+  ASSERT_TRUE(session.Enumerate(request).ok());
+  // Wait for the worker to publish, then let a follow-up request retire the
+  // snapshot (WAL rotation + journal truncation happen on the request path).
+  while (session.checkpoint_in_flight()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   ASSERT_TRUE(session.Enumerate(request).ok());
   EXPECT_EQ(session.store()->snapshot_sequence(), base + 3);
 
