@@ -5,6 +5,7 @@
 // compose, so regressions are attributable.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -693,6 +694,89 @@ void BM_PepsOrderWarmSessionTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_PepsOrderWarmSessionTraced)->Unit(benchmark::kMicrosecond);
 
+// --- Concurrent serving: many clients, one session, one engine --------------
+//
+// The multi-tenant stress bench: N client threads each answering the warm
+// 24-preference PEPS request against the SAME session and cached engine,
+// every result checked byte-for-byte against a serial baseline computed
+// before the threads start. Each client probes single-threaded (the
+// many-client serving model: parallelism comes from requests, not from
+// splitting one request), so read throughput should scale near-linearly
+// with clients until the cores run out — the engine's shared state is
+// reader-reader only (shared_mutex cache reads, atomic counters, epoch
+// pins). items_per_second == requests/s across all client threads. Any
+// divergence from the serial digest flips a global flag that turns the
+// whole bench run's exit code nonzero, so CI fails loudly rather than
+// shipping a wrong-results regression as a timing artifact. Registered
+// BEFORE the churn benches: these clients must see un-mutated tables.
+
+std::atomic<bool> g_serving_divergence{false};
+
+api::EnumerationRequest ServingRequest() {
+  DeltaBench* b = GetDeltaBench();
+  api::EnumerationRequest request;
+  request.algorithm = "peps";
+  request.base_query = b->base;
+  request.key_column = "dblp.pid";
+  request.preferences = b->atoms;
+  request.probe_options.num_threads = 1;
+  return request;
+}
+
+std::string ServingDigest(const api::EnumerationResult& result) {
+  std::string out;
+  out.reserve(result.records.size() * 48);
+  for (const auto& rec : result.records) {
+    out += rec.predicate_sql;
+    out += '|';
+    out += std::to_string(rec.num_tuples);
+    out += '|';
+    out += std::to_string(rec.intensity);
+    out += '\n';
+  }
+  return out;
+}
+
+const std::string& ServingSerialBaseline() {
+  // Magic static: the first bench thread computes the serial baseline while
+  // every other thread blocks on the initializer, so the reference request
+  // runs with no concurrency and warms the session's engine untimed.
+  static const std::string* digest = [] {
+    DeltaBench* b = GetDeltaBench();
+    auto result = b->session->Enumerate(ServingRequest());
+    if (!result.ok()) Die(result.status());
+    return new std::string(ServingDigest(*result));
+  }();
+  return *digest;
+}
+
+void BM_ConcurrentServing(benchmark::State& state) {
+  const std::string& baseline = ServingSerialBaseline();
+  DeltaBench* b = GetDeltaBench();
+  api::EnumerationRequest request = ServingRequest();
+  for (auto _ : state) {
+    auto result = b->session->Enumerate(request);
+    if (!result.ok()) {
+      g_serving_divergence.store(true);
+      state.SkipWithError("concurrent Enumerate failed");
+      return;
+    }
+    if (ServingDigest(*result) != baseline) {
+      g_serving_divergence.store(true);
+      state.SkipWithError("concurrent result diverged from serial baseline");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentServing)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(8)
+    ->Threads(64)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 /// Appends `n/2` papers (+1 author link each) and deletes `n/2` random live
 /// papers from the bench tables.
 void ApplyChurn(DeltaBench* b, size_t n) {
@@ -948,6 +1032,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (g_serving_divergence.load()) {
+    std::fprintf(stderr,
+                 "concurrent serving produced results diverging from the "
+                 "serial baseline\n");
+    return 1;
+  }
   if (const char* dump_path = std::getenv("HYPRE_TELEMETRY_DUMP")) {
     BenchPool()->PublishStats();
     std::ofstream out(dump_path);

@@ -1,0 +1,141 @@
+#include "hypre/api/scheduler.h"
+
+#include <chrono>
+
+#include "hypre/telemetry/registry.h"
+
+namespace hypre {
+namespace api {
+
+#if HYPRE_TELEMETRY_ENABLED
+namespace {
+
+telemetry::Gauge* QueueDepthGauge() {
+  static telemetry::Gauge* g = telemetry::MetricsRegistry::Global().GetGauge(
+      "hypre_api_admission_queue_depth", "api",
+      "Requests currently waiting for admission");
+  return g;
+}
+
+telemetry::Gauge* InflightGauge() {
+  static telemetry::Gauge* g = telemetry::MetricsRegistry::Global().GetGauge(
+      "hypre_api_admission_inflight", "api",
+      "Requests currently admitted and running");
+  return g;
+}
+
+telemetry::Counter* AdmittedCounter() {
+  static telemetry::Counter* c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "hypre_api_admission_admitted_total", "api",
+          "Requests admitted by the scheduler");
+  return c;
+}
+
+telemetry::Histogram* WaitHistogram() {
+  static telemetry::Histogram* h =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "hypre_api_admission_wait_us", "api",
+          "Microseconds spent queued before admission");
+  return h;
+}
+
+}  // namespace
+#endif  // HYPRE_TELEMETRY_ENABLED
+
+bool AdmissionScheduler::HasCapacityLocked(size_t cost) const {
+  if (options_.max_concurrent != 0 && inflight_ >= options_.max_concurrent) {
+    return false;
+  }
+  if (options_.max_inflight_probe_budget != 0 && cost != 0) {
+    // A request too large for the cap on its own is admitted when nothing
+    // else is in flight — otherwise it would starve behind every smaller
+    // request forever.
+    if (inflight_budget_ + cost > options_.max_inflight_probe_budget &&
+        inflight_ != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AdmissionScheduler::Ticket AdmissionScheduler::Admit(size_t probe_budget) {
+#if HYPRE_TELEMETRY_ENABLED
+  const auto enqueued = std::chrono::steady_clock::now();
+#endif
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t my_ticket = next_ticket_++;
+  bool waited = false;
+  // Strict FIFO: even with capacity free, a request behind an unadmitted
+  // older request waits — capacity freed by a release goes to the oldest
+  // waiter first, so large requests cannot be starved by small ones.
+  while (my_ticket != admit_cursor_ || !HasCapacityLocked(probe_budget)) {
+    waited = true;
+    HYPRE_TELEMETRY_STMT(QueueDepthGauge()->Set(
+        static_cast<int64_t>(next_ticket_ - admit_cursor_)));
+    cv_.wait(lock);
+  }
+  ++admit_cursor_;
+  ++inflight_;
+  inflight_budget_ += probe_budget;
+  ++admitted_total_;
+  if (waited) ++waited_total_;
+  // The next-oldest waiter may also fit under the caps; let it re-check.
+  cv_.notify_all();
+#if HYPRE_TELEMETRY_ENABLED
+  QueueDepthGauge()->Set(static_cast<int64_t>(next_ticket_ - admit_cursor_));
+  InflightGauge()->Set(static_cast<int64_t>(inflight_));
+  AdmittedCounter()->Increment();
+  if (waited) {
+    WaitHistogram()->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - enqueued)
+            .count()));
+  }
+#endif
+  return Ticket(this, probe_budget);
+}
+
+void AdmissionScheduler::ReleaseLocked(size_t cost) {
+  --inflight_;
+  inflight_budget_ -= cost;
+  HYPRE_TELEMETRY_STMT(InflightGauge()->Set(static_cast<int64_t>(inflight_)));
+}
+
+void AdmissionScheduler::Ticket::Release() {
+  if (scheduler_ == nullptr) return;
+  AdmissionScheduler* scheduler = scheduler_;
+  scheduler_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(scheduler->mu_);
+    scheduler->ReleaseLocked(cost_);
+  }
+  scheduler->cv_.notify_all();
+}
+
+void AdmissionScheduler::set_options(const Options& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_ = options;
+  }
+  cv_.notify_all();
+}
+
+AdmissionScheduler::Options AdmissionScheduler::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+AdmissionScheduler::Stats AdmissionScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.admitted = admitted_total_;
+  stats.waited = waited_total_;
+  stats.inflight = inflight_;
+  stats.inflight_budget = inflight_budget_;
+  stats.queue_depth = static_cast<size_t>(next_ticket_ - admit_cursor_);
+  return stats;
+}
+
+}  // namespace api
+}  // namespace hypre

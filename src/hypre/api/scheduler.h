@@ -1,0 +1,123 @@
+// Admission scheduler: graceful degradation for many-client serving.
+//
+// Thousands of concurrent Enumerate() callers on one Session would all
+// pile onto the shared TaskPool and the engine caches at once; past the
+// core count that buys no throughput, only latency variance and memory
+// pressure (every admitted request holds its frontier buffers and an
+// epoch pin). The scheduler turns that cliff into a queue: requests are
+// admitted strictly FIFO, subject to
+//
+//   * a concurrency cap (max_concurrent in-flight requests), and
+//   * a probe-budget cap (the sum of admitted requests' probe budgets —
+//     the API layer's unit of probe spend — stays below
+//     max_inflight_probe_budget).
+//
+// A request whose budget alone exceeds the cap is admitted when it is the
+// only one in flight (otherwise it would starve forever); unbudgeted
+// requests (probe_budget == 0) count only against the concurrency cap.
+// Both caps default to 0 = unlimited, which reduces Admit() to one
+// uncontended mutex round-trip — cheap enough to sit on every request.
+//
+// Telemetry: queue depth and in-flight gauges, an admitted-requests
+// counter, and a wait-time histogram (hypre_api_admission_*).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace hypre {
+namespace api {
+
+class AdmissionScheduler {
+ public:
+  struct Options {
+    /// In-flight request cap; 0 = unlimited.
+    size_t max_concurrent = 0;
+    /// Cap on the summed probe budgets of in-flight requests; 0 =
+    /// unlimited. An oversized request is admitted when alone.
+    size_t max_inflight_probe_budget = 0;
+  };
+
+  /// \brief One scheduler snapshot, for tests and introspection.
+  struct Stats {
+    uint64_t admitted = 0;        // requests admitted so far
+    uint64_t waited = 0;          // of those, how many had to queue
+    size_t inflight = 0;          // currently admitted requests
+    size_t inflight_budget = 0;   // summed probe budgets of those
+    size_t queue_depth = 0;       // requests currently waiting
+  };
+
+  /// \brief RAII admission slot: holds the request's concurrency/budget
+  /// reservation, released on destruction. Move-only.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : scheduler_(other.scheduler_), cost_(other.cost_) {
+      other.scheduler_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        scheduler_ = other.scheduler_;
+        cost_ = other.cost_;
+        other.scheduler_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release();
+    bool admitted() const { return scheduler_ != nullptr; }
+
+   private:
+    friend class AdmissionScheduler;
+    Ticket(AdmissionScheduler* scheduler, size_t cost)
+        : scheduler_(scheduler), cost_(cost) {}
+    AdmissionScheduler* scheduler_ = nullptr;
+    size_t cost_ = 0;
+  };
+
+  AdmissionScheduler() = default;
+  explicit AdmissionScheduler(const Options& options) : options_(options) {}
+  AdmissionScheduler(const AdmissionScheduler&) = delete;
+  AdmissionScheduler& operator=(const AdmissionScheduler&) = delete;
+
+  /// \brief Blocks until this request is admitted (strict FIFO by arrival,
+  /// then capacity), reserving one concurrency slot and `probe_budget`
+  /// units of in-flight probe spend. Returns the RAII reservation.
+  Ticket Admit(size_t probe_budget);
+
+  /// \brief Replaces the caps. Takes effect for future admission checks;
+  /// already-admitted requests keep their reservations. Waiters are
+  /// re-woken so a LOOSENED cap admits them promptly.
+  void set_options(const Options& options);
+  Options options() const;
+
+  Stats stats() const;
+
+ private:
+  /// True when `cost` fits under the current caps; caller holds mu_.
+  bool HasCapacityLocked(size_t cost) const;
+  void ReleaseLocked(size_t cost);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Options options_;
+  // FIFO by ticket number: a waiter is admitted only when it is the oldest
+  // waiter (its number == admit_cursor_) AND capacity allows.
+  uint64_t next_ticket_ = 0;
+  uint64_t admit_cursor_ = 0;
+  size_t inflight_ = 0;
+  size_t inflight_budget_ = 0;
+  uint64_t admitted_total_ = 0;
+  uint64_t waited_total_ = 0;
+
+  friend class Ticket;
+};
+
+}  // namespace api
+}  // namespace hypre

@@ -76,29 +76,72 @@ Result<core::QueryEnhancer*> Session::GetEnhancer(
   std::string key = base_query.ToSql();
   key += '\n';
   key += key_column;
+  {
+    // Fast path: every request after the first over a query spec finds its
+    // engine under the shared lock, so concurrent readers never serialize.
+    std::shared_lock<std::shared_mutex> lock(enhancers_mu_);
+    auto it = enhancers_.find(key);
+    if (it != enhancers_.end()) {
+      telemetry::TraceNote("api", "enhancer_cache_hit");
+      return it->second.get();
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(enhancers_mu_);
+  // Re-check: another first-touch request may have built the engine while
+  // this one upgraded its lock — find-or-create must resolve to ONE engine.
   auto it = enhancers_.find(key);
-  if (it == enhancers_.end()) {
-    telemetry::TraceNote("api", "enhancer_cache_miss");
-    it = enhancers_
-             .emplace(std::move(key),
-                      std::make_unique<core::QueryEnhancer>(db_, base_query,
-                                                            key_column))
-             .first;
-  } else {
+  if (it != enhancers_.end()) {
     telemetry::TraceNote("api", "enhancer_cache_hit");
+    return it->second.get();
+  }
+  telemetry::TraceNote("api", "enhancer_cache_miss");
+  it = enhancers_
+           .emplace(std::move(key), std::make_unique<core::QueryEnhancer>(
+                                        db_, base_query, key_column))
+           .first;
+  // A pool created before this engine existed missed it in its attach
+  // sweep; attaching under the unique lock pairs with that sweep's shared
+  // lock, so exactly one of the two paths always sees the other's work.
+  if (parallel::TaskPool* pool = pool_ptr_.load(std::memory_order_acquire)) {
+    it->second->probe_engine().set_task_pool(pool);
   }
   return it->second.get();
 }
 
 parallel::TaskPool* Session::task_pool() {
-  if (!pool_) pool_ = std::make_unique<parallel::TaskPool>();
+  if (parallel::TaskPool* pool = pool_ptr_.load(std::memory_order_acquire)) {
+    return pool;
+  }
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (!pool_) {
+    pool_ = std::make_unique<parallel::TaskPool>();
+    // Publish BEFORE the attach sweep: an engine inserted concurrently
+    // either lands in the sweep below or observes the published pointer in
+    // GetEnhancer — never neither.
+    pool_ptr_.store(pool_.get(), std::memory_order_release);
+    std::shared_lock<std::shared_mutex> engines(enhancers_mu_);
+    for (auto& [key, enhancer] : enhancers_) {
+      enhancer->probe_engine().set_task_pool(pool_.get());
+    }
+  }
   return pool_.get();
 }
 
 Result<uint64_t> Session::Refresh() {
+  std::shared_lock<std::shared_mutex> lock(enhancers_mu_);
   uint64_t epoch = 0;
   for (auto& [key, enhancer] : enhancers_) {
     HYPRE_ASSIGN_OR_RETURN(uint64_t e, enhancer->Refresh());
+    epoch = std::max(epoch, e);
+  }
+  return epoch;
+}
+
+Result<uint64_t> Session::RefreshAllBlocking() {
+  std::shared_lock<std::shared_mutex> lock(enhancers_mu_);
+  uint64_t epoch = 0;
+  for (auto& [key, enhancer] : enhancers_) {
+    HYPRE_ASSIGN_OR_RETURN(uint64_t e, enhancer->RefreshBlocking());
     epoch = std::max(epoch, e);
   }
   return epoch;
@@ -109,8 +152,11 @@ std::vector<storage::SnapshotEngineState> Session::CaptureEngineStates()
   // Sorted by cache key so identical sessions write byte-identical
   // snapshots (the unordered_map's iteration order is not stable).
   std::map<std::string, const core::QueryEnhancer*> ordered;
-  for (const auto& [key, enhancer] : enhancers_) {
-    ordered.emplace(key, enhancer.get());
+  {
+    std::shared_lock<std::shared_mutex> lock(enhancers_mu_);
+    for (const auto& [key, enhancer] : enhancers_) {
+      ordered.emplace(key, enhancer.get());
+    }
   }
   std::vector<storage::SnapshotEngineState> states;
   states.reserve(ordered.size());
@@ -126,6 +172,7 @@ std::vector<storage::SnapshotEngineState> Session::CaptureEngineStates()
 
 Status Session::AttachStorage(const std::string& dir,
                               const storage::StorageOptions& options) {
+  std::lock_guard<std::mutex> storage_lock(storage_mu_);
   if (store_ != nullptr) {
     return Status::InvalidArgument("session already has storage attached");
   }
@@ -136,8 +183,9 @@ Status Session::AttachStorage(const std::string& dir,
         "borrowed database would not survive)");
   }
   // Catch every engine up so the captured images all cover the same
-  // journal sequence as the snapshot.
-  HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, Refresh());
+  // journal sequence as the snapshot. Blocking: a deferred suffix would
+  // leave an engine cursor behind the checkpoint sequence.
+  HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, RefreshAllBlocking());
   (void)epoch;
   HYPRE_ASSIGN_OR_RETURN(std::unique_ptr<storage::EngineStore> store,
                          storage::EngineStore::Open(dir, options));
@@ -155,19 +203,23 @@ Status Session::AttachStorage(const std::string& dir,
 }
 
 Status Session::SaveSnapshot() {
+  std::lock_guard<std::mutex> storage_lock(storage_mu_);
   if (store_ == nullptr) {
     return Status::InvalidArgument(
         "session has no storage attached (AttachStorage first)");
   }
   // An explicit snapshot must cover everything: wait out any background
-  // write, retire its snapshot, then checkpoint synchronously.
+  // write, retire its snapshot, then checkpoint synchronously. The refresh
+  // is blocking — every engine's journal suffix must be APPLIED before its
+  // image is captured, so this waits for in-flight readers to drain.
   HYPRE_RETURN_NOT_OK(DrainBackgroundCheckpoint());
-  HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, Refresh());
+  HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, RefreshAllBlocking());
   (void)epoch;
   return store_->WriteCheckpoint(owned_db_.get(), CaptureEngineStates());
 }
 
 Status Session::CommitJournal() {
+  std::lock_guard<std::mutex> storage_lock(storage_mu_);
   if (store_ == nullptr) {
     return Status::InvalidArgument(
         "session has no storage attached (AttachStorage first)");
@@ -262,6 +314,10 @@ void Session::CheckpointWorkerMain() {
 
 Status Session::MaybeAutoCheckpoint() {
   if (store_ == nullptr) return Status::OK();
+  // Requests race into here; the policy itself (finish/threshold/encode/
+  // enqueue) must run one at a time or two threads would encode the same
+  // snapshot and double-rotate the WAL.
+  std::lock_guard<std::mutex> storage_lock(storage_mu_);
   // A background failure is surfaced on the next request — the policy is
   // best-effort, but silent failure would let the WAL grow unbounded.
   {
@@ -291,12 +347,30 @@ Status Session::MaybeAutoCheckpoint() {
   if (pending < threshold) return Status::OK();
 
   telemetry::TraceSpan span("storage", "checkpoint_prepare");
-  // Durability point and blob capture stay on the request path: the
-  // database is quiescent here (no algorithm holds bitmap handles), which
-  // is exactly what EncodeSnapshot needs. What leaves the thread is only
-  // the snapshot's file I/O — the dominant cost.
+  // Durability point and blob capture stay on the request path. The
+  // refresh is NON-blocking: with readers pinned it defers, and a deferred
+  // suffix means that engine's cursor sits behind the sequence this
+  // checkpoint would cover — truncating the journal to it would strand the
+  // engine. Skip the round and let the threshold re-fire on a later
+  // request once the readers drain; the WAL keeps everything durable
+  // meanwhile.
   HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, Refresh());
   (void)epoch;
+  {
+    std::shared_lock<std::shared_mutex> lock(enhancers_mu_);
+    for (const auto& [key, enhancer] : enhancers_) {
+      if (enhancer->probe_engine().has_deferred_refresh()) {
+        HYPRE_TELEMETRY_STMT(
+            telemetry::MetricsRegistry::Global()
+                .GetCounter(
+                    "hypre_storage_checkpoint_deferred_total", "storage",
+                    "Auto-checkpoint rounds skipped because an engine's "
+                    "refresh was deferred by pinned readers")
+                ->Increment());
+        return Status::OK();
+      }
+    }
+  }
   HYPRE_RETURN_NOT_OK(store_->CommitJournal(*db_));
   uint64_t seq = db_->journal().sequence();
   std::string blob =
@@ -348,6 +422,10 @@ Result<std::unique_ptr<Session>> Session::OpenFromSnapshot(
 
 Result<EnumerationResult> Session::Enumerate(
     const EnumerationRequest& request) {
+  // Admission gate: with default (unlimited) caps this is one uncontended
+  // mutex round-trip; configured caps queue the request FIFO here, BEFORE
+  // it takes an epoch pin or touches any engine state.
+  AdmissionScheduler::Ticket ticket = scheduler_.Admit(request.probe_budget);
 #if HYPRE_TELEMETRY_ENABLED
   if (request.trace) {
     EnumerationResult result;
@@ -383,18 +461,28 @@ Status Session::EnumerateInternal(const EnumerationRequest& request,
       GetEnhancer(request.base_query, request.key_column));
 
   // Auto-checkpoint BEFORE the epoch is pinned: a checkpoint refreshes
-  // every engine (no algorithm holds bitmap handles yet), so running it
-  // mid-request would invalidate the pinned snapshot.
+  // every engine, and doing that under this request's own pin would only
+  // defer it again.
   HYPRE_RETURN_NOT_OK(MaybeAutoCheckpoint());
 
-  // Pin the epoch: drain the mutation journal up front so the whole run
-  // probes one consistent snapshot (Refresh must not run mid-algorithm —
-  // algorithms hold bitmap handles a refresh may resize).
-  if (request.refresh) {
-    HYPRE_ASSIGN_OR_RETURN(result->epoch, enhancer->Refresh());
-  } else {
-    result->epoch = enhancer->probe_engine().epoch();
-  }
+  // Pin the epoch: the whole run probes one consistent snapshot. A
+  // refresh-first pin (request.refresh, the default) drains the mutation
+  // journal up front — unless other readers are already pinned, in which
+  // case the suffix defers and this request joins them on the live epoch.
+  // While the pin is held a concurrent Refresh cannot resize bitmaps out
+  // from under the algorithm's handles.
+  HYPRE_ASSIGN_OR_RETURN(core::ProbeEngine::EpochPin pin,
+                         enhancer->PinEpoch(request.refresh));
+  result->epoch = pin.epoch();
+
+  // Per-request statistics: a thread_local collector, installed for the
+  // prefetch + run scope, receives every probe counted on this thread and
+  // folds the totals back into the engine's lifetime counters when it goes
+  // out of scope. (Snapshot subtraction against the engine's lifetime
+  // counters would double-count the moment two requests share an engine.)
+  core::ProbeStats request_stats;
+  core::ScopedProbeStatsCollector stats_collector(&enhancer->probe_engine(),
+                                                  &request_stats);
 
   // Every algorithm requires the list sorted descending by intensity; sort
   // a copy so callers can hand preferences in any order.
@@ -403,18 +491,14 @@ Status Session::EnumerateInternal(const EnumerationRequest& request,
 
   // Resolve the request's runtime: if it asks for parallelism (num_threads
   // 0 = auto, or > 1) without naming a pool, inject the session's shared
-  // TaskPool — one persistent set of workers serves every request — and
-  // attach it to the engine so leaf allocation/resize paths first-touch on
-  // the same workers that will probe the bitmaps.
+  // TaskPool — one persistent set of workers serves every request. The
+  // resolution lands ONLY in this request's ProbeOptions copy; the engine
+  // itself got the pool attached once at creation (writing its atomic
+  // per-request would thrash other in-flight requests' allocation paths).
   core::ProbeOptions probe_options = request.probe_options;
   if (probe_options.pool == nullptr && probe_options.num_threads != 1) {
     probe_options.pool = task_pool();
   }
-  enhancer->probe_engine().set_task_pool(probe_options.pool,
-                                         probe_options.num_threads);
-
-  // Snapshot before the prefetch so leaf loads count toward this request.
-  core::ProbeStats before = enhancer->stats();
 
   // Shared leaf prefetch: load every leaf the request's preferences reach
   // in ONE executor pass. The engine's leaf cache persists across requests,
@@ -441,7 +525,7 @@ Status Session::EnumerateInternal(const EnumerationRequest& request,
     telemetry::TraceSpan span("api", "run_algorithm");
     HYPRE_RETURN_NOT_OK(enumerator->Run(ctx, result));
   }
-  result->stats = enhancer->stats() - before;
+  result->stats = request_stats;
   HYPRE_TELEMETRY_STMT(FoldRequestStats(
       result->stats,
       uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
@@ -449,8 +533,9 @@ Status Session::EnumerateInternal(const EnumerationRequest& request,
                    .count())));
   // Scheduler counters are cumulative; mirroring them after each request
   // keeps the registry's view current without touching the probe path.
-  if (pool_ != nullptr) {
-    HYPRE_TELEMETRY_STMT(pool_->PublishStats());
+  if (parallel::TaskPool* pool = pool_ptr_.load(std::memory_order_acquire)) {
+    HYPRE_TELEMETRY_STMT(pool->PublishStats());
+    (void)pool;
   }
   return Status::OK();
 }

@@ -14,21 +14,53 @@
 //           ──▶ enumerator Run (budget + sinks wired through)
 //           ──▶ result {records/top_k, ProbeStats delta, epoch, truncated}
 //
-// Thread model: a Session is NOT internally synchronized — it is one
-// client's handle (the multi-user story is one session per tenant or an
-// external lock), matching ProbeEngine's mutate → Refresh → probe contract.
-// Internally, though, a session owns ONE work-stealing parallel::TaskPool
-// (created lazily on the first request that asks for more than one probe
-// thread) and injects it into every request's probe options and into each
-// cached engine's allocation paths, so all batches of all requests share a
-// single set of persistent, parked-when-idle workers instead of spawning
-// threads per batch.
+// Thread model: single writer, many readers — concurrent Enumerate()
+// calls from any number of threads are safe and see consistent snapshots.
+//
+//  * READ side. Enumerate()/GetEnhancer()/Refresh() may be called from any
+//    thread at any time. Each request takes a refcounted EPOCH PIN on its
+//    engine (ProbeEngine::PinEpoch): while any pin is held the engine's
+//    interned state is immutable — a concurrent Refresh or auto-checkpoint
+//    defers the journal suffix instead of resizing bitmaps under the run,
+//    and applies it when the last reader drains. A request with
+//    request.refresh = true drains the journal first (read-your-writes),
+//    which reads base tables, so it belongs to the WRITE side below; a
+//    request with refresh = false is a PURE reader and never touches
+//    tables, making it safe even against a concurrent writer.
+//  * WRITE side. Base-table mutations, refresh-bearing requests,
+//    Session::Refresh(), and every storage operation (AttachStorage /
+//    SaveSnapshot / CommitJournal and the auto-checkpoint policy) must be
+//    serialized with EACH OTHER by the caller — one writer thread, or an
+//    external lock. They need no coordination with the read side: that is
+//    what the epoch pins and the internal locks below provide.
+//
+// Internal synchronization (lock order, outermost first — see also the
+// epoch-pin section in probe_engine.h and the concurrency section of
+// ARCHITECTURE.md):
+//   storage_mu_   — serializes the storage entry points and the
+//                   auto-checkpoint policy against each other
+//   enhancers_mu_ — shared_mutex over the enhancer cache: shared for
+//                   lookup/iteration, unique only for first-touch insert
+//   pool_mu_      — one-time creation of the shared TaskPool (published
+//                   through an atomic so readers never take it)
+//   per-engine    — ProbeEngine's refresh_mu_ then cache_mu_
+//
+// A session owns ONE work-stealing parallel::TaskPool (created lazily on
+// the first request that asks for more than one probe thread), attaches it
+// to every cached engine's allocation paths once, and injects it into each
+// request's resolved ProbeOptions — all batches of all requests share a
+// single set of persistent, parked-when-idle workers. Concurrent requests
+// also pass the AdmissionScheduler (see api/scheduler.h): strict-FIFO
+// admission under a configurable concurrency cap and a bound on summed
+// in-flight probe budgets; both caps default to unlimited.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -36,6 +68,7 @@
 
 #include "common/status.h"
 #include "hypre/api/enumeration.h"
+#include "hypre/api/scheduler.h"
 #include "hypre/parallel/task_pool.h"
 #include "hypre/query_enhancement.h"
 #include "hypre/storage/store.h"
@@ -83,7 +116,9 @@ class Session {
   /// \brief Catches every cached engine up with the database's mutation
   /// journal. Returns the highest resulting epoch (0 when no engine is
   /// cached yet). Individual requests with request.refresh (the default)
-  /// do this for their own engine automatically.
+  /// do this for their own engine automatically. Never blocks on in-flight
+  /// enumerations: an engine with readers pinned defers its journal suffix
+  /// (see ProbeEngine::Refresh).
   Result<uint64_t> Refresh();
 
   /// \brief Registered algorithm names (sorted) — what `algorithm` accepts.
@@ -95,14 +130,25 @@ class Session {
   /// \brief Mutable database access; null unless the session owns it.
   reldb::Database* mutable_db() { return owned_db_.get(); }
   /// \brief Number of distinct (base query, key column) engines cached.
-  size_t num_cached_engines() const { return enhancers_.size(); }
+  size_t num_cached_engines() const {
+    std::shared_lock<std::shared_mutex> lock(enhancers_mu_);
+    return enhancers_.size();
+  }
 
   /// \brief The session's work-stealing pool, created (auto-sized) on first
-  /// use. Requests that leave ProbeOptions::pool null and ask for more than
-  /// one thread run their batches here.
+  /// use — safe to race; exactly one pool is ever built. Requests that
+  /// leave ProbeOptions::pool null and ask for more than one thread run
+  /// their batches here.
   parallel::TaskPool* task_pool();
   /// \brief True once a request has forced pool creation.
-  bool has_task_pool() const { return pool_ != nullptr; }
+  bool has_task_pool() const {
+    return pool_ptr_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// \brief The request admission scheduler. Unlimited by default;
+  /// configure with scheduler().set_options({...}) to cap concurrent
+  /// requests and in-flight probe spend. Thread-safe.
+  AdmissionScheduler& scheduler() { return scheduler_; }
 
   // --- Durable storage ------------------------------------------------------
 
@@ -143,8 +189,13 @@ class Session {
   /// Captures every cached engine's durable state, sorted by cache key so
   /// snapshot bytes are deterministic.
   std::vector<storage::SnapshotEngineState> CaptureEngineStates() const;
-  /// The request pipeline behind Enumerate() (which only adds the optional
-  /// trace installation around it).
+  /// RefreshBlocking on every cached engine — the checkpoint paths need
+  /// every journal suffix APPLIED (a deferred refresh would leave an engine
+  /// cursor behind the snapshot sequence), so this waits for in-flight
+  /// readers to drain instead of deferring. Returns the highest epoch.
+  Result<uint64_t> RefreshAllBlocking();
+  /// The request pipeline behind Enumerate() (which only adds admission
+  /// and the optional trace installation around it).
   Status EnumerateInternal(const EnumerationRequest& request,
                            EnumerationResult* result);
 
@@ -182,12 +233,27 @@ class Session {
   std::unique_ptr<reldb::Database> owned_db_;
   const reldb::Database* db_;
   // Lazily created shared runtime for all requests (see task_pool()).
+  // pool_mu_ serializes the one-time construction; pool_ptr_ republishes
+  // the pointer so the request path reads it with one atomic load.
+  std::mutex pool_mu_;
   std::unique_ptr<parallel::TaskPool> pool_;
+  std::atomic<parallel::TaskPool*> pool_ptr_{nullptr};
   // (base query SQL + key column) -> the one enhancer/engine all requests
-  // over that query share.
+  // over that query share. enhancers_mu_ guards the MAP (shared for
+  // lookup, unique for first-touch insert); entries are unique_ptrs, so
+  // QueryEnhancer pointers handed out under the shared lock stay valid
+  // unlocked for the session's lifetime (entries are never erased).
+  mutable std::shared_mutex enhancers_mu_;
   std::unordered_map<std::string, std::unique_ptr<core::QueryEnhancer>>
       enhancers_;
+  // Request admission (FIFO, concurrency + probe-budget caps).
+  AdmissionScheduler scheduler_;
+  // Serializes the storage entry points (AttachStorage, SaveSnapshot,
+  // CommitJournal) and the per-request auto-checkpoint policy against each
+  // other. Ordered BEFORE enhancers_mu_ and the engines' refresh mutexes.
+  std::mutex storage_mu_;
   // Durable storage backend; null until AttachStorage/OpenFromSnapshot.
+  // The pointer is written once under storage_mu_ before concurrent use.
   std::unique_ptr<storage::EngineStore> store_;
 
   // Background checkpointer state (all guarded by checkpoint_mu_ except

@@ -77,6 +77,10 @@ class DeltaEngine {
     size_t keys_recomputed = 0;   // affected keys re-evaluated exactly
     size_t incremental_refreshes = 0;
     size_t full_rebuilds = 0;  // epoch compactions (threshold or NULL key)
+    // Refresh requests that found readers holding epoch pins: the journal
+    // suffix was left in place and applies when the pins drain (see the
+    // epoch-pin section in probe_engine.h).
+    size_t refreshes_deferred = 0;
   };
 
   DeltaEngine(ProbeEngine* engine, DeltaOptions options)
@@ -103,6 +107,10 @@ class DeltaEngine {
   const Stats& stats() const { return stats_; }
   void set_options(const DeltaOptions& options) { options_ = options; }
   const DeltaOptions& options() const { return options_; }
+
+  /// \brief Called by ProbeEngine (under its refresh mutex) when a Refresh
+  /// found readers pinned and deferred the journal suffix.
+  void NoteRefreshDeferred() { ++stats_.refreshes_deferred; }
 
  private:
   /// Collects the cached leaves in a stable order (exprs + bitmap slots).

@@ -6,11 +6,27 @@
 
 #include "common/string_util.h"
 #include "hypre/delta_engine.h"
+#include "hypre/telemetry/registry.h"
 #include "hypre/telemetry/trace.h"
 #include "sqlparse/parser.h"
 
 namespace hypre {
 namespace core {
+
+ScopedProbeStatsCollector::ScopedProbeStatsCollector(const ProbeEngine* engine,
+                                                     ProbeStats* sink)
+    : engine_(engine),
+      sink_(sink),
+      previous_(internal::ActiveProbeStatsSlot()) {
+  internal::ActiveProbeStatsSlot() = sink;
+}
+
+ScopedProbeStatsCollector::~ScopedProbeStatsCollector() {
+  internal::ActiveProbeStatsSlot() = previous_;
+  if (engine_ != nullptr && sink_ != nullptr) {
+    engine_->FoldProbeStats(*sink_);
+  }
+}
 
 ProbeEngine::ProbeEngine(const reldb::Database* db, reldb::Query base_query,
                          std::string key_column)
@@ -22,11 +38,76 @@ ProbeEngine::ProbeEngine(const reldb::Database* db, reldb::Query base_query,
 
 ProbeEngine::~ProbeEngine() = default;
 
+Result<uint64_t> ProbeEngine::ApplyRefreshLocked() {
+  // Serialize against in-flight cache lookups: the delta pass rewrites the
+  // leaf cache, count cache, and key order in place.
+  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+  return delta_->Refresh();
+}
+
 Result<uint64_t> ProbeEngine::Refresh() {
   // The span covers the epoch pin even when the journal is drained — a
   // traced request always shows where its version check happened.
   telemetry::TraceSpan span("delta", "refresh");
-  return delta_->Refresh();
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  if (pin_count_ > 0) {
+    // Readers hold the epoch: defer the journal suffix instead of resizing
+    // bitmaps out from under their handles. The suffix applies when the
+    // pins drain (next refresh-bearing entry point at pin count zero).
+    refresh_deferred_ = true;
+    num_deferred_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    delta_->NoteRefreshDeferred();
+    HYPRE_TELEMETRY_STMT(
+        telemetry::MetricsRegistry::Global()
+            .GetCounter("hypre_delta_refresh_deferred_total", "delta",
+                        "Refreshes deferred because readers pinned the epoch")
+            ->Increment());
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  refresh_deferred_ = false;
+  return ApplyRefreshLocked();
+}
+
+Result<uint64_t> ProbeEngine::RefreshBlocking() {
+  std::unique_lock<std::mutex> lock(refresh_mu_);
+  pins_cv_.wait(lock, [&] { return pin_count_ == 0; });
+  refresh_deferred_ = false;
+  return ApplyRefreshLocked();
+}
+
+Result<ProbeEngine::EpochPin> ProbeEngine::PinEpoch(bool refresh_first) {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  // Only refresh-first pins drain the journal (possibly including a
+  // previously deferred suffix): a refresh=false pin is a PURE reader and
+  // must never touch base tables, or it would race a concurrent writer the
+  // single-writer contract allows.
+  if (refresh_first) {
+    if (pin_count_ == 0) {
+      refresh_deferred_ = false;
+      HYPRE_ASSIGN_OR_RETURN(uint64_t epoch, ApplyRefreshLocked());
+      (void)epoch;
+    } else {
+      // Readers in flight: pin the live epoch instead of blocking behind
+      // them; the journal suffix is deferred exactly like Refresh() above.
+      refresh_deferred_ = true;
+      num_deferred_refreshes_.fetch_add(1, std::memory_order_relaxed);
+      delta_->NoteRefreshDeferred();
+      HYPRE_TELEMETRY_STMT(
+          telemetry::MetricsRegistry::Global()
+              .GetCounter("hypre_delta_refresh_deferred_total", "delta",
+                          "Refreshes deferred because readers pinned the "
+                          "epoch")
+              ->Increment());
+    }
+  }
+  ++pin_count_;
+  return EpochPin(this, epoch_.load(std::memory_order_relaxed));
+}
+
+void ProbeEngine::Unpin() const {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  --pin_count_;
+  if (pin_count_ == 0) pins_cv_.notify_all();
 }
 
 void ProbeEngine::set_delta_options(const DeltaOptions& options) {
@@ -147,7 +228,16 @@ std::string ProbeEngine::CanonicalKey(const reldb::Expr& expr) {
 }
 
 Status ProbeEngine::EnsureUniverse() const {
-  if (universe_ready_) return Status::OK();
+  // Double-checked: the release store below publishes the interned state,
+  // and after an epoch compaction the re-intern races are resolved by the
+  // unique lock (one thread interns, the rest wait and see ready).
+  if (universe_ready_.load(std::memory_order_acquire)) return Status::OK();
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  return EnsureUniverseLocked();
+}
+
+Status ProbeEngine::EnsureUniverseLocked() const {
+  if (universe_ready_.load(std::memory_order_relaxed)) return Status::OK();
   // The fresh scan bakes in every mutation recorded so far; re-anchor the
   // delta cursor before scanning so Refresh only replays what comes after.
   delta_->OnUniverseInterned(db_->journal().sequence());
@@ -155,7 +245,7 @@ Status ProbeEngine::EnsureUniverse() const {
       executor_.InternDistinctValues(base_query_, key_column_, &dict_));
   universe_ = KeyBitmap(dict_.size(), /*all_set=*/true);
   RebuildKeyOrder();
-  universe_ready_ = true;
+  universe_ready_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -175,10 +265,14 @@ void ProbeEngine::RebuildKeyOrder() const {
 }
 
 EngineSnapshotImage ProbeEngine::CaptureSnapshotImage() const {
+  // A shared lock is enough: concurrent readers only ADD cache entries
+  // (under the unique lock), never mutate the universe or existing leaves,
+  // so the captured image is one consistent engine state.
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
   EngineSnapshotImage image;
-  image.universe_ready = universe_ready_;
-  if (!universe_ready_) return image;
-  image.epoch = epoch_;
+  image.universe_ready = universe_ready_.load(std::memory_order_acquire);
+  if (!image.universe_ready) return image;
+  image.epoch = epoch_.load(std::memory_order_relaxed);
   image.journal_cursor = delta_->stats().journal_cursor;
   image.keys.reserve(dict_.size());
   for (uint32_t id = 0; id < dict_.size(); ++id) {
@@ -204,7 +298,8 @@ EngineSnapshotImage ProbeEngine::CaptureSnapshotImage() const {
 }
 
 Status ProbeEngine::RestoreSnapshotImage(const EngineSnapshotImage& image) {
-  if (universe_ready_ || dict_.size() != 0) {
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  if (universe_ready_.load(std::memory_order_relaxed) || dict_.size() != 0) {
     return Status::InvalidArgument(
         "RestoreSnapshotImage requires a freshly constructed engine");
   }
@@ -267,7 +362,7 @@ Status ProbeEngine::RestoreSnapshotImage(const EngineSnapshotImage& image) {
     leaf_cache_[key] = LeafEntry{std::move(p.expr), std::move(bits)};
   }
   RebuildKeyOrder();
-  universe_ready_ = true;
+  universe_ready_.store(true, std::memory_order_release);
   delta_->OnSnapshotRestored(image.journal_cursor, image.epoch);
   return Status::OK();
 }
@@ -285,18 +380,31 @@ Result<size_t> ProbeEngine::UniverseSize() const {
 Result<const KeyBitmap*> ProbeEngine::LeafBitmap(
     const reldb::ExprPtr& expr) const {
   std::string key = CanonicalKey(*expr);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = leaf_cache_.find(key);
+    // The raw pointer outlives the lock: entries are node-stable
+    // (unique_ptr payload) and only erased at pin count zero.
+    if (it != leaf_cache_.end()) return it->second.bits.get();
+  }
+  // Miss: upgrade to the unique lock and re-check (another thread may have
+  // materialized the leaf in the window). The DB query runs UNDER the
+  // unique lock — cold path only — which keeps the one-query-per-distinct-
+  // leaf statistics contract exact under racing misses.
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
   auto it = leaf_cache_.find(key);
   if (it != leaf_cache_.end()) return it->second.bits.get();
   // Cache MISSES get a span (each one runs a relational query); hits are
   // visible as the stats ratio instead — noting every hit would flood the
   // bounded trace buffer from the probe hot path.
   telemetry::TraceSpan span("engine", "leaf_query");
-  ++num_leaf_queries_;
+  NoteLeafQueries(1);
   reldb::Query query = base_query_;
   query.where = query.where ? reldb::MakeAnd(query.where, expr) : expr;
   // First-touch: with a pool attached the fresh bitmap's pages are zeroed
   // by the workers that will probe them.
-  auto bits = std::make_unique<KeyBitmap>(dict_.size(), pool_, pool_threads_);
+  auto bits = std::make_unique<KeyBitmap>(dict_.size(), task_pool(),
+                                          task_pool_threads());
   HYPRE_RETURN_NOT_OK(executor_.ForEachDenseId(
       query, key_column_, dict_, [&](uint32_t id) { bits->Set(id); }));
   const KeyBitmap* ptr = bits.get();
@@ -315,27 +423,42 @@ Status ProbeEngine::PrefetchLeaves(
   // Keep only leaves that are neither cached nor already pending.
   std::vector<reldb::ExprPtr> pending;
   std::vector<std::string> pending_keys;
-  std::unordered_set<std::string> queued;
-  for (const auto& leaf : leaves) {
-    std::string key = CanonicalKey(*leaf);
-    if (leaf_cache_.count(key) > 0 || !queued.insert(key).second) continue;
-    pending.push_back(leaf);
-    pending_keys.push_back(std::move(key));
+  auto collect_pending = [&] {
+    pending.clear();
+    pending_keys.clear();
+    std::unordered_set<std::string> queued;
+    for (const auto& leaf : leaves) {
+      std::string key = CanonicalKey(*leaf);
+      if (leaf_cache_.count(key) > 0 || !queued.insert(key).second) continue;
+      pending.push_back(leaf);
+      pending_keys.push_back(std::move(key));
+    }
+  };
+  {
+    // Warm path: everything cached already — one shared lock, no DB work.
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    collect_pending();
+    if (pending.empty()) return Status::OK();
   }
+  // Cold path: re-derive the pending set under the unique lock (a racing
+  // prefetch may have landed some of these) and run the bulk pass while
+  // holding it, so each leaf is queried exactly once engine-wide.
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  collect_pending();
   if (pending.empty()) return Status::OK();
 
   std::vector<std::unique_ptr<KeyBitmap>> bitmaps;
   bitmaps.reserve(pending.size());
   for (size_t i = 0; i < pending.size(); ++i) {
-    bitmaps.push_back(
-        std::make_unique<KeyBitmap>(dict_.size(), pool_, pool_threads_));
+    bitmaps.push_back(std::make_unique<KeyBitmap>(dict_.size(), task_pool(),
+                                                  task_pool_threads()));
   }
   HYPRE_RETURN_NOT_OK(executor_.ForEachDenseIdMulti(
       base_query_, key_column_, dict_, pending,
       [&](size_t p, uint32_t id) { bitmaps[p]->Set(id); }));
   // One leaf query per distinct leaf, even though the bulk pass ran the base
   // query only once (the statistics contract in the header).
-  num_leaf_queries_ += pending.size();
+  NoteLeafQueries(pending.size());
   for (size_t i = 0; i < pending.size(); ++i) {
     leaf_cache_.emplace(std::move(pending_keys[i]),
                         LeafEntry{pending[i], std::move(bitmaps[i])});
@@ -399,14 +522,21 @@ Result<KeyBitmap> ProbeEngine::EvalBitmap(
 Result<size_t> ProbeEngine::CountMatching(
     const reldb::ExprPtr& predicate) const {
   std::string key = predicate ? CanonicalKey(*predicate) : "";
-  auto it = count_cache_.find(key);
-  if (it != count_cache_.end()) {
-    ++num_cache_hits_;
-    return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = count_cache_.find(key);
+    if (it != count_cache_.end()) {
+      NoteProbesAnswered(1);
+      return it->second;
+    }
   }
+  // Eval takes its own locks per leaf; never hold cache_mu_ across it.
   HYPRE_ASSIGN_OR_RETURN(KeyBitmap bits, EvalBitmap(predicate));
   size_t count = bits.Count();
-  count_cache_.emplace(std::move(key), count);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  // try_emplace: a racing thread may have memoized the same (deterministic)
+  // count in the window — first writer wins, both answers agree.
+  count_cache_.try_emplace(std::move(key), count);
   return count;
 }
 

@@ -21,7 +21,11 @@
 // differently share cache entries.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,9 +48,10 @@ struct DeltaOptions;
 
 /// \brief One snapshot of every probe counter the engine and the batch
 /// layer maintain — the consolidated statistics record reported per
-/// request by the API layer (api::EnumerationResult). Counters are
-/// monotone over an engine's lifetime; subtract two snapshots for a
-/// per-request delta.
+/// request by the API layer (api::EnumerationResult). Engine counters are
+/// monotone over an engine's lifetime; per-request deltas are collected
+/// exactly through a ScopedProbeStatsCollector (snapshot subtraction is
+/// only valid when one request at a time touches the engine).
 struct ProbeStats {
   /// Leaf-bitmap materializations against the database — one per DISTINCT
   /// canonical leaf per epoch rebuild (see the contract in ProbeEngine).
@@ -71,6 +76,53 @@ struct ProbeStats {
                       num_batched_probes - earlier.num_batched_probes,
                       num_shard_passes - earlier.num_shard_passes};
   }
+};
+
+namespace internal {
+/// The thread's active per-request ProbeStats sink slot. Constant-initialized
+/// thread_local behind an inline accessor so the per-probe counting sites
+/// compile down to one TLS load and a branch — an out-of-line call here costs
+/// double-digit percent on the warm probe path.
+inline ProbeStats*& ActiveProbeStatsSlot() {
+  static thread_local ProbeStats* slot = nullptr;
+  return slot;
+}
+}  // namespace internal
+
+/// \brief The ProbeStats sink installed on this thread, or null. While a
+/// sink is installed, every counting site in the engine and the batch layer
+/// adds to the sink ONLY (a plain thread-local add, off the atomics); the
+/// collector folds the request's totals back into the engine-lifetime
+/// counters exactly once on destruction. This keeps per-request accounting
+/// exact without subtracting engine-wide snapshots — the subtraction trick
+/// double-counts (or goes negative) the moment two requests share an
+/// engine — and keeps the per-probe cost at one TLS load.
+inline ProbeStats* ActiveProbeStats() {
+  return internal::ActiveProbeStatsSlot();
+}
+
+class ProbeEngine;
+
+/// \brief Installs `sink` as this thread's per-request ProbeStats collector
+/// for the scope, restoring whatever was active before on destruction (like
+/// telemetry::ScopedTraceTarget). The collector is thread_local: all probe
+/// accounting happens on the request thread (pool workers only zero and
+/// scan bitmaps), so one collector per request is exact even when many
+/// requests share one engine. On destruction the collected stats are folded
+/// into `engine`'s lifetime counters (on every exit path, including
+/// errors); until then the engine's counters lag by the in-flight request.
+class ScopedProbeStatsCollector {
+ public:
+  ScopedProbeStatsCollector(const ProbeEngine* engine, ProbeStats* sink);
+  ~ScopedProbeStatsCollector();
+  ScopedProbeStatsCollector(const ScopedProbeStatsCollector&) = delete;
+  ScopedProbeStatsCollector& operator=(const ScopedProbeStatsCollector&) =
+      delete;
+
+ private:
+  const ProbeEngine* engine_;
+  ProbeStats* sink_;
+  ProbeStats* previous_;
 };
 
 /// \brief A serializable image of one engine's interned state — what the
@@ -177,17 +229,110 @@ class ProbeEngine {
   // evaluation restricted to the mutated rows — falling back to a full
   // epoch rebuild once tombstones pass the configured threshold. See
   // delta_engine.h for the mechanics.
+  //
+  // EPOCH PINS make that safe under concurrent readers: an in-flight
+  // enumeration holds a refcounted pin on the engine's epoch, and journal
+  // application — which resizes, remaps, or drops the very bitmaps the
+  // algorithms hold handles to — runs ONLY while the pin count is zero.
+  // Refresh() called with readers pinned returns promptly with the current
+  // epoch and marks the journal suffix DEFERRED; the suffix is applied by
+  // the next refresh-bearing entry point that finds the pin count at zero
+  // (a refresh-first PinEpoch, another Refresh(), or RefreshBlocking()).
+  // Readers therefore never block a refresh and a refresh never invalidates
+  // a reader — the versioned-read discipline of Berkholz et al.'s
+  // FO+MOD-under-updates pattern, with the "old version" being the current
+  // bitmaps kept alive until the last reader drains.
+
+  /// \brief A refcounted hold on the engine's current epoch. While any pin
+  /// is alive the interned state (universe, dense ids, cached leaf bitmaps,
+  /// key order) is immutable — journal application is deferred — so bitmap
+  /// handles taken under the pin stay valid for the pin's lifetime.
+  /// Move-only RAII; destruction (or Release()) drops the hold.
+  class EpochPin {
+   public:
+    EpochPin() = default;
+    EpochPin(EpochPin&& other) noexcept
+        : engine_(other.engine_), epoch_(other.epoch_) {
+      other.engine_ = nullptr;
+    }
+    EpochPin& operator=(EpochPin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        engine_ = other.engine_;
+        epoch_ = other.epoch_;
+        other.engine_ = nullptr;
+      }
+      return *this;
+    }
+    EpochPin(const EpochPin&) = delete;
+    EpochPin& operator=(const EpochPin&) = delete;
+    ~EpochPin() { Release(); }
+
+    /// \brief Drops the hold early (idempotent).
+    void Release() {
+      if (engine_ != nullptr) {
+        engine_->Unpin();
+        engine_ = nullptr;
+      }
+    }
+    bool pinned() const { return engine_ != nullptr; }
+    /// \brief The epoch this pin froze (0 for an empty pin).
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class ProbeEngine;
+    EpochPin(const ProbeEngine* engine, uint64_t epoch)
+        : engine_(engine), epoch_(epoch) {}
+    const ProbeEngine* engine_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  /// \brief Takes a refcounted hold on the engine's epoch for an in-flight
+  /// enumeration. With `refresh_first` and no other reader pinned, the
+  /// journal suffix (including any deferred one) is applied before pinning
+  /// — the read-your-writes path a mutating client expects. With
+  /// `refresh_first` and readers already pinned, the refresh is DEFERRED
+  /// (counted in num_deferred_refreshes) and the current epoch is pinned
+  /// instead — the request probes the live snapshot rather than blocking
+  /// behind the readers. Refresh-first pinning reads base tables when the
+  /// journal is non-empty, so it belongs to the write side of the session's
+  /// single-writer/multi-reader contract (see api/session.h).
+  Result<EpochPin> PinEpoch(bool refresh_first);
 
   /// \brief Applies all journal entries recorded since the last Refresh (or
   /// since universe interning) and advances the epoch if anything relevant
-  /// changed. Returns the current epoch. Must not be called while an
-  /// algorithm run is in flight (algorithms hold bitmap handles that a
-  /// refresh may resize or remap).
+  /// changed. Returns the resulting epoch. NEVER blocks on readers: if any
+  /// epoch pin is held, the application is deferred (the current epoch is
+  /// returned and the suffix applies when the pins drain).
   Result<uint64_t> Refresh();
+
+  /// \brief Refresh() that WAITS for in-flight readers to drain and then
+  /// applies the journal suffix unconditionally — the checkpoint/snapshot
+  /// path, which must not capture state whose journal cursor lags the
+  /// truncation point. Never call while holding an EpochPin on this engine
+  /// (self-deadlock).
+  Result<uint64_t> RefreshBlocking();
 
   /// \brief Monotone counter of applied refreshes; probers revalidate their
   /// cached bitmap handles against this.
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// \brief Epoch pins currently held by in-flight enumerations.
+  size_t num_epoch_pins() const {
+    std::lock_guard<std::mutex> lock(refresh_mu_);
+    return pin_count_;
+  }
+  /// \brief True when a Refresh() was requested while readers were pinned
+  /// and its journal suffix has not been applied yet. Checkpoints skip
+  /// their round when this is set (the engine cursor lags the journal).
+  bool has_deferred_refresh() const {
+    std::lock_guard<std::mutex> lock(refresh_mu_);
+    return refresh_deferred_;
+  }
+  /// \brief Refresh requests deferred because readers held the epoch.
+  uint64_t num_deferred_refreshes() const {
+    return num_deferred_refreshes_.load(std::memory_order_relaxed);
+  }
 
   /// \brief True if any interned key is currently tombstoned (deleted from
   /// the universe but its dense id not yet recycled). When true, cached leaf
@@ -225,12 +370,19 @@ class ProbeEngine {
   /// all). The pool is not owned and must outlive the engine's probe calls;
   /// null detaches. Const because attachment is a performance hint, not
   /// observable state (api::Session attaches through its const engine ref).
+  /// The fields are atomic so a session may attach its lazily created pool
+  /// while other requests are probing; per-REQUEST thread caps belong in
+  /// ProbeOptions, not here (attachment is engine-lifetime, set once).
   void set_task_pool(parallel::TaskPool* pool, size_t max_threads = 0) const {
-    pool_ = pool;
-    pool_threads_ = max_threads;
+    pool_.store(pool, std::memory_order_release);
+    pool_threads_.store(max_threads, std::memory_order_relaxed);
   }
-  parallel::TaskPool* task_pool() const { return pool_; }
-  size_t task_pool_threads() const { return pool_threads_; }
+  parallel::TaskPool* task_pool() const {
+    return pool_.load(std::memory_order_acquire);
+  }
+  size_t task_pool_threads() const {
+    return pool_threads_.load(std::memory_order_relaxed);
+  }
 
   // Probe statistics contract:
   //  * num_leaf_queries counts leaf-bitmap materializations against the
@@ -253,28 +405,64 @@ class ProbeEngine {
 
   /// \brief Number of leaf-predicate probes executed against the database
   /// (the one-time universe interning scan is not counted).
-  size_t num_leaf_queries() const { return num_leaf_queries_; }
+  size_t num_leaf_queries() const {
+    return num_leaf_queries_.load(std::memory_order_relaxed);
+  }
   /// \brief Number of count probes answered from the memo cache.
-  size_t num_cache_hits() const { return num_cache_hits_; }
+  size_t num_cache_hits() const {
+    return num_cache_hits_.load(std::memory_order_relaxed);
+  }
   /// \brief One consolidated snapshot of every probe counter (leaf queries,
-  /// cache hits, batch layer activity). The API layer subtracts two
-  /// snapshots to report per-request statistics.
+  /// cache hits, batch layer activity) over the engine's LIFETIME. The API
+  /// layer reports per-request statistics through a
+  /// ScopedProbeStatsCollector instead of subtracting two of these —
+  /// snapshot subtraction is wrong once requests overlap.
   ProbeStats stats() const {
-    return ProbeStats{num_leaf_queries_, num_cache_hits_, num_batches_,
-                      num_batched_probes_, num_shard_passes_};
+    return ProbeStats{num_leaf_queries_.load(std::memory_order_relaxed),
+                      num_cache_hits_.load(std::memory_order_relaxed),
+                      num_batches_.load(std::memory_order_relaxed),
+                      num_batched_probes_.load(std::memory_order_relaxed),
+                      num_shard_passes_.load(std::memory_order_relaxed)};
   }
   /// \brief Records `n` probes answered from cached bitmaps (no DB work) by
   /// the combination/batch probe layer (see the statistics contract above).
-  void NoteProbesAnswered(size_t n) const { num_cache_hits_ += n; }
+  /// With a collector installed this is a plain thread-local add; the
+  /// collector folds into the engine atomics once per request.
+  void NoteProbesAnswered(size_t n) const {
+    if (ProbeStats* sink = ActiveProbeStats()) {
+      sink->num_cache_hits += n;
+      return;
+    }
+    num_cache_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
   /// \brief Records one batch-kernel pass answering `probes` probes across
   /// `shard_passes` blocked shards. Counts the probes as cache hits (the
   /// batch layer never touches the DB) and folds the batch-shape counters
   /// into stats().
   void NoteBatchAnswered(size_t probes, size_t shard_passes) const {
-    num_cache_hits_ += probes;
-    num_batches_ += 1;
-    num_batched_probes_ += probes;
-    num_shard_passes_ += shard_passes;
+    if (ProbeStats* sink = ActiveProbeStats()) {
+      sink->num_cache_hits += probes;
+      sink->num_batches += 1;
+      sink->num_batched_probes += probes;
+      sink->num_shard_passes += shard_passes;
+      return;
+    }
+    num_cache_hits_.fetch_add(probes, std::memory_order_relaxed);
+    num_batches_.fetch_add(1, std::memory_order_relaxed);
+    num_batched_probes_.fetch_add(probes, std::memory_order_relaxed);
+    num_shard_passes_.fetch_add(shard_passes, std::memory_order_relaxed);
+  }
+  /// \brief Adds one request's collected stats into the lifetime counters;
+  /// called by ~ScopedProbeStatsCollector.
+  void FoldProbeStats(const ProbeStats& stats) const {
+    num_leaf_queries_.fetch_add(stats.num_leaf_queries,
+                                std::memory_order_relaxed);
+    num_cache_hits_.fetch_add(stats.num_cache_hits, std::memory_order_relaxed);
+    num_batches_.fetch_add(stats.num_batches, std::memory_order_relaxed);
+    num_batched_probes_.fetch_add(stats.num_batched_probes,
+                                  std::memory_order_relaxed);
+    num_shard_passes_.fetch_add(stats.num_shard_passes,
+                                std::memory_order_relaxed);
   }
 
  private:
@@ -289,19 +477,55 @@ class ProbeEngine {
   };
 
   Status EnsureUniverse() const;
+  /// The interning body of EnsureUniverse; caller holds cache_mu_ unique.
+  Status EnsureUniverseLocked() const;
   Result<const KeyBitmap*> LeafBitmap(const reldb::ExprPtr& expr) const;
   Result<KeyBitmap> Eval(const reldb::ExprPtr& expr) const;
   /// Rebuilds sorted_ids_/rank_of_id_ from the dictionary (after the delta
   /// engine added or recycled keys).
   void RebuildKeyOrder() const;
+  /// Counts `n` leaf materializations into the thread's active per-request
+  /// collector, or the engine counter when none is installed.
+  void NoteLeafQueries(size_t n) const {
+    if (ProbeStats* sink = ActiveProbeStats()) {
+      sink->num_leaf_queries += n;
+      return;
+    }
+    num_leaf_queries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Applies the journal suffix; caller holds refresh_mu_ with
+  /// pin_count_ == 0 (takes cache_mu_ unique around the delta pass).
+  Result<uint64_t> ApplyRefreshLocked();
+  /// Drops one epoch pin (EpochPin::Release).
+  void Unpin() const;
 
   const reldb::Database* db_;
   reldb::Executor executor_;
   reldb::Query base_query_;
   std::string key_column_;
 
+  // --- Concurrency (see the epoch-pin section above and ARCHITECTURE.md) --
+  //
+  // Lock order: refresh_mu_ before cache_mu_; never the reverse.
+  //  * refresh_mu_ guards the pin count and deferral flag; journal
+  //    application happens under it with pin_count_ == 0, so pin/unpin
+  //    gives every pinned reader a happens-before edge to the last applied
+  //    refresh (the non-atomic interned state below is safely published).
+  //  * cache_mu_ guards the STRUCTURE of the two caches and interning:
+  //    shared for lookups, unique for inserts (a cold leaf's DB query runs
+  //    under the unique lock, keeping one-query-per-leaf exact under
+  //    racing misses) and for refresh application. Entries are node-stable
+  //    (unique_ptr payloads) and only erased at pin count zero, so leaf
+  //    bitmap POINTERS handed out under a pin stay valid unlocked.
+  mutable std::mutex refresh_mu_;
+  mutable std::condition_variable pins_cv_;
+  mutable size_t pin_count_ = 0;
+  mutable bool refresh_deferred_ = false;
+  mutable std::atomic<uint64_t> num_deferred_refreshes_{0};
+  mutable std::shared_mutex cache_mu_;
+
   mutable reldb::DenseDictionary dict_;
-  mutable bool universe_ready_ = false;
+  mutable std::atomic<bool> universe_ready_{false};
   // The LIVE mask: one bit per interned dense id, cleared while the id is
   // tombstoned. Doubles as the "whole universe" probe answer.
   mutable KeyBitmap universe_;
@@ -310,7 +534,7 @@ class ProbeEngine {
   // was Forgotten; the delta engine scrubs their stale leaf bits before
   // rebinding them to a new key).
   mutable std::vector<uint32_t> free_ids_;
-  mutable uint64_t epoch_ = 0;
+  mutable std::atomic<uint64_t> epoch_{0};
   // Dense ids sorted by the Value total order, for deterministic key output,
   // plus the inverse permutation (id -> rank) so KeysOf can sort just the
   // set bits instead of scanning the whole universe.
@@ -319,14 +543,14 @@ class ProbeEngine {
   // Canonical leaf key -> retained expr + matching-key bitmap.
   mutable std::unordered_map<std::string, LeafEntry> leaf_cache_;
   mutable std::unordered_map<std::string, size_t> count_cache_;
-  mutable size_t num_leaf_queries_ = 0;
-  mutable size_t num_cache_hits_ = 0;
-  mutable size_t num_batches_ = 0;
-  mutable size_t num_batched_probes_ = 0;
-  mutable size_t num_shard_passes_ = 0;
+  mutable std::atomic<size_t> num_leaf_queries_{0};
+  mutable std::atomic<size_t> num_cache_hits_{0};
+  mutable std::atomic<size_t> num_batches_{0};
+  mutable std::atomic<size_t> num_batched_probes_{0};
+  mutable std::atomic<size_t> num_shard_passes_{0};
   // First-touch allocation pool (see set_task_pool); null = inline zeroing.
-  mutable parallel::TaskPool* pool_ = nullptr;
-  mutable size_t pool_threads_ = 0;
+  mutable std::atomic<parallel::TaskPool*> pool_{nullptr};
+  mutable std::atomic<size_t> pool_threads_{0};
   std::unique_ptr<DeltaEngine> delta_;
 };
 

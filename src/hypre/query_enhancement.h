@@ -71,7 +71,20 @@ class QueryEnhancer {
 
   /// \brief Catches the engine up with base-table mutations recorded since
   /// the last Refresh (see ProbeEngine::Refresh). Returns the new epoch.
+  /// Never blocks on in-flight readers: with epoch pins held the journal
+  /// suffix is deferred and the current epoch returned.
   Result<uint64_t> Refresh() { return engine_.Refresh(); }
+
+  /// \brief Refresh that waits for in-flight readers to drain first — the
+  /// checkpoint path (see ProbeEngine::RefreshBlocking).
+  Result<uint64_t> RefreshBlocking() { return engine_.RefreshBlocking(); }
+
+  /// \brief Takes a refcounted epoch pin for an in-flight enumeration (see
+  /// ProbeEngine::PinEpoch): while held, a concurrent Refresh defers
+  /// instead of resizing bitmaps out from under the run.
+  Result<ProbeEngine::EpochPin> PinEpoch(bool refresh_first) {
+    return engine_.PinEpoch(refresh_first);
+  }
 
   const std::string& key_column() const { return engine_.key_column(); }
   const reldb::Query& base_query() const { return engine_.base_query(); }
