@@ -1,0 +1,176 @@
+// HTTP serving bench: requests/sec and tail latency through the full REST
+// stack — socket, framing, JSON decode, admission, warm enumeration, JSON
+// encode — against the 100k-paper universe (see BENCH_server.json for the
+// recorded numbers; the CI server-integration job re-runs this as
+// BENCH_server.ci.json).
+//
+// Each bench thread is one keep-alive client connection firing the warm
+// 24-preference PEPS request (the same request BM_PepsOrderWarmSession
+// times WITHOUT the network) at a loopback HttpServer whose tenant holds
+// the synthetic 100k-paper DBLP network. items_per_second is end-to-end
+// requests/sec; the p95_us counter is the per-thread 95th-percentile
+// request latency (averaged across threads). Comparing against the
+// session-only bench isolates the serving tax: framing + codec + one
+// round-trip on loopback.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "common/json.h"
+#include "hypre/server/http.h"
+#include "hypre/server/server.h"
+#include "hypre/server/service.h"
+#include "hypre/server/tenant.h"
+
+namespace hypre {
+namespace bench {
+namespace {
+
+using server::ConnectTcp;
+using server::HttpServer;
+using server::HttpServerOptions;
+using server::SendHttpRequest;
+using server::Service;
+using server::ServiceOptions;
+using server::TenantManager;
+using server::TenantManagerOptions;
+using server::TenantSpec;
+
+constexpr size_t kPapers = 100000;
+
+struct ServingStack {
+  std::unique_ptr<TenantManager> tenants;
+  std::unique_ptr<Service> service;
+  std::unique_ptr<HttpServer> server;
+  std::string request_body;
+};
+
+void Die(const char* what, const Status& st) {
+  std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+  std::exit(1);
+}
+
+/// The warm serving request: the 24-preference complete-PEPS order the
+/// micro bench times directly (16 author leaves + 8 venue leaves).
+std::string BuildRequestBody() {
+  Json body = Json::Object();
+  body.Set("algorithm", Json::Str("peps"));
+  body.Set("base_query",
+           Json::Str("SELECT * FROM dblp JOIN dblp_author ON dblp.pid = "
+                     "dblp_author.pid"));
+  body.Set("key_column", Json::Str("dblp.pid"));
+  Json prefs = Json::Array();
+  auto add = [&](const std::string& predicate, double intensity) {
+    Json p = Json::Object();
+    p.Set("predicate", Json::Str(predicate));
+    p.Set("intensity", Json::Double(intensity));
+    prefs.Append(std::move(p));
+  };
+  for (int aid = 1; aid <= 16; ++aid) {
+    add("dblp_author.aid=" + std::to_string(aid), 0.9 - aid * 0.01);
+  }
+  const char* venues[] = {"SIGMOD", "VLDB", "PVLDB", "PODS",
+                          "ICDE",   "CIKM", "KDD",   "INFOCOM"};
+  for (int v = 0; v < 8; ++v) {
+    add(std::string("dblp.venue='") + venues[v] + "'", 0.85 - v * 0.01);
+  }
+  body.Set("preferences", std::move(prefs));
+  // Warm repeats must stay pure reads: no refresh, no epoch churn.
+  body.Set("refresh", Json::Bool(false));
+  return body.Dump();
+}
+
+ServingStack* GetStack() {
+  static ServingStack* stack = [] {
+    auto* s = new ServingStack();
+    TenantSpec spec;
+    spec.name = "bench";
+    spec.synthetic_papers = kPapers;
+    spec.synthetic_seed = 42;
+    s->tenants = std::make_unique<TenantManager>(
+        std::vector<TenantSpec>{spec}, TenantManagerOptions{});
+    s->service = std::make_unique<Service>(s->tenants.get(), ServiceOptions{});
+    HttpServerOptions options;
+    options.num_workers = 64;  // never the bottleneck for <=32 clients
+    s->server = std::make_unique<HttpServer>(s->service.get(), options);
+    Status started = s->server->Start();
+    if (!started.ok()) Die("server start", started);
+    s->request_body = BuildRequestBody();
+    // One untimed request loads the tenant (100k-paper synthesis) and
+    // warms the session's cached engine + probe caches.
+    auto fd = ConnectTcp("127.0.0.1", s->server->port());
+    if (!fd.ok()) Die("warmup connect", fd.status());
+    auto reply = SendHttpRequest(*fd, "POST", "/v1/bench/enumerate",
+                                 s->request_body);
+    ::close(*fd);
+    if (!reply.ok()) Die("warmup request", reply.status());
+    if (reply->status != 200) {
+      std::fprintf(stderr, "warmup request got %d: %s\n", reply->status,
+                   reply->body.c_str());
+      std::exit(1);
+    }
+    return s;
+  }();
+  return stack;
+}
+
+void BM_HttpServing(benchmark::State& state) {
+  ServingStack* stack = GetStack();
+  auto fd = ConnectTcp("127.0.0.1", stack->server->port());
+  if (!fd.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto reply = SendHttpRequest(*fd, "POST", "/v1/bench/enumerate",
+                                 stack->request_body);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (!reply.ok() || reply->status != 200) {
+      ::close(*fd);
+      state.SkipWithError("request failed");
+      return;
+    }
+    benchmark::DoNotOptimize(reply->body.size());
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ::close(*fd);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const double p95 =
+        latencies_us[(latencies_us.size() * 95) / 100 == latencies_us.size()
+                         ? latencies_us.size() - 1
+                         : (latencies_us.size() * 95) / 100];
+    state.counters["p95_us"] =
+        benchmark::Counter(p95, benchmark::Counter::kAvgThreads);
+  }
+}
+BENCHMARK(BM_HttpServing)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(32)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace hypre
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hypre::bench::GetStack();  // build + warm before any timing
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

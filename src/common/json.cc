@@ -1,4 +1,4 @@
-#include "hypre/storage/json.h"
+#include "common/json.h"
 
 #include <cctype>
 #include <cerrno>
@@ -10,7 +10,6 @@
 #include "common/string_util.h"
 
 namespace hypre {
-namespace storage {
 
 Json Json::Bool(bool v) {
   Json j;
@@ -74,12 +73,15 @@ void Json::Set(const std::string& key, Json v) {
 Status Json::WrongKind(const std::string& key, const char* want,
                        const std::string& context) const {
   const Json* v = Find(key);
+  // ParseError, not Internal: a missing or mistyped key is a defect in the
+  // DOCUMENT (malformed catalog, malformed request body), which the HTTP
+  // layer maps to 400 — the client's fault, not the server's.
   if (v == nullptr) {
-    return Status::Internal(StringFormat("%s: missing required key '%s'",
-                                         context.c_str(), key.c_str()));
+    return Status::ParseError(StringFormat("%s: missing required key '%s'",
+                                           context.c_str(), key.c_str()));
   }
-  return Status::Internal(StringFormat("%s: key '%s' is not %s",
-                                       context.c_str(), key.c_str(), want));
+  return Status::ParseError(StringFormat("%s: key '%s' is not %s",
+                                         context.c_str(), key.c_str(), want));
 }
 
 Result<int64_t> Json::GetInt(const std::string& key,
@@ -225,9 +227,9 @@ class JsonParser {
   static constexpr int kMaxDepth = 64;
 
   Status Error(const std::string& what) const {
-    return Status::Internal(StringFormat("%s: %s at byte %zu",
-                                         context_.c_str(), what.c_str(),
-                                         pos_));
+    return Status::ParseError(StringFormat("%s: %s at byte %zu",
+                                           context_.c_str(), what.c_str(),
+                                           pos_));
   }
 
   void SkipWhitespace() {
@@ -356,6 +358,11 @@ class JsonParser {
           default:
             return Error(StringFormat("invalid escape '\\%c'", esc));
         }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        // RFC 8259: control characters must be escaped. The encoder always
+        // escapes them, so a raw control byte is either corruption or a
+        // hostile client.
+        return Error("unescaped control character in string");
       } else {
         out.push_back(c);
       }
@@ -377,16 +384,32 @@ class JsonParser {
     if (text_[digits_start] == '0' && pos_ - digits_start > 1) {
       return Error("leading zero in number");
     }
+    // Fraction and exponent follow the RFC 8259 grammar exactly: '.' and
+    // 'e'/'E' each require at least one digit after them ("1." and "1e+"
+    // are malformed, not shorthand).
     bool is_double = false;
-    if (pos_ < text_.size() &&
-        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    if (pos_ < text_.size() && text_[pos_] == '.') {
       is_double = true;
+      ++pos_;
+      size_t frac_start = pos_;
       while (pos_ < text_.size() &&
-             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-              text_[pos_] == '+' || text_[pos_] == '-')) {
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
         ++pos_;
       }
+      if (pos_ == frac_start) return Error("expected digits after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp_start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp_start) return Error("expected digits in exponent");
     }
     std::string token = text_.substr(start, pos_ - start);
     if (token.empty() || token == "-") return Error("malformed number");
@@ -417,5 +440,4 @@ Result<Json> Json::Parse(const std::string& text, const std::string& context) {
   return JsonParser(text, context).ParseDocument();
 }
 
-}  // namespace storage
 }  // namespace hypre

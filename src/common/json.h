@@ -1,11 +1,19 @@
-// Minimal JSON DOM for the snapshot's catalog-metadata section.
+// Minimal strict JSON DOM shared by the storage catalog and the HTTP
+// serving layer.
 //
-// The catalog (table schemas, index columns, engine descriptors) is small
-// and human-debuggable, so it is stored as JSON rather than packed binary —
-// `strings <snapshot>` shows what a snapshot contains. This is a
-// deliberately tiny implementation: objects, arrays, strings, bools, null,
-// and numbers. Integers are kept as int64 exactly (no double round-trip),
-// which the format relies on for epochs and journal sequence numbers.
+// Born as the snapshot's catalog-metadata codec (small, human-debuggable —
+// `strings <snapshot>` shows what a snapshot contains), promoted to
+// src/common once the REST front end needed the same parser/encoder for
+// request and response bodies: one implementation means the server and the
+// snapshot catalog agree on what "valid JSON" is. It is deliberately tiny:
+// objects, arrays, strings, bools, null, and numbers. Integers are kept as
+// int64 exactly (no double round-trip), which the snapshot format relies on
+// for epochs and journal sequence numbers and the API relies on for row
+// ids. Parsing is strict and fail-closed: trailing garbage, leading zeros,
+// bad escapes, and over-deep nesting are all errors with a byte offset —
+// the same corruption-is-detected posture the storage layer demands, which
+// doubles as malformed-input robustness at the network edge (see
+// tests/test_json.cc).
 #pragma once
 
 #include <cstdint>
@@ -17,7 +25,6 @@
 #include "common/status.h"
 
 namespace hypre {
-namespace storage {
 
 /// \brief A JSON value. Ints and doubles are distinct kinds so 64-bit
 /// sequence numbers survive a round-trip exactly.
@@ -86,5 +93,4 @@ class Json {
   std::vector<std::pair<std::string, Json>> object_;
 };
 
-}  // namespace storage
 }  // namespace hypre

@@ -19,6 +19,10 @@ enum class StatusCode {
   kConflict,
   kNotImplemented,
   kInternal,
+  /// Transient overload: the request was shed (queue full, deadline
+  /// expired, shutting down) and may succeed if retried later. The HTTP
+  /// layer maps this to 429/503 with a Retry-After hint.
+  kUnavailable,
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -58,6 +62,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

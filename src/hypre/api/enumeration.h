@@ -102,6 +102,13 @@ struct EnumerationRequest {
   /// Refresh (no-op when nothing mutated) and reports the epoch probed.
   bool refresh = true;
 
+  /// Admission wait bound: when > 0, the request waits at most this long in
+  /// the session's AdmissionScheduler queue before being shed with a typed
+  /// Status::Unavailable (the HTTP layer's 429). 0 = wait indefinitely.
+  /// Either way the scheduler's max_queue_depth bound applies — a request
+  /// that would queue behind a full line is rejected immediately.
+  uint64_t admission_timeout_ms = 0;
+
   /// Collect a per-request trace: EnumerationResult::trace gets one span
   /// per timed phase (enhancer cache, refresh, prefetch, batch passes, WAL
   /// and checkpoint work) with parent/child nesting. Off by default — the

@@ -40,6 +40,14 @@ telemetry::Histogram* WaitHistogram() {
   return h;
 }
 
+telemetry::Counter* RejectedCounter() {
+  static telemetry::Counter* c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "hypre_api_admission_rejected_total", "api",
+          "Requests shed by the scheduler (queue full or deadline expired)");
+  return c;
+}
+
 }  // namespace
 #endif  // HYPRE_TELEMETRY_ENABLED
 
@@ -59,31 +67,96 @@ bool AdmissionScheduler::HasCapacityLocked(size_t cost) const {
   return true;
 }
 
+void AdmissionScheduler::SkipAbandonedLocked() {
+  while (abandoned_.erase(admit_cursor_) != 0) ++admit_cursor_;
+}
+
 AdmissionScheduler::Ticket AdmissionScheduler::Admit(size_t probe_budget) {
+  // Unbounded wait cannot fail; the Result only carries the Ticket here.
+  return AdmitInternal(probe_budget, /*bounded=*/false, std::nullopt)
+      .TakeValue();
+}
+
+Result<AdmissionScheduler::Ticket> AdmissionScheduler::TryAdmit(
+    size_t probe_budget,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  return AdmitInternal(probe_budget, /*bounded=*/true, deadline);
+}
+
+Result<AdmissionScheduler::Ticket> AdmissionScheduler::AdmitInternal(
+    size_t cost, bool bounded,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
 #if HYPRE_TELEMETRY_ENABLED
   const auto enqueued = std::chrono::steady_clock::now();
 #endif
   std::unique_lock<std::mutex> lock(mu_);
+  if (bounded && (next_ticket_ != admit_cursor_ || !HasCapacityLocked(cost))) {
+    // The request would have to queue. Shed it if the queue is already at
+    // its bound, or if its deadline has no waiting room left at all.
+    if (options_.max_queue_depth != 0 &&
+        waiting_ >= options_.max_queue_depth) {
+      ++rejected_total_;
+      HYPRE_TELEMETRY_STMT(RejectedCounter()->Increment());
+      return Status::Unavailable(
+          "admission queue full (" + std::to_string(waiting_) +
+          " requests waiting, cap " +
+          std::to_string(options_.max_queue_depth) + ")");
+    }
+    if (deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      ++rejected_total_;
+      HYPRE_TELEMETRY_STMT(RejectedCounter()->Increment());
+      return Status::Unavailable(
+          "admission deadline expired before the request could queue");
+    }
+  }
   const uint64_t my_ticket = next_ticket_++;
   bool waited = false;
   // Strict FIFO: even with capacity free, a request behind an unadmitted
   // older request waits — capacity freed by a release goes to the oldest
   // waiter first, so large requests cannot be starved by small ones.
-  while (my_ticket != admit_cursor_ || !HasCapacityLocked(probe_budget)) {
-    waited = true;
-    HYPRE_TELEMETRY_STMT(QueueDepthGauge()->Set(
-        static_cast<int64_t>(next_ticket_ - admit_cursor_)));
-    cv_.wait(lock);
+  while (my_ticket != admit_cursor_ || !HasCapacityLocked(cost)) {
+    if (!waited) {
+      waited = true;
+      ++waiting_;
+    }
+    HYPRE_TELEMETRY_STMT(
+        QueueDepthGauge()->Set(static_cast<int64_t>(waiting_)));
+    if (deadline.has_value()) {
+      if (cv_.wait_until(lock, *deadline) == std::cv_status::timeout &&
+          (my_ticket != admit_cursor_ || !HasCapacityLocked(cost))) {
+        // Still queued at the deadline: abandon the place in line. A head
+        // ticket advances the cursor itself so the next waiter is not
+        // stalled; any other ticket is skipped when the cursor reaches it.
+        --waiting_;
+        if (my_ticket == admit_cursor_) {
+          ++admit_cursor_;
+          SkipAbandonedLocked();
+          cv_.notify_all();
+        } else {
+          abandoned_.insert(my_ticket);
+        }
+        ++rejected_total_;
+        HYPRE_TELEMETRY_STMT(RejectedCounter()->Increment();
+                             QueueDepthGauge()->Set(
+                                 static_cast<int64_t>(waiting_)));
+        return Status::Unavailable("admission wait deadline exceeded");
+      }
+    } else {
+      cv_.wait(lock);
+    }
   }
+  if (waited) --waiting_;
   ++admit_cursor_;
+  SkipAbandonedLocked();
   ++inflight_;
-  inflight_budget_ += probe_budget;
+  inflight_budget_ += cost;
   ++admitted_total_;
   if (waited) ++waited_total_;
   // The next-oldest waiter may also fit under the caps; let it re-check.
   cv_.notify_all();
 #if HYPRE_TELEMETRY_ENABLED
-  QueueDepthGauge()->Set(static_cast<int64_t>(next_ticket_ - admit_cursor_));
+  QueueDepthGauge()->Set(static_cast<int64_t>(waiting_));
   InflightGauge()->Set(static_cast<int64_t>(inflight_));
   AdmittedCounter()->Increment();
   if (waited) {
@@ -93,7 +166,7 @@ AdmissionScheduler::Ticket AdmissionScheduler::Admit(size_t probe_budget) {
             .count()));
   }
 #endif
-  return Ticket(this, probe_budget);
+  return Ticket(this, cost);
 }
 
 void AdmissionScheduler::ReleaseLocked(size_t cost) {
@@ -131,9 +204,10 @@ AdmissionScheduler::Stats AdmissionScheduler::stats() const {
   Stats stats;
   stats.admitted = admitted_total_;
   stats.waited = waited_total_;
+  stats.rejected = rejected_total_;
   stats.inflight = inflight_;
   stats.inflight_budget = inflight_budget_;
-  stats.queue_depth = static_cast<size_t>(next_ticket_ - admit_cursor_);
+  stats.queue_depth = waiting_;
   return stats;
 }
 

@@ -18,13 +18,34 @@
 // Both caps default to 0 = unlimited, which reduces Admit() to one
 // uncontended mutex round-trip — cheap enough to sit on every request.
 //
-// Telemetry: queue depth and in-flight gauges, an admitted-requests
-// counter, and a wait-time histogram (hypre_api_admission_*).
+// Overload shedding (the HTTP front end's contract): a saturated scheduler
+// must fail fast, not queue unboundedly. TryAdmit() adds two bounds on top
+// of the FIFO discipline —
+//
+//   * max_queue_depth: a request that WOULD have to wait while that many
+//     requests are already waiting is rejected immediately, and
+//   * a wait deadline: a request still queued when its deadline passes
+//     abandons its place in line and is rejected.
+//
+// Both rejections are Status::Unavailable (typed, so the server maps them
+// to 429 + Retry-After). The legacy Admit() keeps its wait-forever,
+// never-rejected contract for embedded callers; the serving path goes
+// through TryAdmit. Abandoned tickets are skipped when the FIFO cursor
+// reaches them, so a timed-out head-of-line waiter cannot stall the queue.
+//
+// Telemetry: queue depth and in-flight gauges, admitted- and
+// rejected-request counters, and a wait-time histogram
+// (hypre_api_admission_*).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
+#include <unordered_set>
+
+#include "common/status.h"
 
 namespace hypre {
 namespace api {
@@ -37,12 +58,17 @@ class AdmissionScheduler {
     /// Cap on the summed probe budgets of in-flight requests; 0 =
     /// unlimited. An oversized request is admitted when alone.
     size_t max_inflight_probe_budget = 0;
+    /// Cap on requests WAITING for admission; 0 = unlimited. Enforced by
+    /// TryAdmit only: a request that would have to queue behind this many
+    /// waiters is rejected with Status::Unavailable instead of blocking.
+    size_t max_queue_depth = 0;
   };
 
   /// \brief One scheduler snapshot, for tests and introspection.
   struct Stats {
     uint64_t admitted = 0;        // requests admitted so far
     uint64_t waited = 0;          // of those, how many had to queue
+    uint64_t rejected = 0;        // TryAdmit rejections (queue full/timeout)
     size_t inflight = 0;          // currently admitted requests
     size_t inflight_budget = 0;   // summed probe budgets of those
     size_t queue_depth = 0;       // requests currently waiting
@@ -88,8 +114,19 @@ class AdmissionScheduler {
 
   /// \brief Blocks until this request is admitted (strict FIFO by arrival,
   /// then capacity), reserving one concurrency slot and `probe_budget`
-  /// units of in-flight probe spend. Returns the RAII reservation.
+  /// units of in-flight probe spend. Returns the RAII reservation. Never
+  /// rejected: max_queue_depth does not apply to this entry point.
   Ticket Admit(size_t probe_budget);
+
+  /// \brief Deadline-aware admission for the serving path: rejects with
+  /// Status::Unavailable when the request would have to queue behind
+  /// max_queue_depth waiters, or when it is still queued at `deadline`
+  /// (std::nullopt = wait forever). FIFO order and the capacity caps are
+  /// identical to Admit().
+  Result<Ticket> TryAdmit(
+      size_t probe_budget,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
 
   /// \brief Replaces the caps. Takes effect for future admission checks;
   /// already-admitted requests keep their reservations. Waiters are
@@ -103,6 +140,13 @@ class AdmissionScheduler {
   /// True when `cost` fits under the current caps; caller holds mu_.
   bool HasCapacityLocked(size_t cost) const;
   void ReleaseLocked(size_t cost);
+  /// Shared FIFO wait loop. `bounded` enables the queue-depth bound.
+  Result<Ticket> AdmitInternal(
+      size_t cost, bool bounded,
+      std::optional<std::chrono::steady_clock::time_point> deadline);
+  /// Advances the cursor past tickets whose waiters gave up; caller holds
+  /// mu_. Without this, a timed-out head waiter would stall FIFO forever.
+  void SkipAbandonedLocked();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -111,10 +155,15 @@ class AdmissionScheduler {
   // waiter (its number == admit_cursor_) AND capacity allows.
   uint64_t next_ticket_ = 0;
   uint64_t admit_cursor_ = 0;
+  // Tickets abandoned by a deadline expiry while not at the cursor yet;
+  // skipped (and erased) when the cursor reaches them.
+  std::unordered_set<uint64_t> abandoned_;
+  size_t waiting_ = 0;
   size_t inflight_ = 0;
   size_t inflight_budget_ = 0;
   uint64_t admitted_total_ = 0;
   uint64_t waited_total_ = 0;
+  uint64_t rejected_total_ = 0;
 
   friend class Ticket;
 };

@@ -424,8 +424,18 @@ Result<EnumerationResult> Session::Enumerate(
     const EnumerationRequest& request) {
   // Admission gate: with default (unlimited) caps this is one uncontended
   // mutex round-trip; configured caps queue the request FIFO here, BEFORE
-  // it takes an epoch pin or touches any engine state.
-  AdmissionScheduler::Ticket ticket = scheduler_.Admit(request.probe_budget);
+  // it takes an epoch pin or touches any engine state. A bounded queue or
+  // an expired admission timeout sheds the request with
+  // Status::Unavailable instead of blocking (the server's 429).
+  std::optional<std::chrono::steady_clock::time_point> admission_deadline;
+  if (request.admission_timeout_ms > 0) {
+    admission_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(request.admission_timeout_ms);
+  }
+  HYPRE_ASSIGN_OR_RETURN(
+      AdmissionScheduler::Ticket ticket,
+      scheduler_.TryAdmit(request.probe_budget, admission_deadline));
+  (void)ticket;
 #if HYPRE_TELEMETRY_ENABLED
   if (request.trace) {
     EnumerationResult result;

@@ -1,0 +1,371 @@
+#include "hypre/server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace hypre {
+namespace server {
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::WantsClose() const {
+  const std::string* connection = FindHeader("connection");
+  return connection != nullptr && EqualsIgnoreCase(*connection, "close");
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+/// Waits for readability with a timeout. Returns +1 readable, 0 timeout,
+/// -1 error.
+int PollReadable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc < 0 ? -1 : (rc == 0 ? 0 : 1);
+  }
+}
+
+}  // namespace
+
+Result<size_t> ParseRequestHead(const std::string& head, HttpRequest* request,
+                                int* error_status_out) {
+  *error_status_out = 0;
+  auto fail = [&](int status, const std::string& why) -> Status {
+    *error_status_out = status;
+    return Status::ParseError(why);
+  };
+
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) {
+    return fail(400, "request line not terminated");
+  }
+  const std::string request_line = head.substr(0, line_end);
+  std::vector<std::string> parts = Split(request_line, ' ');
+  if (parts.size() != 3) {
+    return fail(400, "malformed request line '" + request_line + "'");
+  }
+  request->method = parts[0];
+  request->target = parts[1];
+  if (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0") {
+    return fail(400, "unsupported protocol '" + parts[2] + "'");
+  }
+  if (request->target.empty() || request->target[0] != '/') {
+    return fail(400, "request target must be origin-form (start with '/')");
+  }
+  size_t qmark = request->target.find('?');
+  request->path = request->target.substr(0, qmark);
+  request->query =
+      qmark == std::string::npos ? "" : request->target.substr(qmark + 1);
+
+  size_t content_length = 0;
+  bool saw_content_length = false;
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) return fail(400, "header not terminated");
+    if (eol == pos) break;  // blank line: end of headers
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail(400, "malformed header line '" + line + "'");
+    }
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    std::string value = Trim(line.substr(colon + 1));
+    if (name == "transfer-encoding") {
+      // Content-Length framing only; chunked bodies are out of scope.
+      return fail(501, "transfer-encoding is not supported");
+    }
+    if (name == "content-length") {
+      if (saw_content_length) {
+        return fail(400, "duplicate content-length header");
+      }
+      saw_content_length = true;
+      if (value.empty()) return fail(400, "empty content-length");
+      uint64_t n = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return fail(400, "non-numeric content-length");
+        n = n * 10 + static_cast<uint64_t>(c - '0');
+        if (n > (uint64_t(1) << 40)) return fail(413, "content-length absurd");
+      }
+      content_length = static_cast<size_t>(n);
+    }
+    request->headers.emplace_back(std::move(name), std::move(value));
+  }
+  return content_length;
+}
+
+Result<ReadRequestOutcome> ReadHttpRequest(int fd, const HttpLimits& limits) {
+  ReadRequestOutcome outcome;
+  std::string buffer;
+  size_t head_end = std::string::npos;
+
+  // Phase 1: accumulate until the blank line that ends the headers.
+  while (head_end == std::string::npos) {
+    int ready = PollReadable(fd, limits.read_timeout_ms);
+    if (ready < 0) {
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) {
+      if (buffer.empty()) {
+        // Idle keep-alive connection timed out between requests: just
+        // close it, nothing was in flight.
+        outcome.closed = true;
+        return outcome;
+      }
+      outcome.error_status = 408;
+      outcome.error = "timed out mid-request";
+      return outcome;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (buffer.empty()) {
+        outcome.closed = true;
+        return outcome;
+      }
+      outcome.error_status = 400;
+      outcome.error = "connection closed mid-request";
+      return outcome;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > limits.max_header_bytes + limits.max_body_bytes) {
+      outcome.error_status = 431;
+      outcome.error = "request exceeds buffer limits";
+      return outcome;
+    }
+    head_end = buffer.find("\r\n\r\n");
+    if (head_end == std::string::npos &&
+        buffer.size() > limits.max_header_bytes) {
+      outcome.error_status = 431;
+      outcome.error = "headers exceed " +
+                      std::to_string(limits.max_header_bytes) + " bytes";
+      return outcome;
+    }
+  }
+
+  const std::string head = buffer.substr(0, head_end + 4);
+  int error_status = 0;
+  Result<size_t> content_length =
+      ParseRequestHead(head, &outcome.request, &error_status);
+  if (!content_length.ok()) {
+    outcome.error_status = error_status == 0 ? 400 : error_status;
+    outcome.error = content_length.status().message();
+    return outcome;
+  }
+  if (*content_length > limits.max_body_bytes) {
+    outcome.error_status = 413;
+    outcome.error = "body of " + std::to_string(*content_length) +
+                    " bytes exceeds the " +
+                    std::to_string(limits.max_body_bytes) + " byte cap";
+    return outcome;
+  }
+
+  // Phase 2: the body — whatever is already buffered plus the remainder.
+  outcome.request.body = buffer.substr(head_end + 4);
+  while (outcome.request.body.size() < *content_length) {
+    int ready = PollReadable(fd, limits.read_timeout_ms);
+    if (ready < 0) {
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) {
+      outcome.error_status = 408;
+      outcome.error = "timed out reading request body";
+      return outcome;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      outcome.error_status = 400;
+      outcome.error = "connection closed mid-body";
+      return outcome;
+    }
+    outcome.request.body.append(chunk, static_cast<size_t>(n));
+  }
+  // Anything past Content-Length would be a pipelined second request; this
+  // server answers one request per read, so surplus bytes are a client bug.
+  if (outcome.request.body.size() > *content_length) {
+    outcome.error_status = 400;
+    outcome.error = "bytes beyond content-length (pipelining unsupported)";
+    return outcome;
+  }
+  return outcome;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += HttpStatusReason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+Status WriteAllToSocket(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms) {
+  (void)timeout_ms;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not a numeric IPv4 host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status st = Status::Unavailable(std::string("connect: ") +
+                                    std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<SimpleHttpReply> SendHttpRequest(
+    int fd, const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: hypre\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  HYPRE_RETURN_NOT_OK(WriteAllToSocket(fd, out));
+
+  // Read status line + headers, then Content-Length body bytes.
+  std::string buffer;
+  size_t head_end = std::string::npos;
+  while (head_end == std::string::npos) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::Internal("server closed before response head");
+    buffer.append(chunk, static_cast<size_t>(n));
+    head_end = buffer.find("\r\n\r\n");
+  }
+  SimpleHttpReply reply;
+  const std::string head = buffer.substr(0, head_end);
+  std::vector<std::string> lines = Split(head, '\n');
+  if (lines.empty()) return Status::Internal("empty response head");
+  std::vector<std::string> status_parts = Split(Trim(lines[0]), ' ');
+  if (status_parts.size() < 2) {
+    return Status::Internal("malformed status line '" + lines[0] + "'");
+  }
+  reply.status = std::atoi(status_parts[1].c_str());
+  size_t content_length = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string line = Trim(lines[i]);
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    std::string value = Trim(line.substr(colon + 1));
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(std::atoll(value.c_str()));
+    }
+    reply.headers.emplace_back(std::move(name), std::move(value));
+  }
+  reply.body = buffer.substr(head_end + 4);
+  while (reply.body.size() < content_length) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::Internal("server closed mid-body");
+    reply.body.append(chunk, static_cast<size_t>(n));
+  }
+  return reply;
+}
+
+}  // namespace server
+}  // namespace hypre

@@ -1,0 +1,115 @@
+// Minimal dependency-free HTTP/1.1 framing over POSIX sockets.
+//
+// Just enough of RFC 7230 for the REST front end: request-line + headers +
+// Content-Length bodies, keep-alive by default, everything else rejected
+// with a clear status. Deliberately NOT a general web server — no chunked
+// transfer, no TLS, no pipelining of a second request before the first
+// response. The parser is strict and bounded (header and body byte caps,
+// a per-read idle timeout) so a slow or malicious client cannot pin a
+// worker or balloon memory: the same fail-closed posture the storage
+// formats take, applied at the network edge.
+//
+// Split from server.h so the framing is testable without sockets
+// (ParseRequestHead works on a byte buffer) and reusable by the bench's
+// tiny client.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hypre {
+namespace server {
+
+/// \brief One parsed request. Header names are stored lower-cased (HTTP
+/// headers are case-insensitive); values are trimmed.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (upper-case as sent)
+  std::string target;   // original request target, e.g. "/v1/t/stats?x=1"
+  std::string path;     // target up to '?'
+  std::string query;    // after '?', may be empty
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// \brief Case-insensitively looked-up header value, or nullptr.
+  const std::string* FindHeader(const std::string& lower_name) const;
+  /// \brief True when the client asked to close after this response.
+  bool WantsClose() const;
+};
+
+/// \brief One response to serialize. `headers` are extras (Retry-After,
+/// ...); Content-Type/Content-Length/Connection are emitted automatically.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// \brief Canonical reason phrase ("OK", "Too Many Requests", ...).
+const char* HttpStatusReason(int status);
+
+/// \brief Parser/transport bounds. The defaults keep one connection under
+/// ~8 MiB of buffered input and bound how long a worker waits on a socket.
+struct HttpLimits {
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Per-poll read timeout while a request is in flight; also the idle
+  /// keep-alive timeout between requests. Milliseconds.
+  int read_timeout_ms = 30000;
+};
+
+/// \brief Outcome of reading one request off a connection.
+struct ReadRequestOutcome {
+  /// Clean end of stream before any request byte (keep-alive close).
+  bool closed = false;
+  /// When != 0 the input was unusable; send this status and close. The
+  /// message explains why (logged, and echoed in the error body).
+  int error_status = 0;
+  std::string error;
+  HttpRequest request;  // valid iff !closed && error_status == 0
+};
+
+/// \brief Blocking read of one full request from `fd` under `limits`.
+/// Returns a transport Status error only for unexpected socket failures;
+/// protocol problems come back as error_status (400/408/413/431/501).
+Result<ReadRequestOutcome> ReadHttpRequest(int fd, const HttpLimits& limits);
+
+/// \brief Parses request-line + headers from `head` (everything before the
+/// blank line, which must be included). Exposed for fuzz-ish unit tests.
+/// On success fills `request` (body untouched) and returns the
+/// Content-Length (0 when absent). Protocol errors return non-OK with the
+/// HTTP status to send in `error_status_out`.
+Result<size_t> ParseRequestHead(const std::string& head, HttpRequest* request,
+                                int* error_status_out);
+
+/// \brief Serializes `response` with Content-Length framing.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive);
+
+/// \brief Writes all of `data` to `fd`, retrying short writes.
+Status WriteAllToSocket(int fd, const std::string& data);
+
+/// \brief Tiny blocking HTTP client for tests and the serving bench: sends
+/// one request on an already-connected socket and reads one full response.
+struct SimpleHttpReply {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lower-cased
+  std::string body;
+};
+Result<SimpleHttpReply> SendHttpRequest(int fd, const std::string& method,
+                                        const std::string& target,
+                                        const std::string& body,
+                                        const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
+
+/// \brief Connects a TCP socket to host:port (numeric IPv4 host). The
+/// caller owns the returned fd.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms = 5000);
+
+}  // namespace server
+}  // namespace hypre

@@ -1,0 +1,145 @@
+#include "hypre/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace hypre {
+namespace server {
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Conflict("server already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("host must be a numeric IPv4 address: " +
+                                   options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal("bind " + options_.host + ":" +
+                                 std::to_string(options_.port) + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    Status st = Status::Internal(std::string("listen: ") +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    Status st = Status::Internal(std::string("getsockname: ") +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // shutdown(2) — NOT close — unblocks every worker's accept(2) with an
+  // error while keeping the fd number valid; closing here could let the
+  // kernel recycle it under a worker that is just entering accept. The
+  // close happens after the joins, when no worker can touch it.
+  const int listener = listen_fd_.load(std::memory_order_acquire);
+  if (listener >= 0) ::shutdown(listener, SHUT_RDWR);
+  {
+    // Idle keep-alive connections are parked in poll; a read-shutdown
+    // makes them readable with EOF, which serve treats as a clean close.
+    // A connection mid-request is unaffected: shutdown(SHUT_RD) does not
+    // discard already-received bytes, and the response write still runs.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listener >= 0) ::close(listener);
+  listen_fd_.store(-1, std::memory_order_release);
+}
+
+void HttpServer::WorkerMain() {
+  while (running_.load(std::memory_order_acquire)) {
+    struct sockaddr_in peer;
+    socklen_t len = sizeof(peer);
+    int fd = ::accept(listen_fd_.load(std::memory_order_acquire),
+                      reinterpret_cast<struct sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed (Stop) or transient error; re-check and move on.
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active_fds_.push_back(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active_fds_.erase(
+          std::find(active_fds_.begin(), active_fds_.end(), fd));
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  for (;;) {
+    Result<ReadRequestOutcome> outcome = ReadHttpRequest(fd, options_.limits);
+    if (!outcome.ok()) return;  // transport failure: nothing sane to send
+    if (outcome->closed) return;
+    if (outcome->error_status != 0) {
+      HttpResponse response = Service::ErrorResponse(
+          outcome->error_status, Status::ParseError(outcome->error));
+      (void)WriteAllToSocket(
+          fd, SerializeHttpResponse(response, /*keep_alive=*/false));
+      return;
+    }
+    const bool keep_alive = !outcome->request.WantsClose() &&
+                            running_.load(std::memory_order_acquire);
+    HttpResponse response = service_->Handle(outcome->request);
+    if (!WriteAllToSocket(fd, SerializeHttpResponse(response, keep_alive))
+             .ok()) {
+      return;
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (!keep_alive) return;
+  }
+}
+
+}  // namespace server
+}  // namespace hypre

@@ -1,0 +1,100 @@
+// The HTTP server: listener, worker pool, connection lifecycle, and
+// graceful stop.
+//
+//   HttpServer::Start
+//     bind + listen (port 0 = kernel-assigned; port() reports it)
+//     N worker threads, each looping: accept -> serve connection
+//       serve: ReadHttpRequest -> Service::Handle -> write response,
+//              keep-alive until close/error/timeout
+//   HttpServer::Stop
+//     stop accepting (listener shutdown(2); workers unblock), wake idle
+//     keep-alive connections (shutdown(2) on their sockets), join
+//     workers — every IN-FLIGHT request finishes and its response is
+//     written before the worker exits. Tenant draining/checkpointing is
+//     the owner's job (TenantManager::ShutdownAll), not the transport's.
+//
+// Workers block in accept(2) directly (no separate acceptor thread, no
+// handoff queue): the kernel's accept queue IS the connection queue, and
+// its backlog bound plus the per-tenant admission/writer bounds are the
+// system's load shedding — a connection the workers never reach times out
+// client-side rather than occupying server memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "hypre/server/http.h"
+#include "hypre/server/service.h"
+
+namespace hypre {
+namespace server {
+
+struct HttpServerOptions {
+  /// Listen address. The default binds loopback only — this server has no
+  /// auth; exposing it wider is an explicit operator decision.
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned (tests); port() returns the bound port.
+  uint16_t port = 0;
+  /// Worker threads = max concurrently served connections.
+  size_t num_workers = 4;
+  /// listen(2) backlog: connections queued in the kernel awaiting a worker.
+  int backlog = 64;
+  HttpLimits limits;
+};
+
+class HttpServer {
+ public:
+  /// `service` must outlive the server.
+  HttpServer(Service* service, HttpServerOptions options)
+      : service_(service), options_(std::move(options)) {}
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// \brief Binds, listens, and launches the workers. Fails on an
+  /// unbindable address; idempotent-hostile (call once).
+  Status Start();
+
+  /// \brief Graceful stop: no new connections, in-flight requests finish,
+  /// workers join. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// \brief The bound port (after Start; resolves port 0).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// \brief Requests served to completion (response written).
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerMain();
+  /// Serves one connection until close/error/idle-timeout/stop.
+  void ServeConnection(int fd);
+
+  Service* service_;
+  const HttpServerOptions options_;
+
+  /// Atomic because workers read it for accept(2) while Stop() is tearing
+  /// down. Stop() only shutdown(2)s it to unblock them; the close happens
+  /// after the workers join, so the fd number cannot be recycled under a
+  /// racing accept call.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> served_{0};
+  std::vector<std::thread> workers_;
+  /// Sockets currently being served, so Stop() can shutdown(2) idle
+  /// keep-alive connections parked in poll.
+  std::mutex conns_mu_;
+  std::vector<int> active_fds_;
+};
+
+}  // namespace server
+}  // namespace hypre

@@ -1,0 +1,335 @@
+#include "hypre/server/tenant.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "reldb/csv.h"
+#include "workload/dblp_generator.h"
+
+namespace hypre {
+namespace server {
+
+// --- Tenant ----------------------------------------------------------------
+
+/// One queued write. `mu` orders the caller's deadline race against the
+/// writer's start: whoever locks first wins — a job is either abandoned
+/// before it starts or runs to completion, never half-observed.
+struct Tenant::WriteJob {
+  std::function<Status()> fn;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool abandoned = false;
+  bool done = false;
+  Status result;
+};
+
+Tenant::Tenant(std::string name, std::unique_ptr<api::Session> session,
+               size_t writer_queue_depth)
+    : name_(std::move(name)),
+      session_(std::move(session)),
+      queue_depth_(writer_queue_depth) {
+  writer_ = std::thread([this] { WriterMain(); });
+}
+
+Tenant::~Tenant() { Shutdown(); }
+
+void Tenant::WriterMain() {
+  for (;;) {
+    std::shared_ptr<WriteJob> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      if (job->abandoned) continue;  // caller's deadline passed while queued
+      job->started = true;
+    }
+    Status result = job->fn();
+    {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      job->done = true;
+      job->result = std::move(result);
+    }
+    job->cv.notify_all();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executed_;
+  }
+}
+
+Status Tenant::ExecuteWrite(
+    std::function<Status()> fn,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  auto job = std::make_shared<WriteJob>();
+  job->fn = std::move(fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ++shed_;
+      return Status::Unavailable("tenant '" + name_ + "' is shutting down");
+    }
+    if (queue_depth_ != 0 && queue_.size() >= queue_depth_) {
+      ++shed_;
+      return Status::Unavailable(
+          "writer queue full (" + std::to_string(queue_.size()) +
+          " writes queued, cap " + std::to_string(queue_depth_) + ")");
+    }
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> job_lock(job->mu);
+  if (deadline.has_value()) {
+    if (!job->cv.wait_until(job_lock, *deadline, [&] { return job->done; })) {
+      if (!job->started) {
+        job->abandoned = true;
+        job_lock.unlock();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++shed_;
+        return Status::Unavailable(
+            "write still queued when its deadline passed");
+      }
+      // Started: the mutation is running, so its outcome matters — wait it
+      // out rather than return an answer of unknown durability.
+      job->cv.wait(job_lock, [&] { return job->done; });
+    }
+  } else {
+    job->cv.wait(job_lock, [&] { return job->done; });
+  }
+  return job->result;
+}
+
+Status Tenant::Drain() {
+  // FIFO queue: once this marker job has run, everything queued before it
+  // has too. Bypasses the depth bound — drains must not be shed.
+  auto job = std::make_shared<WriteJob>();
+  job->fn = [] { return Status::OK(); };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::OK();  // Shutdown() already drained
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_one();
+  std::unique_lock<std::mutex> job_lock(job->mu);
+  job->cv.wait(job_lock, [&] { return job->done; });
+  return Status::OK();
+}
+
+Status Tenant::FlushCheckpoint() {
+  if (!session_->has_storage()) return Status::OK();
+  auto job = std::make_shared<WriteJob>();
+  job->fn = [this] { return session_->SaveSnapshot(); };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::Unavailable("tenant '" + name_ +
+                                 "' writer already stopped");
+    }
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_one();
+  std::unique_lock<std::mutex> job_lock(job->mu);
+  job->cv.wait(job_lock, [&] { return job->done; });
+  return job->result;
+}
+
+void Tenant::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second caller: the writer is draining or gone; fall through to
+      // join (guarded below for the non-owning duplicate call).
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+uint64_t Tenant::writes_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+uint64_t Tenant::writes_shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+// --- TenantManager ---------------------------------------------------------
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+/// Sorted *.csv file names (not paths) in `dir`.
+Result<std::vector<std::string>> ListCsvFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("cannot open csv_dir '" + dir + "'");
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".csv") == 0) {
+      names.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::unique_ptr<api::Session>> OpenSession(
+    const TenantSpec& spec, const TenantManagerOptions& options) {
+  std::unique_ptr<api::Session> session;
+  const bool warm = !spec.storage_dir.empty() &&
+                    FileExists(spec.storage_dir + "/snapshot.hypre");
+  if (warm) {
+    HYPRE_ASSIGN_OR_RETURN(session,
+                           api::Session::OpenFromSnapshot(spec.storage_dir));
+  } else {
+    auto db = std::make_unique<reldb::Database>();
+    if (!spec.csv_dir.empty()) {
+      HYPRE_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                             ListCsvFiles(spec.csv_dir));
+      if (files.empty()) {
+        return Status::NotFound("csv_dir '" + spec.csv_dir +
+                                "' holds no *.csv files");
+      }
+      for (const std::string& file : files) {
+        const std::string path = spec.csv_dir + "/" + file;
+        std::ifstream in(path);
+        if (!in.good()) return Status::NotFound("cannot read '" + path + "'");
+        const std::string table = file.substr(0, file.size() - 4);
+        HYPRE_RETURN_NOT_OK(
+            reldb::LoadCsvAsTable(&in, table, db.get()).status());
+      }
+    } else if (spec.synthetic_papers > 0) {
+      workload::DblpConfig config;
+      config.num_papers = spec.synthetic_papers;
+      config.num_authors = std::max<size_t>(1, spec.synthetic_papers / 3);
+      config.seed = spec.synthetic_seed;
+      HYPRE_RETURN_NOT_OK(workload::GenerateDblp(config, db.get()).status());
+    } else {
+      return Status::InvalidArgument(
+          "tenant '" + spec.name +
+          "' has no data source (storage_dir snapshot, csv_dir, or "
+          "synthetic_papers)");
+    }
+    session = std::make_unique<api::Session>(std::move(db));
+    if (!spec.storage_dir.empty()) {
+      HYPRE_RETURN_NOT_OK(session->AttachStorage(spec.storage_dir));
+    }
+  }
+  session->scheduler().set_options(options.scheduler);
+  return session;
+}
+
+}  // namespace
+
+TenantManager::TenantManager(std::vector<TenantSpec> specs,
+                             TenantManagerOptions options)
+    : options_(std::move(options)) {
+  for (TenantSpec& spec : specs) {
+    std::string name = spec.name;
+    specs_.emplace(std::move(name), std::move(spec));
+  }
+}
+
+TenantManager::~TenantManager() { (void)ShutdownAll(); }
+
+Result<std::shared_ptr<Tenant>> TenantManager::Get(const std::string& name) {
+  std::vector<std::shared_ptr<Tenant>> evicted;
+  Result<std::shared_ptr<Tenant>> result = [&]() -> Result<std::shared_ptr<Tenant>> {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = open_.find(name);
+      if (it != open_.end()) {
+        lru_.remove(name);
+        lru_.push_front(name);
+        return it->second;
+      }
+      auto spec_it = specs_.find(name);
+      if (spec_it == specs_.end()) {
+        return Status::NotFound("unknown tenant '" + name + "'");
+      }
+      if (std::find(opening_.begin(), opening_.end(), name) !=
+          opening_.end()) {
+        // Another thread is opening this tenant; wait and re-check.
+        opening_cv_.wait(lock);
+        continue;
+      }
+      opening_.push_back(name);
+      lock.unlock();
+      Result<std::unique_ptr<api::Session>> session =
+          OpenSession(spec_it->second, options_);
+      lock.lock();
+      opening_.erase(std::find(opening_.begin(), opening_.end(), name));
+      opening_cv_.notify_all();
+      if (!session.ok()) return session.status();
+      auto tenant = std::make_shared<Tenant>(name, std::move(*session),
+                                             options_.writer_queue_depth);
+      open_.emplace(name, tenant);
+      lru_.push_front(name);
+      while (options_.max_open_tenants != 0 &&
+             open_.size() > options_.max_open_tenants) {
+        const std::string victim = lru_.back();
+        lru_.pop_back();
+        evicted.push_back(open_.at(victim));
+        open_.erase(victim);
+      }
+      return tenant;
+    }
+  }();
+  // Shut evicted tenants down outside the lock: the drain + checkpoint
+  // flush can take a while and must not block unrelated Get()s. In-flight
+  // requests still holding the shared_ptr finish safely.
+  for (const std::shared_ptr<Tenant>& tenant : evicted) {
+    (void)tenant->FlushCheckpoint();
+    tenant->Shutdown();
+  }
+  return result;
+}
+
+std::vector<std::string> TenantManager::TenantNames() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t TenantManager::num_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.size();
+}
+
+Status TenantManager::ShutdownAll() {
+  std::vector<std::shared_ptr<Tenant>> tenants;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, tenant] : open_) tenants.push_back(tenant);
+    open_.clear();
+    lru_.clear();
+  }
+  Status first_error;
+  for (const std::shared_ptr<Tenant>& tenant : tenants) {
+    Status flushed = tenant->FlushCheckpoint();
+    if (!flushed.ok() && first_error.ok()) first_error = flushed;
+    tenant->Shutdown();
+  }
+  return first_error;
+}
+
+}  // namespace server
+}  // namespace hypre

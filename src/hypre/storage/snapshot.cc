@@ -4,7 +4,7 @@
 
 #include "common/string_util.h"
 #include "hypre/storage/format.h"
-#include "hypre/storage/json.h"
+#include "common/json.h"
 
 namespace hypre {
 namespace storage {

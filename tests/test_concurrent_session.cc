@@ -576,6 +576,176 @@ TEST(AdmissionScheduler, LooseningCapsWakesWaiters) {
   gate.Release();
 }
 
+// --- Bounded admission (TryAdmit: queue depth + wait deadline) -------------
+
+TEST(AdmissionScheduler, TryAdmitMatchesAdmitWhenUnloaded) {
+  AdmissionScheduler scheduler;
+  auto ticket = scheduler.TryAdmit(5);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  EXPECT_EQ(scheduler.stats().inflight, 1u);
+  EXPECT_EQ(scheduler.stats().rejected, 0u);
+  ticket->Release();
+  EXPECT_EQ(scheduler.stats().inflight, 0u);
+}
+
+TEST(AdmissionScheduler, QueueDepthBoundShedsWithUnavailable) {
+  AdmissionScheduler::Options options;
+  options.max_concurrent = 1;
+  options.max_queue_depth = 1;
+  AdmissionScheduler scheduler(options);
+  auto gate = scheduler.Admit(0);
+
+  // One waiter fills the queue to its bound.
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto ticket = scheduler.TryAdmit(0);
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    admitted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return scheduler.stats().queue_depth == 1; }));
+
+  // The next bounded request would queue BEHIND the bound: shed, typed.
+  auto shed = scheduler.TryAdmit(0);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status().message().find("queue full"), std::string::npos);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+
+  // The legacy unbounded Admit still waits (never sheds) — the in-process
+  // API contract is unchanged.
+  std::atomic<bool> legacy_admitted{false};
+  std::thread legacy([&] {
+    auto ticket = scheduler.Admit(0);
+    legacy_admitted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return scheduler.stats().queue_depth == 2; }));
+  EXPECT_FALSE(legacy_admitted.load());
+
+  gate.Release();
+  waiter.join();
+  legacy.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_TRUE(legacy_admitted.load());
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+}
+
+TEST(AdmissionScheduler, WaitDeadlineShedsAQueuedRequest) {
+  AdmissionScheduler::Options options;
+  options.max_concurrent = 1;
+  AdmissionScheduler scheduler(options);
+  auto gate = scheduler.Admit(0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  auto shed = scheduler.TryAdmit(0, deadline);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  AdmissionScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);  // the abandoned waiter left no residue
+
+  // An already-expired deadline is shed before even taking a ticket.
+  auto expired = scheduler.TryAdmit(
+      0, std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(scheduler.stats().rejected, 2u);
+
+  // With capacity free, the same deadline admits immediately.
+  gate.Release();
+  auto ok = scheduler.TryAdmit(
+      0, std::chrono::steady_clock::now() + std::chrono::milliseconds(50));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(AdmissionScheduler, AbandonedHeadTicketDoesNotStallTheQueue) {
+  AdmissionScheduler::Options options;
+  options.max_concurrent = 1;
+  AdmissionScheduler scheduler(options);
+  auto gate = scheduler.Admit(0);
+
+  // Head waiter with a short deadline; a patient waiter queues behind it.
+  std::thread head([&] {
+    auto shed = scheduler.TryAdmit(
+        0, std::chrono::steady_clock::now() + std::chrono::milliseconds(50));
+    EXPECT_FALSE(shed.ok());
+  });
+  ASSERT_TRUE(WaitFor([&] { return scheduler.stats().queue_depth == 1; }));
+  std::atomic<bool> admitted{false};
+  std::thread patient([&] {
+    auto ticket = scheduler.Admit(0);
+    admitted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return scheduler.stats().queue_depth == 2; }));
+
+  // Let the head abandon, then free capacity: the patient waiter must be
+  // admitted — the abandoned HEAD ticket advanced the cursor itself.
+  head.join();
+  EXPECT_FALSE(admitted.load());
+  gate.Release();
+  patient.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+}
+
+TEST(AdmissionScheduler, AbandonedMiddleTicketIsSkippedByTheCursor) {
+  AdmissionScheduler::Options options;
+  options.max_concurrent = 1;
+  AdmissionScheduler scheduler(options);
+  auto gate = scheduler.Admit(0);
+
+  // Queue: [patient-A, deadline-B, patient-C]. B abandons from the MIDDLE;
+  // when capacity frees, A then C must both admit (cursor skips B's slot).
+  std::atomic<int> admitted{0};
+  std::thread a([&] {
+    auto ticket = scheduler.Admit(0);
+    admitted.fetch_add(1);
+  });
+  ASSERT_TRUE(WaitFor([&] { return scheduler.stats().queue_depth == 1; }));
+  std::thread b([&] {
+    auto shed = scheduler.TryAdmit(
+        0, std::chrono::steady_clock::now() + std::chrono::milliseconds(50));
+    EXPECT_FALSE(shed.ok());
+  });
+  ASSERT_TRUE(WaitFor([&] { return scheduler.stats().queue_depth == 2; }));
+  std::thread c([&] {
+    auto ticket = scheduler.Admit(0);
+    admitted.fetch_add(1);
+  });
+  ASSERT_TRUE(WaitFor([&] { return scheduler.stats().queue_depth == 3; }));
+
+  b.join();  // B times out mid-queue
+  EXPECT_EQ(admitted.load(), 0);
+  gate.Release();  // admits A; A's release admits C over B's abandoned slot
+  a.join();
+  c.join();
+  EXPECT_EQ(admitted.load(), 2);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+}
+
+TEST(ConcurrentSession, AdmissionTimeoutSurfacesAsUnavailable) {
+  reldb::Database db;
+  BuildMiniDblp(&db);
+  Session session(&db);
+  AdmissionScheduler::Options options;
+  options.max_concurrent = 1;
+  session.scheduler().set_options(options);
+
+  // Hold the only slot with a raw ticket, then send a request with a tiny
+  // admission timeout: it must shed with Unavailable, not block.
+  auto gate = session.scheduler().Admit(0);
+  EnumerationRequest request = MakeRequest("combine-two", MiniPreferences());
+  request.admission_timeout_ms = 30;
+  auto result = session.Enumerate(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  gate.Release();
+
+  // With the slot free the same request runs.
+  auto ok = session.Enumerate(request);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
 }  // namespace
 }  // namespace api
 }  // namespace hypre

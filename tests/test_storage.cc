@@ -20,7 +20,7 @@
 
 #include "hypre/api/session.h"
 #include "hypre/storage/format.h"
-#include "hypre/storage/json.h"
+#include "common/json.h"
 #include "hypre/storage/snapshot.h"
 #include "hypre/storage/store.h"
 #include "hypre/storage/wal.h"

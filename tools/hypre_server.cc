@@ -1,0 +1,316 @@
+// hypre_server: the REST front end as a process.
+//
+//   hypre_server --config server.json
+//   hypre_server --port 8080 --tenant demo=synthetic:5000:7 --debug
+//
+// Config file (JSON; flags override scalar fields):
+//   {"host": "127.0.0.1", "port": 8080, "workers": 4,
+//    "debug": false, "default_deadline_ms": 0,
+//    "max_open_tenants": 0, "writer_queue_depth": 64,
+//    "scheduler": {"max_concurrent": 0, "max_inflight_probe_budget": 0,
+//                  "max_queue_depth": 0},
+//    "tenants": [{"name": "demo", "synthetic_papers": 5000,
+//                 "synthetic_seed": 7, "storage_dir": "", "csv_dir": ""}]}
+//
+// Shutdown: SIGINT/SIGTERM are caught through a self-pipe (the handler
+// only write(2)s one byte — async-signal-safe); the main thread then stops
+// accepting, lets in-flight requests finish (HttpServer::Stop), drains
+// every tenant's writer and flushes a final checkpoint per storage-backed
+// tenant (TenantManager::ShutdownAll), and exits 0. A second signal during
+// the drain exits 1 immediately (the escape hatch when a checkpoint disk
+// hangs).
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "hypre/server/server.h"
+#include "hypre/server/service.h"
+#include "hypre/server/tenant.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int) {
+  char byte = 1;
+  // The only async-signal-safe thing to do: poke the main thread.
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+struct ServerConfig {
+  hypre::server::HttpServerOptions http;
+  hypre::server::ServiceOptions service;
+  hypre::server::TenantManagerOptions tenants;
+  std::vector<hypre::server::TenantSpec> specs;
+};
+
+hypre::Status ReadUint(const hypre::Json& object, const std::string& key,
+                       uint64_t* out) {
+  const hypre::Json* field = object.Find(key);
+  if (field == nullptr) return hypre::Status::OK();
+  if (field->kind() != hypre::Json::Kind::kInt || field->AsInt() < 0) {
+    return hypre::Status::InvalidArgument("config field '" + key +
+                                          "' must be a non-negative integer");
+  }
+  *out = static_cast<uint64_t>(field->AsInt());
+  return hypre::Status::OK();
+}
+
+hypre::Status LoadConfigFile(const std::string& path, ServerConfig* config) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return hypre::Status::NotFound("cannot read config '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  HYPRE_ASSIGN_OR_RETURN(hypre::Json root,
+                         hypre::Json::Parse(text.str(), "server config"));
+  if (root.kind() != hypre::Json::Kind::kObject) {
+    return hypre::Status::InvalidArgument("server config must be an object");
+  }
+  if (const hypre::Json* host = root.Find("host")) {
+    if (host->kind() != hypre::Json::Kind::kString) {
+      return hypre::Status::InvalidArgument("config 'host' must be a string");
+    }
+    config->http.host = host->AsString();
+  }
+  uint64_t port = config->http.port;
+  HYPRE_RETURN_NOT_OK(ReadUint(root, "port", &port));
+  config->http.port = static_cast<uint16_t>(port);
+  uint64_t workers = config->http.num_workers;
+  HYPRE_RETURN_NOT_OK(ReadUint(root, "workers", &workers));
+  config->http.num_workers = static_cast<size_t>(workers);
+  if (const hypre::Json* debug = root.Find("debug")) {
+    if (debug->kind() != hypre::Json::Kind::kBool) {
+      return hypre::Status::InvalidArgument("config 'debug' must be a bool");
+    }
+    config->service.enable_debug = debug->AsBool();
+  }
+  HYPRE_RETURN_NOT_OK(ReadUint(root, "default_deadline_ms",
+                               &config->service.default_deadline_ms));
+  uint64_t max_open = config->tenants.max_open_tenants;
+  HYPRE_RETURN_NOT_OK(ReadUint(root, "max_open_tenants", &max_open));
+  config->tenants.max_open_tenants = static_cast<size_t>(max_open);
+  uint64_t writer_depth = config->tenants.writer_queue_depth;
+  HYPRE_RETURN_NOT_OK(ReadUint(root, "writer_queue_depth", &writer_depth));
+  config->tenants.writer_queue_depth = static_cast<size_t>(writer_depth);
+
+  if (const hypre::Json* scheduler = root.Find("scheduler")) {
+    if (scheduler->kind() != hypre::Json::Kind::kObject) {
+      return hypre::Status::InvalidArgument(
+          "config 'scheduler' must be an object");
+    }
+    uint64_t value = 0;
+    HYPRE_RETURN_NOT_OK(ReadUint(*scheduler, "max_concurrent", &value));
+    config->tenants.scheduler.max_concurrent = static_cast<size_t>(value);
+    value = 0;
+    HYPRE_RETURN_NOT_OK(
+        ReadUint(*scheduler, "max_inflight_probe_budget", &value));
+    config->tenants.scheduler.max_inflight_probe_budget =
+        static_cast<size_t>(value);
+    value = 0;
+    HYPRE_RETURN_NOT_OK(ReadUint(*scheduler, "max_queue_depth", &value));
+    config->tenants.scheduler.max_queue_depth = static_cast<size_t>(value);
+  }
+
+  if (const hypre::Json* tenants = root.Find("tenants")) {
+    if (tenants->kind() != hypre::Json::Kind::kArray) {
+      return hypre::Status::InvalidArgument(
+          "config 'tenants' must be an array");
+    }
+    for (size_t i = 0; i < tenants->size(); ++i) {
+      const hypre::Json& entry = tenants->at(i);
+      const std::string context = "tenants[" + std::to_string(i) + "]";
+      if (entry.kind() != hypre::Json::Kind::kObject) {
+        return hypre::Status::InvalidArgument(context + " must be an object");
+      }
+      hypre::server::TenantSpec spec;
+      HYPRE_ASSIGN_OR_RETURN(spec.name, entry.GetString("name", context));
+      if (const hypre::Json* dir = entry.Find("storage_dir")) {
+        spec.storage_dir = dir->AsString();
+      }
+      if (const hypre::Json* dir = entry.Find("csv_dir")) {
+        spec.csv_dir = dir->AsString();
+      }
+      uint64_t papers = 0;
+      HYPRE_RETURN_NOT_OK(ReadUint(entry, "synthetic_papers", &papers));
+      spec.synthetic_papers = static_cast<size_t>(papers);
+      HYPRE_RETURN_NOT_OK(
+          ReadUint(entry, "synthetic_seed", &spec.synthetic_seed));
+      config->specs.push_back(std::move(spec));
+    }
+  }
+  return hypre::Status::OK();
+}
+
+/// --tenant name=synthetic:<papers>[:<seed>] | name=storage:<dir> |
+/// name=csv:<dir>
+hypre::Status ParseTenantFlag(const std::string& value,
+                              hypre::server::TenantSpec* spec) {
+  size_t eq = value.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return hypre::Status::InvalidArgument(
+        "--tenant expects name=kind:arg, got '" + value + "'");
+  }
+  spec->name = value.substr(0, eq);
+  const std::string rest = value.substr(eq + 1);
+  size_t colon = rest.find(':');
+  const std::string kind = rest.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : rest.substr(colon + 1);
+  if (kind == "synthetic") {
+    size_t second = arg.find(':');
+    spec->synthetic_papers =
+        static_cast<size_t>(std::atoll(arg.substr(0, second).c_str()));
+    if (second != std::string::npos) {
+      spec->synthetic_seed =
+          static_cast<uint64_t>(std::atoll(arg.substr(second + 1).c_str()));
+    }
+    if (spec->synthetic_papers == 0) {
+      return hypre::Status::InvalidArgument(
+          "--tenant synthetic needs a paper count: " + value);
+    }
+  } else if (kind == "storage") {
+    spec->storage_dir = arg;
+  } else if (kind == "csv") {
+    spec->csv_dir = arg;
+  } else {
+    return hypre::Status::InvalidArgument(
+        "--tenant kind must be synthetic|storage|csv, got '" + kind + "'");
+  }
+  return hypre::Status::OK();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--config <json>] [--host <ipv4>] [--port <n>]\n"
+      "          [--workers <n>] [--debug] [--default-deadline-ms <n>]\n"
+      "          [--tenant name=synthetic:<papers>[:<seed>]]\n"
+      "          [--tenant name=storage:<dir>] [--tenant name=csv:<dir>]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--config") {
+      const char* path = next();
+      if (path == nullptr) return Usage(argv[0]);
+      hypre::Status loaded = LoadConfigFile(path, &config);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "hypre_server: %s\n",
+                     loaded.ToString().c_str());
+        return 1;
+      }
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.http.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.http.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.http.num_workers = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--debug") {
+      config.service.enable_debug = true;
+    } else if (arg == "--default-deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      config.service.default_deadline_ms =
+          static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      hypre::server::TenantSpec spec;
+      hypre::Status parsed = ParseTenantFlag(v, &spec);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "hypre_server: %s\n",
+                     parsed.ToString().c_str());
+        return 1;
+      }
+      config.specs.push_back(std::move(spec));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (config.specs.empty()) {
+    std::fprintf(stderr,
+                 "hypre_server: no tenants configured (--tenant or a config "
+                 "file with a tenants array)\n");
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("hypre_server: pipe");
+    return 1;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleShutdownSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  // A worker writing to a socket the client already closed must get EPIPE,
+  // not die.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  hypre::server::TenantManager tenants(std::move(config.specs),
+                                       config.tenants);
+  hypre::server::Service service(&tenants, config.service);
+  hypre::server::HttpServer server(&service, config.http);
+  hypre::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "hypre_server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "hypre_server: listening on %s:%u (%zu workers)\n",
+               config.http.host.c_str(), server.port(),
+               config.http.num_workers);
+  std::fflush(stderr);
+
+  // Park until SIGINT/SIGTERM pokes the pipe.
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "hypre_server: shutdown signal — draining\n");
+  std::fflush(stderr);
+
+  // Escape hatch: a second signal during the drain kills the process.
+  struct sigaction die;
+  std::memset(&die, 0, sizeof(die));
+  die.sa_handler = SIG_DFL;
+  ::sigaction(SIGINT, &die, nullptr);
+  ::sigaction(SIGTERM, &die, nullptr);
+
+  server.Stop();
+  hypre::Status flushed = tenants.ShutdownAll();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "hypre_server: shutdown flush: %s\n",
+                 flushed.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "hypre_server: drained (%llu requests served); bye\n",
+               static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
